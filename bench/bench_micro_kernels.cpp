@@ -1,0 +1,135 @@
+// Kernel micro-benchmarks (google-benchmark): the hot operations behind
+// training — matmul, GatedGCN forward, attention variants, subgraph
+// sampling, and the positional encodings of Table II.
+#include <benchmark/benchmark.h>
+
+#include "gen/designs.hpp"
+#include "gps/batch.hpp"
+#include "graph/links.hpp"
+#include "graph/pe.hpp"
+#include "layout/placer.hpp"
+#include "netlist/hierarchy.hpp"
+#include "nn/attention.hpp"
+#include "nn/gated_gcn.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cgps;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn(n, n, 1.0f, rng);
+  Tensor b = Tensor::randn(n, n, 1.0f, rng);
+  InferenceGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+struct GraphFixture {
+  Netlist netlist;
+  CircuitGraph graph;
+  std::vector<LinkSample> samples;
+  Subgraph subgraph;
+
+  GraphFixture() {
+    netlist = flatten(gen::digital_clk_gen());
+    graph = build_circuit_graph(netlist);
+    const Placement placement = place(netlist);
+    const ExtractionResult extraction = extract_parasitics(netlist, placement);
+    Rng rng(2);
+    samples = build_link_samples(graph, extraction.links, rng, {});
+    SubgraphOptions options;
+    options.max_nodes_per_anchor = 96;
+    subgraph = extract_enclosing_subgraph(graph.graph, samples[0].node_a, samples[0].node_b,
+                                          options);
+  }
+};
+
+GraphFixture& fixture() {
+  static GraphFixture f;
+  return f;
+}
+
+void BM_SubgraphSampling(benchmark::State& state) {
+  GraphFixture& f = fixture();
+  SubgraphOptions options;
+  options.hops = static_cast<std::int32_t>(state.range(0));
+  options.max_nodes_per_anchor = 96;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const LinkSample& s = f.samples[i++ % f.samples.size()];
+    benchmark::DoNotOptimize(
+        extract_enclosing_subgraph(f.graph.graph, s.node_a, s.node_b, options).num_nodes());
+  }
+}
+BENCHMARK(BM_SubgraphSampling)->Arg(1)->Arg(2);
+
+void BM_PeDrnl(benchmark::State& state) {
+  GraphFixture& f = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(drnl_labels(f.subgraph).size());
+}
+BENCHMARK(BM_PeDrnl);
+
+void BM_PeRwse(benchmark::State& state) {
+  GraphFixture& f = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(rwse(f.subgraph, 8).size());
+}
+BENCHMARK(BM_PeRwse);
+
+void BM_PeLapPe(benchmark::State& state) {
+  GraphFixture& f = fixture();
+  for (auto _ : state) benchmark::DoNotOptimize(lappe(f.subgraph, 4).size());
+}
+BENCHMARK(BM_PeLapPe);
+
+void BM_GatedGcnForward(benchmark::State& state) {
+  GraphFixture& f = fixture();
+  Rng rng(3);
+  const std::int64_t dim = 48;
+  nn::GatedGcn layer(dim, rng);
+  layer.set_training(false);
+  Tensor x = Tensor::randn(f.subgraph.num_nodes(), dim, 1.0f, rng);
+  Tensor e = Tensor::randn(f.subgraph.num_directed_edges(), dim, 1.0f, rng);
+  InferenceGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.forward(x, e, f.subgraph.edges).x.data().data());
+  }
+}
+BENCHMARK(BM_GatedGcnForward);
+
+void BM_Attention(benchmark::State& state) {
+  Rng rng(4);
+  const std::int64_t n = 128, dim = 48;
+  Tensor x = Tensor::randn(n, dim, 1.0f, rng);
+  const std::vector<std::int64_t> ptr{0, n};
+  InferenceGuard guard;
+  if (state.range(0) == 0) {
+    nn::MultiheadSelfAttention attn(dim, 4, rng);
+    attn.set_training(false);
+    for (auto _ : state) benchmark::DoNotOptimize(attn.forward(x, ptr).data().data());
+  } else {
+    nn::PerformerAttention attn(dim, 4, 16, rng);
+    attn.set_training(false);
+    for (auto _ : state) benchmark::DoNotOptimize(attn.forward(x, ptr).data().data());
+  }
+}
+BENCHMARK(BM_Attention)->Arg(0)->Arg(1);  // 0 = softmax Transformer, 1 = Performer
+
+void BM_DatasetExtraction(benchmark::State& state) {
+  const Netlist netlist = flatten(gen::timing_control());
+  const Placement placement = place(netlist);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_parasitics(netlist, placement).links.size());
+  }
+}
+BENCHMARK(BM_DatasetExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

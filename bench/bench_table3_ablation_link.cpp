@@ -1,0 +1,52 @@
+// Table III — Ablation of GPS-layer configurations on link prediction:
+// {None, GatedGCN} x {Performer, Transformer, None}, reporting accuracy
+// metrics, wall-clock training time, and parameter counts.
+#include "common.hpp"
+
+using namespace cgps;
+using namespace cgps::bench;
+
+int main() {
+  print_header("Table III: GPS layer ablation on link prediction");
+
+  const CircuitDataset train_ds = load_dataset(gen::DatasetId::kSsram);
+  const CircuitDataset test_ds = load_dataset(gen::DatasetId::kDigitalClkGen);
+
+  Rng rng(2);
+  const SubgraphOptions sg_options = bench_subgraph_options();
+  const TaskData train = TaskData::for_links(train_ds, sg_options, sizes().train_links, rng);
+  const TaskData test = TaskData::for_links(test_ds, sg_options, sizes().test_links, rng);
+  const TaskData* tasks[] = {&train};
+  const XcNormalizer normalizer = fit_normalizer(tasks);
+
+  struct Row {
+    MpnnKind mpnn;
+    AttnKind attn;
+  };
+  const Row grid[] = {
+      {MpnnKind::kNone, AttnKind::kPerformer},
+      {MpnnKind::kNone, AttnKind::kTransformer},
+      {MpnnKind::kGatedGcn, AttnKind::kPerformer},
+      {MpnnKind::kGatedGcn, AttnKind::kTransformer},
+      {MpnnKind::kGatedGcn, AttnKind::kNone},
+  };
+
+  TextTable table({"MPNN", "Attention", "Acc.", "F1", "AUC", "Time(s)", "#Param."});
+  for (const Row& row : grid) {
+    GpsConfig config = bench_gps_config();
+    config.mpnn = row.mpnn;
+    config.attn = row.attn;
+    CircuitGps model(config);
+    const double seconds = train_link_prediction(model, normalizer, tasks, bench_train_options());
+    const BinaryMetrics m = evaluate_link_prediction(model, normalizer, test);
+    table.add_row({mpnn_kind_name(row.mpnn), attn_kind_name(row.attn), fmt(m.accuracy),
+                   fmt(m.f1), fmt(m.auc), fmt(seconds, 1),
+                   std::to_string(model.num_parameters())});
+    std::fprintf(stderr, "[bench] %s+%s done (%.1fs)\n", mpnn_kind_name(row.mpnn),
+                 attn_kind_name(row.attn), seconds);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Paper shape (Obs. 2): GatedGCN rows beat attention-only rows;\n"
+              "GatedGCN+None is the fastest and close to best.\n");
+  return 0;
+}

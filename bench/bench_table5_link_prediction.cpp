@@ -1,0 +1,87 @@
+// Table V — Accuracy comparison on link prediction (zero-shot): ParaGraph,
+// DLPL-Cap, CircuitGPS; trained on the three training designs, evaluated on
+// the three unseen test designs.
+#include "common.hpp"
+
+using namespace cgps;
+using namespace cgps::bench;
+
+int main() {
+  print_header("Table V: link prediction vs baselines (zero-shot)");
+
+  std::vector<CircuitDataset> train_sets;
+  train_sets.push_back(load_dataset(gen::DatasetId::kSsram));
+  train_sets.push_back(load_dataset(gen::DatasetId::kUltra8t));
+  train_sets.push_back(load_dataset(gen::DatasetId::kSandwichRam));
+  std::vector<CircuitDataset> test_sets;
+  test_sets.push_back(load_dataset(gen::DatasetId::kDigitalClkGen));
+  test_sets.push_back(load_dataset(gen::DatasetId::kTimingControl));
+  test_sets.push_back(load_dataset(gen::DatasetId::kArray128x32));
+
+  // ---- CircuitGPS: subgraph task data --------------------------------------
+  Rng rng(4);
+  const SubgraphOptions sg_options = bench_subgraph_options();
+  std::vector<TaskData> train_tasks;
+  for (const CircuitDataset& ds : train_sets)
+    train_tasks.push_back(TaskData::for_links(ds, sg_options, sizes().train_links, rng));
+  std::vector<const TaskData*> task_ptrs;
+  for (const TaskData& t : train_tasks) task_ptrs.push_back(&t);
+  const XcNormalizer gps_norm =
+      fit_normalizer(std::span<const TaskData* const>(task_ptrs.data(), task_ptrs.size()));
+
+  CircuitGps gps_model(bench_gps_config());
+  std::fprintf(stderr, "[bench] training CircuitGPS...\n");
+  train_link_prediction(gps_model, gps_norm,
+                        std::span<const TaskData* const>(task_ptrs.data(), task_ptrs.size()),
+                        bench_train_options());
+
+  // ---- Baselines: full-graph training ---------------------------------------
+  std::vector<const CircuitDataset*> train_ptrs;
+  for (const CircuitDataset& ds : train_sets) train_ptrs.push_back(&ds);
+  const std::span<const CircuitDataset* const> train_span(train_ptrs.data(), train_ptrs.size());
+  const XcNormalizer base_norm = fit_full_graph_normalizer(train_span);
+
+  ParaGraph paragraph(bench_baseline_config());
+  std::fprintf(stderr, "[bench] training ParaGraph...\n");
+  train_baseline_link(paragraph, train_span, base_norm, bench_baseline_train_options());
+  DlplCap dlpl(bench_baseline_config());
+  std::fprintf(stderr, "[bench] training DLPL-Cap...\n");
+  train_baseline_link(dlpl, train_span, base_norm, bench_baseline_train_options());
+
+  // ---- Evaluation ------------------------------------------------------------
+  std::vector<std::string> header{"Method"};
+  for (const CircuitDataset& ds : test_sets) {
+    header.push_back(ds.name + " Acc");
+    header.push_back("F1");
+    header.push_back("AUC");
+  }
+  TextTable table(header);
+
+  auto add_baseline_row = [&](const char* name, FullGraphBaseline& model) {
+    std::vector<std::string> row{name};
+    for (const CircuitDataset& ds : test_sets) {
+      const BinaryMetrics m = evaluate_baseline_link(model, ds, base_norm);
+      row.push_back(fmt(m.accuracy, 3));
+      row.push_back(fmt(m.f1, 3));
+      row.push_back(fmt(m.auc, 3));
+    }
+    table.add_row(row);
+  };
+  add_baseline_row("ParaGraph", paragraph);
+  add_baseline_row("DLPL-Cap", dlpl);
+
+  std::vector<std::string> gps_row{"CircuitGPS"};
+  for (const CircuitDataset& ds : test_sets) {
+    const TaskData test = TaskData::for_links(ds, sg_options, sizes().test_links, rng);
+    const BinaryMetrics m = evaluate_link_prediction(gps_model, gps_norm, test);
+    gps_row.push_back(fmt(m.accuracy, 3));
+    gps_row.push_back(fmt(m.f1, 3));
+    gps_row.push_back(fmt(m.auc, 3));
+  }
+  table.add_row(gps_row);
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Paper shape: CircuitGPS improves accuracy by >=20%% over both\n"
+              "full-graph baselines on every unseen design.\n");
+  return 0;
+}

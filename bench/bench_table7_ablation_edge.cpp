@@ -1,0 +1,52 @@
+// Table VII — GPS-layer ablation on edge regression (SSRAM -> zero-shot
+// DIGITAL_CLK_GEN): MAE/RMSE/R^2, training time, parameter count.
+#include "common.hpp"
+
+using namespace cgps;
+using namespace cgps::bench;
+
+int main() {
+  print_header("Table VII: GPS layer ablation on edge regression");
+
+  const CircuitDataset train_ds = load_dataset(gen::DatasetId::kSsram);
+  const CircuitDataset test_ds = load_dataset(gen::DatasetId::kDigitalClkGen);
+
+  Rng rng(6);
+  const SubgraphOptions sg_options = bench_subgraph_options();
+  const TaskData train =
+      TaskData::for_edge_regression(train_ds, sg_options, sizes().reg_train, rng);
+  const TaskData test = TaskData::for_edge_regression(test_ds, sg_options, sizes().reg_test, rng);
+  const TaskData* tasks[] = {&train};
+  const XcNormalizer normalizer = fit_normalizer(tasks);
+
+  struct Row {
+    MpnnKind mpnn;
+    AttnKind attn;
+  };
+  const Row grid[] = {
+      {MpnnKind::kNone, AttnKind::kPerformer},
+      {MpnnKind::kNone, AttnKind::kTransformer},
+      {MpnnKind::kGatedGcn, AttnKind::kPerformer},
+      {MpnnKind::kGatedGcn, AttnKind::kTransformer},
+      {MpnnKind::kGatedGcn, AttnKind::kNone},
+  };
+
+  TextTable table({"MPNN", "Attention", "MAE", "RMSE", "R2", "Time(s)", "#Param."});
+  for (const Row& row : grid) {
+    GpsConfig config = bench_gps_config();
+    config.mpnn = row.mpnn;
+    config.attn = row.attn;
+    CircuitGps model(config);
+    const double seconds = train_regression(model, normalizer, tasks, bench_train_options());
+    const RegressionMetrics m = evaluate_regression(model, normalizer, test);
+    table.add_row({mpnn_kind_name(row.mpnn), attn_kind_name(row.attn), fmt(m.mae),
+                   fmt(m.rmse), fmt(m.r2), fmt(seconds, 1),
+                   std::to_string(model.num_parameters())});
+    std::fprintf(stderr, "[bench] %s+%s done (%.1fs)\n", mpnn_kind_name(row.mpnn),
+                 attn_kind_name(row.attn), seconds);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Paper shape: GatedGCN configurations dominate; GatedGCN+None is the\n"
+              "fastest with near-best error (Observation 2).\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper. Sizes
+// default to a single-core-friendly budget and scale up with
+// CIRCUITGPS_SCALE (see DESIGN.md §7).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_trainer.hpp"
+#include "train/dataset_cache.hpp"
+#include "train/trainer.hpp"
+#include "util/env.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace cgps::bench {
+
+struct Sizes {
+  double train_scale;              // training-design array scale
+  std::int64_t train_links;        // link samples per training design
+  std::int64_t test_links;         // link samples per test design
+  std::int64_t reg_train;          // regression samples per training design
+  std::int64_t reg_test;
+  std::int64_t node_train;
+  std::int64_t node_test;
+  int epochs;
+  int baseline_epochs;
+};
+
+inline Sizes sizes() {
+  Sizes s;
+  s.train_scale = 0.5;  // 32-row SSRAM bank etc. — documented in DESIGN.md
+  s.train_links = scaled(1300);
+  s.test_links = scaled(600);
+  s.reg_train = scaled(900);
+  s.reg_test = scaled(500);
+  s.node_train = scaled(800);
+  s.node_test = scaled(500);
+  s.epochs = scaled(14);
+  s.baseline_epochs = scaled(30);
+  return s;
+}
+
+inline SubgraphOptions bench_subgraph_options(int hops = 1) {
+  SubgraphOptions options;
+  options.hops = hops;
+  // Keeps subgraphs in the paper's size regime and LapPE tractable.
+  options.max_nodes_per_anchor = 96;
+  return options;
+}
+
+inline GpsConfig bench_gps_config() {
+  GpsConfig config;
+  config.hidden = 32;
+  config.layers = 2;
+  config.heads = 4;
+  config.performer_features = 16;
+  config.head_hidden = 32;
+  config.dropout = 0.1f;
+  config.mpnn = MpnnKind::kGatedGcn;
+  config.attn = AttnKind::kPerformer;  // the paper's Table II configuration
+  config.pe = PeKind::kDspd;
+  return config;
+}
+
+inline TrainOptions bench_train_options() {
+  TrainOptions options;
+  options.epochs = sizes().epochs;
+  options.batch_size = 24;
+  options.lr = 2e-3f;
+  return options;
+}
+
+inline BaselineConfig bench_baseline_config() {
+  BaselineConfig config;
+  config.hidden = 24;
+  config.layers = 2;
+  return config;
+}
+
+inline BaselineTrainOptions bench_baseline_train_options() {
+  BaselineTrainOptions options;
+  options.epochs = sizes().baseline_epochs;
+  options.lr = 3e-3f;
+  options.max_pairs_per_epoch = 1024;
+  return options;
+}
+
+inline CircuitDataset load_dataset(gen::DatasetId id, std::uint64_t seed = 100) {
+  DatasetOptions options;
+  options.seed = seed + static_cast<std::uint64_t>(id);
+  options.design_scale.train_scale = sizes().train_scale;
+  Stopwatch timer;
+  // Datasets are deterministic; cache them across bench binaries.
+  CircuitDataset ds = build_dataset_cached(id, options, "bench_dataset_cache");
+  std::fprintf(stderr, "[bench] built %s: %lld nodes, %lld couplings (%.1fs)\n",
+               ds.name.c_str(), static_cast<long long>(ds.graph.graph.num_nodes()),
+               static_cast<long long>(ds.extraction.links.size()), timer.seconds());
+  return ds;
+}
+
+inline std::string fmt(double v, int decimals = 4) { return format_fixed(v, decimals); }
+
+inline void print_header(const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("CircuitGPS reproduction — %s\n", what);
+  std::printf("scale=%.2g (set CIRCUITGPS_SCALE to raise fidelity)\n", bench_scale());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace cgps::bench

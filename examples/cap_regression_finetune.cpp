@@ -1,0 +1,80 @@
+// Full FSL pipeline (paper §III-E / Table VI flow):
+//   pre-train (link prediction) -> fine-tune (edge regression, head-only
+//   and all-parameter) -> compare against training from scratch.
+//
+//   ./cap_regression_finetune
+#include <cstdio>
+
+#include "train/trainer.hpp"
+
+using namespace cgps;
+
+namespace {
+
+void report(const char* label, const RegressionMetrics& m) {
+  std::printf("%-28s MAE=%.3f RMSE=%.3f R2=%.3f\n", label, m.mae, m.rmse, m.r2);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== CircuitGPS capacitance regression with fine-tuning ==\n");
+  DatasetOptions ds_options;
+  ds_options.seed = 50;
+  const CircuitDataset train_ds = build_dataset(gen::DatasetId::kTimingControl, ds_options);
+  ds_options.seed = 51;
+  const CircuitDataset test_ds = build_dataset(gen::DatasetId::kDigitalClkGen, ds_options);
+
+  Rng rng(9);
+  SubgraphOptions sg_options;
+  sg_options.max_nodes_per_anchor = 96;
+  const TaskData pretrain = TaskData::for_links(train_ds, sg_options, 500, rng);
+  const TaskData reg_train = TaskData::for_edge_regression(train_ds, sg_options, 400, rng);
+  const TaskData reg_test = TaskData::for_edge_regression(test_ds, sg_options, 300, rng);
+  const TaskData* pre_tasks[] = {&pretrain};
+  const TaskData* reg_tasks[] = {&reg_train};
+  const XcNormalizer normalizer = fit_normalizer(pre_tasks);
+
+  GpsConfig config;
+  config.hidden = 32;
+  config.layers = 2;
+  config.attn = AttnKind::kNone;
+  TrainOptions options;
+  options.epochs = 10;
+  options.batch_size = 24;
+
+  // (a) From scratch: regression only.
+  CircuitGps scratch(config);
+  train_regression(scratch, normalizer, reg_tasks, options);
+  report("from-scratch", evaluate_regression(scratch, normalizer, reg_test));
+
+  // (b) Pre-train the meta-learner once, then fine-tune two ways.
+  CircuitGps meta(config);
+  std::printf("pre-training meta-learner on link prediction...\n");
+  train_link_prediction(meta, normalizer, pre_tasks, options);
+
+  // Head-only fine-tuning: freeze encoders + GPS layers (fast adaptation).
+  GpsConfig head_config = config;
+  head_config.seed = config.seed + 1;
+  CircuitGps head_ft(head_config);
+  nn::copy_state(meta, head_ft);
+  head_ft.reset_head(901);  // fresh task-specific head (paper §III-D)
+  head_ft.freeze_backbone();
+  TrainOptions head_options = options;
+  head_options.epochs = 5;  // converges quickly, as the paper notes
+  train_regression(head_ft, normalizer, reg_tasks, head_options);
+  report("head-only fine-tune", evaluate_regression(head_ft, normalizer, reg_test));
+
+  // All-parameter fine-tuning: best accuracy (paper Table VI, all-ft).
+  GpsConfig all_config = config;
+  all_config.seed = config.seed + 2;
+  CircuitGps all_ft(all_config);
+  nn::copy_state(meta, all_ft);
+  all_ft.reset_head(902);
+  train_regression(all_ft, normalizer, reg_tasks, options);
+  report("all-parameter fine-tune", evaluate_regression(all_ft, normalizer, reg_test));
+
+  std::printf("expected shape (paper Table VI): all-ft <= from-scratch on MAE,\n"
+              "head-ft close behind at a fraction of the adaptation cost.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Zero-shot coupling-existence screening (the paper's Table V flow, small).
+//
+// Pre-trains CircuitGPS on link prediction over one design, then screens an
+// *unseen* design for coupling capacitance candidates — no labels from the
+// test design are used (zero-shot transfer, the paper's headline property).
+//
+//   ./coupling_screening
+#include <cstdio>
+
+#include "train/trainer.hpp"
+#include "util/timer.hpp"
+
+using namespace cgps;
+
+int main() {
+  std::printf("== CircuitGPS zero-shot coupling screening ==\n");
+
+  // Datasets: train on TIMING_CONTROL, screen DIGITAL_CLK_GEN.
+  Stopwatch build_timer;
+  DatasetOptions ds_options;
+  ds_options.seed = 42;
+  const CircuitDataset train_ds = build_dataset(gen::DatasetId::kTimingControl, ds_options);
+  ds_options.seed = 43;
+  const CircuitDataset test_ds = build_dataset(gen::DatasetId::kDigitalClkGen, ds_options);
+  std::printf("built %s (%lld nodes) and %s (%lld nodes) in %.1fs\n", train_ds.name.c_str(),
+              static_cast<long long>(train_ds.graph.graph.num_nodes()), test_ds.name.c_str(),
+              static_cast<long long>(test_ds.graph.graph.num_nodes()), build_timer.seconds());
+
+  // Subgraph task data (1-hop enclosing subgraphs, paper §III-B).
+  Rng rng(7);
+  SubgraphOptions sg_options;
+  sg_options.max_nodes_per_anchor = 96;
+  const TaskData train = TaskData::for_links(train_ds, sg_options, 600, rng);
+  const TaskData test = TaskData::for_links(test_ds, sg_options, 400, rng);
+  const TaskData* tasks[] = {&train};
+  const XcNormalizer normalizer = fit_normalizer(tasks);
+
+  // Pre-train the meta-learner.
+  GpsConfig config;
+  config.hidden = 32;
+  config.layers = 2;
+  config.attn = AttnKind::kNone;  // Observation 2: plain GatedGCN is strong
+  CircuitGps model(config);
+  TrainOptions options;
+  options.epochs = 5;
+  options.batch_size = 24;
+  std::printf("pre-training on %lld link samples (%lld params)...\n",
+              static_cast<long long>(train.size()),
+              static_cast<long long>(model.num_parameters()));
+  const double seconds = train_link_prediction(model, normalizer, tasks, options);
+  std::printf("trained in %.1fs\n", seconds);
+
+  // Evaluate: training design (sanity) and unseen design (zero-shot).
+  const BinaryMetrics on_train = evaluate_link_prediction(model, normalizer, train);
+  const BinaryMetrics on_test = evaluate_link_prediction(model, normalizer, test);
+  std::printf("train  %-16s Acc=%.3f F1=%.3f AUC=%.3f\n", train_ds.name.c_str(),
+              on_train.accuracy, on_train.f1, on_train.auc);
+  std::printf("0-shot %-16s Acc=%.3f F1=%.3f AUC=%.3f\n", test_ds.name.c_str(),
+              on_test.accuracy, on_test.f1, on_test.auc);
+  std::printf("the unseen design was never touched during training — this is the\n"
+              "few-shot/zero-shot transfer enabled by subgraph sampling + DSPD.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Config-file-driven experiment runner (the paper ships GraphGym-style
+// configuration files with its repo; this is the equivalent entry point).
+//
+//   ./train_from_config [path/to/experiment.cfg]
+//
+// Without an argument, a built-in default configuration is used and printed,
+// so the example is runnable standalone.
+#include <cstdio>
+
+#include "train/config_io.hpp"
+#include "train/model_io.hpp"
+#include "train/trainer.hpp"
+
+using namespace cgps;
+
+int main(int argc, char** argv) {
+  ExperimentConfig config;
+  if (argc > 1) {
+    config = load_experiment_config(argv[1]);
+    std::printf("loaded %s\n", argv[1]);
+  } else {
+    config.gps.hidden = 32;
+    config.gps.layers = 2;
+    config.gps.attn = AttnKind::kPerformer;
+    config.train.epochs = 8;
+    config.subgraph.max_nodes_per_anchor = 96;
+    std::printf("no config given; using the built-in default:\n");
+  }
+  std::printf("%s\n", to_config_text(config).c_str());
+
+  DatasetOptions ds_options;
+  ds_options.seed = 80;
+  const CircuitDataset train_ds = build_dataset(gen::DatasetId::kTimingControl, ds_options);
+  ds_options.seed = 81;
+  const CircuitDataset test_ds = build_dataset(gen::DatasetId::kDigitalClkGen, ds_options);
+
+  Rng rng(29);
+  const TaskData train = TaskData::for_links(train_ds, config.subgraph, 800, rng);
+  const TaskData test = TaskData::for_links(test_ds, config.subgraph, 500, rng);
+  const TaskData* tasks[] = {&train};
+  const XcNormalizer normalizer = fit_normalizer(tasks);
+
+  CircuitGps model(config.gps);
+  std::printf("model: %s, %lld parameters\n", config.gps.describe().c_str(),
+              static_cast<long long>(model.num_parameters()));
+  const double seconds = train_link_prediction(model, normalizer, tasks, config.train);
+  const BinaryMetrics m = evaluate_link_prediction(model, normalizer, test);
+  std::printf("trained %.1fs | zero-shot %s: Acc=%.3f F1=%.3f AUC=%.3f\n", seconds,
+              test_ds.name.c_str(), m.accuracy, m.f1, m.auc);
+
+  // Persist the trained meta-learner as a self-describing bundle: the file
+  // carries its own architecture config, so a later session can fine-tune it
+  // without this config file.
+  const char* bundle_path = "meta_learner.cgps";
+  save_model_bundle(model, bundle_path);
+  const auto reloaded = load_model_bundle(bundle_path);
+  const BinaryMetrics again = evaluate_link_prediction(*reloaded, normalizer, test);
+  std::printf("bundle round trip -> %s (AUC unchanged: %.3f)\n", bundle_path, again.auc);
+  return 0;
+}

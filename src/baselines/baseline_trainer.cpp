@@ -1,0 +1,177 @@
+#include "baselines/baseline_trainer.hpp"
+
+#include <algorithm>
+
+#include "tensor/optim.hpp"
+#include "tensor/ops.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace cgps {
+
+namespace {
+
+using Pairs = std::vector<std::pair<std::int32_t, std::int32_t>>;
+
+// Target extraction modes over a dataset's samples.
+enum class TargetMode { kLinkLabels, kEdgeCaps, kNodeCaps };
+
+void collect_targets(const CircuitDataset& ds, TargetMode mode, Pairs& pairs,
+                     std::vector<float>& values) {
+  pairs.clear();
+  values.clear();
+  switch (mode) {
+    case TargetMode::kLinkLabels:
+      for (const LinkSample& s : ds.link_samples) {
+        pairs.emplace_back(s.node_a, s.node_b);
+        values.push_back(s.label);
+      }
+      break;
+    case TargetMode::kEdgeCaps:
+      for (const LinkSample& s : ds.link_samples) {
+        if (s.label < 0.5f || s.cap <= kCapWindowLo) continue;
+        pairs.emplace_back(s.node_a, s.node_b);
+        values.push_back(normalize_cap(s.cap));
+      }
+      break;
+    case TargetMode::kNodeCaps:
+      for (const NodeSample& s : ds.node_samples) {
+        pairs.emplace_back(s.node, s.node);  // self pair = node features
+        values.push_back(normalize_cap(s.cap));
+      }
+      break;
+  }
+}
+
+void subsample(Pairs& pairs, std::vector<float>& values, std::int64_t max_count, Rng& rng) {
+  if (max_count < 0 || static_cast<std::int64_t>(pairs.size()) <= max_count) return;
+  std::vector<std::size_t> idx = rng.sample_without_replacement(pairs.size(),
+                                                                static_cast<std::size_t>(max_count));
+  Pairs new_pairs;
+  std::vector<float> new_values;
+  new_pairs.reserve(idx.size());
+  new_values.reserve(idx.size());
+  for (std::size_t i : idx) {
+    new_pairs.push_back(pairs[i]);
+    new_values.push_back(values[i]);
+  }
+  pairs.swap(new_pairs);
+  values.swap(new_values);
+}
+
+double run_baseline_training(FullGraphBaseline& model,
+                             std::span<const CircuitDataset* const> train,
+                             const XcNormalizer& normalizer,
+                             const BaselineTrainOptions& options, TargetMode mode) {
+  Adam optimizer(model.parameters(), options.lr, 0.9f, 0.999f, 1e-8f, options.weight_decay);
+  Rng rng(model.config().seed ^ 0x5F5F5F5FULL);
+
+  // Precompute the full edge lists (constant across epochs).
+  std::vector<nn::EdgeIndex> edges;
+  edges.reserve(train.size());
+  for (const CircuitDataset* ds : train) edges.push_back(full_graph_edges(ds->graph));
+
+  model.set_training(true);
+  Stopwatch timer;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    double loss_sum = 0.0;
+    for (std::size_t t = 0; t < train.size(); ++t) {
+      Pairs pairs;
+      std::vector<float> values;
+      collect_targets(*train[t], mode, pairs, values);
+      if (pairs.empty()) continue;
+      subsample(pairs, values, options.max_pairs_per_epoch, rng);
+
+      Tensor emb = model.embed(train[t]->graph, edges[t], normalizer);
+      Tensor loss;
+      if (mode == TargetMode::kLinkLabels) {
+        Tensor logits = model.link_logits(emb, pairs);
+        Tensor target = Tensor::from_vector(std::move(values), logits.rows(), 1);
+        loss = ops::bce_with_logits(logits, target);
+      } else {
+        loss = model.cap_loss(emb, pairs, values);
+      }
+      optimizer.zero_grad();
+      loss.backward();
+      optimizer.clip_grad_norm(options.grad_clip);
+      optimizer.step();
+      loss_sum += loss.item();
+    }
+    if (options.verbose) log_info("baseline epoch ", epoch, " loss ", loss_sum);
+  }
+  model.set_training(false);
+  return timer.seconds();
+}
+
+std::vector<float> baseline_predict(FullGraphBaseline& model, const CircuitDataset& test,
+                                    const XcNormalizer& normalizer, TargetMode mode,
+                                    std::vector<float>& values, bool link_task) {
+  Pairs pairs;
+  collect_targets(test, mode, pairs, values);
+  model.set_training(false);
+  InferenceGuard guard;
+  const nn::EdgeIndex edges = full_graph_edges(test.graph);
+  Tensor emb = model.embed(test.graph, edges, normalizer);
+  Tensor out = link_task ? ops::sigmoid(model.link_logits(emb, pairs))
+                         : model.cap_predict(emb, pairs);
+  std::vector<float> predictions;
+  predictions.reserve(static_cast<std::size_t>(out.rows()));
+  for (float v : out.data())
+    predictions.push_back(link_task ? v : std::clamp(v, 0.0f, 1.0f));
+  return predictions;
+}
+
+}  // namespace
+
+XcNormalizer fit_full_graph_normalizer(std::span<const CircuitDataset* const> train) {
+  XcNormalizer normalizer;
+  for (const CircuitDataset* ds : train) normalizer.fit(ds->graph.xc);
+  return normalizer;
+}
+
+double train_baseline_link(FullGraphBaseline& model,
+                           std::span<const CircuitDataset* const> train,
+                           const XcNormalizer& normalizer,
+                           const BaselineTrainOptions& options) {
+  return run_baseline_training(model, train, normalizer, options, TargetMode::kLinkLabels);
+}
+
+double train_baseline_edge_regression(FullGraphBaseline& model,
+                                      std::span<const CircuitDataset* const> train,
+                                      const XcNormalizer& normalizer,
+                                      const BaselineTrainOptions& options) {
+  return run_baseline_training(model, train, normalizer, options, TargetMode::kEdgeCaps);
+}
+
+double train_baseline_node_regression(FullGraphBaseline& model,
+                                      std::span<const CircuitDataset* const> train,
+                                      const XcNormalizer& normalizer,
+                                      const BaselineTrainOptions& options) {
+  return run_baseline_training(model, train, normalizer, options, TargetMode::kNodeCaps);
+}
+
+BinaryMetrics evaluate_baseline_link(FullGraphBaseline& model, const CircuitDataset& test,
+                                     const XcNormalizer& normalizer) {
+  std::vector<float> labels;
+  const std::vector<float> scores =
+      baseline_predict(model, test, normalizer, TargetMode::kLinkLabels, labels, true);
+  return binary_metrics(scores, labels);
+}
+
+RegressionMetrics evaluate_baseline_edge(FullGraphBaseline& model, const CircuitDataset& test,
+                                         const XcNormalizer& normalizer) {
+  std::vector<float> targets;
+  const std::vector<float> preds =
+      baseline_predict(model, test, normalizer, TargetMode::kEdgeCaps, targets, false);
+  return regression_metrics(preds, targets);
+}
+
+RegressionMetrics evaluate_baseline_node(FullGraphBaseline& model, const CircuitDataset& test,
+                                         const XcNormalizer& normalizer) {
+  std::vector<float> targets;
+  const std::vector<float> preds =
+      baseline_predict(model, test, normalizer, TargetMode::kNodeCaps, targets, false);
+  return regression_metrics(preds, targets);
+}
+
+}  // namespace cgps

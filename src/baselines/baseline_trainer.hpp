@@ -1,0 +1,48 @@
+// Full-graph training/evaluation loops for the baseline models. The paper
+// trains these on the training designs and evaluates zero-shot on the test
+// designs, using the same link samples as CircuitGPS for a fair comparison.
+#pragma once
+
+#include <span>
+
+#include "baselines/baselines.hpp"
+#include "train/dataset.hpp"
+#include "train/metrics.hpp"
+
+namespace cgps {
+
+struct BaselineTrainOptions {
+  int epochs = 30;
+  float lr = 3e-3f;
+  float grad_clip = 2.0f;
+  float weight_decay = 0.0f;
+  // Target pairs subsampled per dataset per epoch (full-graph embedding
+  // dominates the cost; this bounds the head cost).
+  std::int64_t max_pairs_per_epoch = 2048;
+  bool verbose = false;
+};
+
+// Fit X_C normalization over all nodes of the training designs.
+XcNormalizer fit_full_graph_normalizer(std::span<const CircuitDataset* const> train);
+
+// Returns wall-clock seconds.
+double train_baseline_link(FullGraphBaseline& model,
+                           std::span<const CircuitDataset* const> train,
+                           const XcNormalizer& normalizer, const BaselineTrainOptions& options);
+double train_baseline_edge_regression(FullGraphBaseline& model,
+                                      std::span<const CircuitDataset* const> train,
+                                      const XcNormalizer& normalizer,
+                                      const BaselineTrainOptions& options);
+double train_baseline_node_regression(FullGraphBaseline& model,
+                                      std::span<const CircuitDataset* const> train,
+                                      const XcNormalizer& normalizer,
+                                      const BaselineTrainOptions& options);
+
+BinaryMetrics evaluate_baseline_link(FullGraphBaseline& model, const CircuitDataset& test,
+                                     const XcNormalizer& normalizer);
+RegressionMetrics evaluate_baseline_edge(FullGraphBaseline& model, const CircuitDataset& test,
+                                         const XcNormalizer& normalizer);
+RegressionMetrics evaluate_baseline_node(FullGraphBaseline& model, const CircuitDataset& test,
+                                         const XcNormalizer& normalizer);
+
+}  // namespace cgps

@@ -1,0 +1,244 @@
+#include "baselines/baselines.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+
+namespace cgps {
+
+nn::EdgeIndex full_graph_edges(const CircuitGraph& graph) {
+  nn::EdgeIndex edges;
+  const std::int64_t m = graph.graph.num_edges();
+  edges.src.reserve(static_cast<std::size_t>(2 * m));
+  edges.dst.reserve(static_cast<std::size_t>(2 * m));
+  for (std::int64_t e = 0; e < m; ++e) {
+    const std::int32_t a = graph.graph.edge_a(e);
+    const std::int32_t b = graph.graph.edge_b(e);
+    edges.src.push_back(a);
+    edges.dst.push_back(b);
+    edges.src.push_back(b);
+    edges.dst.push_back(a);
+  }
+  return edges;
+}
+
+Tensor FullGraphBaseline::pair_features(
+    const Tensor& emb, const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) const {
+  std::vector<std::int32_t> a_idx, b_idx;
+  a_idx.reserve(pairs.size());
+  b_idx.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    a_idx.push_back(a);
+    b_idx.push_back(b);
+  }
+  Tensor ha = ops::gather_rows(emb, a_idx);
+  Tensor hb = ops::gather_rows(emb, b_idx);
+  const Tensor parts[] = {ha, hb, ops::mul(ha, hb)};
+  return ops::concat_cols(parts);
+}
+
+namespace {
+
+// Type-conditional input projection shared by both baselines: the models
+// take X_C directly as node input (paper §IV-B).
+Tensor typed_input(const CircuitGraph& graph, const XcNormalizer& normalizer,
+                   const nn::Linear& net_lin, const nn::Linear& device_lin,
+                   const nn::Linear& pin_lin, const nn::Embedding& type_emb) {
+  const std::int64_t n = graph.graph.num_nodes();
+  std::vector<float> xc_flat;
+  xc_flat.reserve(static_cast<std::size_t>(n) * kXcDim);
+  std::vector<std::int32_t> types(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> net_rows, device_rows, pin_rows;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto row = normalizer.apply(graph.xc[static_cast<std::size_t>(i)]);
+    xc_flat.insert(xc_flat.end(), row.begin(), row.end());
+    const NodeType t = graph.graph.node_type(static_cast<std::int32_t>(i));
+    types[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(t);
+    switch (t) {
+      case NodeType::kNet: net_rows.push_back(static_cast<std::int32_t>(i)); break;
+      case NodeType::kDevice: device_rows.push_back(static_cast<std::int32_t>(i)); break;
+      case NodeType::kPin: pin_rows.push_back(static_cast<std::int32_t>(i)); break;
+    }
+  }
+  Tensor xc = Tensor::from_vector(std::move(xc_flat), n, kXcDim);
+  Tensor x = type_emb.forward(types);
+  if (!net_rows.empty())
+    x = ops::add(x, ops::scatter_add_rows(net_lin.forward(ops::gather_rows(xc, net_rows)),
+                                          net_rows, n));
+  if (!device_rows.empty())
+    x = ops::add(x, ops::scatter_add_rows(
+                        device_lin.forward(ops::gather_rows(xc, device_rows)), device_rows, n));
+  if (!pin_rows.empty())
+    x = ops::add(x, ops::scatter_add_rows(pin_lin.forward(ops::gather_rows(xc, pin_rows)),
+                                          pin_rows, n));
+  return x;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- ParaGraph --
+
+ParaGraph::ParaGraph(const BaselineConfig& config)
+    : FullGraphBaseline(config),
+      in_net_(kXcDim, config.hidden, rng_),
+      in_device_(kXcDim, config.hidden, rng_),
+      in_pin_(kXcDim, config.hidden, rng_),
+      type_emb_(3, config.hidden, rng_),
+      link_head_({3 * config.hidden, config.hidden, 1}, rng_, config.dropout),
+      gate_({3 * config.hidden, config.hidden, 3}, rng_, config.dropout) {
+  register_module("in_net", in_net_);
+  register_module("in_device", in_device_);
+  register_module("in_pin", in_pin_);
+  register_module("type_emb", type_emb_);
+  for (int l = 0; l < config.layers; ++l) {
+    layers_.push_back(std::make_unique<nn::SageLayer>(config.hidden, config.hidden, rng_));
+    norms_.push_back(std::make_unique<nn::BatchNorm1d>(config.hidden));
+    register_module("sage" + std::to_string(l), *layers_.back());
+    register_module("bn" + std::to_string(l), *norms_.back());
+  }
+  register_module("link_head", link_head_);
+  register_module("gate", gate_);
+  for (int k = 0; k < 3; ++k) {
+    magnitude_heads_.push_back(std::make_unique<nn::Mlp>(
+        std::vector<std::int64_t>{3 * config_.hidden, config_.hidden, 1}, rng_,
+        config.dropout));
+    register_module("magnitude" + std::to_string(k), *magnitude_heads_.back());
+  }
+}
+
+Tensor ParaGraph::embed(const CircuitGraph& graph, const nn::EdgeIndex& edges,
+                        const XcNormalizer& normalizer) {
+  Tensor x = typed_input(graph, normalizer, in_net_, in_device_, in_pin_, type_emb_);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Tensor h = ops::relu(layers_[l]->forward(x, edges));
+    if (training() && config_.dropout > 0) h = ops::dropout(h, config_.dropout, rng_);
+    x = norms_[l]->forward(ops::add(x, h));
+  }
+  return x;
+}
+
+Tensor ParaGraph::link_logits(const Tensor& emb,
+                              const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) {
+  return link_head_.forward(pair_features(emb, pairs), rng_);
+}
+
+Tensor ParaGraph::ensemble_output(const Tensor& features) {
+  Tensor weights = ops::softmax_rows(gate_.forward(features, rng_));  // (P, 3)
+  std::vector<Tensor> heads;
+  heads.reserve(magnitude_heads_.size());
+  for (auto& head : magnitude_heads_) heads.push_back(head->forward(features, rng_));
+  Tensor stacked = ops::concat_cols(heads);  // (P, 3)
+  return ops::row_sum(ops::mul(weights, stacked));
+}
+
+Tensor ParaGraph::cap_loss(const Tensor& emb,
+                           const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs,
+                           const std::vector<float>& targets) {
+  Tensor pred = ensemble_output(pair_features(emb, pairs));
+  Tensor target = Tensor::from_vector(std::vector<float>(targets), pred.rows(), 1);
+  return ops::mse_loss(pred, target);
+}
+
+Tensor ParaGraph::cap_predict(const Tensor& emb,
+                              const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) {
+  return ensemble_output(pair_features(emb, pairs));
+}
+
+// ----------------------------------------------------------------- DlplCap --
+
+DlplCap::DlplCap(const BaselineConfig& config)
+    : FullGraphBaseline(config),
+      in_net_(kXcDim, config.hidden, rng_),
+      in_device_(kXcDim, config.hidden, rng_),
+      in_pin_(kXcDim, config.hidden, rng_),
+      type_emb_(3, config.hidden, rng_),
+      link_head_({3 * config.hidden, config.hidden, 1}, rng_, config.dropout),
+      router_({3 * config.hidden, config.hidden, kNumExperts}, rng_, config.dropout) {
+  register_module("in_net", in_net_);
+  register_module("in_device", in_device_);
+  register_module("in_pin", in_pin_);
+  register_module("type_emb", type_emb_);
+  for (int l = 0; l < config.layers; ++l) {
+    layers_.push_back(std::make_unique<nn::GcnLayer>(config.hidden, config.hidden, rng_));
+    norms_.push_back(std::make_unique<nn::BatchNorm1d>(config.hidden));
+    register_module("gcn" + std::to_string(l), *layers_.back());
+    register_module("bn" + std::to_string(l), *norms_.back());
+  }
+  register_module("link_head", link_head_);
+  register_module("router", router_);
+  for (int k = 0; k < kNumExperts; ++k) {
+    experts_.push_back(std::make_unique<nn::Mlp>(
+        std::vector<std::int64_t>{3 * config_.hidden, config_.hidden, 1}, rng_,
+        config.dropout));
+    register_module("expert" + std::to_string(k), *experts_.back());
+  }
+}
+
+std::int32_t DlplCap::bucket_of(float normalized_cap) {
+  const auto bucket = static_cast<std::int32_t>(normalized_cap * kNumExperts);
+  return std::clamp(bucket, 0, kNumExperts - 1);
+}
+
+Tensor DlplCap::embed(const CircuitGraph& graph, const nn::EdgeIndex& edges,
+                      const XcNormalizer& normalizer) {
+  Tensor x = typed_input(graph, normalizer, in_net_, in_device_, in_pin_, type_emb_);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Tensor h = ops::relu(layers_[l]->forward(x, edges));
+    if (training() && config_.dropout > 0) h = ops::dropout(h, config_.dropout, rng_);
+    x = norms_[l]->forward(ops::add(x, h));
+  }
+  return x;
+}
+
+Tensor DlplCap::link_logits(const Tensor& emb,
+                            const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) {
+  return link_head_.forward(pair_features(emb, pairs), rng_);
+}
+
+Tensor DlplCap::cap_loss(const Tensor& emb,
+                         const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs,
+                         const std::vector<float>& targets) {
+  Tensor features = pair_features(emb, pairs);
+  Tensor router_logits = router_.forward(features, rng_);
+  std::vector<std::int32_t> buckets(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) buckets[i] = bucket_of(targets[i]);
+  Tensor router_loss = ops::softmax_cross_entropy(router_logits, buckets);
+
+  // Each sample is regressed by its ground-truth expert (teacher-forced
+  // routing during training, as in the paper's per-class regressors).
+  std::vector<Tensor> expert_outputs;
+  expert_outputs.reserve(experts_.size());
+  for (auto& expert : experts_) expert_outputs.push_back(expert->forward(features, rng_));
+  Tensor stacked = ops::concat_cols(expert_outputs);  // (P, 5)
+  std::vector<float> mask(targets.size() * kNumExperts, 0.0f);
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    mask[i * kNumExperts + static_cast<std::size_t>(buckets[i])] = 1.0f;
+  Tensor mask_t =
+      Tensor::from_vector(std::move(mask), stacked.rows(), kNumExperts);
+  Tensor pred = ops::row_sum(ops::mul(stacked, mask_t));
+  Tensor target = Tensor::from_vector(std::vector<float>(targets), pred.rows(), 1);
+  return ops::add(router_loss, ops::mse_loss(pred, target));
+}
+
+Tensor DlplCap::cap_predict(const Tensor& emb,
+                            const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) {
+  Tensor features = pair_features(emb, pairs);
+  Tensor probs = ops::softmax_rows(router_.forward(features, rng_));
+  // Hard routing at inference: argmax expert per sample.
+  const std::int64_t p = probs.rows();
+  std::vector<float> mask(static_cast<std::size_t>(p) * kNumExperts, 0.0f);
+  for (std::int64_t i = 0; i < p; ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t k = 1; k < kNumExperts; ++k)
+      if (probs.at(i, k) > probs.at(i, best)) best = k;
+    mask[static_cast<std::size_t>(i * kNumExperts + best)] = 1.0f;
+  }
+  std::vector<Tensor> expert_outputs;
+  expert_outputs.reserve(experts_.size());
+  for (auto& expert : experts_) expert_outputs.push_back(expert->forward(features, rng_));
+  Tensor stacked = ops::concat_cols(expert_outputs);
+  Tensor mask_t = Tensor::from_vector(std::move(mask), p, kNumExperts);
+  return ops::row_sum(ops::mul(stacked, mask_t));
+}
+
+}  // namespace cgps

@@ -1,0 +1,123 @@
+// Baseline models of the paper's comparison (§IV-B): ParaGraph [18] and
+// DLPL-Cap [19], adapted to the coupling tasks exactly as the paper adapted
+// them — no subgraph sampling, no PE; they operate on the entire circuit
+// graph with the circuit-statistics matrix X_C as node input.
+//
+//  * ParaGraph: heterogeneous MPNN (GraphSAGE-style layers) with an
+//    ensemble of three magnitude sub-models for capacitance regression
+//    (implemented as a learned soft mixture over three regressor heads).
+//  * DLPL-Cap: GNN encoder + router that classifies targets into five
+//    magnitude classes + five expert regressors (the paper's multi-expert
+//    architecture).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gps/batch.hpp"  // XcNormalizer
+#include "graph/circuit_graph.hpp"
+#include "nn/layers.hpp"
+#include "nn/message_passing.hpp"
+#include "nn/module.hpp"
+
+namespace cgps {
+
+struct BaselineConfig {
+  std::int64_t hidden = 32;
+  int layers = 3;
+  float dropout = 0.1f;
+  std::uint64_t seed = 17;
+};
+
+// All-directed-edge view of a circuit graph (both directions per edge).
+nn::EdgeIndex full_graph_edges(const CircuitGraph& graph);
+
+// Shared interface the baseline trainer drives.
+class FullGraphBaseline : public nn::Module {
+ public:
+  explicit FullGraphBaseline(const BaselineConfig& config) : config_(config), rng_(config.seed) {}
+
+  // Node embeddings over the whole circuit graph.
+  virtual Tensor embed(const CircuitGraph& graph, const nn::EdgeIndex& edges,
+                       const XcNormalizer& normalizer) = 0;
+  // Link-existence logits for node pairs, shape (P, 1).
+  virtual Tensor link_logits(const Tensor& emb,
+                             const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) = 0;
+  // Scalar training loss for capacitance regression on pairs.
+  virtual Tensor cap_loss(const Tensor& emb,
+                          const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs,
+                          const std::vector<float>& targets) = 0;
+  // Predicted normalized capacitance, shape (P, 1).
+  virtual Tensor cap_predict(const Tensor& emb,
+                             const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) = 0;
+
+  const BaselineConfig& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+ protected:
+  // Pair feature: [h_a, h_b, h_a ⊙ h_b] (order-insensitive scoring is the
+  // caller's concern; coupling pairs are canonicalized a < b).
+  Tensor pair_features(const Tensor& emb,
+                       const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) const;
+
+  BaselineConfig config_;
+  Rng rng_;
+};
+
+class ParaGraph final : public FullGraphBaseline {
+ public:
+  explicit ParaGraph(const BaselineConfig& config);
+
+  Tensor embed(const CircuitGraph& graph, const nn::EdgeIndex& edges,
+               const XcNormalizer& normalizer) override;
+  Tensor link_logits(const Tensor& emb,
+                     const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) override;
+  Tensor cap_loss(const Tensor& emb,
+                  const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs,
+                  const std::vector<float>& targets) override;
+  Tensor cap_predict(const Tensor& emb,
+                     const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) override;
+
+ private:
+  Tensor ensemble_output(const Tensor& features);
+
+  nn::Linear in_net_, in_device_, in_pin_;
+  nn::Embedding type_emb_;
+  std::vector<std::unique_ptr<nn::SageLayer>> layers_;
+  std::vector<std::unique_ptr<nn::BatchNorm1d>> norms_;
+  nn::Mlp link_head_;
+  // Magnitude ensemble: gate + three regressor heads.
+  nn::Mlp gate_;
+  std::vector<std::unique_ptr<nn::Mlp>> magnitude_heads_;
+};
+
+class DlplCap final : public FullGraphBaseline {
+ public:
+  static constexpr int kNumExperts = 5;
+
+  explicit DlplCap(const BaselineConfig& config);
+
+  Tensor embed(const CircuitGraph& graph, const nn::EdgeIndex& edges,
+               const XcNormalizer& normalizer) override;
+  Tensor link_logits(const Tensor& emb,
+                     const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) override;
+  Tensor cap_loss(const Tensor& emb,
+                  const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs,
+                  const std::vector<float>& targets) override;
+  Tensor cap_predict(const Tensor& emb,
+                     const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) override;
+
+  // Magnitude class of a normalized target (uniform buckets over [0, 1]).
+  static std::int32_t bucket_of(float normalized_cap);
+
+ private:
+  nn::Linear in_net_, in_device_, in_pin_;
+  nn::Embedding type_emb_;
+  std::vector<std::unique_ptr<nn::GcnLayer>> layers_;
+  std::vector<std::unique_ptr<nn::BatchNorm1d>> norms_;
+  nn::Mlp link_head_;
+  nn::Mlp router_;  // (pair features) -> kNumExperts logits
+  std::vector<std::unique_ptr<nn::Mlp>> experts_;
+};
+
+}  // namespace cgps

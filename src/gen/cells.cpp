@@ -1,0 +1,323 @@
+#include "gen/cells.hpp"
+
+namespace cgps::cells {
+
+namespace {
+constexpr DeviceKind kN = DeviceKind::kNmos;
+constexpr DeviceKind kP = DeviceKind::kPmos;
+}  // namespace
+
+std::string inv_name(int drive) { return "INVD" + std::to_string(drive); }
+std::string buf_name(int drive) { return "BUFD" + std::to_string(drive); }
+
+SubcktDef inv(int drive) {
+  SubcktDef c;
+  c.name = inv_name(drive);
+  c.ports = {"A", "Y", "VDD", "VSS"};
+  c.mos("MP", kP, "Y", "A", "VDD", "VDD", kWp * drive, kL);
+  c.mos("MN", kN, "Y", "A", "VSS", "VSS", kWn * drive, kL);
+  return c;
+}
+
+SubcktDef buf(int drive) {
+  SubcktDef c;
+  c.name = buf_name(drive);
+  c.ports = {"A", "Y", "VDD", "VSS"};
+  c.inst("XI1", inv_name(1), {"A", "mid", "VDD", "VSS"});
+  c.inst("XI2", inv_name(drive), {"mid", "Y", "VDD", "VSS"});
+  return c;
+}
+
+SubcktDef nand2() {
+  SubcktDef c;
+  c.name = "NAND2";
+  c.ports = {"A", "B", "Y", "VDD", "VSS"};
+  c.mos("MP1", kP, "Y", "A", "VDD", "VDD", kWp, kL);
+  c.mos("MP2", kP, "Y", "B", "VDD", "VDD", kWp, kL);
+  c.mos("MN1", kN, "Y", "A", "n1", "VSS", 2 * kWn, kL);
+  c.mos("MN2", kN, "n1", "B", "VSS", "VSS", 2 * kWn, kL);
+  return c;
+}
+
+SubcktDef nand3() {
+  SubcktDef c;
+  c.name = "NAND3";
+  c.ports = {"A", "B", "C", "Y", "VDD", "VSS"};
+  c.mos("MP1", kP, "Y", "A", "VDD", "VDD", kWp, kL);
+  c.mos("MP2", kP, "Y", "B", "VDD", "VDD", kWp, kL);
+  c.mos("MP3", kP, "Y", "C", "VDD", "VDD", kWp, kL);
+  c.mos("MN1", kN, "Y", "A", "n1", "VSS", 3 * kWn, kL);
+  c.mos("MN2", kN, "n1", "B", "n2", "VSS", 3 * kWn, kL);
+  c.mos("MN3", kN, "n2", "C", "VSS", "VSS", 3 * kWn, kL);
+  return c;
+}
+
+SubcktDef nor2() {
+  SubcktDef c;
+  c.name = "NOR2";
+  c.ports = {"A", "B", "Y", "VDD", "VSS"};
+  c.mos("MP1", kP, "n1", "A", "VDD", "VDD", 2 * kWp, kL);
+  c.mos("MP2", kP, "Y", "B", "n1", "VDD", 2 * kWp, kL);
+  c.mos("MN1", kN, "Y", "A", "VSS", "VSS", kWn, kL);
+  c.mos("MN2", kN, "Y", "B", "VSS", "VSS", kWn, kL);
+  return c;
+}
+
+SubcktDef xor2() {
+  SubcktDef c;
+  c.name = "XOR2";
+  c.ports = {"A", "B", "Y", "VDD", "VSS"};
+  c.inst("XN1", "NAND2", {"A", "B", "ab", "VDD", "VSS"});
+  c.inst("XN2", "NAND2", {"A", "ab", "n1", "VDD", "VSS"});
+  c.inst("XN3", "NAND2", {"B", "ab", "n2", "VDD", "VSS"});
+  c.inst("XN4", "NAND2", {"n1", "n2", "Y", "VDD", "VSS"});
+  return c;
+}
+
+SubcktDef tgate() {
+  SubcktDef c;
+  c.name = "TGATE";
+  c.ports = {"A", "Y", "C", "CB", "VDD", "VSS"};
+  c.mos("MN", kN, "Y", "C", "A", "VSS", kWn, kL);
+  c.mos("MP", kP, "Y", "CB", "A", "VDD", kWp, kL);
+  return c;
+}
+
+SubcktDef mux2() {
+  SubcktDef c;
+  c.name = "MUX2";
+  c.ports = {"A", "B", "S", "Y", "VDD", "VSS"};
+  c.inst("XI1", inv_name(1), {"S", "sb", "VDD", "VSS"});
+  c.inst("XT1", "TGATE", {"A", "Y", "sb", "S", "VDD", "VSS"});
+  c.inst("XT2", "TGATE", {"B", "Y", "S", "sb", "VDD", "VSS"});
+  return c;
+}
+
+SubcktDef dff() {
+  // Master-slave transmission-gate flip-flop.
+  SubcktDef c;
+  c.name = "DFF";
+  c.ports = {"D", "CLK", "Q", "QB", "VDD", "VSS"};
+  c.inst("XCI1", inv_name(1), {"CLK", "ckb", "VDD", "VSS"});
+  c.inst("XCI2", inv_name(1), {"ckb", "ckd", "VDD", "VSS"});
+  // Master latch.
+  c.inst("XTM", "TGATE", {"D", "m1", "ckb", "ckd", "VDD", "VSS"});
+  c.inst("XMI1", inv_name(1), {"m1", "m2", "VDD", "VSS"});
+  c.inst("XMI2", inv_name(1), {"m2", "m3", "VDD", "VSS"});
+  c.inst("XTMF", "TGATE", {"m3", "m1", "ckd", "ckb", "VDD", "VSS"});
+  // Slave latch.
+  c.inst("XTS", "TGATE", {"m2", "s1", "ckd", "ckb", "VDD", "VSS"});
+  c.inst("XSI1", inv_name(1), {"s1", "Q", "VDD", "VSS"});
+  c.inst("XSI2", inv_name(1), {"Q", "s2", "VDD", "VSS"});
+  c.inst("XTSF", "TGATE", {"s2", "s1", "ckb", "ckd", "VDD", "VSS"});
+  c.inst("XQB", inv_name(1), {"Q", "QB", "VDD", "VSS"});
+  return c;
+}
+
+SubcktDef latch() {
+  SubcktDef c;
+  c.name = "LATCH";
+  c.ports = {"D", "EN", "Q", "VDD", "VSS"};
+  c.inst("XEI", inv_name(1), {"EN", "enb", "VDD", "VSS"});
+  c.inst("XT1", "TGATE", {"D", "q1", "EN", "enb", "VDD", "VSS"});
+  c.inst("XI1", inv_name(1), {"q1", "Q", "VDD", "VSS"});
+  c.inst("XI2", inv_name(1), {"Q", "q2", "VDD", "VSS"});
+  c.inst("XT2", "TGATE", {"q2", "q1", "enb", "EN", "VDD", "VSS"});
+  return c;
+}
+
+SubcktDef decap() {
+  SubcktDef c;
+  c.name = "DECAP";
+  c.ports = {"VDD", "VSS"};
+  c.cap("CD", "VDD", "VSS", 5e-15, /*length=*/2e-6, /*fingers=*/8);
+  return c;
+}
+
+SubcktDef sram6t() {
+  SubcktDef c;
+  c.name = "SRAM6T";
+  c.ports = {"BL", "BLB", "WL", "VDD", "VSS"};
+  // Cross-coupled inverters (q / qb) + access transistors.
+  c.mos("MPU1", kP, "q", "qb", "VDD", "VDD", kWn, kL);
+  c.mos("MPU2", kP, "qb", "q", "VDD", "VDD", kWn, kL);
+  c.mos("MPD1", kN, "q", "qb", "VSS", "VSS", 2 * kWn, kL);
+  c.mos("MPD2", kN, "qb", "q", "VSS", "VSS", 2 * kWn, kL);
+  c.mos("MPG1", kN, "BL", "WL", "q", "VSS", kWn, kL);
+  c.mos("MPG2", kN, "BLB", "WL", "qb", "VSS", kWn, kL);
+  return c;
+}
+
+SubcktDef sram8t() {
+  SubcktDef c;
+  c.name = "SRAM8T";
+  c.ports = {"BL", "BLB", "WL", "RBL", "RWL", "VDD", "VSS"};
+  c.mos("MPU1", kP, "q", "qb", "VDD", "VDD", kWn, kL);
+  c.mos("MPU2", kP, "qb", "q", "VDD", "VDD", kWn, kL);
+  c.mos("MPD1", kN, "q", "qb", "VSS", "VSS", 2 * kWn, kL);
+  c.mos("MPD2", kN, "qb", "q", "VSS", "VSS", 2 * kWn, kL);
+  c.mos("MPG1", kN, "BL", "WL", "q", "VSS", kWn, kL);
+  c.mos("MPG2", kN, "BLB", "WL", "qb", "VSS", kWn, kL);
+  // Decoupled read port.
+  c.mos("MRD1", kN, "RBL", "RWL", "rint", "VSS", 2 * kWn, kL);
+  c.mos("MRD2", kN, "rint", "qb", "VSS", "VSS", 2 * kWn, kL);
+  return c;
+}
+
+SubcktDef precharge() {
+  SubcktDef c;
+  c.name = "PRECH";
+  c.ports = {"BL", "BLB", "PREB", "VDD"};
+  c.mos("MP1", kP, "BL", "PREB", "VDD", "VDD", 2 * kWp, kL);
+  c.mos("MP2", kP, "BLB", "PREB", "VDD", "VDD", 2 * kWp, kL);
+  c.mos("MEQ", kP, "BL", "PREB", "BLB", "VDD", kWp, kL);
+  return c;
+}
+
+SubcktDef sense_amp() {
+  SubcktDef c;
+  c.name = "SENSEAMP";
+  c.ports = {"BL", "BLB", "SAE", "OUT", "OUTB", "VDD", "VSS"};
+  // Cross-coupled latch core.
+  c.mos("MP1", kP, "OUT", "OUTB", "VDD", "VDD", 2 * kWp, kL);
+  c.mos("MP2", kP, "OUTB", "OUT", "VDD", "VDD", 2 * kWp, kL);
+  c.mos("MN1", kN, "OUT", "OUTB", "tail", "VSS", 2 * kWn, kL);
+  c.mos("MN2", kN, "OUTB", "OUT", "tail", "VSS", 2 * kWn, kL);
+  c.mos("MTL", kN, "tail", "SAE", "VSS", "VSS", 4 * kWn, kL);
+  // Bitline pass devices.
+  c.mos("MS1", kP, "BL", "SAE", "OUT", "VDD", 2 * kWp, kL);
+  c.mos("MS2", kP, "BLB", "SAE", "OUTB", "VDD", 2 * kWp, kL);
+  return c;
+}
+
+SubcktDef write_driver() {
+  SubcktDef c;
+  c.name = "WRDRV";
+  c.ports = {"D", "WEB", "BL", "BLB", "VDD", "VSS"};
+  c.inst("XDI", inv_name(1), {"D", "db", "VDD", "VSS"});
+  c.inst("XN1", "NOR2", {"db", "WEB", "b1", "VDD", "VSS"});
+  c.inst("XN2", "NOR2", {"D", "WEB", "b2", "VDD", "VSS"});
+  // Wide pull-downs driving the bitlines.
+  c.mos("MD1", kN, "BLB", "b1", "VSS", "VSS", 4 * kWn, kL);
+  c.mos("MD2", kN, "BL", "b2", "VSS", "VSS", 4 * kWn, kL);
+  return c;
+}
+
+SubcktDef wordline_driver() {
+  SubcktDef c;
+  c.name = "WLDRV";
+  c.ports = {"IN", "WL", "VDD", "VSS"};
+  c.inst("XI1", inv_name(2), {"IN", "wlb", "VDD", "VSS"});
+  c.inst("XI2", inv_name(4), {"wlb", "WL", "VDD", "VSS"});
+  return c;
+}
+
+SubcktDef column_mux() {
+  SubcktDef c;
+  c.name = "COLMUX";
+  c.ports = {"BL0", "BLB0", "BL1", "BLB1", "SEL", "SELB", "BL", "BLB", "VDD", "VSS"};
+  c.inst("XT0", "TGATE", {"BL0", "BL", "SELB", "SEL", "VDD", "VSS"});
+  c.inst("XT0B", "TGATE", {"BLB0", "BLB", "SELB", "SEL", "VDD", "VSS"});
+  c.inst("XT1", "TGATE", {"BL1", "BL", "SEL", "SELB", "VDD", "VSS"});
+  c.inst("XT1B", "TGATE", {"BLB1", "BLB", "SEL", "SELB", "VDD", "VSS"});
+  return c;
+}
+
+SubcktDef bias_gen() {
+  SubcktDef c;
+  c.name = "BIASGEN";
+  c.ports = {"EN", "IBIAS", "VBN", "VBP", "VDD", "VSS"};
+  // Supply-referenced resistor sets the current; diode-connected mirrors.
+  c.res("RB", "VDD", "IBIAS", 120e3, 0.4e-6, 12e-6);
+  c.mos("MDN", kN, "IBIAS", "IBIAS", "VSS", "VSS", 4 * kWn, 4 * kL);   // diode
+  c.mos("MMN", kN, "VBN", "IBIAS", "VSS", "VSS", 4 * kWn, 4 * kL);     // mirror out
+  c.mos("MDP", kP, "VBN", "VBP", "VDD", "VDD", 6 * kWp, 4 * kL);
+  c.mos("MMP", kP, "VBP", "VBP", "VDD", "VDD", 6 * kWp, 4 * kL);       // diode
+  c.mos("MEN", kN, "IBIAS", "EN", "VSS", "VSS", kWn, kL);              // enable pulldown
+  c.cap("CF1", "VBN", "VSS", 50e-15, 4e-6, 16);
+  c.cap("CF2", "VBP", "VDD", 50e-15, 4e-6, 16);
+  return c;
+}
+
+SubcktDef comparator() {
+  SubcktDef c;
+  c.name = "COMP";
+  c.ports = {"INP", "INN", "OUT", "VBN", "VDD", "VSS"};
+  // 5T differential pair with current-mirror load.
+  c.mos("MIN1", kN, "o1", "INP", "tail", "VSS", 4 * kWn, 2 * kL);
+  c.mos("MIN2", kN, "o2", "INN", "tail", "VSS", 4 * kWn, 2 * kL);
+  c.mos("MLD1", kP, "o1", "o1", "VDD", "VDD", 3 * kWp, 2 * kL);
+  c.mos("MLD2", kP, "o2", "o1", "VDD", "VDD", 3 * kWp, 2 * kL);
+  c.mos("MTL", kN, "tail", "VBN", "VSS", "VSS", 6 * kWn, 2 * kL);
+  c.inst("XO", inv_name(2), {"o2", "OUT", "VDD", "VSS"});
+  return c;
+}
+
+SubcktDef level_shifter() {
+  SubcktDef c;
+  c.name = "LVLSHIFT";
+  c.ports = {"IN", "OUT", "VDDL", "VDDH", "VSS"};
+  c.inst("XI", inv_name(1), {"IN", "inb", "VDDL", "VSS"});
+  // Cross-coupled PMOS pair in the high domain.
+  c.mos("MP1", kP, "n1", "n2", "VDDH", "VDDH", 2 * kWp, kL);
+  c.mos("MP2", kP, "n2", "n1", "VDDH", "VDDH", 2 * kWp, kL);
+  c.mos("MN1", kN, "n1", "IN", "VSS", "VSS", 2 * kWn, kL);
+  c.mos("MN2", kN, "n2", "inb", "VSS", "VSS", 2 * kWn, kL);
+  c.mos("MPO", kP, "OUT", "n2", "VDDH", "VDDH", 2 * kWp, kL);
+  c.mos("MNO", kN, "OUT", "n2", "VSS", "VSS", 2 * kWn, kL);
+  return c;
+}
+
+SubcktDef esd_clamp() {
+  SubcktDef c;
+  c.name = "ESD";
+  c.ports = {"PAD", "VDD", "VSS"};
+  c.devices.push_back([] {
+    DeviceStmt d;
+    d.name = "DDP";
+    d.kind = DeviceKind::kDiode;
+    d.model = "dio";
+    d.nets = {"PAD", "VDD"};
+    return d;
+  }());
+  c.devices.push_back([] {
+    DeviceStmt d;
+    d.name = "DDN";
+    d.kind = DeviceKind::kDiode;
+    d.model = "dio";
+    d.nets = {"VSS", "PAD"};
+    return d;
+  }());
+  c.res("RS", "PAD", "VDD", 5e3, 0.2e-6, 3e-6);
+  return c;
+}
+
+void add_library(Design& design) {
+  auto add = [&design](SubcktDef def) {
+    if (!design.subckts.contains(def.name)) design.add_subckt(std::move(def));
+  };
+  for (int drive : {1, 2, 4, 8}) add(inv(drive));
+  for (int drive : {1, 2, 4}) add(buf(drive));
+  add(nand2());
+  add(nand3());
+  add(nor2());
+  add(xor2());
+  add(tgate());
+  add(mux2());
+  add(dff());
+  add(latch());
+  add(decap());
+  add(sram6t());
+  add(sram8t());
+  add(precharge());
+  add(sense_amp());
+  add(write_driver());
+  add(wordline_driver());
+  add(column_mux());
+  add(bias_gen());
+  add(comparator());
+  add(level_shifter());
+  add(esd_clamp());
+}
+
+}  // namespace cgps::cells

@@ -1,0 +1,56 @@
+// Procedural cell library for the synthetic AMS designs.
+//
+// The paper's datasets are proprietary 28nm designs; we rebuild structurally
+// faithful stand-ins from this library: standard digital cells, 6T/8T SRAM
+// bit cells and their periphery (precharge, sense amp, write driver,
+// decoders), and small analog blocks (bias generator, comparator, level
+// shifter). All dimensions are meters with 28nm-class sizing.
+#pragma once
+
+#include <string>
+
+#include "netlist/hierarchy.hpp"
+
+namespace cgps::cells {
+
+// 28nm-class geometry constants.
+inline constexpr double kL = 30e-9;        // drawn gate length
+inline constexpr double kWn = 100e-9;      // unit NMOS width
+inline constexpr double kWp = 140e-9;      // unit PMOS width
+
+// ---- Digital standard cells (ports: inputs..., outputs..., VDD, VSS) ----
+SubcktDef inv(int drive = 1);          // "INVD<drive>": A Y VDD VSS
+SubcktDef buf(int drive = 1);          // "BUFD<drive>": A Y VDD VSS
+SubcktDef nand2();                     // A B Y VDD VSS
+SubcktDef nand3();                     // A B C Y VDD VSS
+SubcktDef nor2();                      // A B Y VDD VSS
+SubcktDef xor2();                      // A B Y VDD VSS (NAND-based)
+SubcktDef tgate();                     // A Y C CB VDD VSS
+SubcktDef mux2();                      // A B S Y VDD VSS
+SubcktDef dff();                       // D CLK Q QB VDD VSS
+SubcktDef latch();                     // D EN Q VDD VSS
+SubcktDef decap();                     // VDD VSS (MOM decoupling cap)
+
+// ---- SRAM cells ----
+SubcktDef sram6t();                    // BL BLB WL VDD VSS
+SubcktDef sram8t();                    // BL BLB WL RBL RWL VDD VSS
+SubcktDef precharge();                 // BL BLB PREB VDD
+SubcktDef sense_amp();                 // BL BLB SAE OUT OUTB VDD VSS
+SubcktDef write_driver();              // D WEB BL BLB VDD VSS
+SubcktDef wordline_driver();           // IN WL VDD VSS (2-stage buffer, wide)
+SubcktDef column_mux();                // BL0 BLB0 BL1 BLB1 SEL SELB BL BLB VDD VSS
+
+// ---- Analog / mixed-signal blocks ----
+SubcktDef bias_gen();                  // EN IBIAS VBN VBP VDD VSS (mirror + R + filter C)
+SubcktDef comparator();                // INP INN OUT VBN VDD VSS (5T diff pair + output inv)
+SubcktDef level_shifter();             // IN OUT VDDL VDDH VSS
+SubcktDef esd_clamp();                 // PAD VDD VSS (diodes + R)
+
+// Register every cell above into `design` (idempotent per cell name).
+void add_library(Design& design);
+
+// Cell name helpers.
+std::string inv_name(int drive);
+std::string buf_name(int drive);
+
+}  // namespace cgps::cells

@@ -1,0 +1,573 @@
+#include "gen/designs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/cells.hpp"
+
+namespace cgps::gen {
+
+namespace {
+
+std::string idx(const std::string& base, int i) { return base + std::to_string(i); }
+
+int log2_exact(int v) {
+  int bits = 0;
+  while ((1 << bits) < v) ++bits;
+  if ((1 << bits) != v) throw std::invalid_argument("expected a power of two, got " + std::to_string(v));
+  return bits;
+}
+
+// Scale an array dimension, keeping it a multiple of 8 and at least 8.
+int scale_dim(int base, double s) {
+  int v = static_cast<int>(std::lround(base * s));
+  v = std::max(8, (v / 8) * 8);
+  return v;
+}
+
+}  // namespace
+
+const char* dataset_name(DatasetId id) {
+  switch (id) {
+    case DatasetId::kSsram: return "SSRAM";
+    case DatasetId::kUltra8t: return "ULTRA8T";
+    case DatasetId::kSandwichRam: return "SANDWICH-RAM";
+    case DatasetId::kDigitalClkGen: return "DIGITAL_CLK_GEN";
+    case DatasetId::kTimingControl: return "TIMING_CONTROL";
+    case DatasetId::kArray128x32: return "ARRAY_128_32";
+  }
+  return "?";
+}
+
+bool dataset_is_train(DatasetId id) {
+  return id == DatasetId::kSsram || id == DatasetId::kUltra8t ||
+         id == DatasetId::kSandwichRam;
+}
+
+SubcktDef make_row_decoder(const std::string& name, int bits) {
+  const int rows = 1 << bits;
+  SubcktDef c;
+  c.name = name;
+  for (int b = 0; b < bits; ++b) c.ports.push_back(idx("A", b));
+  c.ports.push_back("EN");
+  for (int r = 0; r < rows; ++r) c.ports.push_back(idx("WL", r));
+  c.ports.push_back("VDD");
+  c.ports.push_back("VSS");
+
+  // Address complement rail.
+  for (int b = 0; b < bits; ++b) {
+    c.inst(idx("XAI", b), cells::inv_name(1), {idx("A", b), idx("ab", b), "VDD", "VSS"});
+  }
+  // Per-row AND tree: chain of NAND2+INV over the row's literals, gated by EN.
+  for (int r = 0; r < rows; ++r) {
+    auto literal = [&](int b) {
+      return ((r >> b) & 1) ? idx("A", b) : idx("ab", b);
+    };
+    std::string current = literal(0);
+    for (int b = 1; b < bits; ++b) {
+      const std::string t = "r" + std::to_string(r) + "t" + std::to_string(b);
+      c.inst("XND" + std::to_string(r) + "_" + std::to_string(b), "NAND2",
+             {current, literal(b), t + "n", "VDD", "VSS"});
+      c.inst("XIV" + std::to_string(r) + "_" + std::to_string(b), cells::inv_name(1),
+             {t + "n", t, "VDD", "VSS"});
+      current = t;
+    }
+    const std::string rowb = "rowb" + std::to_string(r);
+    c.inst("XEN" + std::to_string(r), "NAND2", {current, "EN", rowb, "VDD", "VSS"});
+    c.inst("XWD" + std::to_string(r), "WLDRV", {rowb, idx("WL", r), "VDD", "VSS"});
+  }
+  return c;
+}
+
+SubcktDef make_cell_array(const std::string& name, int rows, int cols, bool use_8t) {
+  SubcktDef c;
+  c.name = name;
+  for (int j = 0; j < cols; ++j) {
+    c.ports.push_back(idx("BL", j));
+    c.ports.push_back(idx("BLB", j));
+    if (use_8t) c.ports.push_back(idx("RBL", j));
+  }
+  for (int r = 0; r < rows; ++r) {
+    c.ports.push_back(idx("WL", r));
+    if (use_8t) c.ports.push_back(idx("RWL", r));
+  }
+  c.ports.push_back("VDD");
+  c.ports.push_back("VSS");
+  for (int r = 0; r < rows; ++r) {
+    for (int j = 0; j < cols; ++j) {
+      const std::string inst = "XC" + std::to_string(r) + "_" + std::to_string(j);
+      if (use_8t) {
+        c.inst(inst, "SRAM8T",
+               {idx("BL", j), idx("BLB", j), idx("WL", r), idx("RBL", j), idx("RWL", r),
+                "VDD", "VSS"});
+      } else {
+        c.inst(inst, "SRAM6T", {idx("BL", j), idx("BLB", j), idx("WL", r), "VDD", "VSS"});
+      }
+    }
+  }
+  return c;
+}
+
+SubcktDef make_sram_bank(const std::string& name, int rows, int cols, bool use_8t,
+                         Design& design) {
+  const int bits = log2_exact(rows);
+  // Register the decoder (and for 8T the read decoder) in the library.
+  const std::string dec_name = name + "_DEC";
+  if (!design.subckts.contains(dec_name)) design.add_subckt(make_row_decoder(dec_name, bits));
+
+  SubcktDef c;
+  c.name = name;
+  c.ports = {"CLK", "WEB"};
+  for (int b = 0; b < bits; ++b) c.ports.push_back(idx("A", b));
+  for (int j = 0; j < cols; ++j) c.ports.push_back(idx("D", j));
+  for (int j = 0; j < cols; ++j) c.ports.push_back(idx("Q", j));
+  c.ports.push_back("VDD");
+  c.ports.push_back("VSS");
+
+  // Self-timed control: clock buffers, precharge bar, delayed sense enable.
+  c.inst("XCB", cells::buf_name(4), {"CLK", "clki", "VDD", "VSS"});
+  c.inst("XCI", cells::inv_name(2), {"clki", "clkb", "VDD", "VSS"});
+  c.inst("XPB", cells::buf_name(4), {"clkb", "preb", "VDD", "VSS"});
+  std::string tap = "clki";
+  for (int i = 0; i < 7; ++i) {
+    const std::string nxt = idx("sad", i);
+    c.inst(idx("XSD", i), cells::inv_name(1), {tap, nxt, "VDD", "VSS"});
+    tap = nxt;
+  }
+  c.inst("XSA0", "NAND2", {"clki", tap, "saen_n", "VDD", "VSS"});
+  c.inst("XSA1", cells::inv_name(2), {"saen_n", "sae", "VDD", "VSS"});
+  c.inst("XWE0", "NOR2", {"WEB", "clkb", "wen", "VDD", "VSS"});
+  c.inst("XWE1", cells::inv_name(2), {"wen", "webg", "VDD", "VSS"});
+
+  // Row decoder, enabled by the clock pulse.
+  std::vector<std::string> dec_nets;
+  for (int b = 0; b < bits; ++b) dec_nets.push_back(idx("A", b));
+  dec_nets.push_back("clki");
+  for (int r = 0; r < rows; ++r) dec_nets.push_back(idx("wl", r));
+  dec_nets.push_back("VDD");
+  dec_nets.push_back("VSS");
+  c.inst("XDEC", dec_name, dec_nets);
+  if (use_8t) {
+    const std::string rdec_name = name + "_RDEC";
+    if (!design.subckts.contains(rdec_name))
+      design.add_subckt(make_row_decoder(rdec_name, bits));
+    std::vector<std::string> rdec_nets;
+    for (int b = 0; b < bits; ++b) rdec_nets.push_back(idx("A", b));
+    rdec_nets.push_back("sae");
+    for (int r = 0; r < rows; ++r) rdec_nets.push_back(idx("rwl", r));
+    rdec_nets.push_back("VDD");
+    rdec_nets.push_back("VSS");
+    c.inst("XRDEC", rdec_name, rdec_nets);
+  }
+
+  // Cell grid.
+  for (int r = 0; r < rows; ++r) {
+    for (int j = 0; j < cols; ++j) {
+      const std::string inst = "XC" + std::to_string(r) + "_" + std::to_string(j);
+      if (use_8t) {
+        c.inst(inst, "SRAM8T",
+               {idx("bl", j), idx("blb", j), idx("wl", r), idx("rbl", j), idx("rwl", r),
+                "VDD", "VSS"});
+      } else {
+        c.inst(inst, "SRAM6T", {idx("bl", j), idx("blb", j), idx("wl", r), "VDD", "VSS"});
+      }
+    }
+  }
+
+  // Column periphery.
+  for (int j = 0; j < cols; ++j) {
+    c.inst(idx("XPC", j), "PRECH", {idx("bl", j), idx("blb", j), "preb", "VDD"});
+    c.inst(idx("XSA", j), "SENSEAMP",
+           {idx("bl", j), idx("blb", j), "sae", idx("so", j), idx("sob", j), "VDD", "VSS"});
+    c.inst(idx("XWD", j), "WRDRV",
+           {idx("D", j), "webg", idx("bl", j), idx("blb", j), "VDD", "VSS"});
+    c.inst(idx("XQL", j), "LATCH", {idx("so", j), "sae", idx("Q", j), "VDD", "VSS"});
+    if (use_8t) {
+      c.inst(idx("XRS", j), cells::inv_name(2), {idx("rbl", j), idx("ro", j), "VDD", "VSS"});
+      // Read-bitline keeper.
+      c.mos(idx("MKP", j), DeviceKind::kPmos, idx("rbl", j), idx("ro", j), "VDD", "VDD",
+            cells::kWp, cells::kL);
+    }
+  }
+  // Supply decoupling.
+  for (int j = 0; j < cols / 2; ++j) c.inst(idx("XDC", j), "DECAP", {"VDD", "VSS"});
+  return c;
+}
+
+SubcktDef make_control_block(const std::string& name, int n_dff, int n_gates) {
+  SubcktDef c;
+  c.name = name;
+  c.ports = {"CLK", "SI", "SO"};
+  for (int e = 0; e < 8; ++e) c.ports.push_back(idx("EN", e));
+  c.ports.push_back("VDD");
+  c.ports.push_back("VSS");
+
+  c.inst("XCKB", cells::buf_name(2), {"CLK", "clkb_i", "VDD", "VSS"});
+  // Shift register.
+  std::string d = "SI";
+  for (int i = 0; i < n_dff; ++i) {
+    const std::string q = idx("q", i);
+    c.inst(idx("XF", i), "DFF", {d, "clkb_i", q, idx("qb", i), "VDD", "VSS"});
+    d = q;
+  }
+  c.inst("XSO", cells::buf_name(1), {d, "SO", "VDD", "VSS"});
+
+  // Random-ish decode fabric over the register taps.
+  for (int g = 0; g < n_gates; ++g) {
+    const std::string a = idx("q", (g * 7 + 1) % n_dff);
+    const std::string b = idx("qb", (g * 13 + 3) % n_dff);
+    const std::string y = idx("g", g);
+    switch (g % 3) {
+      case 0: c.inst(idx("XG", g), "NAND2", {a, b, y, "VDD", "VSS"}); break;
+      case 1: c.inst(idx("XG", g), "NOR2", {a, b, y, "VDD", "VSS"}); break;
+      default: c.inst(idx("XG", g), "XOR2", {a, b, y, "VDD", "VSS"}); break;
+    }
+  }
+  // Enable outputs buffered from the decode fabric.
+  for (int e = 0; e < 8; ++e) {
+    const std::string src = n_gates > 0 ? idx("g", e % n_gates) : idx("q", e % n_dff);
+    c.inst(idx("XEB", e), cells::buf_name(2), {src, idx("EN", e), "VDD", "VSS"});
+  }
+  return c;
+}
+
+SubcktDef make_clk_gen(const std::string& name, int replica_rows, int chain_length,
+                       Design& design) {
+  (void)design;
+  SubcktDef c;
+  c.name = name;
+  c.ports = {"CLKIN", "CLKOUT", "VDD", "VSS"};
+
+  // Delay chain.
+  std::string tap = "CLKIN";
+  for (int i = 0; i < chain_length; ++i) {
+    const std::string nxt = idx("d", i);
+    c.inst(idx("XD", i), cells::inv_name(1), {tap, nxt, "VDD", "VSS"});
+    tap = nxt;
+  }
+  // Launch pulse = CLKIN AND delayed(CLKIN).
+  c.inst("XPG", "NAND2", {"CLKIN", tap, "pulse_n", "VDD", "VSS"});
+  c.inst("XPI", cells::inv_name(4), {"pulse_n", "pulse", "VDD", "VSS"});
+
+  // Replica bitline column: row 0 is driven by the pulse, the rest are off.
+  c.inst("XRP", "PRECH", {"rbl", "rblb", "pulse_n", "VDD"});
+  for (int r = 0; r < replica_rows; ++r) {
+    const std::string wl = r == 0 ? "pulse" : "VSS";
+    c.inst(idx("XRC", r), "SRAM6T", {"rbl", "rblb", wl, "VDD", "VSS"});
+  }
+  // Sense the replica discharge and close the timing loop.
+  c.inst("XRS", cells::inv_name(2), {"rbl", "rdone", "VDD", "VSS"});
+  c.inst("XCG", "NAND2", {"rdone", "pulse", "clko_n", "VDD", "VSS"});
+  c.inst("XCO", cells::buf_name(4), {"clko_n", "CLKOUT", "VDD", "VSS"});
+
+  // Divider flops and glue.
+  c.inst("XDV0", "DFF", {"dvb0", "CLKOUT", "dv0", "dvb0", "VDD", "VSS"});
+  c.inst("XDV1", "DFF", {"dvb1", "dv0", "dv1", "dvb1", "VDD", "VSS"});
+  c.inst("XMX", "MUX2", {"dv0", "dv1", "pulse", "mix", "VDD", "VSS"});
+  c.inst("XMB", cells::buf_name(1), {"mix", "mixo", "VDD", "VSS"});
+  for (int j = 0; j < 4; ++j) c.inst(idx("XDC", j), "DECAP", {"VDD", "VSS"});
+  return c;
+}
+
+// ---- Dataset factories -----------------------------------------------------
+
+Design ssram(const DesignScale& scale) {
+  Design d;
+  d.top.name = "SSRAM";
+  cells::add_library(d);
+
+  const int rows = scale_dim(64, scale.train_scale);
+  const int cols = 32;
+  d.add_subckt(make_sram_bank("SSRAM_BANK", rows, cols, /*use_8t=*/false, d));
+  d.add_subckt(make_control_block("SSRAM_CTRL", 40, 24));
+  d.add_subckt(make_clk_gen("SSRAM_CKG", 64, 32, d));
+
+  const int bits = log2_exact(rows);
+  SubcktDef& top = d.top;
+  top.ports = {"CLK", "WEB", "CSB", "VDD", "VSS"};
+  for (int b = 0; b < bits; ++b) top.ports.push_back(idx("ADDR", b));
+  for (int j = 0; j < cols; ++j) top.ports.push_back(idx("DIN", j));
+  for (int j = 0; j < cols; ++j) top.ports.push_back(idx("DOUT", j));
+
+  top.inst("XCKG", "SSRAM_CKG", {"CLK", "iclk", "VDD", "VSS"});
+  // Registered address and data.
+  for (int b = 0; b < bits; ++b) {
+    top.inst(idx("XAR", b), "DFF",
+             {idx("ADDR", b), "iclk", idx("a", b), idx("anb", b), "VDD", "VSS"});
+  }
+  for (int j = 0; j < cols; ++j) {
+    top.inst(idx("XDR", j), "DFF",
+             {idx("DIN", j), "iclk", idx("dd", j), idx("ddb", j), "VDD", "VSS"});
+  }
+  std::vector<std::string> bank_nets = {"iclk", "WEB"};
+  for (int b = 0; b < bits; ++b) bank_nets.push_back(idx("a", b));
+  for (int j = 0; j < cols; ++j) bank_nets.push_back(idx("dd", j));
+  for (int j = 0; j < cols; ++j) bank_nets.push_back(idx("qq", j));
+  bank_nets.push_back("VDD");
+  bank_nets.push_back("VSS");
+  top.inst("XBANK", "SSRAM_BANK", bank_nets);
+  for (int j = 0; j < cols; ++j) {
+    top.inst(idx("XQB", j), cells::buf_name(2), {idx("qq", j), idx("DOUT", j), "VDD", "VSS"});
+  }
+  top.inst("XCT0", "SSRAM_CTRL",
+           {"iclk", "CSB", "sso0", "e0", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "VDD", "VSS"});
+  top.inst("XCT1", "SSRAM_CTRL",
+           {"iclk", "sso0", "sso1", "f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "VDD", "VSS"});
+  top.inst("XESD0", "ESD", {"CLK", "VDD", "VSS"});
+  top.inst("XESD1", "ESD", {"WEB", "VDD", "VSS"});
+  for (int j = 0; j < 8; ++j) top.inst(idx("XTDC", j), "DECAP", {"VDD", "VSS"});
+  return d;
+}
+
+Design ultra8t(const DesignScale& scale) {
+  Design d;
+  d.top.name = "ULTRA8T";
+  cells::add_library(d);
+
+  const int rows = scale_dim(32, scale.train_scale);
+  const int cols = 32;
+  d.add_subckt(make_sram_bank("U8T_BANK", rows, cols, /*use_8t=*/true, d));
+  d.add_subckt(make_control_block("U8T_CTRL", 32, 20));
+
+  const int bits = log2_exact(rows);
+  SubcktDef& top = d.top;
+  top.ports = {"CLK", "WEB", "VDDL", "VDDH", "VSS"};
+  for (int b = 0; b < bits + 1; ++b) top.ports.push_back(idx("ADDR", b));
+  for (int j = 0; j < cols; ++j) top.ports.push_back(idx("DIN", j));
+  for (int j = 0; j < cols; ++j) top.ports.push_back(idx("DOUT", j));
+
+  // Level shifters lift low-domain inputs into the array domain.
+  top.inst("XLSC", "LVLSHIFT", {"CLK", "clkh", "VDDL", "VDDH", "VSS"});
+  top.inst("XLSW", "LVLSHIFT", {"WEB", "webh", "VDDL", "VDDH", "VSS"});
+  for (int b = 0; b < bits + 1; ++b) {
+    top.inst(idx("XLSA", b), "LVLSHIFT",
+             {idx("ADDR", b), idx("ah", b), "VDDL", "VDDH", "VSS"});
+  }
+  // Two banks selected by the top address bit.
+  for (int bank = 0; bank < 2; ++bank) {
+    const std::string suffix = std::to_string(bank);
+    std::vector<std::string> nets = {"clkg" + suffix, "webh"};
+    for (int b = 0; b < bits; ++b) nets.push_back(idx("ah", b));
+    for (int j = 0; j < cols; ++j) nets.push_back(idx("dh", j));
+    for (int j = 0; j < cols; ++j) nets.push_back("q" + suffix + "_" + std::to_string(j));
+    nets.push_back("VDDH");
+    nets.push_back("VSS");
+    top.inst("XBANK" + suffix, "U8T_BANK", nets);
+  }
+  top.inst("XBSI", cells::inv_name(1), {idx("ah", bits), "bselb", "VDDH", "VSS"});
+  top.inst("XBG0", "NAND2", {"clkh", idx("ah", bits), "cg0n", "VDDH", "VSS"});
+  top.inst("XBG0I", cells::inv_name(2), {"cg0n", "clkg0", "VDDH", "VSS"});
+  top.inst("XBG1", "NAND2", {"clkh", "bselb", "cg1n", "VDDH", "VSS"});
+  top.inst("XBG1I", cells::inv_name(2), {"cg1n", "clkg1", "VDDH", "VSS"});
+  for (int j = 0; j < cols; ++j) {
+    top.inst(idx("XDH", j), "LVLSHIFT", {idx("DIN", j), idx("dh", j), "VDDL", "VDDH", "VSS"});
+    top.inst(idx("XQM", j), "MUX2",
+             {"q0_" + std::to_string(j), "q1_" + std::to_string(j), idx("ah", bits),
+              idx("DOUT", j), "VDDH", "VSS"});
+  }
+  // Leakage-detection analog: bias generator + comparators on the read rails.
+  top.inst("XBIAS", "BIASGEN", {"en_bias", "ibias", "vbn", "vbp", "VDDH", "VSS"});
+  for (int k = 0; k < 4; ++k) {
+    top.inst(idx("XCMP", k), "COMP",
+             {idx("dh", k), "ibias", idx("lkout", k), "vbn", "VDDH", "VSS"});
+  }
+  top.inst("XCTL", "U8T_CTRL",
+           {"clkh", "lkout0", "ctlso", "en_bias", "c1", "c2", "c3", "c4", "c5", "c6", "c7",
+            "VDDH", "VSS"});
+  top.inst("XESD0", "ESD", {"CLK", "VDDL", "VSS"});
+  for (int j = 0; j < 6; ++j) top.inst(idx("XTDC", j), "DECAP", {"VDDH", "VSS"});
+  return d;
+}
+
+Design sandwich_ram(const DesignScale& scale) {
+  Design d;
+  d.top.name = "SANDWICH-RAM";
+  cells::add_library(d);
+
+  const int rows = scale_dim(32, scale.train_scale);
+  const int cols = 32;
+  d.add_subckt(make_sram_bank("SW_BANK", rows, cols, /*use_8t=*/false, d));
+  d.add_subckt(make_control_block("SW_CTRL", 36, 24));
+
+  // Bit-wise processing element of the in-memory computing layer.
+  SubcktDef pe;
+  pe.name = "SW_PE";
+  pe.ports = {"A", "B", "CIN", "S", "COUT", "CLK", "VDD", "VSS"};
+  pe.inst("XX1", "XOR2", {"A", "B", "axb", "VDD", "VSS"});
+  pe.inst("XX2", "XOR2", {"axb", "CIN", "sum", "VDD", "VSS"});
+  pe.inst("XN1", "NAND2", {"A", "B", "g1", "VDD", "VSS"});
+  pe.inst("XN2", "NAND2", {"axb", "CIN", "g2", "VDD", "VSS"});
+  pe.inst("XN3", "NAND2", {"g1", "g2", "COUT", "VDD", "VSS"});
+  pe.inst("XFS", "DFF", {"sum", "CLK", "S", "sb", "VDD", "VSS"});
+  d.add_subckt(std::move(pe));
+
+  const int bits = log2_exact(rows);
+  SubcktDef& top = d.top;
+  top.ports = {"CLK", "WEB", "VDD", "VSS"};
+  for (int b = 0; b < bits; ++b) top.ports.push_back(idx("ADDR", b));
+  for (int j = 0; j < cols; ++j) top.ports.push_back(idx("DIN", j));
+  for (int j = 0; j < cols; ++j) top.ports.push_back(idx("MAC", j));
+
+  // Two SRAM banks sandwiching the computing layer.
+  for (int bank = 0; bank < 2; ++bank) {
+    const std::string suffix = std::to_string(bank);
+    std::vector<std::string> nets = {"CLK", "WEB"};
+    for (int b = 0; b < bits; ++b) nets.push_back(idx("ADDR", b));
+    for (int j = 0; j < cols; ++j)
+      nets.push_back(bank == 0 ? idx("DIN", j) : "s_" + std::to_string(j));
+    for (int j = 0; j < cols; ++j) nets.push_back("q" + suffix + "_" + std::to_string(j));
+    nets.push_back("VDD");
+    nets.push_back("VSS");
+    top.inst("XBANK" + suffix, "SW_BANK", nets);
+  }
+  // PE ripple chain between the banks (the "meat" of the sandwich).
+  const int pe_rows = 4;
+  for (int r = 0; r < pe_rows; ++r) {
+    std::string carry = "VSS";
+    for (int j = 0; j < cols; ++j) {
+      const std::string me = std::to_string(r) + "_" + std::to_string(j);
+      const std::string cout = "c" + me;
+      const std::string a = r == 0 ? "q0_" + std::to_string(j) : "p" + std::to_string(r - 1) + "_" + std::to_string(j);
+      top.inst("XPE" + me, "SW_PE",
+               {a, "q1_" + std::to_string(j), carry, "p" + me, cout, "CLK", "VDD", "VSS"});
+      carry = cout;
+    }
+  }
+  for (int j = 0; j < cols; ++j) {
+    top.inst(idx("XSB", j), cells::buf_name(1),
+             {"p" + std::to_string(pe_rows - 1) + "_" + std::to_string(j), "s_" + std::to_string(j),
+              "VDD", "VSS"});
+    top.inst(idx("XMB", j), cells::buf_name(2),
+             {"p" + std::to_string(pe_rows - 1) + "_" + std::to_string(j), idx("MAC", j), "VDD",
+              "VSS"});
+  }
+  top.inst("XCTL", "SW_CTRL",
+           {"CLK", "WEB", "swso", "w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7", "VDD", "VSS"});
+  for (int j = 0; j < 6; ++j) top.inst(idx("XTDC", j), "DECAP", {"VDD", "VSS"});
+  return d;
+}
+
+Design digital_clk_gen() {
+  Design d;
+  d.top.name = "DIGITAL_CLK_GEN";
+  cells::add_library(d);
+  d.add_subckt(make_clk_gen("CKG_CORE", 128, 48, d));
+  d.add_subckt(make_control_block("CKG_CTRL", 24, 16));
+  d.add_subckt(make_cell_array("CKG_COL", 128, 2, /*use_8t=*/false));
+
+  SubcktDef& top = d.top;
+  top.ports = {"CLK", "EN", "CLKINT", "VDD", "VSS"};
+  top.inst("XGI", "NAND2", {"CLK", "EN", "cgn", "VDD", "VSS"});
+  top.inst("XGB", cells::inv_name(4), {"cgn", "cg", "VDD", "VSS"});
+  top.inst("XCORE", "CKG_CORE", {"cg", "iclk", "VDD", "VSS"});
+  top.inst("XOB", cells::buf_name(4), {"iclk", "CLKINT", "VDD", "VSS"});
+  // SRAM columns loading the internal clock (dummy load mimicking the array).
+  std::vector<std::string> col_nets;
+  for (int j = 0; j < 2; ++j) {
+    col_nets.push_back(idx("cbl", j));
+    col_nets.push_back(idx("cblb", j));
+  }
+  for (int r = 0; r < 128; ++r) col_nets.push_back(r == 0 ? "iclk" : "VSS");
+  col_nets.push_back("VDD");
+  col_nets.push_back("VSS");
+  top.inst("XCOL", "CKG_COL", col_nets);
+  top.inst("XPC0", "PRECH", {"cbl0", "cblb0", "cgn", "VDD"});
+  top.inst("XPC1", "PRECH", {"cbl1", "cblb1", "cgn", "VDD"});
+  top.inst("XCT0", "CKG_CTRL",
+           {"iclk", "EN", "so0", "m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7", "VDD", "VSS"});
+  top.inst("XCT1", "CKG_CTRL",
+           {"iclk", "so0", "so1", "n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7", "VDD", "VSS"});
+  top.inst("XESD0", "ESD", {"CLK", "VDD", "VSS"});
+  for (int j = 0; j < 4; ++j) top.inst(idx("XTDC", j), "DECAP", {"VDD", "VSS"});
+  return d;
+}
+
+Design timing_control() {
+  Design d;
+  d.top.name = "TIMING_CONTROL";
+  cells::add_library(d);
+  d.add_subckt(make_control_block("TC_PIPE", 48, 32));
+  d.add_subckt(make_row_decoder("TC_DEC", 4));
+
+  SubcktDef& top = d.top;
+  top.ports = {"CLK", "RSTB", "MODE0", "MODE1", "VDD", "VSS"};
+  for (int e = 0; e < 8; ++e) top.ports.push_back(idx("CTRL", e));
+
+  top.inst("XCB", cells::buf_name(4), {"CLK", "iclk", "VDD", "VSS"});
+  // Three cascaded control pipelines.
+  std::string si = "RSTB";
+  for (int p = 0; p < 3; ++p) {
+    const std::string so = idx("pso", p);
+    std::vector<std::string> nets = {"iclk", si, so};
+    for (int e = 0; e < 8; ++e) nets.push_back("pe" + std::to_string(p) + "_" + std::to_string(e));
+    nets.push_back("VDD");
+    nets.push_back("VSS");
+    top.inst(idx("XP", p), "TC_PIPE", nets);
+    si = so;
+  }
+  // Mode decoder fans out to pulse-shaping gates.
+  std::vector<std::string> dec_nets = {"MODE0", "MODE1", "pe0_0", "pe1_1"};
+  dec_nets.push_back("iclk");
+  for (int r = 0; r < 16; ++r) dec_nets.push_back(idx("sel", r));
+  dec_nets.push_back("VDD");
+  dec_nets.push_back("VSS");
+  top.inst("XDEC", "TC_DEC", dec_nets);
+  for (int e = 0; e < 8; ++e) {
+    top.inst(idx("XSG", e), "NAND2",
+             {idx("sel", e), "pe2_" + std::to_string(e), idx("ctn", e), "VDD", "VSS"});
+    top.inst(idx("XSB", e), cells::buf_name(2), {idx("ctn", e), idx("CTRL", e), "VDD", "VSS"});
+  }
+  // Pulse-width tuning delay lines.
+  for (int k = 0; k < 4; ++k) {
+    std::string tap = idx("sel", 8 + k);
+    for (int i = 0; i < 12; ++i) {
+      const std::string nxt = "dl" + std::to_string(k) + "_" + std::to_string(i);
+      top.inst("XDL" + std::to_string(k) + "_" + std::to_string(i), cells::inv_name(1),
+               {tap, nxt, "VDD", "VSS"});
+      tap = nxt;
+    }
+  }
+  top.inst("XESD0", "ESD", {"CLK", "VDD", "VSS"});
+  for (int j = 0; j < 4; ++j) top.inst(idx("XTDC", j), "DECAP", {"VDD", "VSS"});
+  return d;
+}
+
+Design array_128_32() {
+  Design d;
+  d.top.name = "ARRAY_128_32";
+  cells::add_library(d);
+  d.add_subckt(make_cell_array("ARR_CORE", 128, 32, /*use_8t=*/false));
+
+  SubcktDef& top = d.top;
+  top.ports = {"VDD", "VSS"};
+  for (int j = 0; j < 32; ++j) {
+    top.ports.push_back(idx("BL", j));
+    top.ports.push_back(idx("BLB", j));
+  }
+  for (int r = 0; r < 128; ++r) top.ports.push_back(idx("WL", r));
+
+  std::vector<std::string> nets;
+  for (int j = 0; j < 32; ++j) {
+    nets.push_back(idx("BL", j));
+    nets.push_back(idx("BLB", j));
+  }
+  for (int r = 0; r < 128; ++r) nets.push_back(idx("WL", r));
+  nets.push_back("VDD");
+  nets.push_back("VSS");
+  top.inst("XARR", "ARR_CORE", nets);
+  return d;
+}
+
+Design make_design(DatasetId id, const DesignScale& scale) {
+  switch (id) {
+    case DatasetId::kSsram: return ssram(scale);
+    case DatasetId::kUltra8t: return ultra8t(scale);
+    case DatasetId::kSandwichRam: return sandwich_ram(scale);
+    case DatasetId::kDigitalClkGen: return digital_clk_gen();
+    case DatasetId::kTimingControl: return timing_control();
+    case DatasetId::kArray128x32: return array_128_32();
+  }
+  throw std::invalid_argument("make_design: unknown dataset id");
+}
+
+}  // namespace cgps::gen

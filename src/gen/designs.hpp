@@ -1,0 +1,70 @@
+// Synthetic AMS design factories.
+//
+// One factory per dataset in paper Table IV. The generated designs are
+// structural stand-ins for the proprietary 28nm chips: the same kinds of
+// sub-blocks wired the same way (SRAM arrays + decoders + sense paths +
+// digital control + analog bias), at a CPU-friendly scale that preserves
+// per-subgraph statistics. Scale parameters default to values chosen to land
+// near the paper's test-set node counts.
+#pragma once
+
+#include <string>
+
+#include "netlist/hierarchy.hpp"
+
+namespace cgps::gen {
+
+// Identifiers for the six canonical datasets (paper Table IV).
+enum class DatasetId {
+  kSsram = 0,          // train
+  kUltra8t = 1,        // train
+  kSandwichRam = 2,    // train
+  kDigitalClkGen = 3,  // test
+  kTimingControl = 4,  // test
+  kArray128x32 = 5,    // test
+};
+
+const char* dataset_name(DatasetId id);
+bool dataset_is_train(DatasetId id);
+
+// ---- Parameterizable building blocks -------------------------------------
+
+// Row decoder: ports A0..A{bits-1}, EN, WL0..WL{2^bits-1}, VDD, VSS.
+SubcktDef make_row_decoder(const std::string& name, int bits);
+
+// SRAM bank with full periphery: decoder, wordline drivers, precharge,
+// column sense amps, write drivers, and a self-timed control pulse chain.
+// Ports: CLK WEB A0..A{log2(rows)-1} D0..D{cols-1} Q0..Q{cols-1} VDD VSS.
+SubcktDef make_sram_bank(const std::string& name, int rows, int cols, bool use_8t,
+                         Design& design);
+
+// Array-only macro (no periphery): the ARRAY_128_32 test case.
+SubcktDef make_cell_array(const std::string& name, int rows, int cols, bool use_8t);
+
+// DFF-based shift/control pipeline with decode logic.
+SubcktDef make_control_block(const std::string& name, int n_dff, int n_gates);
+
+// Replica-bitline clock generator (delay chain + replica column + pulse
+// logic), the DIGITAL_CLK_GEN structure.
+SubcktDef make_clk_gen(const std::string& name, int replica_rows, int chain_length,
+                       Design& design);
+
+// ---- Dataset factories ----------------------------------------------------
+
+struct DesignScale {
+  // Multiplies the default array dimensions of the *training* designs; the
+  // test designs are kept at paper scale. 1.0 keeps the CPU-friendly
+  // defaults documented in DESIGN.md.
+  double train_scale = 1.0;
+};
+
+Design make_design(DatasetId id, const DesignScale& scale = {});
+
+Design ssram(const DesignScale& scale = {});
+Design ultra8t(const DesignScale& scale = {});
+Design sandwich_ram(const DesignScale& scale = {});
+Design digital_clk_gen();
+Design timing_control();
+Design array_128_32();
+
+}  // namespace cgps::gen

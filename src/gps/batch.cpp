@@ -1,0 +1,124 @@
+#include "gps/batch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/pe.hpp"
+
+namespace cgps {
+
+void XcNormalizer::fit(const std::vector<std::array<float, kXcDim>>& rows) {
+  for (const auto& row : rows) {
+    if (!fitted_) {
+      min_ = row;
+      max_ = row;
+      fitted_ = true;
+      continue;
+    }
+    for (std::size_t j = 0; j < kXcDim; ++j) {
+      min_[j] = std::min(min_[j], row[j]);
+      max_[j] = std::max(max_[j], row[j]);
+    }
+  }
+}
+
+void XcNormalizer::fit_rows(const std::vector<std::array<float, kXcDim>>& all,
+                            const std::vector<std::int32_t>& nodes) {
+  for (std::int32_t v : nodes) {
+    const auto& row = all[static_cast<std::size_t>(v)];
+    if (!fitted_) {
+      min_ = row;
+      max_ = row;
+      fitted_ = true;
+      continue;
+    }
+    for (std::size_t j = 0; j < kXcDim; ++j) {
+      min_[j] = std::min(min_[j], row[j]);
+      max_[j] = std::max(max_[j], row[j]);
+    }
+  }
+}
+
+std::array<float, kXcDim> XcNormalizer::apply(const std::array<float, kXcDim>& row) const {
+  std::array<float, kXcDim> out{};
+  for (std::size_t j = 0; j < kXcDim; ++j) {
+    const float span = max_[j] - min_[j];
+    out[j] = span > 0.0f ? std::clamp((row[j] - min_[j]) / span, 0.0f, 1.0f) : 0.0f;
+  }
+  return out;
+}
+
+SubgraphBatch make_batch(const std::vector<const Subgraph*>& subgraphs,
+                         const std::vector<std::array<float, kXcDim>>& xc_all,
+                         const XcNormalizer& normalizer, const BatchOptions& options) {
+  if (subgraphs.empty()) throw std::invalid_argument("make_batch: empty batch");
+  SubgraphBatch batch;
+
+  std::int64_t total_nodes = 0;
+  std::int64_t total_edges = 0;
+  for (const Subgraph* sg : subgraphs) {
+    total_nodes += sg->num_nodes();
+    total_edges += sg->num_directed_edges();
+  }
+  batch.node_type.reserve(static_cast<std::size_t>(total_nodes));
+  batch.dist0.reserve(static_cast<std::size_t>(total_nodes));
+  batch.dist1.reserve(static_cast<std::size_t>(total_nodes));
+  batch.graph_of_node.reserve(static_cast<std::size_t>(total_nodes));
+  batch.edges.src.reserve(static_cast<std::size_t>(total_edges));
+  batch.edges.dst.reserve(static_cast<std::size_t>(total_edges));
+  batch.edge_type.reserve(static_cast<std::size_t>(total_edges));
+  batch.graph_ptr.push_back(0);
+
+  std::vector<float> xc_flat;
+  xc_flat.reserve(static_cast<std::size_t>(total_nodes * kXcDim));
+
+  const bool want_drnl = options.pe == PeKind::kDrnl;
+  const bool want_rwse = options.pe == PeKind::kRwse;
+  const bool want_lappe = options.pe == PeKind::kLappe;
+  batch.pe_dense_dim = want_rwse ? options.rwse_steps : (want_lappe ? options.lappe_k : 0);
+
+  std::int32_t offset = 0;
+  std::int32_t graph_id = 0;
+  for (const Subgraph* sg : subgraphs) {
+    const auto n = static_cast<std::int32_t>(sg->num_nodes());
+    batch.anchor_a.push_back(offset);
+    batch.anchor_b.push_back(offset + sg->second_anchor);
+    for (std::int32_t i = 0; i < n; ++i) {
+      batch.node_type.push_back(sg->node_type[static_cast<std::size_t>(i)]);
+      batch.dist0.push_back(std::min(sg->dist0[static_cast<std::size_t>(i)], kDspdMax));
+      batch.dist1.push_back(std::min(sg->dist1[static_cast<std::size_t>(i)], kDspdMax));
+      batch.graph_of_node.push_back(graph_id);
+      const auto& raw = xc_all[static_cast<std::size_t>(
+          sg->orig_nodes[static_cast<std::size_t>(i)])];
+      const bool is_pin =
+          sg->node_type[static_cast<std::size_t>(i)] == static_cast<std::int8_t>(NodeType::kPin);
+      batch.pin_role.push_back(is_pin ? static_cast<std::int32_t>(raw[0]) : 0);
+      const auto row = normalizer.apply(raw);
+      xc_flat.insert(xc_flat.end(), row.begin(), row.end());
+    }
+    for (std::size_t e = 0; e < sg->edges.size(); ++e) {
+      batch.edges.src.push_back(sg->edges.src[e] + offset);
+      batch.edges.dst.push_back(sg->edges.dst[e] + offset);
+      batch.edge_type.push_back(sg->edge_type[e]);
+    }
+    if (want_drnl) {
+      const auto labels = drnl_labels(*sg);
+      batch.drnl.insert(batch.drnl.end(), labels.begin(), labels.end());
+    }
+    if (want_rwse) {
+      const auto features = rwse(*sg, options.rwse_steps);
+      batch.pe_dense.insert(batch.pe_dense.end(), features.begin(), features.end());
+    }
+    if (want_lappe) {
+      const auto features = lappe(*sg, options.lappe_k);
+      batch.pe_dense.insert(batch.pe_dense.end(), features.begin(), features.end());
+    }
+    offset += n;
+    batch.graph_ptr.push_back(offset);
+    ++graph_id;
+  }
+  batch.xc = Tensor::from_vector(std::move(xc_flat), total_nodes, kXcDim);
+  return batch;
+}
+
+}  // namespace cgps

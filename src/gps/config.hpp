@@ -1,0 +1,48 @@
+// CircuitGPS configuration: the ablation axes of paper Tables II/III/VII.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cgps {
+
+// kGine is an extension beyond the paper's grid, exercised by the extended
+// ablation bench.
+enum class MpnnKind : std::int8_t { kNone = 0, kGatedGcn = 1, kGine = 2 };
+enum class AttnKind : std::int8_t { kNone = 0, kTransformer = 1, kPerformer = 2 };
+
+// Positional-encoding variants of Table II. kDspd is the paper's proposal.
+enum class PeKind : std::int8_t {
+  kNone = 0,
+  kXc = 1,     // circuit statistics used *as* the PE (Observation 1)
+  kDrnl = 2,   // SEAL labeling
+  kRwse = 3,   // random-walk SE
+  kLappe = 4,  // Laplacian eigenvectors
+  kDspd = 5,   // double-anchor shortest path distance (ours)
+};
+
+const char* mpnn_kind_name(MpnnKind kind);
+const char* attn_kind_name(AttnKind kind);
+const char* pe_kind_name(PeKind kind);
+
+struct GpsConfig {
+  std::int64_t hidden = 48;      // d_l of every GPS layer
+  int layers = 3;                // number of GPS layers
+  MpnnKind mpnn = MpnnKind::kGatedGcn;
+  AttnKind attn = AttnKind::kPerformer;
+  int heads = 4;                 // attention heads
+  int performer_features = 32;   // FAVOR+ random features
+  float dropout = 0.1f;
+  PeKind pe = PeKind::kDspd;
+  int rwse_steps = 8;
+  int lappe_k = 4;
+  std::int64_t head_hidden = 48;  // task head MLP width
+  // Extension beyond the paper's Eq. 7 (pooling-only readout): additionally
+  // concatenate the two anchor nodes' final embeddings into the head input.
+  bool anchor_readout = false;
+  std::uint64_t seed = 42;
+
+  std::string describe() const;
+};
+
+}  // namespace cgps

@@ -1,0 +1,111 @@
+#include "graph/circuit_graph.hpp"
+
+namespace cgps {
+
+namespace {
+
+// Device "type code" for X_C dim 10 (Table I).
+float type_code(const Device& d) { return static_cast<float>(static_cast<int>(d.kind)); }
+
+}  // namespace
+
+CircuitGraph build_circuit_graph(const Netlist& netlist) {
+  CircuitGraph cg;
+  cg.n_nets = static_cast<std::int32_t>(netlist.num_nets());
+  cg.n_devices = static_cast<std::int32_t>(netlist.num_devices());
+  cg.n_pins = static_cast<std::int32_t>(netlist.num_pins());
+
+  HeteroGraph& g = cg.graph;
+  g.reserve(cg.n_nets + cg.n_devices + cg.n_pins, 2 * cg.n_pins);
+  for (std::int32_t n = 0; n < cg.n_nets; ++n) g.add_node(NodeType::kNet);
+  for (std::int32_t d = 0; d < cg.n_devices; ++d) g.add_node(NodeType::kDevice);
+
+  cg.pin_owner.reserve(static_cast<std::size_t>(cg.n_pins));
+  cg.pin_net.reserve(static_cast<std::size_t>(cg.n_pins));
+  for (std::int32_t d = 0; d < cg.n_devices; ++d) {
+    const Device& dev = netlist.devices()[static_cast<std::size_t>(d)];
+    for (std::size_t p = 0; p < dev.pins.size(); ++p) {
+      const std::int32_t pin_node = g.add_node(NodeType::kPin);
+      cg.pin_owner.emplace_back(d, static_cast<std::int32_t>(p));
+      cg.pin_net.push_back(dev.pins[p].net);
+      g.add_edge(cg.device_node(d), pin_node, kEdgeDevicePin);
+      g.add_edge(cg.net_node(dev.pins[p].net), pin_node, kEdgeNetPin);
+    }
+  }
+  g.build_adjacency();
+
+  // ---- X_C (Table I) --------------------------------------------------------
+  cg.xc.assign(static_cast<std::size_t>(g.num_nodes()), {});
+
+  // Net rows: accumulated over connected devices/terminals.
+  for (std::int32_t d = 0; d < cg.n_devices; ++d) {
+    const Device& dev = netlist.devices()[static_cast<std::size_t>(d)];
+    const bool is_mos = dev.kind == DeviceKind::kNmos || dev.kind == DeviceKind::kPmos;
+    for (const Pin& pin : dev.pins) {
+      auto& row = cg.xc[static_cast<std::size_t>(cg.net_node(pin.net))];
+      if (is_mos) {
+        row[0] += 1.0f;  // # connected transistors (per terminal connection)
+        switch (pin.role) {
+          case PinRole::kGate: row[1] += 1.0f; break;
+          case PinRole::kDrain:
+          case PinRole::kSource: row[2] += 1.0f; break;
+          case PinRole::kBulk: row[3] += 1.0f; break;
+          default: break;
+        }
+        row[4] += static_cast<float>(dev.width * dev.multiplier * 1e6);   // um
+        row[5] += static_cast<float>(dev.length * dev.multiplier * 1e6);  // um
+      } else if (dev.kind == DeviceKind::kCapacitor) {
+        row[6] += 1.0f;
+        row[7] += static_cast<float>(dev.length * 1e6);
+        row[8] += static_cast<float>(dev.fingers);
+      } else if (dev.kind == DeviceKind::kResistor) {
+        row[9] += 1.0f;
+        row[10] += static_cast<float>(dev.width * 1e6);
+        row[11] += static_cast<float>(dev.length * 1e6);
+      }
+    }
+  }
+  for (std::int32_t n = 0; n < cg.n_nets; ++n) {
+    cg.xc[static_cast<std::size_t>(n)][12] =
+        netlist.nets()[static_cast<std::size_t>(n)].is_port ? 1.0f : 0.0f;
+  }
+
+  // Device rows.
+  for (std::int32_t d = 0; d < cg.n_devices; ++d) {
+    const Device& dev = netlist.devices()[static_cast<std::size_t>(d)];
+    auto& row = cg.xc[static_cast<std::size_t>(cg.device_node(d))];
+    switch (dev.kind) {
+      case DeviceKind::kNmos:
+      case DeviceKind::kPmos:
+        row[0] = static_cast<float>(dev.multiplier);
+        row[1] = static_cast<float>(dev.length * 1e6);
+        row[2] = static_cast<float>(dev.width * 1e6);
+        break;
+      case DeviceKind::kResistor:
+        row[3] = static_cast<float>(dev.multiplier);
+        row[4] = static_cast<float>(dev.length * 1e6);
+        row[5] = static_cast<float>(dev.width * 1e6);
+        break;
+      case DeviceKind::kCapacitor:
+        row[6] = static_cast<float>(dev.multiplier);
+        row[7] = static_cast<float>(dev.length * 1e6);
+        row[8] = static_cast<float>(dev.fingers);
+        break;
+      case DeviceKind::kDiode:
+        break;
+    }
+    row[9] = static_cast<float>(dev.pins.size());
+    row[10] = type_code(dev);
+  }
+
+  // Pin rows: terminal role code.
+  for (std::int32_t fp = 0; fp < cg.n_pins; ++fp) {
+    const auto [d, p] = cg.pin_owner[static_cast<std::size_t>(fp)];
+    const Device& dev = netlist.devices()[static_cast<std::size_t>(d)];
+    cg.xc[static_cast<std::size_t>(cg.pin_node(fp))][0] =
+        static_cast<float>(static_cast<int>(dev.pins[static_cast<std::size_t>(p)].role));
+  }
+  return cg;
+}
+
+}  // namespace cgps

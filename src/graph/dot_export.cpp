@@ -1,0 +1,56 @@
+#include "graph/dot_export.hpp"
+
+#include <sstream>
+
+namespace cgps {
+
+namespace {
+
+const char* shape_for(std::int8_t node_type) {
+  switch (static_cast<NodeType>(node_type)) {
+    case NodeType::kNet: return "ellipse";
+    case NodeType::kDevice: return "box";
+    case NodeType::kPin: return "diamond";
+  }
+  return "ellipse";
+}
+
+const char* label_for(std::int8_t node_type) {
+  switch (static_cast<NodeType>(node_type)) {
+    case NodeType::kNet: return "net";
+    case NodeType::kDevice: return "dev";
+    case NodeType::kPin: return "pin";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_dot(const Subgraph& sg, const DotOptions& options) {
+  std::ostringstream os;
+  os << "graph \"" << options.graph_name << "\" {\n";
+  os << "  node [fontsize=10];\n";
+  for (std::int64_t i = 0; i < sg.num_nodes(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const bool anchor = i == 0 || i == sg.second_anchor;
+    os << "  n" << i << " [shape=" << shape_for(sg.node_type[idx]) << ", label=\""
+       << label_for(sg.node_type[idx]) << sg.orig_nodes[idx];
+    if (options.show_dspd) os << "\\n(" << sg.dist0[idx] << "," << sg.dist1[idx] << ")";
+    os << "\"";
+    if (anchor) os << ", penwidth=3, color=red";
+    os << "];\n";
+  }
+  // Each undirected edge appears twice (both directions); emit src < dst.
+  for (std::size_t e = 0; e < sg.edges.size(); ++e) {
+    if (sg.edges.src[e] >= sg.edges.dst[e]) continue;
+    os << "  n" << sg.edges.src[e] << " -- n" << sg.edges.dst[e];
+    if (options.show_edge_types && sg.edge_type[e] >= kLinkPinNet) {
+      os << " [style=dashed, color=blue]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace cgps

@@ -1,0 +1,23 @@
+// Graphviz export of enclosing subgraphs — the debugging/visualization aid
+// for inspecting what the sampler feeds the model (node types, DSPD labels,
+// structural vs injected-coupling edges).
+#pragma once
+
+#include <string>
+
+#include "graph/subgraph.hpp"
+
+namespace cgps {
+
+struct DotOptions {
+  bool show_dspd = true;        // annotate nodes with (d0, d1)
+  bool show_edge_types = true;  // style injected link edges as dashed
+  std::string graph_name = "subgraph";
+};
+
+// Renders the subgraph as a GraphViz `graph` document (undirected; each
+// directed pair is emitted once). Net nodes are ellipses, devices boxes,
+// pins diamonds; the anchors are drawn bold.
+std::string to_dot(const Subgraph& sg, const DotOptions& options = {});
+
+}  // namespace cgps

@@ -1,0 +1,85 @@
+#include "graph/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cgps {
+
+EigenResult jacobi_eigen_symmetric(std::vector<double> a, std::int64_t n, double tolerance,
+                                   int max_sweeps) {
+  if (static_cast<std::int64_t>(a.size()) != n * n)
+    throw std::invalid_argument("jacobi_eigen_symmetric: size mismatch");
+
+  std::vector<double> v(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i * n + i)] = 1.0;
+
+  auto off_norm = [&] {
+    double s = 0.0;
+    for (std::int64_t i = 0; i < n; ++i)
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        const double x = a[static_cast<std::size_t>(i * n + j)];
+        s += 2.0 * x * x;
+      }
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps && off_norm() > tolerance; ++sweep) {
+    for (std::int64_t p = 0; p < n; ++p) {
+      for (std::int64_t q = p + 1; q < n; ++q) {
+        const double apq = a[static_cast<std::size_t>(p * n + q)];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a[static_cast<std::size_t>(p * n + p)];
+        const double aqq = a[static_cast<std::size_t>(q * n + q)];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Rotate rows/cols p and q of A.
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double akp = a[static_cast<std::size_t>(k * n + p)];
+          const double akq = a[static_cast<std::size_t>(k * n + q)];
+          a[static_cast<std::size_t>(k * n + p)] = c * akp - s * akq;
+          a[static_cast<std::size_t>(k * n + q)] = s * akp + c * akq;
+        }
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double apk = a[static_cast<std::size_t>(p * n + k)];
+          const double aqk = a[static_cast<std::size_t>(q * n + k)];
+          a[static_cast<std::size_t>(p * n + k)] = c * apk - s * aqk;
+          a[static_cast<std::size_t>(q * n + k)] = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (std::int64_t k = 0; k < n; ++k) {
+          const double vkp = v[static_cast<std::size_t>(k * n + p)];
+          const double vkq = v[static_cast<std::size_t>(k * n + q)];
+          v[static_cast<std::size_t>(k * n + p)] = c * vkp - s * vkq;
+          v[static_cast<std::size_t>(k * n + q)] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t x, std::int64_t y) {
+    return a[static_cast<std::size_t>(x * n + x)] < a[static_cast<std::size_t>(y * n + y)];
+  });
+
+  EigenResult result;
+  result.values.resize(static_cast<std::size_t>(n));
+  result.vectors.resize(static_cast<std::size_t>(n * n));
+  for (std::int64_t k = 0; k < n; ++k) {
+    const std::int64_t src = order[static_cast<std::size_t>(k)];
+    result.values[static_cast<std::size_t>(k)] = a[static_cast<std::size_t>(src * n + src)];
+    for (std::int64_t i = 0; i < n; ++i)
+      result.vectors[static_cast<std::size_t>(i + n * k)] =
+          v[static_cast<std::size_t>(i * n + src)];
+  }
+  return result;
+}
+
+}  // namespace cgps

@@ -1,0 +1,20 @@
+// Dense symmetric eigendecomposition (cyclic Jacobi), used by LapPE.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cgps {
+
+struct EigenResult {
+  std::vector<double> values;   // ascending
+  std::vector<double> vectors;  // column-major: vectors[i + n*k] = v_k[i]
+};
+
+// `a` is a dense symmetric n x n matrix in row-major order (only the value
+// layout matters since it is symmetric). Tolerance is on the off-diagonal
+// Frobenius norm.
+EigenResult jacobi_eigen_symmetric(std::vector<double> a, std::int64_t n,
+                                   double tolerance = 1e-10, int max_sweeps = 50);
+
+}  // namespace cgps

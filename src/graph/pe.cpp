@@ -1,0 +1,105 @@
+#include "graph/pe.hpp"
+
+#include <cmath>
+
+#include "graph/eigen.hpp"
+
+namespace cgps {
+
+std::vector<std::int32_t> drnl_labels(const Subgraph& sg) {
+  const std::size_t n = static_cast<std::size_t>(sg.num_nodes());
+  std::vector<std::int32_t> labels(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t d0 = sg.dist0[i];
+    const std::int32_t d1 = sg.dist1[i];
+    if (i == 0 || static_cast<std::int32_t>(i) == sg.second_anchor) {
+      labels[i] = 1;
+      continue;
+    }
+    if (d0 >= kDspdMax || d1 >= kDspdMax) {
+      labels[i] = 0;  // unreachable from an anchor
+      continue;
+    }
+    const std::int32_t d = d0 + d1;
+    const std::int32_t half = d / 2;
+    labels[i] = 1 + std::min(d0, d1) + half * (half + d % 2 - 1);
+  }
+  return labels;
+}
+
+std::int32_t drnl_max_label() {
+  const std::int32_t d = 2 * kDspdMax;
+  const std::int32_t half = d / 2;
+  return 1 + kDspdMax + half * (half + d % 2 - 1);
+}
+
+std::vector<float> rwse(const Subgraph& sg, std::int32_t k_steps) {
+  const auto n = static_cast<std::size_t>(sg.num_nodes());
+  std::vector<float> out(n * static_cast<std::size_t>(k_steps), 0.0f);
+
+  std::vector<double> inv_deg(n, 0.0);
+  for (std::int32_t d : sg.edges.dst) inv_deg[static_cast<std::size_t>(d)] += 1.0;
+  for (double& v : inv_deg) v = v > 0.0 ? 1.0 / v : 0.0;
+
+  // M starts as I; M <- M P each step, where P[u][v] = 1/deg(u) per directed
+  // edge (u, v). Sparse-dense product costs O(E * N) per step.
+  std::vector<double> m(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m[i * n + i] = 1.0;
+  std::vector<double> next(n * n);
+  for (std::int32_t step = 0; step < k_steps; ++step) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t e = 0; e < sg.edges.size(); ++e) {
+      const auto u = static_cast<std::size_t>(sg.edges.src[e]);
+      const auto v = static_cast<std::size_t>(sg.edges.dst[e]);
+      const double w = inv_deg[u];
+      if (w == 0.0) continue;
+      for (std::size_t i = 0; i < n; ++i) next[i * n + v] += m[i * n + u] * w;
+    }
+    m.swap(next);
+    for (std::size_t i = 0; i < n; ++i)
+      out[i * static_cast<std::size_t>(k_steps) + static_cast<std::size_t>(step)] =
+          static_cast<float>(m[i * n + i]);
+  }
+  return out;
+}
+
+std::vector<float> lappe(const Subgraph& sg, std::int32_t k) {
+  const auto n = static_cast<std::size_t>(sg.num_nodes());
+  std::vector<float> out(n * static_cast<std::size_t>(k), 0.0f);
+  if (n <= 1) return out;
+
+  std::vector<double> degree(n, 0.0);
+  for (std::int32_t d : sg.edges.dst) degree[static_cast<std::size_t>(d)] += 1.0;
+
+  // L = I - D^{-1/2} A D^{-1/2} (dense, symmetric).
+  std::vector<double> lap(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) lap[i * n + i] = degree[i] > 0.0 ? 1.0 : 0.0;
+  for (std::size_t e = 0; e < sg.edges.size(); ++e) {
+    const auto u = static_cast<std::size_t>(sg.edges.src[e]);
+    const auto v = static_cast<std::size_t>(sg.edges.dst[e]);
+    if (degree[u] > 0.0 && degree[v] > 0.0)
+      lap[u * n + v] -= 1.0 / std::sqrt(degree[u] * degree[v]);
+  }
+
+  const EigenResult eig = jacobi_eigen_symmetric(std::move(lap), static_cast<std::int64_t>(n));
+
+  // Skip the trivial (near-zero eigenvalue) vector; fix signs.
+  const std::size_t first = 1;
+  for (std::int32_t col = 0; col < k; ++col) {
+    const std::size_t src = first + static_cast<std::size_t>(col);
+    if (src >= n) break;
+    // Sign convention: largest-|.| entry positive.
+    double best = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = eig.vectors[i + n * src];
+      if (std::fabs(x) > std::fabs(best)) best = x;
+    }
+    const double sign = best >= 0.0 ? 1.0 : -1.0;
+    for (std::size_t i = 0; i < n; ++i)
+      out[i * static_cast<std::size_t>(k) + static_cast<std::size_t>(col)] =
+          static_cast<float>(sign * eig.vectors[i + n * src]);
+  }
+  return out;
+}
+
+}  // namespace cgps

@@ -1,0 +1,34 @@
+// Positional / structural encodings compared in paper Table II.
+//
+// DSPD itself lives on the Subgraph (dist0/dist1, computed during
+// extraction); this header provides the alternatives:
+//   * DRNL  — SEAL's double-radius node labeling (perfect hash of DSPD)
+//   * RWSE  — k-step random-walk return probabilities
+//   * LapPE — first k non-trivial eigenvectors of the normalized Laplacian
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/subgraph.hpp"
+
+namespace cgps {
+
+// SEAL's hashing: anchors get 1; a node at distances (d0, d1) gets
+// 1 + min(d0,d1) + (d/2)[(d/2) + (d%2) - 1] with d = d0 + d1; unreachable
+// nodes get 0. Returned per local node.
+std::vector<std::int32_t> drnl_labels(const Subgraph& sg);
+// Upper bound on a DRNL label given kDspdMax (for embedding vocab sizing).
+std::int32_t drnl_max_label();
+
+// Random-walk structural encoding: for each node the return probabilities
+// [P^1_ii, ..., P^K_ii] with P = D^{-1} A on the subgraph. Row-major N x K.
+std::vector<float> rwse(const Subgraph& sg, std::int32_t k_steps);
+
+// Laplacian PE: entries of the first `k` non-trivial eigenvectors of the
+// symmetric normalized Laplacian. Row-major N x k; zero-padded when the
+// subgraph has fewer than k+1 nodes. Sign is fixed by making each
+// eigenvector's largest-magnitude entry positive.
+std::vector<float> lappe(const Subgraph& sg, std::int32_t k);
+
+}  // namespace cgps

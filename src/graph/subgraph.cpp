@@ -1,0 +1,126 @@
+#include "graph/subgraph.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cgps {
+
+namespace {
+
+// Local BFS over the induced subgraph to fill DSPD distances.
+void local_bfs(const std::vector<std::vector<std::int32_t>>& adj, std::int32_t start,
+               std::vector<std::int32_t>& dist) {
+  std::fill(dist.begin(), dist.end(), kDspdMax);
+  std::queue<std::int32_t> queue;
+  dist[static_cast<std::size_t>(start)] = 0;
+  queue.push(start);
+  while (!queue.empty()) {
+    const std::int32_t v = queue.front();
+    queue.pop();
+    const std::int32_t dv = dist[static_cast<std::size_t>(v)];
+    if (dv >= kDspdMax) continue;
+    for (std::int32_t u : adj[static_cast<std::size_t>(v)]) {
+      if (dist[static_cast<std::size_t>(u)] > dv + 1) {
+        dist[static_cast<std::size_t>(u)] = dv + 1;
+        queue.push(u);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Subgraph extract_enclosing_subgraph(const HeteroGraph& graph, std::int32_t m, std::int32_t n,
+                                    const SubgraphOptions& options) {
+  if (!graph.adjacency_built())
+    throw std::logic_error("extract_enclosing_subgraph: adjacency not built");
+  if (m < 0 || m >= graph.num_nodes())
+    throw std::invalid_argument("extract_enclosing_subgraph: bad anchor m");
+  const bool link_task = n >= 0 && n != m;
+  if (n >= graph.num_nodes())
+    throw std::invalid_argument("extract_enclosing_subgraph: bad anchor n");
+
+  Subgraph sg;
+  std::unordered_map<std::int32_t, std::int32_t> local;  // orig -> local id
+  auto add_node = [&](std::int32_t orig) -> std::int32_t {
+    auto [it, inserted] = local.emplace(orig, static_cast<std::int32_t>(sg.orig_nodes.size()));
+    if (inserted) {
+      sg.orig_nodes.push_back(orig);
+      sg.node_type.push_back(static_cast<std::int8_t>(graph.node_type(orig)));
+    }
+    return it->second;
+  };
+
+  add_node(m);
+  if (link_task) add_node(n);
+  sg.second_anchor = link_task ? 1 : 0;
+
+  // Capped BFS from each anchor up to `hops`.
+  auto bfs_collect = [&](std::int32_t anchor) {
+    std::int64_t budget = options.max_nodes_per_anchor;
+    std::unordered_map<std::int32_t, std::int32_t> depth;
+    std::queue<std::int32_t> queue;
+    depth.emplace(anchor, 0);
+    queue.push(anchor);
+    while (!queue.empty()) {
+      const std::int32_t v = queue.front();
+      queue.pop();
+      const std::int32_t dv = depth.at(v);
+      if (dv >= options.hops) continue;
+      for (std::int64_t k = 0; k < graph.degree(v); ++k) {
+        const std::int32_t u = graph.neighbor(v, k).node;
+        if (depth.contains(u)) continue;
+        if (budget >= 0 && static_cast<std::int64_t>(depth.size()) >= budget) return;
+        depth.emplace(u, dv + 1);
+        add_node(u);
+        queue.push(u);
+      }
+    }
+  };
+  bfs_collect(m);
+  if (link_task) bfs_collect(n);
+
+  // Induce edges: every edge with both endpoints in the set, deduplicated by
+  // original edge id, expanded to both directions. The direct anchor-anchor
+  // edge is dropped: when the target link was injected into the graph
+  // (SEAL-style), keeping it would leak the label being predicted.
+  std::unordered_set<std::int64_t> seen_edges;
+  const std::size_t n_local = sg.orig_nodes.size();
+  std::vector<std::vector<std::int32_t>> local_adj(n_local);
+  for (std::size_t lv = 0; lv < n_local; ++lv) {
+    const std::int32_t v = sg.orig_nodes[lv];
+    for (std::int64_t k = 0; k < graph.degree(v); ++k) {
+      const auto [u, edge_id] = graph.neighbor(v, k);
+      if (link_task && ((v == m && u == n) || (v == n && u == m))) continue;
+      const auto it = local.find(u);
+      if (it == local.end()) continue;
+      if (!seen_edges.insert(edge_id).second) continue;
+      const auto lu = static_cast<std::int32_t>(it->second);
+      const auto lv32 = static_cast<std::int32_t>(lv);
+      const std::int8_t type = graph.edge_type(edge_id);
+      sg.edges.src.push_back(lv32);
+      sg.edges.dst.push_back(lu);
+      sg.edge_type.push_back(type);
+      sg.edges.src.push_back(lu);
+      sg.edges.dst.push_back(lv32);
+      sg.edge_type.push_back(type);
+      local_adj[lv].push_back(lu);
+      local_adj[static_cast<std::size_t>(lu)].push_back(lv32);
+    }
+  }
+
+  // DSPD within the subgraph.
+  sg.dist0.resize(n_local);
+  sg.dist1.resize(n_local);
+  local_bfs(local_adj, 0, sg.dist0);
+  if (link_task) {
+    local_bfs(local_adj, sg.second_anchor, sg.dist1);
+  } else {
+    sg.dist1 = sg.dist0;  // paper §IV-D: D0 = D1 for node tasks
+  }
+  return sg;
+}
+
+}  // namespace cgps

@@ -1,0 +1,36 @@
+// Plain geometry types shared by the placer and the parasitic extractor.
+#pragma once
+
+#include <algorithm>
+
+namespace cgps {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct Rect {
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;
+
+  double width() const { return x1 - x0; }
+  double height() const { return y1 - y0; }
+
+  void expand(const Point& p) {
+    x0 = std::min(x0, p.x);
+    y0 = std::min(y0, p.y);
+    x1 = std::max(x1, p.x);
+    y1 = std::max(y1, p.y);
+  }
+
+  static Rect around(const Point& p) { return Rect{p.x, p.y, p.x, p.y}; }
+};
+
+// Overlap length of the intervals [a0, a1] and [b0, b1]; 0 when disjoint.
+inline double interval_overlap(double a0, double a1, double b0, double b1) {
+  return std::max(0.0, std::min(a1, b1) - std::max(a0, b0));
+}
+
+inline double half_perimeter(const Rect& r) { return r.width() + r.height(); }
+
+}  // namespace cgps

@@ -1,0 +1,144 @@
+#include "layout/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/rng.hpp"
+
+namespace cgps {
+
+namespace {
+
+// Per-role pin offsets inside the device footprint (fractions of the site).
+Point pin_offset(PinRole role, double site_width, double row_height) {
+  switch (role) {
+    case PinRole::kGate: return {0.0, 0.25 * row_height};
+    case PinRole::kDrain: return {0.3 * site_width, 0.0};
+    case PinRole::kSource: return {-0.3 * site_width, 0.0};
+    case PinRole::kBulk: return {0.0, -0.35 * row_height};
+    case PinRole::kPositive: return {0.25 * site_width, 0.1 * row_height};
+    case PinRole::kNegative: return {-0.25 * site_width, -0.1 * row_height};
+  }
+  return {};
+}
+
+}  // namespace
+
+Placement place(const Netlist& netlist, const PlacerOptions& options) {
+  const auto n_devices = static_cast<std::size_t>(netlist.num_devices());
+  const auto n_nets = static_cast<std::size_t>(netlist.num_nets());
+
+  // net -> devices adjacency (for clustering), with per-net pin counts.
+  std::vector<std::vector<std::int32_t>> net_devices(n_nets);
+  std::vector<std::int32_t> net_pin_count(n_nets, 0);
+  for (std::size_t d = 0; d < n_devices; ++d) {
+    for (const Pin& pin : netlist.devices()[d].pins) {
+      net_devices[static_cast<std::size_t>(pin.net)].push_back(static_cast<std::int32_t>(d));
+      ++net_pin_count[static_cast<std::size_t>(pin.net)];
+    }
+  }
+
+  // Breadth-first ordering over shared-net adjacency, so devices that share
+  // a net land on consecutive sites. Global nets (fanout above the limit)
+  // are skipped so rows follow logical clusters, not the power grid.
+  std::vector<std::int32_t> order;
+  order.reserve(n_devices);
+  std::vector<char> visited(n_devices, 0);
+  std::deque<std::int32_t> stack;
+  for (std::size_t seed_dev = 0; seed_dev < n_devices; ++seed_dev) {
+    if (visited[seed_dev]) continue;
+    stack.push_back(static_cast<std::int32_t>(seed_dev));
+    visited[seed_dev] = 1;
+    while (!stack.empty()) {
+      const std::int32_t d = stack.front();
+      stack.pop_front();
+      order.push_back(d);
+      const Device& dev = netlist.devices()[static_cast<std::size_t>(d)];
+      for (const Pin& pin : dev.pins) {
+        const auto net = static_cast<std::size_t>(pin.net);
+        if (net_pin_count[net] > options.cluster_fanout_limit) continue;
+        for (std::int32_t nbr : net_devices[net]) {
+          if (!visited[static_cast<std::size_t>(nbr)]) {
+            visited[static_cast<std::size_t>(nbr)] = 1;
+            stack.push_back(nbr);
+          }
+        }
+      }
+    }
+  }
+
+  Placement result;
+  result.row_height = options.row_height;
+  result.site_width = options.site_width;
+  result.device_center.resize(n_devices);
+  result.pin_position.resize(n_devices);
+
+  // Square-ish floorplan: sites per row ~ sqrt(#devices).
+  const auto sites_per_row =
+      std::max<std::size_t>(4, static_cast<std::size_t>(std::ceil(std::sqrt(
+                                   static_cast<double>(std::max<std::size_t>(1, n_devices))))));
+  Rng rng(options.seed);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto d = static_cast<std::size_t>(order[i]);
+    const std::size_t row = i / sites_per_row;
+    const std::size_t site = i % sites_per_row;
+    // Small deterministic jitter keeps distances from being exactly
+    // quantized (real layouts are not perfectly gridded either). Kept well
+    // below the extraction spacing scale so it perturbs rather than
+    // dominates the coupling values.
+    const double jx = rng.uniform(-0.03, 0.03) * options.site_width;
+    const double jy = rng.uniform(-0.02, 0.02) * options.row_height;
+    result.device_center[d] = {static_cast<double>(site) * options.site_width + jx,
+                               static_cast<double>(row) * options.row_height + jy};
+  }
+
+  // Pin coordinates.
+  for (std::size_t d = 0; d < n_devices; ++d) {
+    const Device& dev = netlist.devices()[d];
+    auto& pins = result.pin_position[d];
+    pins.resize(dev.pins.size());
+    for (std::size_t p = 0; p < dev.pins.size(); ++p) {
+      const Point off = pin_offset(dev.pins[p].role, options.site_width, options.row_height);
+      pins[p] = {result.device_center[d].x + off.x, result.device_center[d].y + off.y};
+    }
+    for (std::size_t p = 0; p < dev.pins.size(); ++p) {
+      result.flat_pins.push_back(pins[p]);
+      result.flat_pin_owner.emplace_back(static_cast<std::int32_t>(d),
+                                         static_cast<std::int32_t>(p));
+    }
+  }
+
+  // Net routes: bounding box + horizontal trunk at the median pin y.
+  result.net_route.resize(n_nets);
+  std::vector<std::vector<double>> net_ys(n_nets);
+  for (std::size_t d = 0; d < n_devices; ++d) {
+    const Device& dev = netlist.devices()[d];
+    for (std::size_t p = 0; p < dev.pins.size(); ++p) {
+      const auto net = static_cast<std::size_t>(dev.pins[p].net);
+      const Point& pt = result.pin_position[d][p];
+      NetRoute& route = result.net_route[net];
+      if (route.n_pins == 0) {
+        route.bbox = Rect::around(pt);
+      } else {
+        route.bbox.expand(pt);
+      }
+      ++route.n_pins;
+      net_ys[net].push_back(pt.y);
+    }
+  }
+  for (std::size_t n = 0; n < n_nets; ++n) {
+    NetRoute& route = result.net_route[n];
+    if (route.n_pins == 0) continue;
+    auto& ys = net_ys[n];
+    std::nth_element(ys.begin(), ys.begin() + static_cast<std::ptrdiff_t>(ys.size() / 2),
+                     ys.end());
+    route.trunk_y = ys[ys.size() / 2];
+    route.trunk_x0 = route.bbox.x0;
+    route.trunk_x1 = route.bbox.x1;
+    route.wire_length = half_perimeter(route.bbox);
+  }
+  return result;
+}
+
+}  // namespace cgps

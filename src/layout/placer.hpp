@@ -1,0 +1,56 @@
+// Deterministic connectivity-aware row placement + net route estimation.
+//
+// The paper's ground truth comes from real layouts; our substitute assigns
+// every device a row-based position where the placement order follows a
+// depth-first traversal of the shared-net adjacency (power and other
+// high-fanout nets are excluded from clustering). Connected devices land
+// close together, which is exactly the structure-geometry correlation the
+// learned models exploit. Pins get per-role offsets inside the device
+// footprint; every net gets a horizontal routing trunk at the median pin y
+// plus its bounding box, which the parasitic oracle measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/geometry.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cgps {
+
+struct NetRoute {
+  Rect bbox;          // bounding box of the net's pins
+  double trunk_y = 0.0;  // y of the horizontal routing trunk
+  double trunk_x0 = 0.0;
+  double trunk_x1 = 0.0;
+  double wire_length = 0.0;  // half-perimeter estimate
+  std::int32_t n_pins = 0;
+};
+
+struct Placement {
+  std::vector<Point> device_center;            // per device
+  std::vector<std::vector<Point>> pin_position;  // per device, per pin
+  std::vector<NetRoute> net_route;             // per net
+  double row_height = 0.0;
+  double site_width = 0.0;
+
+  // Global pin coordinates flattened in (device, pin) order with an index
+  // helper; used by the extractor's spatial hash.
+  std::vector<Point> flat_pins;
+  std::vector<std::pair<std::int32_t, std::int32_t>> flat_pin_owner;  // (device, pin)
+};
+
+struct PlacerOptions {
+  double site_width = 0.5e-6;   // device pitch
+  double row_height = 1.2e-6;   // placement row pitch
+  // Nets with more connected pins than this are treated as global
+  // (power/clock) and do not steer clustering.
+  std::int32_t cluster_fanout_limit = 48;
+  std::uint64_t seed = 1;       // jitter seed (placement stays deterministic)
+};
+
+// Place `netlist` and estimate all net routes. Runtime is O(V + E) plus a
+// sort per net.
+Placement place(const Netlist& netlist, const PlacerOptions& options = {});
+
+}  // namespace cgps

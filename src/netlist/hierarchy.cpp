@@ -1,0 +1,159 @@
+#include "netlist/hierarchy.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cgps {
+
+void SubcktDef::mos(const std::string& name, DeviceKind kind, const std::string& d,
+                    const std::string& g, const std::string& s, const std::string& b,
+                    double width, double length, std::int32_t multiplier) {
+  DeviceStmt stmt;
+  stmt.name = name;
+  stmt.kind = kind;
+  stmt.model = kind == DeviceKind::kNmos ? "nch" : "pch";
+  stmt.nets = {d, g, s, b};
+  stmt.width = width;
+  stmt.length = length;
+  stmt.multiplier = multiplier;
+  devices.push_back(std::move(stmt));
+}
+
+void SubcktDef::res(const std::string& name, const std::string& a, const std::string& b,
+                    double ohms, double width, double length) {
+  DeviceStmt stmt;
+  stmt.name = name;
+  stmt.kind = DeviceKind::kResistor;
+  stmt.model = "rppoly";
+  stmt.nets = {a, b};
+  stmt.value = ohms;
+  stmt.width = width;
+  stmt.length = length;
+  devices.push_back(std::move(stmt));
+}
+
+void SubcktDef::cap(const std::string& name, const std::string& a, const std::string& b,
+                    double farads, double length, std::int32_t fingers) {
+  DeviceStmt stmt;
+  stmt.name = name;
+  stmt.kind = DeviceKind::kCapacitor;
+  stmt.model = "cmom";
+  stmt.nets = {a, b};
+  stmt.value = farads;
+  stmt.length = length;
+  stmt.fingers = fingers;
+  devices.push_back(std::move(stmt));
+}
+
+void SubcktDef::inst(const std::string& name, const std::string& subckt,
+                     std::vector<std::string> nets) {
+  instances.push_back(InstanceStmt{name, std::move(nets), subckt});
+}
+
+void Design::add_subckt(SubcktDef def) {
+  const std::string name = def.name;
+  if (!subckts.emplace(name, std::move(def)).second)
+    throw std::invalid_argument("Design::add_subckt: duplicate subckt " + name);
+}
+
+const SubcktDef& Design::require(const std::string& name) const {
+  auto it = subckts.find(name);
+  if (it == subckts.end())
+    throw std::invalid_argument("Design: unknown subckt " + name);
+  return it->second;
+}
+
+std::int64_t Design::count_devices() const {
+  std::unordered_map<std::string, std::int64_t> memo;
+  std::function<std::int64_t(const SubcktDef&)> count = [&](const SubcktDef& def) {
+    std::int64_t total = static_cast<std::int64_t>(def.devices.size());
+    for (const InstanceStmt& inst : def.instances) {
+      auto it = memo.find(inst.subckt);
+      if (it == memo.end()) {
+        const std::int64_t sub = count(require(inst.subckt));
+        it = memo.emplace(inst.subckt, sub).first;
+      }
+      total += it->second;
+    }
+    return total;
+  };
+  return count(top);
+}
+
+namespace {
+
+PinRole role_for(DeviceKind kind, std::size_t pin_index) {
+  if (kind == DeviceKind::kNmos || kind == DeviceKind::kPmos) {
+    switch (pin_index) {
+      case 0: return PinRole::kDrain;
+      case 1: return PinRole::kGate;
+      case 2: return PinRole::kSource;
+      default: return PinRole::kBulk;
+    }
+  }
+  return pin_index == 0 ? PinRole::kPositive : PinRole::kNegative;
+}
+
+struct Flattener {
+  const Design& design;
+  Netlist out;
+
+  explicit Flattener(const Design& d) : design(d), out(d.top.name) {}
+
+  // Map a local net name to a flat net index given the enclosing scope.
+  // `port_map` maps subckt port names to parent flat net indices.
+  std::int32_t resolve(const std::string& local, const std::string& prefix,
+                       const std::unordered_map<std::string, std::int32_t>& port_map) {
+    auto it = port_map.find(local);
+    if (it != port_map.end()) return it->second;
+    return out.add_net(prefix.empty() ? local : prefix + local);
+  }
+
+  void expand(const SubcktDef& def, const std::string& prefix,
+              const std::unordered_map<std::string, std::int32_t>& port_map) {
+    for (const DeviceStmt& stmt : def.devices) {
+      Device dev;
+      dev.name = prefix + stmt.name;
+      dev.kind = stmt.kind;
+      dev.model = stmt.model;
+      dev.width = stmt.width;
+      dev.length = stmt.length;
+      dev.multiplier = stmt.multiplier;
+      dev.fingers = stmt.fingers;
+      dev.value = stmt.value;
+      dev.pins.reserve(stmt.nets.size());
+      for (std::size_t p = 0; p < stmt.nets.size(); ++p) {
+        dev.pins.push_back(Pin{role_for(stmt.kind, p), resolve(stmt.nets[p], prefix, port_map)});
+      }
+      out.add_device(std::move(dev));
+    }
+    for (const InstanceStmt& inst : def.instances) {
+      const SubcktDef& child = design.require(inst.subckt);
+      if (child.ports.size() != inst.nets.size())
+        throw std::invalid_argument("flatten: port count mismatch instantiating " +
+                                    inst.subckt + " as " + prefix + inst.name);
+      std::unordered_map<std::string, std::int32_t> child_ports;
+      child_ports.reserve(child.ports.size());
+      for (std::size_t p = 0; p < child.ports.size(); ++p) {
+        child_ports.emplace(child.ports[p], resolve(inst.nets[p], prefix, port_map));
+      }
+      expand(child, prefix + inst.name + "/", child_ports);
+    }
+  }
+};
+
+}  // namespace
+
+Netlist flatten(const Design& design) {
+  Flattener flattener(design);
+  // Top-level ports become port nets first, preserving declaration order.
+  std::unordered_map<std::string, std::int32_t> top_ports;
+  for (const std::string& port : design.top.ports) {
+    top_ports.emplace(port, flattener.out.add_net(port, /*is_port=*/true));
+  }
+  flattener.expand(design.top, "", top_ports);
+  return std::move(flattener.out);
+}
+
+}  // namespace cgps

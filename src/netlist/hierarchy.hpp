@@ -1,0 +1,73 @@
+// Hierarchical design representation (.SUBCKT trees) and flattening.
+//
+// Generators build designs hierarchically (a 6T cell instantiated 4096
+// times, a decoder instantiating gates, ...) and the flattener expands them
+// into the flat `Netlist` consumed by graph conversion — the same shape an
+// extracted full-chip schematic netlist has in the paper.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cgps {
+
+// A primitive device statement inside a subckt, with local net names.
+struct DeviceStmt {
+  std::string name;
+  DeviceKind kind = DeviceKind::kNmos;
+  std::string model;
+  std::vector<std::string> nets;  // per-pin local net names (MOS: D G S B)
+  double width = 0.0;
+  double length = 0.0;
+  std::int32_t multiplier = 1;
+  std::int32_t fingers = 1;
+  double value = 0.0;
+};
+
+// A subckt instantiation: X<name> <nets...> <subckt>.
+struct InstanceStmt {
+  std::string name;
+  std::vector<std::string> nets;
+  std::string subckt;
+};
+
+struct SubcktDef {
+  std::string name;
+  std::vector<std::string> ports;
+  std::vector<DeviceStmt> devices;
+  std::vector<InstanceStmt> instances;
+
+  // Builder helpers used by the design generators.
+  void mos(const std::string& name, DeviceKind kind, const std::string& d,
+           const std::string& g, const std::string& s, const std::string& b, double width,
+           double length, std::int32_t multiplier = 1);
+  void res(const std::string& name, const std::string& a, const std::string& b, double ohms,
+           double width = 0.0, double length = 0.0);
+  void cap(const std::string& name, const std::string& a, const std::string& b, double farads,
+           double length = 0.0, std::int32_t fingers = 1);
+  void inst(const std::string& name, const std::string& subckt,
+            std::vector<std::string> nets);
+};
+
+// A complete hierarchical design: subckt library plus a distinguished top
+// cell. Top-level ports of `top` become port nets of the flattened netlist.
+struct Design {
+  std::map<std::string, SubcktDef> subckts;
+  SubcktDef top;
+
+  void add_subckt(SubcktDef def);
+  const SubcktDef& require(const std::string& name) const;
+
+  // Total primitive devices after full expansion (no flattening needed).
+  std::int64_t count_devices() const;
+};
+
+// Expand the hierarchy into a flat netlist. Instance paths are joined with
+// '/'; local nets are prefixed with the instance path. Throws on unknown
+// subckt references or port-count mismatches.
+Netlist flatten(const Design& design);
+
+}  // namespace cgps

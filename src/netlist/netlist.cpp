@@ -1,0 +1,124 @@
+#include "netlist/netlist.hpp"
+
+#include <stdexcept>
+
+namespace cgps {
+
+const char* device_kind_name(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kNmos: return "nmos";
+    case DeviceKind::kPmos: return "pmos";
+    case DeviceKind::kResistor: return "resistor";
+    case DeviceKind::kCapacitor: return "capacitor";
+    case DeviceKind::kDiode: return "diode";
+  }
+  return "?";
+}
+
+const char* pin_role_name(PinRole role) {
+  switch (role) {
+    case PinRole::kGate: return "G";
+    case PinRole::kDrain: return "D";
+    case PinRole::kSource: return "S";
+    case PinRole::kBulk: return "B";
+    case PinRole::kPositive: return "P";
+    case PinRole::kNegative: return "N";
+  }
+  return "?";
+}
+
+std::int32_t Netlist::add_net(const std::string& name, bool is_port) {
+  auto it = net_index_.find(name);
+  if (it != net_index_.end()) {
+    if (is_port) nets_[static_cast<std::size_t>(it->second)].is_port = true;
+    return it->second;
+  }
+  const auto idx = static_cast<std::int32_t>(nets_.size());
+  nets_.push_back(Net{name, is_port});
+  net_index_.emplace(name, idx);
+  return idx;
+}
+
+std::int32_t Netlist::find_net(const std::string& name) const {
+  auto it = net_index_.find(name);
+  return it == net_index_.end() ? -1 : it->second;
+}
+
+std::int32_t Netlist::add_device(Device device) {
+  for (const Pin& pin : device.pins) {
+    if (pin.net < 0 || pin.net >= static_cast<std::int32_t>(nets_.size()))
+      throw std::invalid_argument("Netlist::add_device: pin references unknown net");
+  }
+  devices_.push_back(std::move(device));
+  return static_cast<std::int32_t>(devices_.size() - 1);
+}
+
+std::int64_t Netlist::num_pins() const {
+  std::int64_t total = 0;
+  for (const Device& d : devices_) total += static_cast<std::int64_t>(d.pins.size());
+  return total;
+}
+
+std::int32_t Netlist::add_mosfet(const std::string& name, DeviceKind kind,
+                                 const std::string& drain, const std::string& gate,
+                                 const std::string& source, const std::string& bulk,
+                                 double width, double length, std::int32_t multiplier) {
+  if (kind != DeviceKind::kNmos && kind != DeviceKind::kPmos)
+    throw std::invalid_argument("add_mosfet: kind must be NMOS/PMOS");
+  Device d;
+  d.name = name;
+  d.kind = kind;
+  d.model = kind == DeviceKind::kNmos ? "nch" : "pch";
+  d.width = width;
+  d.length = length;
+  d.multiplier = multiplier;
+  d.pins = {
+      {PinRole::kDrain, add_net(drain)},
+      {PinRole::kGate, add_net(gate)},
+      {PinRole::kSource, add_net(source)},
+      {PinRole::kBulk, add_net(bulk)},
+  };
+  return add_device(std::move(d));
+}
+
+std::int32_t Netlist::add_resistor(const std::string& name, const std::string& a,
+                                   const std::string& b, double ohms, double width,
+                                   double length, std::int32_t multiplier) {
+  Device d;
+  d.name = name;
+  d.kind = DeviceKind::kResistor;
+  d.model = "rppoly";
+  d.value = ohms;
+  d.width = width;
+  d.length = length;
+  d.multiplier = multiplier;
+  d.pins = {{PinRole::kPositive, add_net(a)}, {PinRole::kNegative, add_net(b)}};
+  return add_device(std::move(d));
+}
+
+std::int32_t Netlist::add_capacitor(const std::string& name, const std::string& a,
+                                    const std::string& b, double farads, double length,
+                                    std::int32_t fingers, std::int32_t multiplier) {
+  Device d;
+  d.name = name;
+  d.kind = DeviceKind::kCapacitor;
+  d.model = "cmom";
+  d.value = farads;
+  d.length = length;
+  d.fingers = fingers;
+  d.multiplier = multiplier;
+  d.pins = {{PinRole::kPositive, add_net(a)}, {PinRole::kNegative, add_net(b)}};
+  return add_device(std::move(d));
+}
+
+std::int32_t Netlist::add_diode(const std::string& name, const std::string& anode,
+                                const std::string& cathode, const std::string& model) {
+  Device d;
+  d.name = name;
+  d.kind = DeviceKind::kDiode;
+  d.model = model;
+  d.pins = {{PinRole::kPositive, add_net(anode)}, {PinRole::kNegative, add_net(cathode)}};
+  return add_device(std::move(d));
+}
+
+}  // namespace cgps

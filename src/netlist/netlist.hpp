@@ -1,0 +1,104 @@
+// Flat netlist intermediate representation.
+//
+// A flat `Netlist` is the canonical input to graph conversion (paper §III-A):
+// nets, devices, and device pins, with the design parameters that feed the
+// circuit-statistics matrix X_C (paper Table I). Hierarchical designs are
+// described with `SubcktDef`/`Design` (see hierarchy.hpp) and flattened.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cgps {
+
+enum class DeviceKind : std::int8_t {
+  kNmos = 0,
+  kPmos = 1,
+  kResistor = 2,
+  kCapacitor = 3,
+  kDiode = 4,
+};
+
+const char* device_kind_name(DeviceKind kind);
+
+// MOS terminal roles; used for the pin-node feature (Table I, x_i = 2).
+enum class PinRole : std::int8_t {
+  kGate = 0,
+  kDrain = 1,
+  kSource = 2,
+  kBulk = 3,
+  kPositive = 4,  // R/C/D first terminal
+  kNegative = 5,  // R/C/D second terminal
+};
+
+const char* pin_role_name(PinRole role);
+
+struct Pin {
+  PinRole role = PinRole::kPositive;
+  std::int32_t net = -1;  // index into Netlist::nets
+};
+
+struct Device {
+  std::string name;
+  DeviceKind kind = DeviceKind::kNmos;
+  std::string model;    // model card name (e.g. "nch", "pch", "rppoly")
+  double width = 0.0;   // meters (R/C width; MOS gate width)
+  double length = 0.0;  // meters
+  std::int32_t multiplier = 1;
+  std::int32_t fingers = 1;  // capacitor fingers (MOM caps)
+  double value = 0.0;        // explicit R (ohm) / C (farad) value when given
+  std::vector<Pin> pins;
+};
+
+struct Net {
+  std::string name;
+  bool is_port = false;  // top-level port
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Returns the index of the named net, creating it on first use.
+  std::int32_t add_net(const std::string& name, bool is_port = false);
+  // Returns the net index or -1.
+  std::int32_t find_net(const std::string& name) const;
+
+  std::int32_t add_device(Device device);
+
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<Device>& devices() const { return devices_; }
+  std::vector<Net>& nets() { return nets_; }
+  std::vector<Device>& devices() { return devices_; }
+
+  std::int64_t num_nets() const { return static_cast<std::int64_t>(nets_.size()); }
+  std::int64_t num_devices() const { return static_cast<std::int64_t>(devices_.size()); }
+  std::int64_t num_pins() const;
+
+  // Convenience constructors for common devices. Net arguments are names;
+  // nets are created on demand.
+  std::int32_t add_mosfet(const std::string& name, DeviceKind kind, const std::string& drain,
+                          const std::string& gate, const std::string& source,
+                          const std::string& bulk, double width, double length,
+                          std::int32_t multiplier = 1);
+  std::int32_t add_resistor(const std::string& name, const std::string& a,
+                            const std::string& b, double ohms, double width = 0.0,
+                            double length = 0.0, std::int32_t multiplier = 1);
+  std::int32_t add_capacitor(const std::string& name, const std::string& a,
+                             const std::string& b, double farads, double length = 0.0,
+                             std::int32_t fingers = 1, std::int32_t multiplier = 1);
+  std::int32_t add_diode(const std::string& name, const std::string& anode,
+                         const std::string& cathode, const std::string& model);
+
+ private:
+  std::string name_;
+  std::vector<Net> nets_;
+  std::vector<Device> devices_;
+  std::unordered_map<std::string, std::int32_t> net_index_;
+};
+
+}  // namespace cgps

@@ -1,0 +1,239 @@
+#include "netlist/spice.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace cgps {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& message) {
+  throw std::runtime_error("spice parse error at line " + std::to_string(line) + ": " + message);
+}
+
+// Join continuation lines and strip comments, keeping original line numbers.
+std::vector<std::pair<std::size_t, std::string>> logical_lines(const std::string& text) {
+  std::vector<std::pair<std::size_t, std::string>> lines;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip inline "$" comments.
+    if (const auto dollar = raw.find('$'); dollar != std::string::npos) raw.resize(dollar);
+    const std::string t = trim(raw);
+    if (t.empty() || t[0] == '*') continue;
+    if (t[0] == '+') {
+      if (lines.empty()) parse_error(lineno, "continuation with no previous card");
+      lines.back().second += " " + t.substr(1);
+    } else {
+      lines.emplace_back(lineno, t);
+    }
+  }
+  return lines;
+}
+
+// Split "key=value" parameter tokens out of a token list. Returns positional
+// tokens; fills `params` with lower-cased keys.
+std::vector<std::string> extract_params(const std::vector<std::string>& tokens,
+                                        std::vector<std::pair<std::string, std::string>>& params) {
+  std::vector<std::string> positional;
+  for (const std::string& tok : tokens) {
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      params.emplace_back(to_lower(tok.substr(0, eq)), tok.substr(eq + 1));
+    } else {
+      positional.push_back(tok);
+    }
+  }
+  return positional;
+}
+
+double param_value(const std::vector<std::pair<std::string, std::string>>& params,
+                   const std::string& key, double fallback, std::size_t line) {
+  for (const auto& [k, v] : params) {
+    if (k == key) {
+      const auto parsed = parse_spice_number(v);
+      if (!parsed) parse_error(line, "bad numeric value for " + key + ": " + v);
+      return *parsed;
+    }
+  }
+  return fallback;
+}
+
+DeviceStmt parse_device(const std::vector<std::string>& tokens, std::size_t line) {
+  std::vector<std::pair<std::string, std::string>> params;
+  const std::vector<std::string> pos = extract_params(tokens, params);
+  if (pos.empty()) parse_error(line, "empty device card");
+
+  DeviceStmt stmt;
+  stmt.name = pos[0];
+  const char prefix = static_cast<char>(std::tolower(static_cast<unsigned char>(pos[0][0])));
+  switch (prefix) {
+    case 'm': {
+      if (pos.size() < 6) parse_error(line, "MOS card needs 4 nets + model");
+      stmt.nets = {pos[1], pos[2], pos[3], pos[4]};
+      stmt.model = pos[5];
+      const std::string model_lower = to_lower(stmt.model);
+      stmt.kind = model_lower.find('p') != std::string::npos ? DeviceKind::kPmos
+                                                             : DeviceKind::kNmos;
+      stmt.width = param_value(params, "w", 0.0, line);
+      stmt.length = param_value(params, "l", 0.0, line);
+      stmt.multiplier = static_cast<std::int32_t>(param_value(params, "m", 1.0, line));
+      break;
+    }
+    case 'r': {
+      if (pos.size() < 3) parse_error(line, "R card needs 2 nets");
+      stmt.kind = DeviceKind::kResistor;
+      stmt.nets = {pos[1], pos[2]};
+      if (pos.size() >= 4) {
+        if (const auto v = parse_spice_number(pos[3])) {
+          stmt.value = *v;
+        } else {
+          stmt.model = pos[3];
+        }
+      }
+      stmt.value = param_value(params, "r", stmt.value, line);
+      stmt.width = param_value(params, "w", 0.0, line);
+      stmt.length = param_value(params, "l", 0.0, line);
+      stmt.multiplier = static_cast<std::int32_t>(param_value(params, "m", 1.0, line));
+      if (stmt.model.empty()) stmt.model = "rppoly";
+      break;
+    }
+    case 'c': {
+      if (pos.size() < 3) parse_error(line, "C card needs 2 nets");
+      stmt.kind = DeviceKind::kCapacitor;
+      stmt.nets = {pos[1], pos[2]};
+      if (pos.size() >= 4) {
+        if (const auto v = parse_spice_number(pos[3])) {
+          stmt.value = *v;
+        } else {
+          stmt.model = pos[3];
+        }
+      }
+      stmt.value = param_value(params, "c", stmt.value, line);
+      stmt.length = param_value(params, "l", 0.0, line);
+      stmt.fingers = static_cast<std::int32_t>(param_value(params, "nf", 1.0, line));
+      stmt.multiplier = static_cast<std::int32_t>(param_value(params, "m", 1.0, line));
+      if (stmt.model.empty()) stmt.model = "cmom";
+      break;
+    }
+    case 'd': {
+      if (pos.size() < 3) parse_error(line, "D card needs 2 nets");
+      stmt.kind = DeviceKind::kDiode;
+      stmt.nets = {pos[1], pos[2]};
+      if (pos.size() >= 4) stmt.model = pos[3];
+      if (stmt.model.empty()) stmt.model = "dio";
+      break;
+    }
+    default:
+      parse_error(line, std::string("unsupported device prefix '") + prefix + "'");
+  }
+  return stmt;
+}
+
+std::string format_device(const DeviceStmt& d) {
+  std::ostringstream os;
+  os << d.name;
+  for (const std::string& net : d.nets) os << ' ' << net;
+  switch (d.kind) {
+    case DeviceKind::kNmos:
+    case DeviceKind::kPmos:
+      os << ' ' << d.model << " W=" << format_si(d.width) << " L=" << format_si(d.length)
+         << " M=" << d.multiplier;
+      break;
+    case DeviceKind::kResistor:
+      os << ' ' << format_si(d.value);
+      if (d.width > 0) os << " W=" << format_si(d.width);
+      if (d.length > 0) os << " L=" << format_si(d.length);
+      if (d.multiplier != 1) os << " M=" << d.multiplier;
+      break;
+    case DeviceKind::kCapacitor:
+      os << ' ' << format_si(d.value);
+      if (d.length > 0) os << " L=" << format_si(d.length);
+      if (d.fingers != 1) os << " NF=" << d.fingers;
+      if (d.multiplier != 1) os << " M=" << d.multiplier;
+      break;
+    case DeviceKind::kDiode:
+      os << ' ' << d.model;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Design parse_spice(const std::string& text, const std::string& top_name) {
+  Design design;
+  design.top.name = top_name;
+
+  SubcktDef* current = &design.top;
+  bool in_subckt = false;
+
+  for (const auto& [lineno, line] : logical_lines(text)) {
+    const std::vector<std::string> tokens = split_ws(line);
+    if (tokens.empty()) continue;
+    const std::string keyword = to_lower(tokens[0]);
+
+    if (keyword == ".subckt") {
+      if (in_subckt) parse_error(lineno, "nested .SUBCKT");
+      if (tokens.size() < 2) parse_error(lineno, ".SUBCKT needs a name");
+      SubcktDef def;
+      def.name = tokens[1];
+      def.ports.assign(tokens.begin() + 2, tokens.end());
+      design.add_subckt(std::move(def));
+      current = &design.subckts.at(tokens[1]);
+      in_subckt = true;
+    } else if (keyword == ".ends") {
+      if (!in_subckt) parse_error(lineno, ".ENDS without .SUBCKT");
+      current = &design.top;
+      in_subckt = false;
+    } else if (keyword == ".end" || keyword == ".global" || keyword == ".option" ||
+               keyword == ".param" || keyword == ".include") {
+      continue;  // accepted and ignored
+    } else if (keyword[0] == '.') {
+      parse_error(lineno, "unsupported control card " + tokens[0]);
+    } else if (std::tolower(static_cast<unsigned char>(tokens[0][0])) == 'x') {
+      if (tokens.size() < 3) parse_error(lineno, "X card needs nets + subckt");
+      InstanceStmt inst;
+      inst.name = tokens[0];
+      inst.nets.assign(tokens.begin() + 1, tokens.end() - 1);
+      inst.subckt = tokens.back();
+      current->instances.push_back(std::move(inst));
+    } else {
+      current->devices.push_back(parse_device(tokens, lineno));
+    }
+  }
+  if (in_subckt) throw std::runtime_error("spice parse error: missing .ENDS at end of input");
+  return design;
+}
+
+std::string write_spice(const Design& design) {
+  std::ostringstream os;
+  os << "* " << design.top.name << " — written by CircuitGPS\n";
+  for (const auto& [name, def] : design.subckts) {
+    os << ".SUBCKT " << def.name;
+    for (const std::string& port : def.ports) os << ' ' << port;
+    os << '\n';
+    for (const DeviceStmt& d : def.devices) os << format_device(d) << '\n';
+    for (const InstanceStmt& inst : def.instances) {
+      os << inst.name;
+      for (const std::string& net : inst.nets) os << ' ' << net;
+      os << ' ' << inst.subckt << '\n';
+    }
+    os << ".ENDS " << def.name << "\n";
+  }
+  for (const DeviceStmt& d : design.top.devices) os << format_device(d) << '\n';
+  for (const InstanceStmt& inst : design.top.instances) {
+    os << inst.name;
+    for (const std::string& net : inst.nets) os << ' ' << net;
+    os << ' ' << inst.subckt << '\n';
+  }
+  os << ".END\n";
+  return os.str();
+}
+
+}  // namespace cgps

@@ -1,0 +1,24 @@
+// SPICE-like netlist reader/writer.
+//
+// Supports the subset emitted by schematic exports that the paper's flow
+// consumes: .SUBCKT/.ENDS hierarchy, MOS (M), resistor (R), capacitor (C),
+// diode (D), and subckt instances (X). Continuation lines ('+'), comments
+// ('*' and trailing '$ ...'), and case-insensitive keywords are handled.
+#pragma once
+
+#include <string>
+
+#include "netlist/hierarchy.hpp"
+
+namespace cgps {
+
+// Parse SPICE text into a hierarchical design. Statements outside any
+// .SUBCKT form the top cell (named `top_name`). Throws std::runtime_error
+// with a line number on malformed input.
+Design parse_spice(const std::string& text, const std::string& top_name = "top");
+
+// Serialize a design back to SPICE text (subckts first, then top-level
+// cards). parse_spice(write_spice(d)) round-trips the structure.
+std::string write_spice(const Design& design);
+
+}  // namespace cgps

@@ -1,0 +1,142 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace cgps::nn {
+
+namespace {
+
+void check_ptr(const Tensor& x, const std::vector<std::int64_t>& graph_ptr) {
+  if (graph_ptr.size() < 2 || graph_ptr.front() != 0 || graph_ptr.back() != x.rows())
+    throw std::invalid_argument("attention: invalid graph_ptr");
+}
+
+}  // namespace
+
+MultiheadSelfAttention::MultiheadSelfAttention(std::int64_t dim, std::int64_t num_heads,
+                                               Rng& rng) {
+  if (dim % num_heads != 0)
+    throw std::invalid_argument("MultiheadSelfAttention: dim % heads != 0");
+  head_dim_ = dim / num_heads;
+  for (std::int64_t h = 0; h < num_heads; ++h) {
+    q_.push_back(std::make_unique<Linear>(dim, head_dim_, rng, /*bias=*/false));
+    k_.push_back(std::make_unique<Linear>(dim, head_dim_, rng, /*bias=*/false));
+    v_.push_back(std::make_unique<Linear>(dim, head_dim_, rng, /*bias=*/false));
+    register_module("q" + std::to_string(h), *q_.back());
+    register_module("k" + std::to_string(h), *k_.back());
+    register_module("v" + std::to_string(h), *v_.back());
+  }
+  out_ = std::make_unique<Linear>(dim, dim, rng);
+  register_module("out", *out_);
+}
+
+Tensor MultiheadSelfAttention::forward(const Tensor& x,
+                                       const std::vector<std::int64_t>& graph_ptr) const {
+  check_ptr(x, graph_ptr);
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(q_.size());
+  for (std::size_t h = 0; h < q_.size(); ++h) {
+    Tensor q = q_[h]->forward(x);
+    Tensor k = k_[h]->forward(x);
+    Tensor v = v_[h]->forward(x);
+
+    // Block-diagonal attention: one dense softmax per graph.
+    std::vector<Tensor> blocks;
+    blocks.reserve(graph_ptr.size() - 1);
+    for (std::size_t g = 0; g + 1 < graph_ptr.size(); ++g) {
+      const std::int64_t start = graph_ptr[g];
+      const std::int64_t len = graph_ptr[g + 1] - start;
+      if (len == 0) continue;
+      Tensor qg = ops::slice_rows(q, start, len);
+      Tensor kg = ops::slice_rows(k, start, len);
+      Tensor vg = ops::slice_rows(v, start, len);
+      Tensor scores = ops::scale(ops::matmul(qg, ops::transpose(kg)), inv_sqrt_d);
+      Tensor attn = ops::softmax_rows(scores);
+      blocks.push_back(ops::matmul(attn, vg));
+    }
+    head_outputs.push_back(ops::concat_rows(blocks));
+  }
+  Tensor merged = head_outputs.size() == 1 ? head_outputs[0] : ops::concat_cols(head_outputs);
+  return out_->forward(merged);
+}
+
+PerformerAttention::PerformerAttention(std::int64_t dim, std::int64_t num_heads,
+                                       std::int64_t num_features, Rng& rng)
+    : num_features_(num_features) {
+  if (dim % num_heads != 0) throw std::invalid_argument("PerformerAttention: dim % heads != 0");
+  head_dim_ = dim / num_heads;
+  for (std::int64_t h = 0; h < num_heads; ++h) {
+    q_.push_back(std::make_unique<Linear>(dim, head_dim_, rng, /*bias=*/false));
+    k_.push_back(std::make_unique<Linear>(dim, head_dim_, rng, /*bias=*/false));
+    v_.push_back(std::make_unique<Linear>(dim, head_dim_, rng, /*bias=*/false));
+    register_module("q" + std::to_string(h), *q_.back());
+    register_module("k" + std::to_string(h), *k_.back());
+    register_module("v" + std::to_string(h), *v_.back());
+    // FAVOR+ projection: frozen Gaussian random features.
+    omega_.push_back(Tensor::randn(head_dim_, num_features, 1.0f, rng, /*requires_grad=*/false));
+  }
+  out_ = std::make_unique<Linear>(dim, dim, rng);
+  register_module("out", *out_);
+}
+
+namespace {
+
+// Positive random feature map of FAVOR+:
+//   phi(u) = exp(u^T omega - ||u||^2 / 2) / sqrt(m)
+// computed row-wise for u = q / d^{1/4} (and likewise for keys).
+Tensor favor_features(const Tensor& u, const Tensor& omega, std::int64_t m) {
+  Tensor proj = ops::matmul(u, omega);                        // (n, m)
+  Tensor sumsq = ops::scale(ops::row_sum(ops::square(u)), 0.5f);  // (n, 1)
+  Tensor shifted = ops::sub_colvec(proj, sumsq);
+  return ops::scale(ops::exp_op(shifted), 1.0f / std::sqrt(static_cast<float>(m)));
+}
+
+}  // namespace
+
+Tensor PerformerAttention::forward(const Tensor& x,
+                                   const std::vector<std::int64_t>& graph_ptr) const {
+  check_ptr(x, graph_ptr);
+  const float scale = 1.0f / std::pow(static_cast<float>(head_dim_), 0.25f);
+
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(q_.size());
+  for (std::size_t h = 0; h < q_.size(); ++h) {
+    Tensor q = ops::scale(q_[h]->forward(x), scale);
+    Tensor k = ops::scale(k_[h]->forward(x), scale);
+    Tensor v = v_[h]->forward(x);
+
+    std::vector<Tensor> blocks;
+    blocks.reserve(graph_ptr.size() - 1);
+    for (std::size_t g = 0; g + 1 < graph_ptr.size(); ++g) {
+      const std::int64_t start = graph_ptr[g];
+      const std::int64_t len = graph_ptr[g + 1] - start;
+      if (len == 0) continue;
+      Tensor qg = ops::slice_rows(q, start, len);
+      Tensor kg = ops::slice_rows(k, start, len);
+      Tensor vg = ops::slice_rows(v, start, len);
+
+      Tensor phi_q = favor_features(qg, omega_[h], num_features_);  // (n, m)
+      Tensor phi_k = favor_features(kg, omega_[h], num_features_);  // (n, m)
+
+      // Linear attention: phi_q (phi_k^T V) / (phi_q (phi_k^T 1)).
+      Tensor phi_k_t = ops::transpose(phi_k);
+      Tensor kv = ops::matmul(phi_k_t, vg);                    // (m, d_h)
+      Tensor numer = ops::matmul(phi_q, kv);                   // (n, d_h)
+      // Normalizer: phi_q @ (phi_k^T 1).
+      Tensor ones = Tensor::full(len, 1, 1.0f);
+      Tensor z = ops::matmul(phi_k_t, ones);                   // (m, 1)
+      Tensor denom = ops::add_scalar(ops::matmul(phi_q, z), 1e-6f);  // (n, 1)
+      blocks.push_back(ops::div_colvec(numer, denom));
+    }
+    head_outputs.push_back(ops::concat_rows(blocks));
+  }
+  Tensor merged = head_outputs.size() == 1 ? head_outputs[0] : ops::concat_cols(head_outputs);
+  return out_->forward(merged);
+}
+
+}  // namespace cgps::nn

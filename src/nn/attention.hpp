@@ -1,0 +1,51 @@
+// Global attention mechanisms for the GPS layer (paper Eq. 4).
+//
+// Both variants operate on a batch of disjoint subgraphs: attention is
+// block-diagonal, computed independently per graph using `graph_ptr`
+// (CSR-style offsets: graph g owns node rows [graph_ptr[g], graph_ptr[g+1])).
+//
+//  * MultiheadSelfAttention — exact softmax attention (the "Transformer"
+//    rows of paper Tables III/VII).
+//  * PerformerAttention — FAVOR+ positive random features, linear in the
+//    number of nodes (the "Performer" rows).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace cgps::nn {
+
+class MultiheadSelfAttention final : public Module {
+ public:
+  MultiheadSelfAttention(std::int64_t dim, std::int64_t num_heads, Rng& rng);
+
+  Tensor forward(const Tensor& x, const std::vector<std::int64_t>& graph_ptr) const;
+
+  std::int64_t num_heads() const { return static_cast<std::int64_t>(q_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> q_, k_, v_;  // per-head (dim, head_dim)
+  std::unique_ptr<Linear> out_;
+  std::int64_t head_dim_;
+};
+
+class PerformerAttention final : public Module {
+ public:
+  // `num_features` = random feature count m of FAVOR+ (paper uses O(d log d)).
+  PerformerAttention(std::int64_t dim, std::int64_t num_heads, std::int64_t num_features,
+                     Rng& rng);
+
+  Tensor forward(const Tensor& x, const std::vector<std::int64_t>& graph_ptr) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> q_, k_, v_;
+  std::vector<Tensor> omega_;  // per-head random projection (head_dim, m), frozen
+  std::unique_ptr<Linear> out_;
+  std::int64_t head_dim_;
+  std::int64_t num_features_;
+};
+
+}  // namespace cgps::nn

@@ -1,0 +1,53 @@
+#include "nn/gated_gcn.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace cgps::nn {
+
+namespace {
+Rng& init_rng(Rng& rng) { return rng; }
+}  // namespace
+
+GatedGcn::GatedGcn(std::int64_t dim, Rng& rng)
+    : lin_src_(dim, dim, init_rng(rng)),
+      lin_dst_(dim, dim, init_rng(rng)),
+      lin_edge_(dim, dim, init_rng(rng)),
+      lin_self_(dim, dim, init_rng(rng)),
+      lin_msg_(dim, dim, init_rng(rng)) {
+  register_module("lin_src", lin_src_);
+  register_module("lin_dst", lin_dst_);
+  register_module("lin_edge", lin_edge_);
+  register_module("lin_self", lin_self_);
+  register_module("lin_msg", lin_msg_);
+}
+
+GatedGcn::Output GatedGcn::forward(const Tensor& x, const Tensor& e,
+                                   const EdgeIndex& edges) const {
+  if (static_cast<std::int64_t>(edges.size()) != e.rows())
+    throw std::invalid_argument("GatedGcn: edge feature count != edge count");
+  const std::int64_t n = x.rows();
+
+  // Isolated-node graphs (single-node subgraphs) still go through U x_i.
+  Tensor x_self = lin_self_.forward(x);
+  if (edges.size() == 0) {
+    return {x_self, e};
+  }
+
+  Tensor xs = ops::gather_rows(x, edges.src);
+  Tensor xd = ops::gather_rows(x, edges.dst);
+
+  Tensor e_hat = ops::add(ops::add(lin_src_.forward(xs), lin_dst_.forward(xd)),
+                          lin_edge_.forward(e));
+  Tensor eta = ops::sigmoid(e_hat);
+
+  Tensor msg = ops::mul(eta, lin_msg_.forward(xs));
+  Tensor numer = ops::scatter_add_rows(msg, edges.dst, n);
+  Tensor denom = ops::add_scalar(ops::scatter_add_rows(eta, edges.dst, n), 1e-6f);
+
+  Tensor x_new = ops::add(x_self, ops::div(numer, denom));
+  return {x_new, e_hat};
+}
+
+}  // namespace cgps::nn

@@ -1,0 +1,47 @@
+// GatedGCN (Bresson & Laurent, "Residual Gated Graph ConvNets") with edge
+// features, the MPNN_e instance used inside each GPS layer (paper Eq. 3).
+//
+//   e_ij' = A x_i + B x_j + C e_ij
+//   eta_ij = sigmoid(e_ij')
+//   x_i'  = U x_i + ( sum_{j in N(i)} eta_ij (.) V x_j ) / ( sum eta_ij + eps )
+//
+// Edge lists are directed; callers add both directions for undirected
+// circuit graphs. Residual/BN/activation are applied by the caller (the GPS
+// layer), matching the paper's layer layout.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace cgps::nn {
+
+// Directed edge endpoints, index into the node feature rows.
+struct EdgeIndex {
+  std::vector<std::int32_t> src;
+  std::vector<std::int32_t> dst;
+
+  std::size_t size() const { return src.size(); }
+};
+
+class GatedGcn final : public Module {
+ public:
+  GatedGcn(std::int64_t dim, Rng& rng);
+
+  struct Output {
+    Tensor x;  // updated node features (N, dim)
+    Tensor e;  // updated edge features (E, dim)
+  };
+
+  Output forward(const Tensor& x, const Tensor& e, const EdgeIndex& edges) const;
+
+ private:
+  Linear lin_src_;   // A
+  Linear lin_dst_;   // B
+  Linear lin_edge_;  // C
+  Linear lin_self_;  // U
+  Linear lin_msg_;   // V
+};
+
+}  // namespace cgps::nn

@@ -1,0 +1,33 @@
+#include "nn/gine.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace cgps::nn {
+
+GineLayer::GineLayer(std::int64_t dim, Rng& rng)
+    : mlp_({dim, 2 * dim, dim}, rng) {
+  eps_ = register_parameter("eps", Tensor::zeros(1, 1, /*requires_grad=*/true));
+  register_module("mlp", mlp_);
+}
+
+Tensor GineLayer::forward(const Tensor& x, const Tensor& e, const EdgeIndex& edges,
+                          Rng& rng) const {
+  if (static_cast<std::int64_t>(edges.size()) != e.rows())
+    throw std::invalid_argument("GineLayer: edge feature count != edge count");
+  // (1 + eps) x_i : broadcast the learnable scalar through mul_colvec on a
+  // column of ones scaled by (1 + eps).
+  Tensor self_scale = ops::add_scalar(eps_, 1.0f);  // (1,1)
+  Tensor scaled_self = ops::mul_colvec(
+      x, ops::matmul(Tensor::full(x.rows(), 1, 1.0f), self_scale));
+
+  if (edges.size() == 0) return mlp_.forward(scaled_self, rng);
+
+  Tensor xs = ops::gather_rows(x, edges.src);
+  Tensor messages = ops::relu(ops::add(xs, e));
+  Tensor aggregated = ops::scatter_add_rows(messages, edges.dst, x.rows());
+  return mlp_.forward(ops::add(scaled_self, aggregated), rng);
+}
+
+}  // namespace cgps::nn

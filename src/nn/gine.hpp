@@ -1,0 +1,27 @@
+// GINE: Graph Isomorphism Network with edge features (Hu et al., "Strategies
+// for Pre-training Graph Neural Networks"). Provided as an extension MPNN
+// beyond the paper's GatedGCN, used by the extended ablation bench:
+//
+//   x_i' = MLP( (1 + eps) x_i + sum_{j in N(i)} ReLU(x_j + e_ij) )
+//
+// Edge features are consumed but not updated (e' = e).
+#pragma once
+
+#include "nn/gated_gcn.hpp"  // EdgeIndex
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace cgps::nn {
+
+class GineLayer final : public Module {
+ public:
+  GineLayer(std::int64_t dim, Rng& rng);
+
+  Tensor forward(const Tensor& x, const Tensor& e, const EdgeIndex& edges, Rng& rng) const;
+
+ private:
+  Tensor eps_;  // learnable scalar
+  Mlp mlp_;
+};
+
+}  // namespace cgps::nn

@@ -1,0 +1,64 @@
+#include "nn/layers.hpp"
+
+#include <stdexcept>
+
+namespace cgps::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool bias) {
+  weight_ = register_parameter("weight", Tensor::kaiming_uniform(in_features, out_features, rng));
+  if (bias) {
+    bias_ = register_parameter("bias", Tensor::zeros(1, out_features, /*requires_grad=*/true));
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  Tensor y = ops::matmul(x, weight_);
+  if (bias_.defined()) y = ops::add_rowvec(y, bias_);
+  return y;
+}
+
+Embedding::Embedding(std::int64_t num_embeddings, std::int64_t dim, Rng& rng) {
+  weight_ = register_parameter("weight",
+                               Tensor::randn(num_embeddings, dim, 0.1f, rng, /*requires_grad=*/true));
+}
+
+Tensor Embedding::forward(const std::vector<std::int32_t>& indices) const {
+  return ops::gather_rows(weight_, indices);
+}
+
+BatchNorm1d::BatchNorm1d(std::int64_t dim, float momentum, float eps)
+    : momentum_(momentum), eps_(eps) {
+  gamma_ = register_parameter("gamma", Tensor::full(1, dim, 1.0f, /*requires_grad=*/true));
+  beta_ = register_parameter("beta", Tensor::zeros(1, dim, /*requires_grad=*/true));
+  running_mean_.assign(static_cast<std::size_t>(dim), 0.0f);
+  running_var_.assign(static_cast<std::size_t>(dim), 1.0f);
+  register_buffer("running_mean", running_mean_);
+  register_buffer("running_var", running_var_);
+}
+
+Tensor BatchNorm1d::forward(const Tensor& x) {
+  return ops::batchnorm(x, gamma_, beta_, running_mean_, running_var_, momentum_, eps_,
+                        training());
+}
+
+Mlp::Mlp(std::vector<std::int64_t> dims, Rng& rng, float dropout) : dropout_(dropout) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp: need at least {in, out} dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    register_module("linear" + std::to_string(i), *layers_.back());
+  }
+}
+
+Tensor Mlp::forward(const Tensor& x, Rng& rng) const {
+  Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->forward(h);
+    if (i + 1 < layers_.size()) {
+      h = ops::relu(h);
+      if (dropout_ > 0.0f && is_training()) h = ops::dropout(h, dropout_, rng);
+    }
+  }
+  return h;
+}
+
+}  // namespace cgps::nn

@@ -1,0 +1,71 @@
+// Core feed-forward building blocks: Linear, Embedding, BatchNorm1d, MLP.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace cgps::nn {
+
+// y = x W + b with W of shape (in, out).
+class Linear final : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& x) const;
+
+  std::int64_t in_features() const { return weight_.rows(); }
+  std::int64_t out_features() const { return weight_.cols(); }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+};
+
+// Row-lookup table: forward(idx) returns (|idx|, dim).
+class Embedding final : public Module {
+ public:
+  Embedding(std::int64_t num_embeddings, std::int64_t dim, Rng& rng);
+
+  Tensor forward(const std::vector<std::int32_t>& indices) const;
+
+  std::int64_t dim() const { return weight_.cols(); }
+
+ private:
+  Tensor weight_;
+};
+
+// Batch normalization over the sample (row) dimension.
+class BatchNorm1d final : public Module {
+ public:
+  BatchNorm1d(std::int64_t dim, float momentum = 0.1f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x);
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+  std::vector<float> running_mean_;
+  std::vector<float> running_var_;
+  float momentum_;
+  float eps_;
+};
+
+// Stack of Linear+ReLU(+Dropout) with a final Linear (no activation).
+class Mlp final : public Module {
+ public:
+  // dims = {in, hidden..., out}; requires at least {in, out}.
+  Mlp(std::vector<std::int64_t> dims, Rng& rng, float dropout = 0.0f);
+
+  Tensor forward(const Tensor& x, Rng& rng) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  float dropout_;
+  bool is_training() const { return training(); }
+};
+
+}  // namespace cgps::nn

@@ -1,0 +1,56 @@
+#include "nn/message_passing.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace cgps::nn {
+
+SageLayer::SageLayer(std::int64_t in_dim, std::int64_t out_dim, Rng& rng)
+    : lin_self_(in_dim, out_dim, rng), lin_nbr_(in_dim, out_dim, rng, /*bias=*/false) {
+  register_module("lin_self", lin_self_);
+  register_module("lin_nbr", lin_nbr_);
+}
+
+Tensor SageLayer::forward(const Tensor& x, const EdgeIndex& edges) const {
+  Tensor self_term = lin_self_.forward(x);
+  if (edges.size() == 0) return self_term;
+
+  const std::int64_t n = x.rows();
+  // mean_{j in N(i)} x_j via scatter-add and per-node degree division.
+  Tensor gathered = ops::gather_rows(x, edges.src);
+  Tensor summed = ops::scatter_add_rows(gathered, edges.dst, n);
+  std::vector<float> degree(static_cast<std::size_t>(n), 0.0f);
+  for (std::int32_t d : edges.dst) degree[static_cast<std::size_t>(d)] += 1.0f;
+  for (float& d : degree) d = d > 0.0f ? d : 1.0f;
+  Tensor deg = Tensor::from_vector(std::move(degree), n, 1);
+  Tensor mean_nbr = ops::div_colvec(summed, deg);
+  return ops::add(self_term, lin_nbr_.forward(mean_nbr));
+}
+
+GcnLayer::GcnLayer(std::int64_t in_dim, std::int64_t out_dim, Rng& rng)
+    : lin_(in_dim, out_dim, rng) {
+  register_module("lin", lin_);
+}
+
+Tensor GcnLayer::forward(const Tensor& x, const EdgeIndex& edges) const {
+  const std::int64_t n = x.rows();
+  std::vector<float> degree(static_cast<std::size_t>(n), 1.0f);  // self loops
+  for (std::int32_t d : edges.dst) degree[static_cast<std::size_t>(d)] += 1.0f;
+
+  std::vector<float> inv_sqrt(degree.size());
+  for (std::size_t i = 0; i < degree.size(); ++i) inv_sqrt[i] = 1.0f / std::sqrt(degree[i]);
+  Tensor norm = Tensor::from_vector(std::vector<float>(inv_sqrt), n, 1);
+
+  // Normalize, aggregate (self loop + neighbors), normalize again.
+  Tensor x_norm = ops::mul_colvec(x, norm);
+  Tensor agg = x_norm;
+  if (edges.size() > 0) {
+    Tensor gathered = ops::gather_rows(x_norm, edges.src);
+    agg = ops::add(agg, ops::scatter_add_rows(gathered, edges.dst, n));
+  }
+  Tensor out = ops::mul_colvec(agg, norm);
+  return lin_.forward(out);
+}
+
+}  // namespace cgps::nn

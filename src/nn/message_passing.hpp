@@ -1,0 +1,35 @@
+// Classic message-passing layers used by the baseline models (ParaGraph and
+// DLPL-Cap operate directly on the full circuit graph with these).
+#pragma once
+
+#include "nn/gated_gcn.hpp"  // for EdgeIndex
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace cgps::nn {
+
+// GraphSAGE-style layer: x_i' = W_self x_i + W_nbr mean_{j in N(i)} x_j.
+class SageLayer final : public Module {
+ public:
+  SageLayer(std::int64_t in_dim, std::int64_t out_dim, Rng& rng);
+
+  Tensor forward(const Tensor& x, const EdgeIndex& edges) const;
+
+ private:
+  Linear lin_self_;
+  Linear lin_nbr_;
+};
+
+// GCN-style layer with symmetric degree normalization:
+//   x_i' = W sum_j x_j / sqrt((d_i+1)(d_j+1))  (self loop included).
+class GcnLayer final : public Module {
+ public:
+  GcnLayer(std::int64_t in_dim, std::int64_t out_dim, Rng& rng);
+
+  Tensor forward(const Tensor& x, const EdgeIndex& edges) const;
+
+ private:
+  Linear lin_;
+};
+
+}  // namespace cgps::nn

@@ -1,0 +1,71 @@
+// Module base class: parameter registration, train/eval mode, checkpointing.
+//
+// Modules own their child modules as regular members; registration stores
+// non-owning pointers purely for parameter traversal, mirroring the
+// torch.nn.Module contract at much smaller scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/serialize.hpp"
+
+namespace cgps::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All trainable parameters of this module and its children (depth-first).
+  std::vector<Tensor> parameters() const;
+  // Parameters with hierarchical dotted names, for checkpoints.
+  std::vector<std::pair<std::string, Tensor>> named_parameters() const;
+  // Non-trainable state (e.g. BatchNorm running stats), named.
+  std::vector<std::pair<std::string, std::vector<float>*>> named_buffers() const;
+
+  std::int64_t num_parameters() const;
+
+  void set_training(bool training);
+  bool training() const { return training_; }
+
+  // Freeze / unfreeze all parameters (used by head-only fine-tuning).
+  void set_requires_grad(bool value);
+
+ protected:
+  Tensor& register_parameter(std::string name, Tensor tensor);
+  void register_module(std::string name, Module& child);
+  void register_buffer(std::string name, std::vector<float>& buffer);
+
+ private:
+  void collect_params(const std::string& prefix,
+                      std::vector<std::pair<std::string, Tensor>>& out) const;
+  void collect_buffers(const std::string& prefix,
+                       std::vector<std::pair<std::string, std::vector<float>*>>& out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  std::vector<std::pair<std::string, std::vector<float>*>> buffers_;
+  bool training_ = true;
+};
+
+// Save/load every named parameter and buffer to/from a binary checkpoint.
+// Loading requires an exactly matching architecture (same names and sizes).
+// The writer/reader overloads append to / consume from an open stream so a
+// checkpoint can be embedded in a larger container (see train/model_io.hpp).
+void save_checkpoint(const Module& module, const std::string& path);
+void load_checkpoint(Module& module, const std::string& path);
+void save_checkpoint(const Module& module, BinaryWriter& writer);
+void load_checkpoint(Module& module, BinaryReader& reader);
+
+// Copy parameters/buffers between two identically shaped modules (used to
+// initialize fine-tuning from a pre-trained meta-learner without touching
+// the original).
+void copy_state(const Module& source, Module& target);
+
+}  // namespace cgps::nn

@@ -1,0 +1,151 @@
+#include "parasitics/spf.hpp"
+
+#include <cinttypes>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace cgps {
+
+namespace {
+
+// Flat pin index -> "<device>:<pin>" name, given the netlist traversal order
+// used by Placement (devices in order, pins in order).
+struct PinTable {
+  std::vector<std::pair<std::int32_t, std::int32_t>> owner;  // flat -> (dev, pin)
+  std::unordered_map<std::string, std::int32_t> by_name;
+  std::vector<std::string> names;
+
+  explicit PinTable(const Netlist& netlist) {
+    std::int32_t flat = 0;
+    for (std::size_t d = 0; d < netlist.devices().size(); ++d) {
+      const Device& dev = netlist.devices()[d];
+      for (std::size_t p = 0; p < dev.pins.size(); ++p) {
+        owner.emplace_back(static_cast<std::int32_t>(d), static_cast<std::int32_t>(p));
+        std::string name = dev.name + ":" + std::to_string(p);
+        by_name.emplace(name, flat);
+        names.push_back(std::move(name));
+        ++flat;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string write_spf(const Netlist& netlist, const ExtractionResult& extraction) {
+  PinTable pins(netlist);
+  std::ostringstream os;
+  os << "*|DSPF 1.0\n*|DESIGN " << netlist.name() << "\n*|GROUND_NET 0\n";
+
+  std::int64_t cap_id = 0;
+  os << "* net ground capacitances\n";
+  for (std::size_t n = 0; n < extraction.net_ground_cap.size(); ++n) {
+    if (extraction.net_ground_cap[n] <= 0.0) continue;
+    os << "Cg" << cap_id++ << ' ' << netlist.nets()[n].name << " 0 "
+       << format_si(extraction.net_ground_cap[n], 6) << '\n';
+  }
+  os << "* pin ground capacitances\n";
+  for (std::size_t fp = 0; fp < extraction.pin_ground_cap.size(); ++fp) {
+    if (extraction.pin_ground_cap[fp] <= 0.0) continue;
+    os << "Cg" << cap_id++ << ' ' << pins.names[fp] << " 0 "
+       << format_si(extraction.pin_ground_cap[fp], 6) << '\n';
+  }
+  os << "* coupling capacitances\n";
+  for (const CouplingLink& link : extraction.links) {
+    std::string a, b;
+    switch (link.kind) {
+      case CouplingKind::kPinToNet:
+        a = pins.names[static_cast<std::size_t>(link.a)];
+        b = netlist.nets()[static_cast<std::size_t>(link.b)].name;
+        break;
+      case CouplingKind::kPinToPin:
+        a = pins.names[static_cast<std::size_t>(link.a)];
+        b = pins.names[static_cast<std::size_t>(link.b)];
+        break;
+      case CouplingKind::kNetToNet:
+        a = netlist.nets()[static_cast<std::size_t>(link.a)].name;
+        b = netlist.nets()[static_cast<std::size_t>(link.b)].name;
+        break;
+    }
+    os << "Cc" << cap_id++ << ' ' << a << ' ' << b << ' ' << format_si(link.cap, 6) << '\n';
+  }
+  os << "*|END\n";
+  return os.str();
+}
+
+ExtractionResult parse_spf(const std::string& text, const Netlist& netlist) {
+  PinTable pins(netlist);
+  ExtractionResult result;
+  result.net_ground_cap.assign(static_cast<std::size_t>(netlist.num_nets()), 0.0);
+  result.pin_ground_cap.assign(pins.owner.size(), 0.0);
+
+  // Node name -> (is_pin, index). Returns false for ground "0".
+  auto resolve = [&](const std::string& name, bool& is_pin, std::int32_t& index) -> bool {
+    if (name == "0") return false;
+    if (const auto it = pins.by_name.find(name); it != pins.by_name.end()) {
+      is_pin = true;
+      index = it->second;
+      return true;
+    }
+    const std::int32_t net = netlist.find_net(name);
+    if (net < 0) throw std::runtime_error("parse_spf: unknown node " + name);
+    is_pin = false;
+    index = net;
+    return true;
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '*') continue;
+    if (t[0] != 'C' && t[0] != 'c')
+      throw std::runtime_error("parse_spf: unexpected card at line " + std::to_string(lineno));
+    const auto tokens = split_ws(t);
+    if (tokens.size() != 4)
+      throw std::runtime_error("parse_spf: malformed cap at line " + std::to_string(lineno));
+    const auto value = parse_spice_number(tokens[3]);
+    if (!value)
+      throw std::runtime_error("parse_spf: bad value at line " + std::to_string(lineno));
+
+    bool a_pin = false, b_pin = false;
+    std::int32_t a = -1, b = -1;
+    const bool a_node = resolve(tokens[1], a_pin, a);
+    const bool b_node = resolve(tokens[2], b_pin, b);
+    if (a_node && !b_node) {
+      // Ground capacitance.
+      if (a_pin) {
+        result.pin_ground_cap[static_cast<std::size_t>(a)] = *value;
+      } else {
+        result.net_ground_cap[static_cast<std::size_t>(a)] = *value;
+      }
+    } else if (a_node && b_node) {
+      CouplingLink link;
+      if (a_pin && b_pin) {
+        link.kind = CouplingKind::kPinToPin;
+        if (a > b) std::swap(a, b);
+      } else if (!a_pin && !b_pin) {
+        link.kind = CouplingKind::kNetToNet;
+        if (a > b) std::swap(a, b);
+      } else {
+        link.kind = CouplingKind::kPinToNet;
+        if (!a_pin) std::swap(a, b);  // convention: a = pin, b = net
+      }
+      link.a = a;
+      link.b = b;
+      link.cap = *value;
+      result.links.push_back(link);
+    } else {
+      throw std::runtime_error("parse_spf: capacitor to ground only at line " +
+                               std::to_string(lineno));
+    }
+  }
+  return result;
+}
+
+}  // namespace cgps

@@ -1,0 +1,23 @@
+// DSPF-style parasitic file I/O.
+//
+// The paper collects ground-truth labels from post-layout SPF files. Our
+// oracle writes the same kind of artifact and the dataset builder can read
+// it back, so the "labels come from an SPF" code path is exercised end to
+// end. Node naming: nets use their netlist name; device pins use
+// "<device>:<pin-index>". Ground capacitances connect to node "0".
+#pragma once
+
+#include <string>
+
+#include "parasitics/extraction.hpp"
+
+namespace cgps {
+
+std::string write_spf(const Netlist& netlist, const ExtractionResult& extraction);
+
+// Parse an SPF produced by write_spf back into an ExtractionResult. Needs
+// the netlist (and its placement-ordered flat pin table size) to resolve
+// node names. Throws std::runtime_error on unknown nodes or bad syntax.
+ExtractionResult parse_spf(const std::string& text, const Netlist& netlist);
+
+}  // namespace cgps

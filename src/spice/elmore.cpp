@@ -1,0 +1,60 @@
+#include "spice/elmore.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cgps {
+
+namespace {
+
+std::int32_t endpoint_net(const CircuitDataset& ds, const CouplingLink& link, bool first) {
+  const std::int32_t e = first ? link.a : link.b;
+  switch (link.kind) {
+    case CouplingKind::kPinToNet:
+      return first ? ds.graph.pin_net[static_cast<std::size_t>(e)] : e;
+    case CouplingKind::kPinToPin:
+      return ds.graph.pin_net[static_cast<std::size_t>(e)];
+    case CouplingKind::kNetToNet:
+      return e;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<NetDelay> elmore_delays(const CircuitDataset& ds,
+                                    const std::vector<double>& link_caps,
+                                    const std::vector<std::int32_t>& nets,
+                                    const ElmoreOptions& options) {
+  if (link_caps.size() != ds.extraction.links.size())
+    throw std::invalid_argument("elmore_delays: link_caps size mismatch");
+
+  // Total coupling load per net of interest.
+  std::unordered_map<std::int32_t, double> coupling;
+  for (std::int32_t n : nets) coupling.emplace(n, 0.0);
+  for (std::size_t i = 0; i < ds.extraction.links.size(); ++i) {
+    const CouplingLink& link = ds.extraction.links[i];
+    for (const bool first : {true, false}) {
+      const std::int32_t n = endpoint_net(ds, link, first);
+      const auto it = coupling.find(n);
+      if (it != coupling.end()) it->second += link_caps[i];
+    }
+  }
+
+  std::vector<NetDelay> out;
+  out.reserve(nets.size());
+  for (std::int32_t n : nets) {
+    if (n < 0 || n >= static_cast<std::int32_t>(ds.extraction.net_ground_cap.size()))
+      throw std::invalid_argument("elmore_delays: net index out of range");
+    NetDelay d;
+    d.net = n;
+    const double c_gnd = ds.extraction.net_ground_cap[static_cast<std::size_t>(n)];
+    d.pre_layout = options.r_driver * c_gnd;
+    d.post_layout =
+        options.r_driver * (c_gnd + options.miller_factor * coupling.at(n));
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace cgps

@@ -1,0 +1,41 @@
+// Elmore delay estimation over extracted parasitics.
+//
+// The paper's motivation (§I): shrinking nodes make coupling capacitance
+// "too significant to be overlooked in simulations, producing a substantial
+// disparity between pre-layout and post-layout performance". This analyzer
+// quantifies exactly that disparity per net: the first-order (Elmore) delay
+// of a driven net computed (a) pre-layout — ground capacitance only — and
+// (b) post-layout — ground + coupling with a Miller factor for switching
+// aggressors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "train/dataset.hpp"
+
+namespace cgps {
+
+struct ElmoreOptions {
+  double r_driver = 5e3;       // driver output resistance (ohms)
+  double miller_factor = 2.0;  // opposite-switching aggressor multiplier
+};
+
+struct NetDelay {
+  std::int32_t net = -1;
+  double pre_layout = 0.0;   // seconds: R_drv * C_gnd
+  double post_layout = 0.0;  // seconds: R_drv * (C_gnd + k_miller * sum C_c)
+
+  double disparity() const {
+    return pre_layout > 0.0 ? (post_layout - pre_layout) / pre_layout : 0.0;
+  }
+};
+
+// Elmore delays for the given nets. `link_caps[i]` pairs with
+// ds.extraction.links[i] (pass extracted values or model predictions).
+std::vector<NetDelay> elmore_delays(const CircuitDataset& ds,
+                                    const std::vector<double>& link_caps,
+                                    const std::vector<std::int32_t>& nets,
+                                    const ElmoreOptions& options = {});
+
+}  // namespace cgps

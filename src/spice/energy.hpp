@@ -1,0 +1,44 @@
+// Switching-energy analysis (paper Fig. 4).
+//
+// For each victim net we build a small RC network: a step driver charges the
+// victim through its on-resistance; the victim carries its ground cap and
+// coupling caps to aggressor nets (held quiet through holder resistances,
+// each with its own ground cap). The supply energy over the transient is the
+// victim's switching energy. Comparing ground-truth link capacitances with
+// model predictions gives the Fig. 4 MAPE.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "train/dataset.hpp"
+
+namespace cgps {
+
+struct EnergyModelOptions {
+  double vdd = 0.9;          // volts
+  double r_driver = 5e3;     // driver on-resistance (ohms)
+  double r_holder = 50e3;    // aggressor holding resistance
+  double t_stop = 10e-9;     // transient length (seconds)
+  double dt = 20e-12;        // timestep
+};
+
+struct VictimEnergy {
+  std::int32_t net = -1;
+  double energy = 0.0;  // joules
+};
+
+// `link_caps[i]` replaces ds.extraction.links[i].cap (pass the extracted
+// values for the ground-truth run, model predictions for the other run).
+// Only victims in `victim_nets` are simulated.
+std::vector<VictimEnergy> switching_energy(const CircuitDataset& ds,
+                                           const std::vector<double>& link_caps,
+                                           const std::vector<std::int32_t>& victim_nets,
+                                           const EnergyModelOptions& options = {});
+
+// Pick simulation victims: signal nets with at least `min_links` incident
+// coupling links, deterministically subsampled to `max_victims`.
+std::vector<std::int32_t> pick_victim_nets(const CircuitDataset& ds, std::int64_t max_victims,
+                                           std::int64_t min_links, Rng& rng);
+
+}  // namespace cgps

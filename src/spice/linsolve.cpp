@@ -1,0 +1,66 @@
+#include "spice/linsolve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cgps {
+
+LuFactorization::LuFactorization(std::vector<double> a, std::int64_t n)
+    : lu_(std::move(a)), n_(n) {
+  if (static_cast<std::int64_t>(lu_.size()) != n * n)
+    throw std::invalid_argument("LuFactorization: size mismatch");
+  perm_.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) perm_[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(i);
+
+  for (std::int64_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::int64_t pivot = k;
+    double best = std::fabs(lu_[static_cast<std::size_t>(k * n + k)]);
+    for (std::int64_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu_[static_cast<std::size_t>(i * n + k)]);
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("LuFactorization: singular matrix");
+    if (pivot != k) {
+      for (std::int64_t j = 0; j < n; ++j)
+        std::swap(lu_[static_cast<std::size_t>(k * n + j)],
+                  lu_[static_cast<std::size_t>(pivot * n + j)]);
+      std::swap(perm_[static_cast<std::size_t>(k)], perm_[static_cast<std::size_t>(pivot)]);
+    }
+    const double inv = 1.0 / lu_[static_cast<std::size_t>(k * n + k)];
+    for (std::int64_t i = k + 1; i < n; ++i) {
+      const double factor = lu_[static_cast<std::size_t>(i * n + k)] * inv;
+      lu_[static_cast<std::size_t>(i * n + k)] = factor;
+      if (factor == 0.0) continue;
+      for (std::int64_t j = k + 1; j < n; ++j)
+        lu_[static_cast<std::size_t>(i * n + j)] -= factor * lu_[static_cast<std::size_t>(k * n + j)];
+    }
+  }
+}
+
+void LuFactorization::solve(std::vector<double>& b) const {
+  if (static_cast<std::int64_t>(b.size()) != n_)
+    throw std::invalid_argument("LuFactorization::solve: size mismatch");
+  std::vector<double> x(static_cast<std::size_t>(n_));
+  for (std::int64_t i = 0; i < n_; ++i) x[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+  // Forward substitution (unit lower).
+  for (std::int64_t i = 0; i < n_; ++i) {
+    double acc = x[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < i; ++j)
+      acc -= lu_[static_cast<std::size_t>(i * n_ + j)] * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = acc;
+  }
+  // Back substitution.
+  for (std::int64_t i = n_ - 1; i >= 0; --i) {
+    double acc = x[static_cast<std::size_t>(i)];
+    for (std::int64_t j = i + 1; j < n_; ++j)
+      acc -= lu_[static_cast<std::size_t>(i * n_ + j)] * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = acc / lu_[static_cast<std::size_t>(i * n_ + i)];
+  }
+  b = std::move(x);
+}
+
+}  // namespace cgps

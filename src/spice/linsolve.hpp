@@ -1,0 +1,28 @@
+// Dense LU solver with partial pivoting for the MNA systems of the RC
+// transient simulator (systems are small: a victim net plus its coupled
+// aggressors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cgps {
+
+class LuFactorization {
+ public:
+  // Factor a dense row-major n x n matrix. Throws std::runtime_error on a
+  // (numerically) singular matrix.
+  LuFactorization(std::vector<double> a, std::int64_t n);
+
+  // Solve A x = b in place.
+  void solve(std::vector<double>& b) const;
+
+  std::int64_t size() const { return n_; }
+
+ private:
+  std::vector<double> lu_;
+  std::vector<std::int32_t> perm_;
+  std::int64_t n_;
+};
+
+}  // namespace cgps

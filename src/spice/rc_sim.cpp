@@ -1,0 +1,111 @@
+#include "spice/rc_sim.hpp"
+
+#include <stdexcept>
+
+#include "spice/linsolve.hpp"
+
+namespace cgps {
+
+std::function<double(double)> step_wave(double level, double t_step) {
+  return [level, t_step](double t) { return t >= t_step ? level : 0.0; };
+}
+
+std::int32_t RcNetwork::add_node() { return n_nodes_++; }
+
+namespace {
+void check_node(std::int32_t v, std::int32_t n, const char* what) {
+  if (v != kGroundNode && (v < 0 || v >= n))
+    throw std::invalid_argument(std::string("RcNetwork: bad node for ") + what);
+}
+}  // namespace
+
+void RcNetwork::add_resistor(std::int32_t a, std::int32_t b, double ohms) {
+  check_node(a, n_nodes_, "resistor");
+  check_node(b, n_nodes_, "resistor");
+  if (ohms <= 0) throw std::invalid_argument("RcNetwork: resistance must be positive");
+  resistors_.push_back({a, b, ohms});
+}
+
+void RcNetwork::add_capacitor(std::int32_t a, std::int32_t b, double farads) {
+  check_node(a, n_nodes_, "capacitor");
+  check_node(b, n_nodes_, "capacitor");
+  if (farads < 0) throw std::invalid_argument("RcNetwork: negative capacitance");
+  capacitors_.push_back({a, b, farads});
+}
+
+void RcNetwork::add_source(std::int32_t node, std::function<double(double)> voltage,
+                           double series_ohms) {
+  check_node(node, n_nodes_, "source");
+  if (node == kGroundNode) throw std::invalid_argument("RcNetwork: source on ground");
+  if (series_ohms <= 0) throw std::invalid_argument("RcNetwork: source needs series R");
+  sources_.push_back({node, std::move(voltage), 1.0 / series_ohms});
+}
+
+RcNetwork::TransientResult RcNetwork::simulate(double t_stop, double dt,
+                                               const std::vector<double>& initial_voltage) const {
+  if (n_nodes_ == 0) throw std::logic_error("RcNetwork::simulate: empty network");
+  if (dt <= 0 || t_stop <= 0) throw std::invalid_argument("RcNetwork::simulate: bad times");
+  const auto n = static_cast<std::size_t>(n_nodes_);
+
+  // System matrix M = G + C/dt (constant), so factor once.
+  std::vector<double> m(n * n, 0.0);
+  auto stamp = [&](std::int32_t a, std::int32_t b, double g) {
+    if (a != kGroundNode) m[static_cast<std::size_t>(a) * n + static_cast<std::size_t>(a)] += g;
+    if (b != kGroundNode) m[static_cast<std::size_t>(b) * n + static_cast<std::size_t>(b)] += g;
+    if (a != kGroundNode && b != kGroundNode) {
+      m[static_cast<std::size_t>(a) * n + static_cast<std::size_t>(b)] -= g;
+      m[static_cast<std::size_t>(b) * n + static_cast<std::size_t>(a)] -= g;
+    }
+  };
+  for (const auto& r : resistors_) stamp(r.a, r.b, 1.0 / r.value);
+  for (const auto& c : capacitors_) stamp(c.a, c.b, c.value / dt);
+  for (const auto& s : sources_)
+    m[static_cast<std::size_t>(s.node) * n + static_cast<std::size_t>(s.node)] += s.conductance;
+
+  // Tiny leak to ground keeps floating nodes well-posed.
+  for (std::size_t i = 0; i < n; ++i) m[i * n + i] += 1e-15;
+
+  const LuFactorization lu(std::move(m), n_nodes_);
+
+  TransientResult result;
+  std::vector<double> v(n, 0.0);
+  if (!initial_voltage.empty()) {
+    if (initial_voltage.size() != n)
+      throw std::invalid_argument("RcNetwork::simulate: bad initial voltage size");
+    v = initial_voltage;
+  }
+  result.time.push_back(0.0);
+  result.voltage.push_back(v);
+
+  std::vector<double> rhs(n);
+  const auto steps = static_cast<std::int64_t>(t_stop / dt);
+  for (std::int64_t step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * dt;
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    // Capacitor history currents: C/dt * (v_a - v_b) from the previous step.
+    for (const auto& c : capacitors_) {
+      const double va = c.a == kGroundNode ? 0.0 : v[static_cast<std::size_t>(c.a)];
+      const double vb = c.b == kGroundNode ? 0.0 : v[static_cast<std::size_t>(c.b)];
+      const double i_hist = c.value / dt * (va - vb);
+      if (c.a != kGroundNode) rhs[static_cast<std::size_t>(c.a)] += i_hist;
+      if (c.b != kGroundNode) rhs[static_cast<std::size_t>(c.b)] -= i_hist;
+    }
+    // Source Norton currents.
+    for (const auto& s : sources_)
+      rhs[static_cast<std::size_t>(s.node)] += s.voltage(t) * s.conductance;
+
+    lu.solve(rhs);  // rhs becomes v_{step}
+    // Source energy: v_src * i_src integrated.
+    for (const auto& s : sources_) {
+      const double vs = s.voltage(t);
+      const double i = (vs - rhs[static_cast<std::size_t>(s.node)]) * s.conductance;
+      result.source_energy += vs * i * dt;
+    }
+    v = rhs;
+    result.time.push_back(t);
+    result.voltage.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace cgps

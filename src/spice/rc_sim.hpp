@@ -1,0 +1,60 @@
+// Linear RC transient simulator (backward-Euler MNA).
+//
+// Used for the paper's Fig. 4 validation: switching energy of victim nets
+// with extracted vs. predicted parasitic capacitance. Supports resistors,
+// capacitors (to ground or coupling), and step voltage sources with series
+// resistance (Norton-equivalent stamping). The system matrix is constant
+// under a fixed timestep, so it is factored once per network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cgps {
+
+// Node -1 is ground.
+inline constexpr std::int32_t kGroundNode = -1;
+
+class RcNetwork {
+ public:
+  std::int32_t add_node();
+  void add_resistor(std::int32_t a, std::int32_t b, double ohms);
+  void add_capacitor(std::int32_t a, std::int32_t b, double farads);
+  // Step source: node is pulled toward `voltage(t)` through `series_ohms`.
+  void add_source(std::int32_t node, std::function<double(double)> voltage,
+                  double series_ohms);
+
+  std::int32_t num_nodes() const { return n_nodes_; }
+
+  struct TransientResult {
+    std::vector<double> time;
+    std::vector<std::vector<double>> voltage;  // per step, per node
+    // Energy delivered by all sources: sum over steps of v_src * i_src * dt.
+    double source_energy = 0.0;
+  };
+
+  TransientResult simulate(double t_stop, double dt,
+                           const std::vector<double>& initial_voltage = {}) const;
+
+ private:
+  struct TwoTerminal {
+    std::int32_t a, b;
+    double value;
+  };
+  struct Source {
+    std::int32_t node;
+    std::function<double(double)> voltage;
+    double conductance;
+  };
+
+  std::int32_t n_nodes_ = 0;
+  std::vector<TwoTerminal> resistors_;
+  std::vector<TwoTerminal> capacitors_;
+  std::vector<Source> sources_;
+};
+
+// Convenience waveform: 0 until t_step, then `level` (ideal step).
+std::function<double(double)> step_wave(double level, double t_step = 0.0);
+
+}  // namespace cgps

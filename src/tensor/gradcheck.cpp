@@ -1,0 +1,46 @@
+#include "tensor/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cgps {
+
+GradCheckResult grad_check(const std::function<Tensor()>& fn, std::vector<Tensor> inputs,
+                           double eps, double tolerance) {
+  // Analytic pass.
+  for (Tensor& t : inputs) t.zero_grad();
+  Tensor loss = fn();
+  loss.backward();
+
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (Tensor& t : inputs) {
+    auto g = t.grad();
+    analytic.emplace_back(g.begin(), g.end());
+  }
+
+  GradCheckResult result;
+  result.ok = true;
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    auto value = inputs[k].data();
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const float saved = value[j];
+      value[j] = saved + static_cast<float>(eps);
+      const double up = fn().item();
+      value[j] = saved - static_cast<float>(eps);
+      const double down = fn().item();
+      value[j] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double a = analytic[k][j];
+      const double abs_err = std::fabs(a - numeric);
+      const double denom = std::max({std::fabs(a), std::fabs(numeric), 1.0});
+      const double rel_err = abs_err / denom;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (rel_err > tolerance) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace cgps

@@ -1,0 +1,24 @@
+// Finite-difference gradient verification used by the test suite: every op
+// and layer in the library is validated against a central-difference
+// estimate before it is trusted in training.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace cgps {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool ok = false;
+};
+
+// `fn` maps the inputs to a scalar tensor. Each input must require grad.
+// Compares analytic gradients to central differences with step `eps`.
+GradCheckResult grad_check(const std::function<Tensor()>& fn, std::vector<Tensor> inputs,
+                           double eps = 1e-3, double tolerance = 5e-2);
+
+}  // namespace cgps

@@ -1,0 +1,893 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace cgps::ops {
+
+namespace {
+
+using detail::Node;
+using NodePtr = std::shared_ptr<detail::Node>;
+
+[[noreturn]] void shape_error(const char* op, const Tensor& a, const Tensor& b) {
+  std::ostringstream os;
+  os << op << ": shape mismatch (" << a.rows() << "x" << a.cols() << ") vs (" << b.rows()
+     << "x" << b.cols() << ")";
+  throw std::invalid_argument(os.str());
+}
+
+void check_same_shape(const char* op, const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) shape_error(op, a, b);
+}
+
+// Generic elementwise binary op with per-element backward factors.
+template <typename Fwd, typename Bwd>
+Tensor elementwise_binary(const char* name, const Tensor& a, const Tensor& b, Fwd fwd,
+                          Bwd bwd) {
+  check_same_shape(name, a, b);
+  const bool track = grad_enabled_for({&a, &b});
+  Tensor out = Tensor::make(
+      a.rows(), a.cols(), track, {a.ptr(), b.ptr()}, [pa = a.ptr(), pb = b.ptr(), bwd](Node& n) {
+        const std::size_t count = n.value.size();
+        for (std::size_t i = 0; i < count; ++i) {
+          float da = 0.0f;
+          float db = 0.0f;
+          bwd(pa->value[i], pb->value[i], n.value[i], n.grad[i], da, db);
+          if (pa->requires_grad) pa->grad[i] += da;
+          if (pb->requires_grad) pb->grad[i] += db;
+        }
+      });
+  const std::size_t count = out.data().size();
+  auto av = a.data();
+  auto bv = b.data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < count; ++i) ov[i] = fwd(av[i], bv[i]);
+  return out;
+}
+
+// Generic elementwise unary op; backward receives (x, y, dy) -> dx.
+template <typename Fwd, typename Bwd>
+Tensor elementwise_unary(const Tensor& x, Fwd fwd, Bwd bwd) {
+  const bool track = grad_enabled_for({&x});
+  Tensor out =
+      Tensor::make(x.rows(), x.cols(), track, {x.ptr()}, [px = x.ptr(), bwd](Node& n) {
+        if (!px->requires_grad) return;
+        const std::size_t count = n.value.size();
+        for (std::size_t i = 0; i < count; ++i)
+          px->grad[i] += bwd(px->value[i], n.value[i], n.grad[i]);
+      });
+  const std::size_t count = out.data().size();
+  auto xv = x.data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < count; ++i) ov[i] = fwd(xv[i]);
+  return out;
+}
+
+void check_colvec(const char* op, const Tensor& x, const Tensor& col) {
+  if (col.cols() != 1 || col.rows() != x.rows()) shape_error(op, x, col);
+}
+
+void check_rowvec(const char* op, const Tensor& x, const Tensor& row) {
+  if (row.rows() != 1 || row.cols() != x.cols()) shape_error(op, x, row);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- binary --
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      "add", a, b, [](float x, float y) { return x + y; },
+      [](float, float, float, float dy, float& da, float& db) {
+        da = dy;
+        db = dy;
+      });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      "sub", a, b, [](float x, float y) { return x - y; },
+      [](float, float, float, float dy, float& da, float& db) {
+        da = dy;
+        db = -dy;
+      });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      "mul", a, b, [](float x, float y) { return x * y; },
+      [](float x, float y, float, float dy, float& da, float& db) {
+        da = dy * y;
+        db = dy * x;
+      });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return elementwise_binary(
+      "div", a, b, [](float x, float y) { return x / y; },
+      [](float x, float y, float, float dy, float& da, float& db) {
+        da = dy / y;
+        db = -dy * x / (y * y);
+      });
+}
+
+// ------------------------------------------------------------- broadcast --
+
+Tensor add_rowvec(const Tensor& x, const Tensor& row) {
+  check_rowvec("add_rowvec", x, row);
+  const bool track = grad_enabled_for({&x, &row});
+  Tensor out = Tensor::make(
+      x.rows(), x.cols(), track, {x.ptr(), row.ptr()}, [px = x.ptr(), pr = row.ptr()](Node& n) {
+        const std::int64_t m = n.rows;
+        const std::int64_t c = n.cols;
+        if (px->requires_grad) {
+          for (std::int64_t i = 0; i < m * c; ++i) px->grad[i] += n.grad[i];
+        }
+        if (pr->requires_grad) {
+          for (std::int64_t i = 0; i < m; ++i)
+            for (std::int64_t j = 0; j < c; ++j) pr->grad[j] += n.grad[i * c + j];
+        }
+      });
+  auto xv = x.data();
+  auto rv = row.data();
+  auto ov = out.data();
+  const std::int64_t c = x.cols();
+  for (std::int64_t i = 0; i < x.rows(); ++i)
+    for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = xv[i * c + j] + rv[j];
+  return out;
+}
+
+Tensor mul_rowvec(const Tensor& x, const Tensor& row) {
+  check_rowvec("mul_rowvec", x, row);
+  const bool track = grad_enabled_for({&x, &row});
+  Tensor out = Tensor::make(
+      x.rows(), x.cols(), track, {x.ptr(), row.ptr()}, [px = x.ptr(), pr = row.ptr()](Node& n) {
+        const std::int64_t m = n.rows;
+        const std::int64_t c = n.cols;
+        for (std::int64_t i = 0; i < m; ++i) {
+          for (std::int64_t j = 0; j < c; ++j) {
+            const float dy = n.grad[i * c + j];
+            if (px->requires_grad) px->grad[i * c + j] += dy * pr->value[j];
+            if (pr->requires_grad) pr->grad[j] += dy * px->value[i * c + j];
+          }
+        }
+      });
+  auto xv = x.data();
+  auto rv = row.data();
+  auto ov = out.data();
+  const std::int64_t c = x.cols();
+  for (std::int64_t i = 0; i < x.rows(); ++i)
+    for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = xv[i * c + j] * rv[j];
+  return out;
+}
+
+namespace {
+
+template <typename Fwd, typename Bwd>
+Tensor colvec_broadcast(const char* name, const Tensor& x, const Tensor& col, Fwd fwd,
+                        Bwd bwd) {
+  check_colvec(name, x, col);
+  const bool track = grad_enabled_for({&x, &col});
+  Tensor out = Tensor::make(
+      x.rows(), x.cols(), track, {x.ptr(), col.ptr()},
+      [px = x.ptr(), pc = col.ptr(), bwd](Node& n) {
+        const std::int64_t m = n.rows;
+        const std::int64_t c = n.cols;
+        for (std::int64_t i = 0; i < m; ++i) {
+          const float cv = pc->value[i];
+          for (std::int64_t j = 0; j < c; ++j) {
+            const float dy = n.grad[i * c + j];
+            float dx = 0.0f;
+            float dc = 0.0f;
+            bwd(px->value[i * c + j], cv, dy, dx, dc);
+            if (px->requires_grad) px->grad[i * c + j] += dx;
+            if (pc->requires_grad) pc->grad[i] += dc;
+          }
+        }
+      });
+  auto xv = x.data();
+  auto cv = col.data();
+  auto ov = out.data();
+  const std::int64_t c = x.cols();
+  for (std::int64_t i = 0; i < x.rows(); ++i)
+    for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = fwd(xv[i * c + j], cv[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add_colvec(const Tensor& x, const Tensor& col) {
+  return colvec_broadcast(
+      "add_colvec", x, col, [](float a, float b) { return a + b; },
+      [](float, float, float dy, float& dx, float& dc) {
+        dx = dy;
+        dc = dy;
+      });
+}
+
+Tensor sub_colvec(const Tensor& x, const Tensor& col) {
+  return colvec_broadcast(
+      "sub_colvec", x, col, [](float a, float b) { return a - b; },
+      [](float, float, float dy, float& dx, float& dc) {
+        dx = dy;
+        dc = -dy;
+      });
+}
+
+Tensor mul_colvec(const Tensor& x, const Tensor& col) {
+  return colvec_broadcast(
+      "mul_colvec", x, col, [](float a, float b) { return a * b; },
+      [](float a, float b, float dy, float& dx, float& dc) {
+        dx = dy * b;
+        dc = dy * a;
+      });
+}
+
+Tensor div_colvec(const Tensor& x, const Tensor& col) {
+  return colvec_broadcast(
+      "div_colvec", x, col, [](float a, float b) { return a / b; },
+      [](float a, float b, float dy, float& dx, float& dc) {
+        dx = dy / b;
+        dc = -dy * a / (b * b);
+      });
+}
+
+// ----------------------------------------------------------------- scalar --
+
+Tensor scale(const Tensor& x, float s) {
+  return elementwise_unary(
+      x, [s](float v) { return v * s; }, [s](float, float, float dy) { return dy * s; });
+}
+
+Tensor add_scalar(const Tensor& x, float s) {
+  return elementwise_unary(
+      x, [s](float v) { return v + s; }, [](float, float, float dy) { return dy; });
+}
+
+// ------------------------------------------------------------------ unary --
+
+Tensor neg(const Tensor& x) {
+  return elementwise_unary(
+      x, [](float v) { return -v; }, [](float, float, float dy) { return -dy; });
+}
+
+Tensor relu(const Tensor& x) {
+  return elementwise_unary(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float v, float, float dy) { return v > 0.0f ? dy : 0.0f; });
+}
+
+Tensor sigmoid(const Tensor& x) {
+  return elementwise_unary(
+      x,
+      [](float v) {
+        // Numerically stable logistic.
+        return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                         : std::exp(v) / (1.0f + std::exp(v));
+      },
+      [](float, float y, float dy) { return dy * y * (1.0f - y); });
+}
+
+Tensor tanh_op(const Tensor& x) {
+  return elementwise_unary(
+      x, [](float v) { return std::tanh(v); },
+      [](float, float y, float dy) { return dy * (1.0f - y * y); });
+}
+
+Tensor exp_op(const Tensor& x) {
+  return elementwise_unary(
+      x, [](float v) { return std::exp(v); },
+      [](float, float y, float dy) { return dy * y; });
+}
+
+Tensor log_op(const Tensor& x) {
+  return elementwise_unary(
+      x, [](float v) { return std::log(v); },
+      [](float v, float, float dy) { return dy / v; });
+}
+
+Tensor sqrt_op(const Tensor& x) {
+  return elementwise_unary(
+      x, [](float v) { return std::sqrt(v); },
+      [](float, float y, float dy) { return y > 0.0f ? dy * 0.5f / y : 0.0f; });
+}
+
+Tensor square(const Tensor& x) {
+  return elementwise_unary(
+      x, [](float v) { return v * v; },
+      [](float v, float, float dy) { return dy * 2.0f * v; });
+}
+
+Tensor abs_op(const Tensor& x) {
+  return elementwise_unary(
+      x, [](float v) { return std::fabs(v); },
+      [](float v, float, float dy) { return v >= 0.0f ? dy : -dy; });
+}
+
+// --------------------------------------------------------------- lin. alg --
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) shape_error("matmul", a, b);
+  const std::int64_t m = a.rows();
+  const std::int64_t k = a.cols();
+  const std::int64_t n = b.cols();
+  const bool track = grad_enabled_for({&a, &b});
+  Tensor out = Tensor::make(
+      m, n, track, {a.ptr(), b.ptr()}, [pa = a.ptr(), pb = b.ptr()](Node& node) {
+        const std::int64_t m = pa->rows;
+        const std::int64_t k = pa->cols;
+        const std::int64_t n = pb->cols;
+        const float* dc = node.grad.data();
+        if (pa->requires_grad) {
+          // dA[i, p] = sum_j dC[i, j] * B[p, j]
+          float* da = pa->grad.data();
+          const float* bv = pb->value.data();
+          for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t p = 0; p < k; ++p) {
+              float acc = 0.0f;
+              const float* dci = dc + i * n;
+              const float* bp = bv + p * n;
+              for (std::int64_t j = 0; j < n; ++j) acc += dci[j] * bp[j];
+              da[i * k + p] += acc;
+            }
+          }
+        }
+        if (pb->requires_grad) {
+          // dB[p, j] = sum_i A[i, p] * dC[i, j]
+          float* db = pb->grad.data();
+          const float* av = pa->value.data();
+          for (std::int64_t i = 0; i < m; ++i) {
+            const float* dci = dc + i * n;
+            for (std::int64_t p = 0; p < k; ++p) {
+              const float aip = av[i * k + p];
+              if (aip == 0.0f) continue;
+              float* dbp = db + p * n;
+              for (std::int64_t j = 0; j < n; ++j) dbp[j] += aip * dci[j];
+            }
+          }
+        }
+      });
+  // Forward: ikj loop order for contiguous access.
+  const float* av = a.data().data();
+  const float* bv = b.data().data();
+  float* ov = out.data().data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* oi = ov + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float aip = av[i * k + p];
+      if (aip == 0.0f) continue;
+      const float* bp = bv + p * n;
+      for (std::int64_t j = 0; j < n; ++j) oi[j] += aip * bp[j];
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& x) {
+  const std::int64_t m = x.rows();
+  const std::int64_t n = x.cols();
+  const bool track = grad_enabled_for({&x});
+  Tensor out = Tensor::make(n, m, track, {x.ptr()}, [px = x.ptr()](Node& node) {
+    if (!px->requires_grad) return;
+    const std::int64_t m = px->rows;
+    const std::int64_t n = px->cols;
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j) px->grad[i * n + j] += node.grad[j * m + i];
+  });
+  auto xv = x.data();
+  auto ov = out.data();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) ov[j * m + i] = xv[i * n + j];
+  return out;
+}
+
+// ------------------------------------------------------------------ shape --
+
+Tensor concat_cols(std::span<const Tensor> parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_cols: no inputs");
+  const std::int64_t m = parts[0].rows();
+  std::int64_t total = 0;
+  bool track = false;
+  std::vector<NodePtr> parents;
+  parents.reserve(parts.size());
+  for (const Tensor& t : parts) {
+    if (t.rows() != m) shape_error("concat_cols", parts[0], t);
+    total += t.cols();
+    parents.push_back(t.ptr());
+    track = track || grad_enabled_for({&t});
+  }
+  Tensor out = Tensor::make(m, total, track, parents, [parents](Node& node) {
+    const std::int64_t m = node.rows;
+    const std::int64_t total = node.cols;
+    std::int64_t offset = 0;
+    for (const auto& p : parents) {
+      const std::int64_t c = p->cols;
+      if (p->requires_grad) {
+        for (std::int64_t i = 0; i < m; ++i)
+          for (std::int64_t j = 0; j < c; ++j)
+            p->grad[i * c + j] += node.grad[i * total + offset + j];
+      }
+      offset += c;
+    }
+  });
+  auto ov = out.data();
+  std::int64_t offset = 0;
+  for (const Tensor& t : parts) {
+    const std::int64_t c = t.cols();
+    auto tv = t.data();
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < c; ++j) ov[i * total + offset + j] = tv[i * c + j];
+    offset += c;
+  }
+  return out;
+}
+
+Tensor concat_rows(std::span<const Tensor> parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_rows: no inputs");
+  const std::int64_t c = parts[0].cols();
+  std::int64_t total = 0;
+  bool track = false;
+  std::vector<NodePtr> parents;
+  parents.reserve(parts.size());
+  for (const Tensor& t : parts) {
+    if (t.cols() != c) shape_error("concat_rows", parts[0], t);
+    total += t.rows();
+    parents.push_back(t.ptr());
+    track = track || grad_enabled_for({&t});
+  }
+  Tensor out = Tensor::make(total, c, track, parents, [parents](Node& node) {
+    const std::int64_t c = node.cols;
+    std::int64_t offset = 0;
+    for (const auto& p : parents) {
+      const std::int64_t m = p->rows;
+      if (p->requires_grad) {
+        for (std::int64_t i = 0; i < m * c; ++i) p->grad[i] += node.grad[offset * c + i];
+      }
+      offset += m;
+    }
+  });
+  auto ov = out.data();
+  std::int64_t offset = 0;
+  for (const Tensor& t : parts) {
+    auto tv = t.data();
+    std::copy(tv.begin(), tv.end(), ov.begin() + offset * c);
+    offset += t.rows();
+  }
+  return out;
+}
+
+Tensor slice_rows(const Tensor& x, std::int64_t start, std::int64_t len) {
+  if (start < 0 || len < 0 || start + len > x.rows())
+    throw std::invalid_argument("slice_rows: range out of bounds");
+  const std::int64_t c = x.cols();
+  const bool track = grad_enabled_for({&x});
+  Tensor out = Tensor::make(len, c, track, {x.ptr()}, [px = x.ptr(), start](Node& node) {
+    if (!px->requires_grad) return;
+    const std::int64_t c = node.cols;
+    for (std::int64_t i = 0; i < node.rows * c; ++i)
+      px->grad[start * c + i] += node.grad[i];
+  });
+  auto xv = x.data();
+  std::copy(xv.begin() + start * c, xv.begin() + (start + len) * c, out.data().begin());
+  return out;
+}
+
+// ---------------------------------------------------------------- indexed --
+
+Tensor gather_rows(const Tensor& x, const std::vector<std::int32_t>& idx) {
+  const std::int64_t c = x.cols();
+  for (std::int32_t i : idx) {
+    if (i < 0 || i >= x.rows()) throw std::invalid_argument("gather_rows: index out of range");
+  }
+  const bool track = grad_enabled_for({&x});
+  Tensor out = Tensor::make(static_cast<std::int64_t>(idx.size()), c, track, {x.ptr()},
+                            [px = x.ptr(), idx](Node& node) {
+                              if (!px->requires_grad) return;
+                              const std::int64_t c = node.cols;
+                              for (std::size_t i = 0; i < idx.size(); ++i) {
+                                float* g = px->grad.data() + static_cast<std::int64_t>(idx[i]) * c;
+                                const float* d = node.grad.data() + static_cast<std::int64_t>(i) * c;
+                                for (std::int64_t j = 0; j < c; ++j) g[j] += d[j];
+                              }
+                            });
+  auto xv = x.data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const float* src = xv.data() + static_cast<std::int64_t>(idx[i]) * c;
+    std::copy(src, src + c, ov.data() + static_cast<std::int64_t>(i) * c);
+  }
+  return out;
+}
+
+Tensor scatter_add_rows(const Tensor& x, const std::vector<std::int32_t>& idx,
+                        std::int64_t out_rows) {
+  if (static_cast<std::int64_t>(idx.size()) != x.rows())
+    throw std::invalid_argument("scatter_add_rows: idx size != rows");
+  for (std::int32_t i : idx) {
+    if (i < 0 || i >= out_rows)
+      throw std::invalid_argument("scatter_add_rows: index out of range");
+  }
+  const std::int64_t c = x.cols();
+  const bool track = grad_enabled_for({&x});
+  Tensor out = Tensor::make(out_rows, c, track, {x.ptr()}, [px = x.ptr(), idx](Node& node) {
+    if (!px->requires_grad) return;
+    const std::int64_t c = node.cols;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const float* d = node.grad.data() + static_cast<std::int64_t>(idx[i]) * c;
+      float* g = px->grad.data() + static_cast<std::int64_t>(i) * c;
+      for (std::int64_t j = 0; j < c; ++j) g[j] += d[j];
+    }
+  });
+  auto xv = x.data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    float* dst = ov.data() + static_cast<std::int64_t>(idx[i]) * c;
+    const float* src = xv.data() + static_cast<std::int64_t>(i) * c;
+    for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+  }
+  return out;
+}
+
+Tensor segment_sum(const Tensor& x, const std::vector<std::int32_t>& seg,
+                   std::int64_t n_segments) {
+  return scatter_add_rows(x, seg, n_segments);
+}
+
+Tensor segment_mean(const Tensor& x, const std::vector<std::int32_t>& seg,
+                    std::int64_t n_segments) {
+  if (static_cast<std::int64_t>(seg.size()) != x.rows())
+    throw std::invalid_argument("segment_mean: seg size != rows");
+  std::vector<float> inv_count(static_cast<std::size_t>(n_segments), 0.0f);
+  for (std::int32_t s : seg) {
+    if (s < 0 || s >= n_segments)
+      throw std::invalid_argument("segment_mean: segment id out of range");
+    inv_count[static_cast<std::size_t>(s)] += 1.0f;
+  }
+  for (float& v : inv_count) v = v > 0.0f ? 1.0f / v : 0.0f;
+
+  const std::int64_t c = x.cols();
+  const bool track = grad_enabled_for({&x});
+  Tensor out = Tensor::make(
+      n_segments, c, track, {x.ptr()}, [px = x.ptr(), seg, inv_count](Node& node) {
+        if (!px->requires_grad) return;
+        const std::int64_t c = node.cols;
+        for (std::size_t i = 0; i < seg.size(); ++i) {
+          const float w = inv_count[static_cast<std::size_t>(seg[i])];
+          const float* d = node.grad.data() + static_cast<std::int64_t>(seg[i]) * c;
+          float* g = px->grad.data() + static_cast<std::int64_t>(i) * c;
+          for (std::int64_t j = 0; j < c; ++j) g[j] += w * d[j];
+        }
+      });
+  auto xv = x.data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < seg.size(); ++i) {
+    const float w = inv_count[static_cast<std::size_t>(seg[i])];
+    float* dst = ov.data() + static_cast<std::int64_t>(seg[i]) * c;
+    const float* src = xv.data() + static_cast<std::int64_t>(i) * c;
+    for (std::int64_t j = 0; j < c; ++j) dst[j] += w * src[j];
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- reductions --
+
+Tensor sum_all(const Tensor& x) {
+  const bool track = grad_enabled_for({&x});
+  Tensor out = Tensor::make(1, 1, track, {x.ptr()}, [px = x.ptr()](Node& node) {
+    if (!px->requires_grad) return;
+    const float dy = node.grad[0];
+    for (float& g : px->grad) g += dy;
+  });
+  float acc = 0.0f;
+  for (float v : x.data()) acc += v;
+  out.data()[0] = acc;
+  return out;
+}
+
+Tensor mean_all(const Tensor& x) {
+  const float inv = 1.0f / static_cast<float>(x.numel());
+  return scale(sum_all(x), inv);
+}
+
+Tensor row_sum(const Tensor& x) {
+  const std::int64_t m = x.rows();
+  const std::int64_t c = x.cols();
+  const bool track = grad_enabled_for({&x});
+  Tensor out = Tensor::make(m, 1, track, {x.ptr()}, [px = x.ptr()](Node& node) {
+    if (!px->requires_grad) return;
+    const std::int64_t c = px->cols;
+    for (std::int64_t i = 0; i < px->rows; ++i) {
+      const float dy = node.grad[i];
+      float* g = px->grad.data() + i * c;
+      for (std::int64_t j = 0; j < c; ++j) g[j] += dy;
+    }
+  });
+  auto xv = x.data();
+  auto ov = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    float acc = 0.0f;
+    for (std::int64_t j = 0; j < c; ++j) acc += xv[i * c + j];
+    ov[i] = acc;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- softmax --
+
+Tensor softmax_rows(const Tensor& x) {
+  const std::int64_t m = x.rows();
+  const std::int64_t c = x.cols();
+  const bool track = grad_enabled_for({&x});
+  Tensor out = Tensor::make(m, c, track, {x.ptr()}, [px = x.ptr()](Node& node) {
+    if (!px->requires_grad) return;
+    const std::int64_t c = node.cols;
+    for (std::int64_t i = 0; i < node.rows; ++i) {
+      const float* s = node.value.data() + i * c;
+      const float* dy = node.grad.data() + i * c;
+      float dot = 0.0f;
+      for (std::int64_t j = 0; j < c; ++j) dot += dy[j] * s[j];
+      float* g = px->grad.data() + i * c;
+      for (std::int64_t j = 0; j < c; ++j) g[j] += s[j] * (dy[j] - dot);
+    }
+  });
+  auto xv = x.data();
+  auto ov = out.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = xv.data() + i * c;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    float* o = ov.data() + i * c;
+    for (std::int64_t j = 0; j < c; ++j) {
+      o[j] = std::exp(row[j] - mx);
+      sum += o[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t j = 0; j < c; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- regularization --
+
+Tensor dropout(const Tensor& x, float p, Rng& rng) {
+  if (p <= 0.0f) return x;
+  if (p >= 1.0f) throw std::invalid_argument("dropout: p must be < 1");
+  const float keep_scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(x.data().size());
+  for (float& m : mask) m = rng.bernoulli(p) ? 0.0f : keep_scale;
+
+  const bool track = grad_enabled_for({&x});
+  Tensor out = Tensor::make(x.rows(), x.cols(), track, {x.ptr()}, [px = x.ptr(), mask](Node& node) {
+    if (!px->requires_grad) return;
+    for (std::size_t i = 0; i < node.grad.size(); ++i) px->grad[i] += node.grad[i] * mask[i];
+  });
+  auto xv = x.data();
+  auto ov = out.data();
+  for (std::size_t i = 0; i < mask.size(); ++i) ov[i] = xv[i] * mask[i];
+  return out;
+}
+
+Tensor batchnorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 std::vector<float>& running_mean, std::vector<float>& running_var,
+                 float momentum, float eps, bool training) {
+  check_rowvec("batchnorm(gamma)", x, gamma);
+  check_rowvec("batchnorm(beta)", x, beta);
+  const std::int64_t m = x.rows();
+  const std::int64_t c = x.cols();
+  if (static_cast<std::int64_t>(running_mean.size()) != c ||
+      static_cast<std::int64_t>(running_var.size()) != c)
+    throw std::invalid_argument("batchnorm: running stats size mismatch");
+
+  std::vector<float> mean(c), invstd(c);
+  auto xv = x.data();
+  if (training) {
+    for (std::int64_t j = 0; j < c; ++j) mean[j] = 0.0f;
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < c; ++j) mean[j] += xv[i * c + j];
+    const float inv_m = 1.0f / static_cast<float>(m);
+    for (std::int64_t j = 0; j < c; ++j) mean[j] *= inv_m;
+    std::vector<float> var(c, 0.0f);
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < c; ++j) {
+        const float d = xv[i * c + j] - mean[j];
+        var[j] += d * d;
+      }
+    for (std::int64_t j = 0; j < c; ++j) {
+      var[j] *= inv_m;
+      invstd[j] = 1.0f / std::sqrt(var[j] + eps);
+      running_mean[j] = (1.0f - momentum) * running_mean[j] + momentum * mean[j];
+      running_var[j] = (1.0f - momentum) * running_var[j] + momentum * var[j];
+    }
+  } else {
+    for (std::int64_t j = 0; j < c; ++j) {
+      mean[j] = running_mean[j];
+      invstd[j] = 1.0f / std::sqrt(running_var[j] + eps);
+    }
+  }
+
+  // xhat saved for backward.
+  std::vector<float> xhat(static_cast<std::size_t>(m * c));
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < c; ++j)
+      xhat[i * c + j] = (xv[i * c + j] - mean[j]) * invstd[j];
+
+  const bool track = grad_enabled_for({&x, &gamma, &beta});
+  Tensor out = Tensor::make(
+      m, c, track, {x.ptr(), gamma.ptr(), beta.ptr()},
+      [px = x.ptr(), pg = gamma.ptr(), pb = beta.ptr(), xhat, invstd, training](Node& node) {
+        const std::int64_t m = node.rows;
+        const std::int64_t c = node.cols;
+        // dgamma / dbeta.
+        for (std::int64_t j = 0; j < c; ++j) {
+          float dg = 0.0f;
+          float db = 0.0f;
+          for (std::int64_t i = 0; i < m; ++i) {
+            dg += node.grad[i * c + j] * xhat[i * c + j];
+            db += node.grad[i * c + j];
+          }
+          if (pg->requires_grad) pg->grad[j] += dg;
+          if (pb->requires_grad) pb->grad[j] += db;
+        }
+        if (!px->requires_grad) return;
+        if (!training) {
+          // Running stats treated as constants.
+          for (std::int64_t i = 0; i < m; ++i)
+            for (std::int64_t j = 0; j < c; ++j)
+              px->grad[i * c + j] += node.grad[i * c + j] * pg->value[j] * invstd[j];
+          return;
+        }
+        // Full backward through batch statistics.
+        const float inv_m = 1.0f / static_cast<float>(m);
+        for (std::int64_t j = 0; j < c; ++j) {
+          float sum_dxhat = 0.0f;
+          float sum_dxhat_xhat = 0.0f;
+          for (std::int64_t i = 0; i < m; ++i) {
+            const float dxhat = node.grad[i * c + j] * pg->value[j];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xhat[i * c + j];
+          }
+          for (std::int64_t i = 0; i < m; ++i) {
+            const float dxhat = node.grad[i * c + j] * pg->value[j];
+            px->grad[i * c + j] +=
+                invstd[j] * (dxhat - inv_m * sum_dxhat - xhat[i * c + j] * inv_m * sum_dxhat_xhat);
+          }
+        }
+      });
+  auto gv = gamma.data();
+  auto bv = beta.data();
+  auto ov = out.data();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = gv[j] * xhat[i * c + j] + bv[j];
+  return out;
+}
+
+// ----------------------------------------------------------------- losses --
+
+Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
+  check_same_shape("bce_with_logits", logits, targets);
+  const std::int64_t n = logits.numel();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const bool track = grad_enabled_for({&logits});
+  Tensor out = Tensor::make(
+      1, 1, track, {logits.ptr(), targets.ptr()},
+      [pl = logits.ptr(), pt = targets.ptr(), inv_n](Node& node) {
+        if (!pl->requires_grad) return;
+        const float dy = node.grad[0];
+        for (std::size_t i = 0; i < pl->value.size(); ++i) {
+          const float z = pl->value[i];
+          const float s = z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                                    : std::exp(z) / (1.0f + std::exp(z));
+          pl->grad[i] += dy * inv_n * (s - pt->value[i]);
+        }
+      });
+  float loss = 0.0f;
+  auto lv = logits.data();
+  auto tv = targets.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float z = lv[i];
+    const float y = tv[i];
+    // max(z,0) - z*y + log(1 + exp(-|z|))
+    loss += std::max(z, 0.0f) - z * y + std::log1p(std::exp(-std::fabs(z)));
+  }
+  out.data()[0] = loss * inv_n;
+  return out;
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  check_same_shape("mse_loss", pred, target);
+  const std::int64_t n = pred.numel();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const bool track = grad_enabled_for({&pred});
+  Tensor out = Tensor::make(
+      1, 1, track, {pred.ptr(), target.ptr()},
+      [pp = pred.ptr(), pt = target.ptr(), inv_n](Node& node) {
+        if (!pp->requires_grad) return;
+        const float dy = node.grad[0];
+        for (std::size_t i = 0; i < pp->value.size(); ++i)
+          pp->grad[i] += dy * inv_n * 2.0f * (pp->value[i] - pt->value[i]);
+      });
+  float loss = 0.0f;
+  auto pv = pred.data();
+  auto tv = target.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float d = pv[i] - tv[i];
+    loss += d * d;
+  }
+  out.data()[0] = loss * inv_n;
+  return out;
+}
+
+Tensor l1_loss(const Tensor& pred, const Tensor& target) {
+  check_same_shape("l1_loss", pred, target);
+  const std::int64_t n = pred.numel();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  const bool track = grad_enabled_for({&pred});
+  Tensor out = Tensor::make(
+      1, 1, track, {pred.ptr(), target.ptr()},
+      [pp = pred.ptr(), pt = target.ptr(), inv_n](Node& node) {
+        if (!pp->requires_grad) return;
+        const float dy = node.grad[0];
+        for (std::size_t i = 0; i < pp->value.size(); ++i) {
+          const float d = pp->value[i] - pt->value[i];
+          pp->grad[i] += dy * inv_n * (d >= 0.0f ? 1.0f : -1.0f);
+        }
+      });
+  float loss = 0.0f;
+  auto pv = pred.data();
+  auto tv = target.data();
+  for (std::int64_t i = 0; i < n; ++i) loss += std::fabs(pv[i] - tv[i]);
+  out.data()[0] = loss * inv_n;
+  return out;
+}
+
+Tensor softmax_cross_entropy(const Tensor& logits, const std::vector<std::int32_t>& labels) {
+  const std::int64_t m = logits.rows();
+  const std::int64_t k = logits.cols();
+  if (static_cast<std::int64_t>(labels.size()) != m)
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  for (std::int32_t l : labels) {
+    if (l < 0 || l >= k)
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+  }
+  // Precompute softmax for both forward and backward.
+  std::vector<float> probs(static_cast<std::size_t>(m * k));
+  auto lv = logits.data();
+  float loss = 0.0f;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* row = lv.data() + i * k;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < k; ++j) {
+      probs[i * k + j] = std::exp(row[j] - mx);
+      sum += probs[i * k + j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t j = 0; j < k; ++j) probs[i * k + j] *= inv;
+    loss -= std::log(std::max(probs[i * k + labels[i]], 1e-12f));
+  }
+  const float inv_m = 1.0f / static_cast<float>(m);
+  const bool track = grad_enabled_for({&logits});
+  Tensor out = Tensor::make(1, 1, track, {logits.ptr()},
+                            [pl = logits.ptr(), probs, labels, inv_m](Node& node) {
+                              if (!pl->requires_grad) return;
+                              const float dy = node.grad[0];
+                              const std::int64_t k = pl->cols;
+                              for (std::int64_t i = 0; i < pl->rows; ++i) {
+                                for (std::int64_t j = 0; j < k; ++j) {
+                                  float g = probs[i * k + j];
+                                  if (j == labels[i]) g -= 1.0f;
+                                  pl->grad[i * k + j] += dy * inv_m * g;
+                                }
+                              }
+                            });
+  out.data()[0] = loss * inv_m;
+  return out;
+}
+
+}  // namespace cgps::ops

@@ -1,0 +1,149 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace cgps {
+
+namespace {
+thread_local bool g_inference_mode = false;
+}
+
+InferenceGuard::InferenceGuard() : previous_(g_inference_mode) { g_inference_mode = true; }
+InferenceGuard::~InferenceGuard() { g_inference_mode = previous_; }
+bool InferenceGuard::active() { return g_inference_mode; }
+
+bool grad_enabled_for(std::initializer_list<const Tensor*> inputs) {
+  if (g_inference_mode) return false;
+  for (const Tensor* t : inputs) {
+    if (t && t->defined() && t->requires_grad()) return true;
+  }
+  return false;
+}
+
+Tensor Tensor::zeros(std::int64_t rows, std::int64_t cols, bool requires_grad) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("Tensor::zeros: negative shape");
+  Tensor t;
+  t.node_ = std::make_shared<detail::Node>();
+  t.node_->rows = rows;
+  t.node_->cols = cols;
+  t.node_->value.assign(static_cast<std::size_t>(rows * cols), 0.0f);
+  t.node_->requires_grad = requires_grad;
+  return t;
+}
+
+Tensor Tensor::full(std::int64_t rows, std::int64_t cols, float value, bool requires_grad) {
+  Tensor t = zeros(rows, cols, requires_grad);
+  for (float& v : t.node_->value) v = value;
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<float> data, std::int64_t rows, std::int64_t cols,
+                           bool requires_grad) {
+  if (static_cast<std::int64_t>(data.size()) != rows * cols)
+    throw std::invalid_argument("Tensor::from_vector: size mismatch");
+  Tensor t;
+  t.node_ = std::make_shared<detail::Node>();
+  t.node_->rows = rows;
+  t.node_->cols = cols;
+  t.node_->value = std::move(data);
+  t.node_->requires_grad = requires_grad;
+  return t;
+}
+
+Tensor Tensor::scalar(float value, bool requires_grad) {
+  return from_vector({value}, 1, 1, requires_grad);
+}
+
+Tensor Tensor::kaiming_uniform(std::int64_t rows, std::int64_t cols, Rng& rng) {
+  Tensor t = zeros(rows, cols, /*requires_grad=*/true);
+  const float bound = std::sqrt(6.0f / static_cast<float>(rows));
+  for (float& v : t.node_->value) v = static_cast<float>(rng.uniform(-bound, bound));
+  return t;
+}
+
+Tensor Tensor::randn(std::int64_t rows, std::int64_t cols, float stddev, Rng& rng,
+                     bool requires_grad) {
+  Tensor t = zeros(rows, cols, requires_grad);
+  for (float& v : t.node_->value) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+std::span<float> Tensor::grad() {
+  node().ensure_grad();
+  return node().grad;
+}
+
+std::span<const float> Tensor::grad() const {
+  const_cast<detail::Node&>(node()).ensure_grad();
+  return node().grad;
+}
+
+float Tensor::item() const {
+  if (numel() != 1) throw std::logic_error("Tensor::item: tensor is not a scalar");
+  return node().value[0];
+}
+
+void Tensor::zero_grad() {
+  auto& n = node();
+  if (!n.grad.empty()) std::fill(n.grad.begin(), n.grad.end(), 0.0f);
+}
+
+Tensor Tensor::make(std::int64_t rows, std::int64_t cols, bool track,
+                    std::vector<std::shared_ptr<detail::Node>> parents,
+                    std::function<void(detail::Node&)> backward) {
+  Tensor t = zeros(rows, cols, /*requires_grad=*/track);
+  if (track) {
+    t.node_->parents = std::move(parents);
+    t.node_->backward = std::move(backward);
+  }
+  return t;
+}
+
+void Tensor::backward() {
+  if (numel() != 1)
+    throw std::logic_error("Tensor::backward: only scalar outputs supported");
+  auto& root = node();
+  if (!root.requires_grad)
+    throw std::logic_error("Tensor::backward: output does not require grad");
+
+  // Iterative post-order DFS for a reverse-topological ordering.
+  std::vector<detail::Node*> order;
+  std::unordered_set<detail::Node*> visited;
+  struct Frame {
+    detail::Node* node;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({&root, 0});
+  visited.insert(&root);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < f.node->parents.size()) {
+      detail::Node* child = f.node->parents[f.next_child++].get();
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  root.ensure_grad();
+  root.grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    detail::Node* n = *it;
+    if (n->backward) {
+      n->ensure_grad();
+      for (const auto& p : n->parents) {
+        if (p->requires_grad) p->ensure_grad();
+      }
+      n->backward(*n);
+    }
+  }
+}
+
+}  // namespace cgps

@@ -1,0 +1,132 @@
+// A small dense 2-D float tensor with reverse-mode automatic
+// differentiation.
+//
+// This is the substrate that replaces PyTorch in this reproduction. Design
+// choices, scoped to what CircuitGPS actually needs:
+//   * All tensors are 2-D (rows x cols), row-major. Column vectors are
+//     (n, 1), row vectors (1, n), scalars (1, 1).
+//   * `Tensor` has shared-pointer semantics over a `Node` that owns the
+//     value buffer, the (lazily allocated) gradient buffer, and the autograd
+//     edges. Copying a Tensor aliases the same node, like torch.Tensor.
+//   * Ops (see ops.hpp) build a dynamic tape: each result node keeps its
+//     parents plus a backward closure. `Tensor::backward()` runs a reverse
+//     topological sweep from a scalar loss.
+//   * Graph construction is suppressed when no input requires gradients or
+//     when an `InferenceGuard` is active, so evaluation allocates nothing
+//     beyond the results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cgps {
+
+class Rng;
+
+namespace detail {
+
+struct Node {
+  std::vector<float> value;
+  std::vector<float> grad;  // empty until needed; same size as value when live
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  // Reads this->grad and accumulates into parents' grads.
+  std::function<void(Node&)> backward;
+
+  std::int64_t numel() const { return rows * cols; }
+  void ensure_grad() {
+    if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+  }
+};
+
+}  // namespace detail
+
+// RAII guard that disables autograd tape construction (inference mode).
+class InferenceGuard {
+ public:
+  InferenceGuard();
+  ~InferenceGuard();
+  InferenceGuard(const InferenceGuard&) = delete;
+  InferenceGuard& operator=(const InferenceGuard&) = delete;
+
+  static bool active();
+
+ private:
+  bool previous_;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;  // null tensor
+
+  // ---- Factories -----------------------------------------------------
+  static Tensor zeros(std::int64_t rows, std::int64_t cols, bool requires_grad = false);
+  static Tensor full(std::int64_t rows, std::int64_t cols, float value,
+                     bool requires_grad = false);
+  static Tensor from_vector(std::vector<float> data, std::int64_t rows, std::int64_t cols,
+                            bool requires_grad = false);
+  static Tensor scalar(float value, bool requires_grad = false);
+  // Kaiming-uniform init for weight matrices (fan_in = rows).
+  static Tensor kaiming_uniform(std::int64_t rows, std::int64_t cols, Rng& rng);
+  // Normal(0, stddev) init.
+  static Tensor randn(std::int64_t rows, std::int64_t cols, float stddev, Rng& rng,
+                      bool requires_grad = false);
+
+  // ---- Introspection --------------------------------------------------
+  bool defined() const { return node_ != nullptr; }
+  std::int64_t rows() const { return node().rows; }
+  std::int64_t cols() const { return node().cols; }
+  std::int64_t numel() const { return node().numel(); }
+  bool requires_grad() const { return node().requires_grad; }
+  void set_requires_grad(bool v) { node().requires_grad = v; }
+
+  std::span<float> data() { return node().value; }
+  std::span<const float> data() const { return node().value; }
+  std::span<float> grad();
+  std::span<const float> grad() const;
+
+  float at(std::int64_t r, std::int64_t c) const { return node().value[r * cols() + c]; }
+  float& at(std::int64_t r, std::int64_t c) { return node().value[r * cols() + c]; }
+  float item() const;
+
+  // ---- Autograd --------------------------------------------------------
+  // Run backprop from this tensor. Must be a (1,1) scalar unless a custom
+  // seed gradient is supplied.
+  void backward();
+  void zero_grad();
+
+  // ---- Internal (used by ops) ------------------------------------------
+  detail::Node& node() {
+    check();
+    return *node_;
+  }
+  const detail::Node& node() const {
+    check();
+    return *node_;
+  }
+  const std::shared_ptr<detail::Node>& ptr() const { return node_; }
+
+  // Create a fresh result node. `track` decides whether autograd edges are
+  // recorded (callers pass "any parent requires grad && !InferenceGuard").
+  static Tensor make(std::int64_t rows, std::int64_t cols, bool track,
+                     std::vector<std::shared_ptr<detail::Node>> parents,
+                     std::function<void(detail::Node&)> backward);
+
+ private:
+  void check() const {
+    if (!node_) throw std::logic_error("Tensor: use of undefined tensor");
+  }
+  std::shared_ptr<detail::Node> node_;
+};
+
+// True when a backward pass should be recorded for the given inputs.
+bool grad_enabled_for(std::initializer_list<const Tensor*> inputs);
+
+}  // namespace cgps

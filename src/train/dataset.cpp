@@ -1,0 +1,51 @@
+#include "train/dataset.hpp"
+
+#include <cmath>
+
+#include "netlist/hierarchy.hpp"
+
+namespace cgps {
+
+float normalize_cap(double farads) {
+  if (farads <= kCapWindowLo) return 0.0f;
+  const double clipped = std::min(farads, kCapWindowHi);
+  const double span = std::log10(kCapWindowHi) - std::log10(kCapWindowLo);
+  return static_cast<float>((std::log10(clipped) - std::log10(kCapWindowLo)) / span);
+}
+
+double denormalize_cap(float normalized) {
+  if (normalized <= 0.0f) return 0.0;
+  const double span = std::log10(kCapWindowHi) - std::log10(kCapWindowLo);
+  return std::pow(10.0, std::log10(kCapWindowLo) +
+                            span * std::min(1.0, static_cast<double>(normalized)));
+}
+
+CircuitDataset build_dataset(gen::DatasetId id, const DatasetOptions& options) {
+  CircuitDataset ds;
+  ds.name = gen::dataset_name(id);
+  ds.is_train = gen::dataset_is_train(id);
+
+  const Design design = gen::make_design(id, options.design_scale);
+  ds.netlist = flatten(design);
+  ds.graph = build_circuit_graph(ds.netlist);
+
+  PlacerOptions placer = options.placer;
+  placer.seed = options.seed ^ static_cast<std::uint64_t>(id);
+  ds.placement = place(ds.netlist, placer);
+  ds.extraction = extract_parasitics(ds.netlist, ds.placement, options.extraction);
+
+  if (options.via_spf) {
+    // Round-trip the ground truth through the SPF format (the artifact the
+    // paper's flow reads labels from).
+    const std::string spf = write_spf(ds.netlist, ds.extraction);
+    ds.extraction = parse_spf(spf, ds.netlist);
+  }
+
+  Rng rng(options.seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(id));
+  ds.link_samples = build_link_samples(ds.graph, ds.extraction.links, rng, options.link_options);
+  ds.node_samples = build_node_samples(ds.graph, ds.extraction, rng, options.max_node_samples);
+  ds.link_graph = build_link_graph(ds.graph, ds.link_samples, options.inject_negative_links);
+  return ds;
+}
+
+}  // namespace cgps

@@ -1,0 +1,29 @@
+// Disk caching for built datasets.
+//
+// Generation is deterministic but not free (placement + extraction of a
+// 130K-node design takes seconds); benches and repeated experiments reuse
+// the same datasets constantly. The cache serializes the expensive products
+// (netlist, extraction, sampled targets) and rebuilds the cheap derived
+// state (graph, placement, injected link graph) on load. Cache keys hash the
+// full DatasetOptions, so changing any knob invalidates cleanly.
+#pragma once
+
+#include <string>
+
+#include "train/dataset.hpp"
+
+namespace cgps {
+
+void save_dataset(const CircuitDataset& ds, const std::string& path);
+CircuitDataset load_dataset(const std::string& path, const DatasetOptions& options);
+
+// Cache key (stable across runs) for a (design, options) pair.
+std::string dataset_cache_key(gen::DatasetId id, const DatasetOptions& options);
+
+// Build the dataset, or load it from `cache_dir` when an entry for the same
+// (design, options) exists; stores new builds. Falls back to a plain build
+// if the directory is not writable.
+CircuitDataset build_dataset_cached(gen::DatasetId id, const DatasetOptions& options,
+                                    const std::string& cache_dir);
+
+}  // namespace cgps

@@ -1,0 +1,101 @@
+#include "train/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cgps {
+
+BinaryMetrics binary_metrics(const std::vector<float>& scores,
+                             const std::vector<float>& labels) {
+  if (scores.size() != labels.size() || scores.empty())
+    throw std::invalid_argument("binary_metrics: size mismatch or empty");
+  const std::size_t n = scores.size();
+
+  std::int64_t tp = 0, tn = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool predicted = scores[i] >= 0.5f;
+    const bool actual = labels[i] >= 0.5f;
+    if (predicted && actual) ++tp;
+    else if (predicted && !actual) ++fp;
+    else if (!predicted && actual) ++fn;
+    else ++tn;
+  }
+  BinaryMetrics m;
+  m.accuracy = static_cast<double>(tp + tn) / static_cast<double>(n);
+  const double precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  const double recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  m.f1 = precision + recall > 0 ? 2.0 * precision * recall / (precision + recall) : 0.0;
+
+  // AUC via average ranks.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + j) + 1.0;  // 1-based
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  std::int64_t n_pos = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (labels[k] >= 0.5f) {
+      pos_rank_sum += rank[k];
+      ++n_pos;
+    }
+  }
+  const std::int64_t n_neg = static_cast<std::int64_t>(n) - n_pos;
+  if (n_pos == 0 || n_neg == 0) {
+    m.auc = 0.5;
+  } else {
+    m.auc = (pos_rank_sum - 0.5 * static_cast<double>(n_pos) * (n_pos + 1)) /
+            (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+  }
+  return m;
+}
+
+RegressionMetrics regression_metrics(const std::vector<float>& predictions,
+                                     const std::vector<float>& targets) {
+  if (predictions.size() != targets.size() || predictions.empty())
+    throw std::invalid_argument("regression_metrics: size mismatch or empty");
+  const std::size_t n = predictions.size();
+  double abs_sum = 0.0, sq_sum = 0.0, target_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(predictions[i]) - targets[i];
+    abs_sum += std::fabs(d);
+    sq_sum += d * d;
+    target_sum += targets[i];
+  }
+  const double mean_target = target_sum / static_cast<double>(n);
+  double var_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = targets[i] - mean_target;
+    var_sum += d * d;
+  }
+  RegressionMetrics m;
+  m.mae = abs_sum / static_cast<double>(n);
+  m.rmse = std::sqrt(sq_sum / static_cast<double>(n));
+  m.r2 = var_sum > 0.0 ? 1.0 - sq_sum / var_sum : 0.0;
+  return m;
+}
+
+double mape(const std::vector<double>& predictions, const std::vector<double>& targets) {
+  if (predictions.size() != targets.size() || predictions.empty())
+    throw std::invalid_argument("mape: size mismatch or empty");
+  double total = 0.0;
+  std::int64_t count = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (targets[i] <= 0.0) continue;
+    total += std::fabs(predictions[i] - targets[i]) / targets[i];
+    ++count;
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace cgps

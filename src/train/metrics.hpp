@@ -1,0 +1,33 @@
+// Evaluation metrics reported in the paper's tables: Acc/F1/AUC for link
+// prediction, MAE/RMSE/R^2 for regression, MAPE for the energy study.
+#pragma once
+
+#include <vector>
+
+namespace cgps {
+
+struct BinaryMetrics {
+  double accuracy = 0.0;
+  double f1 = 0.0;
+  double auc = 0.0;
+};
+
+// `scores` are probabilities (or any monotone score for AUC); labels in
+// {0, 1}. Accuracy/F1 threshold at 0.5. AUC is the Mann-Whitney rank
+// statistic with average-rank tie handling.
+BinaryMetrics binary_metrics(const std::vector<float>& scores,
+                             const std::vector<float>& labels);
+
+struct RegressionMetrics {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double r2 = 0.0;
+};
+
+RegressionMetrics regression_metrics(const std::vector<float>& predictions,
+                                     const std::vector<float>& targets);
+
+// Mean absolute percentage error over strictly positive targets.
+double mape(const std::vector<double>& predictions, const std::vector<double>& targets);
+
+}  // namespace cgps

@@ -1,0 +1,33 @@
+#include "train/model_io.hpp"
+
+#include <stdexcept>
+
+#include "train/config_io.hpp"
+#include "util/serialize.hpp"
+
+namespace cgps {
+
+namespace {
+constexpr std::uint32_t kBundleMagic = 0x43474D42;  // "CGMB"
+}
+
+void save_model_bundle(const CircuitGps& model, const std::string& path) {
+  BinaryWriter writer(path);
+  writer.write_u32(kBundleMagic);
+  ExperimentConfig wrapper;
+  wrapper.gps = model.config();
+  writer.write_string(to_config_text(wrapper));
+  nn::save_checkpoint(model, writer);
+}
+
+std::unique_ptr<CircuitGps> load_model_bundle(const std::string& path) {
+  BinaryReader reader(path);
+  if (reader.read_u32() != kBundleMagic)
+    throw std::runtime_error("load_model_bundle: bad magic in " + path);
+  const ExperimentConfig config = parse_experiment_config(reader.read_string());
+  auto model = std::make_unique<CircuitGps>(config.gps);
+  nn::load_checkpoint(*model, reader);
+  return model;
+}
+
+}  // namespace cgps

@@ -1,0 +1,20 @@
+// Self-describing model bundles: a CircuitGPS checkpoint stored together
+// with its architecture configuration, so a saved meta-learner can be
+// reloaded (e.g. for later fine-tuning on a new design) without out-of-band
+// knowledge of its hyperparameters.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "gps/model.hpp"
+
+namespace cgps {
+
+void save_model_bundle(const CircuitGps& model, const std::string& path);
+
+// Reconstructs the model from the embedded config and loads the weights.
+// Throws std::runtime_error on magic/format mismatch.
+std::unique_ptr<CircuitGps> load_model_bundle(const std::string& path);
+
+}  // namespace cgps

@@ -1,0 +1,80 @@
+#include "train/task_data.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cgps {
+
+namespace {
+
+std::vector<std::size_t> pick(std::size_t available, std::int64_t max_samples, Rng& rng) {
+  std::vector<std::size_t> idx(available);
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  if (max_samples >= 0 && static_cast<std::int64_t>(idx.size()) > max_samples)
+    idx.resize(static_cast<std::size_t>(max_samples));
+  return idx;
+}
+
+}  // namespace
+
+TaskData TaskData::for_links(const CircuitDataset& ds, const SubgraphOptions& options,
+                             std::int64_t max_samples, Rng& rng) {
+  TaskData data;
+  data.graph = &ds.graph;
+  const auto idx = pick(ds.link_samples.size(), max_samples, rng);
+  data.subgraphs.reserve(idx.size());
+  data.labels.reserve(idx.size());
+  data.targets.reserve(idx.size());
+  for (std::size_t i : idx) {
+    const LinkSample& s = ds.link_samples[i];
+    data.subgraphs.push_back(
+        extract_enclosing_subgraph(ds.link_graph, s.node_a, s.node_b, options));
+    data.labels.push_back(s.label);
+    data.targets.push_back(normalize_cap(s.cap));
+  }
+  return data;
+}
+
+TaskData TaskData::for_edge_regression(const CircuitDataset& ds,
+                                       const SubgraphOptions& options,
+                                       std::int64_t max_samples, Rng& rng) {
+  // Positive links only, with in-window capacitance.
+  std::vector<std::size_t> positives;
+  for (std::size_t i = 0; i < ds.link_samples.size(); ++i) {
+    const LinkSample& s = ds.link_samples[i];
+    if (s.label >= 0.5f && s.cap > kCapWindowLo) positives.push_back(i);
+  }
+  rng.shuffle(positives);
+  if (max_samples >= 0 && static_cast<std::int64_t>(positives.size()) > max_samples)
+    positives.resize(static_cast<std::size_t>(max_samples));
+
+  TaskData data;
+  data.graph = &ds.graph;
+  data.subgraphs.reserve(positives.size());
+  data.targets.reserve(positives.size());
+  for (std::size_t i : positives) {
+    const LinkSample& s = ds.link_samples[i];
+    data.subgraphs.push_back(
+        extract_enclosing_subgraph(ds.link_graph, s.node_a, s.node_b, options));
+    data.targets.push_back(normalize_cap(s.cap));
+  }
+  return data;
+}
+
+TaskData TaskData::for_nodes(const CircuitDataset& ds, const SubgraphOptions& options,
+                             std::int64_t max_samples, Rng& rng) {
+  TaskData data;
+  data.graph = &ds.graph;
+  const auto idx = pick(ds.node_samples.size(), max_samples, rng);
+  data.subgraphs.reserve(idx.size());
+  data.targets.reserve(idx.size());
+  for (std::size_t i : idx) {
+    const NodeSample& s = ds.node_samples[i];
+    data.subgraphs.push_back(extract_enclosing_subgraph(ds.link_graph, s.node, -1, options));
+    data.targets.push_back(normalize_cap(s.cap));
+  }
+  return data;
+}
+
+}  // namespace cgps

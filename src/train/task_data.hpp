@@ -1,0 +1,43 @@
+// Pre-extracted subgraph task datasets for the three paper tasks.
+//
+// Subgraph extraction is decoupled from training (paper §III-B: sampling
+// converts each target into a self-contained subgraph, which is what makes
+// few-shot/zero-shot transfer across designs possible). A TaskData owns the
+// extracted subgraphs plus aligned label/target vectors and remembers which
+// circuit graph its X_C rows come from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/subgraph.hpp"
+#include "train/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace cgps {
+
+struct TaskData {
+  const CircuitGraph* graph = nullptr;  // X_C source
+  std::vector<Subgraph> subgraphs;
+  std::vector<float> labels;   // link existence (1/0); empty for node task
+  std::vector<float> targets;  // normalized capacitance in [0, 1]
+
+  std::int64_t size() const { return static_cast<std::int64_t>(subgraphs.size()); }
+
+  // Link prediction / pre-training: positives and negatives, labels filled,
+  // targets = normalized coupling cap (0 for negatives).
+  static TaskData for_links(const CircuitDataset& ds, const SubgraphOptions& options,
+                            std::int64_t max_samples, Rng& rng);
+
+  // Edge regression: positive links only (paper keeps couplings within the
+  // capacitance window), targets = normalized cap.
+  static TaskData for_edge_regression(const CircuitDataset& ds, const SubgraphOptions& options,
+                                      std::int64_t max_samples, Rng& rng);
+
+  // Node regression: single-anchor subgraphs (paper uses 2 hops), targets =
+  // normalized ground cap.
+  static TaskData for_nodes(const CircuitDataset& ds, const SubgraphOptions& options,
+                            std::int64_t max_samples, Rng& rng);
+};
+
+}  // namespace cgps

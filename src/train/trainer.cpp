@@ -1,0 +1,258 @@
+#include "train/trainer.hpp"
+
+#include <cmath>
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "tensor/optim.hpp"
+#include "tensor/ops.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace cgps {
+
+BatchOptions batch_options_for(const GpsConfig& config) {
+  BatchOptions options;
+  options.pe = config.pe;
+  options.rwse_steps = config.rwse_steps;
+  options.lappe_k = config.lappe_k;
+  return options;
+}
+
+XcNormalizer fit_normalizer(std::span<const TaskData* const> train) {
+  XcNormalizer normalizer;
+  for (const TaskData* task : train) {
+    for (const Subgraph& sg : task->subgraphs)
+      normalizer.fit_rows(task->graph->xc, sg.orig_nodes);
+  }
+  return normalizer;
+}
+
+namespace {
+
+// One (task, sample-range) unit of work per step; single-task batches keep
+// the X_C source unambiguous.
+struct BatchRef {
+  std::size_t task;
+  std::size_t begin;
+  std::size_t end;
+};
+
+std::vector<BatchRef> plan_epoch(std::span<const TaskData* const> tasks,
+                                 std::vector<std::vector<std::size_t>>& order, int batch_size,
+                                 Rng& rng) {
+  std::vector<BatchRef> plan;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    rng.shuffle(order[t]);
+    const std::size_t n = order[t].size();
+    for (std::size_t start = 0; start < n; start += static_cast<std::size_t>(batch_size)) {
+      plan.push_back({t, start, std::min(n, start + static_cast<std::size_t>(batch_size))});
+    }
+  }
+  rng.shuffle(plan);
+  return plan;
+}
+
+struct MiniBatch {
+  SubgraphBatch batch;
+  std::vector<float> values;  // labels or targets, one per graph
+};
+
+MiniBatch gather_batch(const TaskData& task, const std::vector<std::size_t>& order,
+                       std::size_t begin, std::size_t end, bool use_labels,
+                       const XcNormalizer& normalizer, const BatchOptions& options) {
+  MiniBatch mb;
+  std::vector<const Subgraph*> refs;
+  refs.reserve(end - begin);
+  for (std::size_t k = begin; k < end; ++k) {
+    const std::size_t i = order[k];
+    refs.push_back(&task.subgraphs[i]);
+    mb.values.push_back(use_labels ? task.labels[i] : task.targets[i]);
+  }
+  mb.batch = make_batch(refs, task.graph->xc, normalizer, options);
+  return mb;
+}
+
+// Snapshot/restore of all parameter and buffer values (for best-epoch
+// restoration under early stopping).
+struct ModelSnapshot {
+  std::vector<std::vector<float>> params;
+  std::vector<std::vector<float>> buffers;
+
+  static ModelSnapshot capture(const CircuitGps& model) {
+    ModelSnapshot snap;
+    for (const auto& [name, p] : model.named_parameters())
+      snap.params.emplace_back(p.data().begin(), p.data().end());
+    for (const auto& [name, b] : model.named_buffers()) snap.buffers.push_back(*b);
+    return snap;
+  }
+  void restore(CircuitGps& model) const {
+    std::size_t i = 0;
+    for (auto& [name, p] : model.named_parameters()) {
+      std::copy(params[i].begin(), params[i].end(), p.data().begin());
+      ++i;
+    }
+    i = 0;
+    for (auto& [name, b] : model.named_buffers()) *b = buffers[i++];
+  }
+};
+
+std::vector<float> run_inference(CircuitGps& model, const XcNormalizer& normalizer,
+                                 const TaskData& test, int batch_size, bool link_task);
+
+double validation_score(CircuitGps& model, const XcNormalizer& normalizer,
+                        const TaskData& validation, bool link_task) {
+  const std::vector<float> out = run_inference(model, normalizer, validation, 64, link_task);
+  if (link_task) return binary_metrics(out, validation.labels).auc;
+  return -regression_metrics(out, validation.targets).mae;
+}
+
+TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
+                        std::span<const TaskData* const> train, const TaskData* validation,
+                        const TrainOptions& options, bool link_task) {
+  const BatchOptions batch_options = batch_options_for(model.config());
+  Adam optimizer(model.trainable_parameters(), options.lr, 0.9f, 0.999f, 1e-8f,
+                 options.weight_decay);
+  Rng rng(model.config().seed ^ 0xA5A5A5A5ULL);
+
+  std::vector<std::vector<std::size_t>> order(train.size());
+  for (std::size_t t = 0; t < train.size(); ++t) {
+    order[t].resize(static_cast<std::size_t>(train[t]->size()));
+    std::iota(order[t].begin(), order[t].end(), 0);
+  }
+
+  TrainStats stats;
+  stats.best_validation = std::numeric_limits<double>::quiet_NaN();
+  ModelSnapshot best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  int since_best = 0;
+  const bool early_stopping = validation != nullptr && options.early_stop_patience > 0;
+
+  model.set_training(true);
+  Stopwatch timer;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    model.set_training(true);
+    if (options.lr_schedule == LrSchedule::kCosine && options.epochs > 1) {
+      const double progress = static_cast<double>(epoch) / (options.epochs - 1);
+      const double floor_lr = options.lr / 20.0;
+      optimizer.set_lr(static_cast<float>(
+          floor_lr + 0.5 * (options.lr - floor_lr) * (1.0 + std::cos(progress * 3.14159265))));
+    }
+    double loss_sum = 0.0;
+    std::int64_t batches = 0;
+    for (const BatchRef& ref : plan_epoch(train, order, options.batch_size, rng)) {
+      MiniBatch mb = gather_batch(*train[ref.task], order[ref.task], ref.begin, ref.end,
+                                  link_task, normalizer, batch_options);
+      Tensor out = model.forward(mb.batch);
+      Tensor target = Tensor::from_vector(std::move(mb.values),
+                                          out.rows(), 1);
+      Tensor loss;
+      if (link_task) {
+        loss = ops::bce_with_logits(out, target);
+      } else if (options.target_weight_alpha > 0.0f) {
+        std::vector<float> weights(static_cast<std::size_t>(out.rows()));
+        for (std::int64_t i = 0; i < out.rows(); ++i)
+          weights[static_cast<std::size_t>(i)] =
+              1.0f + options.target_weight_alpha * target.at(i, 0);
+        Tensor w = Tensor::from_vector(std::move(weights), out.rows(), 1);
+        loss = ops::mean_all(ops::mul(w, ops::square(ops::sub(out, target))));
+      } else {
+        loss = ops::mse_loss(out, target);
+      }
+      optimizer.zero_grad();
+      loss.backward();
+      optimizer.clip_grad_norm(options.grad_clip);
+      optimizer.step();
+      loss_sum += loss.item();
+      ++batches;
+    }
+    if (options.verbose) {
+      log_info("epoch ", epoch, " loss ", batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0);
+    }
+    stats.epochs_run = epoch + 1;
+    if (validation != nullptr) {
+      const double score = validation_score(model, normalizer, *validation, link_task);
+      if (score > best_score) {
+        best_score = score;
+        stats.best_validation = score;
+        since_best = 0;
+        if (early_stopping) best = ModelSnapshot::capture(model);
+      } else if (early_stopping && ++since_best >= options.early_stop_patience) {
+        break;
+      }
+    }
+  }
+  if (early_stopping && !best.params.empty()) best.restore(model);
+  model.set_training(false);
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+std::vector<float> run_inference(CircuitGps& model, const XcNormalizer& normalizer,
+                                 const TaskData& test, int batch_size, bool link_task) {
+  const BatchOptions batch_options = batch_options_for(model.config());
+  model.set_training(false);
+  InferenceGuard guard;
+
+  std::vector<float> scores;
+  scores.reserve(static_cast<std::size_t>(test.size()));
+  const std::size_t n = static_cast<std::size_t>(test.size());
+  for (std::size_t start = 0; start < n; start += static_cast<std::size_t>(batch_size)) {
+    const std::size_t end = std::min(n, start + static_cast<std::size_t>(batch_size));
+    std::vector<const Subgraph*> refs;
+    for (std::size_t i = start; i < end; ++i) refs.push_back(&test.subgraphs[i]);
+    const SubgraphBatch batch = make_batch(refs, test.graph->xc, normalizer, batch_options);
+    Tensor out = model.forward(batch);
+    if (link_task) out = ops::sigmoid(out);
+    for (float v : out.data())
+      scores.push_back(link_task ? v : std::clamp(v, 0.0f, 1.0f));
+  }
+  return scores;
+}
+
+}  // namespace
+
+double train_link_prediction(CircuitGps& model, const XcNormalizer& normalizer,
+                             std::span<const TaskData* const> train,
+                             const TrainOptions& options) {
+  return run_training(model, normalizer, train, nullptr, options, /*link_task=*/true).seconds;
+}
+
+double train_regression(CircuitGps& model, const XcNormalizer& normalizer,
+                        std::span<const TaskData* const> train, const TrainOptions& options) {
+  return run_training(model, normalizer, train, nullptr, options, /*link_task=*/false).seconds;
+}
+
+TrainStats train_link_prediction_ex(CircuitGps& model, const XcNormalizer& normalizer,
+                                    std::span<const TaskData* const> train,
+                                    const TaskData* validation, const TrainOptions& options) {
+  return run_training(model, normalizer, train, validation, options, /*link_task=*/true);
+}
+
+TrainStats train_regression_ex(CircuitGps& model, const XcNormalizer& normalizer,
+                               std::span<const TaskData* const> train,
+                               const TaskData* validation, const TrainOptions& options) {
+  return run_training(model, normalizer, train, validation, options, /*link_task=*/false);
+}
+
+BinaryMetrics evaluate_link_prediction(CircuitGps& model, const XcNormalizer& normalizer,
+                                       const TaskData& test, int batch_size) {
+  const std::vector<float> scores =
+      run_inference(model, normalizer, test, batch_size, /*link_task=*/true);
+  return binary_metrics(scores, test.labels);
+}
+
+RegressionMetrics evaluate_regression(CircuitGps& model, const XcNormalizer& normalizer,
+                                      const TaskData& test, int batch_size) {
+  const std::vector<float> preds =
+      run_inference(model, normalizer, test, batch_size, /*link_task=*/false);
+  return regression_metrics(preds, test.targets);
+}
+
+std::vector<float> predict_regression(CircuitGps& model, const XcNormalizer& normalizer,
+                                      const TaskData& test, int batch_size) {
+  return run_inference(model, normalizer, test, batch_size, /*link_task=*/false);
+}
+
+}  // namespace cgps

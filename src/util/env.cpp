@@ -1,0 +1,27 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace cgps {
+
+double bench_scale() {
+  static const double scale = [] {
+    if (const char* env = std::getenv("CIRCUITGPS_SCALE")) {
+      try {
+        const double v = std::stod(env);
+        if (v > 0) return v;
+      } catch (...) {
+      }
+    }
+    return 1.0;
+  }();
+  return scale;
+}
+
+int scaled(int base, int min_value) {
+  return std::max(min_value, static_cast<int>(base * bench_scale()));
+}
+
+}  // namespace cgps

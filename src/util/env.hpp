@@ -1,0 +1,13 @@
+// Environment knobs for scaling benchmark fidelity.
+#pragma once
+
+namespace cgps {
+
+// Value of CIRCUITGPS_SCALE (default 1.0). Benches multiply dataset sizes
+// and epoch counts by this factor; >1 gives higher-fidelity, slower runs.
+double bench_scale();
+
+// Scale a base count, keeping at least `min_value`.
+int scaled(int base, int min_value = 1);
+
+}  // namespace cgps

@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace cgps {
+
+namespace {
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("CGPS_LOG_LEVEL")) {
+    const std::string v = env;
+    if (v == "debug") return LogLevel::kDebug;
+    if (v == "info") return LogLevel::kInfo;
+    if (v == "warn") return LogLevel::kWarn;
+    if (v == "error") return LogLevel::kError;
+    if (v == "off") return LogLevel::kOff;
+  }
+  return LogLevel::kWarn;
+}
+
+LogLevel& level_ref() {
+  static LogLevel level = initial_level();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_ref(); }
+void set_log_level(LogLevel level) { level_ref() = level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::cerr << "[cgps:" << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace cgps

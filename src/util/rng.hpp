@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Everything in CircuitGPS that needs randomness (weight init, dropout,
+// negative sampling, synthetic layout jitter, ...) draws from an explicit
+// `Rng` object so experiments are reproducible from a single seed. The
+// generator is xoshiro256** (Blackman & Vigna), seeded through splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cgps {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  // Re-initialize the state from a 64-bit seed (splitmix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  // Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  // Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  // Normal with given mean / stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  // Bernoulli trial with probability p of true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n) (k <= n), order unspecified.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  // Derive an independent child generator (for per-worker streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace cgps

@@ -1,0 +1,125 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace cgps {
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t j = i;
+    while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with_icase(std::string_view s, std::string_view prefix) {
+  if (s.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[i])) !=
+        std::tolower(static_cast<unsigned char>(prefix[i])))
+      return false;
+  }
+  return true;
+}
+
+std::optional<double> parse_spice_number(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  double mantissa = 0.0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, mantissa);
+  if (ec != std::errc() || ptr == begin) return std::nullopt;
+
+  std::string_view rest(ptr, static_cast<std::size_t>(end - ptr));
+  if (rest.empty()) return mantissa;
+
+  double scale = 1.0;
+  if (starts_with_icase(rest, "meg")) {
+    scale = 1e6;
+  } else {
+    switch (std::tolower(static_cast<unsigned char>(rest[0]))) {
+      case 'a': scale = 1e-18; break;
+      case 'f': scale = 1e-15; break;
+      case 'p': scale = 1e-12; break;
+      case 'n': scale = 1e-9; break;
+      case 'u': scale = 1e-6; break;
+      case 'm': scale = 1e-3; break;
+      case 'k': scale = 1e3; break;
+      case 'x': scale = 1e6; break;
+      case 'g': scale = 1e9; break;
+      default:
+        // Unknown trailing characters (e.g. a plain unit like "F"): accept
+        // the mantissa only if the remainder is purely alphabetic.
+        for (char c : rest) {
+          if (!std::isalpha(static_cast<unsigned char>(c))) return std::nullopt;
+        }
+        return mantissa;
+    }
+  }
+  return mantissa * scale;
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_si(double v, int decimals) {
+  struct Suffix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Suffix kSuffixes[] = {
+      {1e9, "g"},  {1e6, "meg"}, {1e3, "k"},  {1.0, ""},    {1e-3, "m"},
+      {1e-6, "u"}, {1e-9, "n"},  {1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"},
+  };
+  if (v == 0.0) return "0";
+  const double mag = std::fabs(v);
+  for (const auto& suffix : kSuffixes) {
+    if (mag >= suffix.scale * 0.9999) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*f%s", decimals, v / suffix.scale, suffix.name);
+      return buf;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", decimals, v);
+  return buf;
+}
+
+}  // namespace cgps

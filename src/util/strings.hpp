@@ -1,0 +1,33 @@
+// Small string helpers shared by the SPICE/SPF parsers and table printers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgps {
+
+// Split on any run of whitespace; no empty tokens.
+std::vector<std::string> split_ws(std::string_view s);
+
+// Split on a single-character delimiter; empty tokens preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+std::string trim(std::string_view s);
+std::string to_lower(std::string_view s);
+
+bool starts_with_icase(std::string_view s, std::string_view prefix);
+
+// Parse a SPICE number with optional engineering suffix:
+// f(1e-15) p(1e-12) n(1e-9) u(1e-6) m(1e-3) k(1e3) x/meg(1e6) g(1e9).
+// Trailing unit garbage after the suffix is ignored ("10pF" -> 1e-11).
+std::optional<double> parse_spice_number(std::string_view s);
+
+// Format seconds/values compactly for tables, e.g. 0.0173, 1446.1.
+std::string format_fixed(double v, int decimals);
+
+// Format a value with an engineering suffix (e.g. 1.25e-15 -> "1.25f").
+std::string format_si(double v, int decimals = 3);
+
+}  // namespace cgps

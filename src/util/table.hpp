@@ -1,0 +1,27 @@
+// ASCII table printer used by the bench binaries to render paper-style
+// tables (Table II..VIII) with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cgps {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Render with column alignment and a header separator.
+  std::string to_string() const;
+
+  // Render as comma-separated values (for machine-readable dumps).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cgps

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used to report per-experiment times (paper Tables
+// II/III/VII report seconds).
+#pragma once
+
+#include <chrono>
+
+namespace cgps {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cgps

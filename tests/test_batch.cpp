@@ -1,0 +1,158 @@
+#include "gps/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/designs.hpp"
+#include "graph/links.hpp"
+#include "layout/placer.hpp"
+#include "netlist/hierarchy.hpp"
+
+namespace cgps {
+namespace {
+
+struct Fixture {
+  Netlist netlist;
+  CircuitGraph graph;
+  std::vector<Subgraph> subgraphs;
+  XcNormalizer normalizer;
+
+  Fixture() {
+    netlist = flatten(gen::make_design(gen::DatasetId::kTimingControl));
+    graph = build_circuit_graph(netlist);
+    const Placement placement = place(netlist);
+    const ExtractionResult extraction = extract_parasitics(netlist, placement);
+    Rng rng(1);
+    const auto samples = build_link_samples(graph, extraction.links, rng, {});
+    for (std::size_t i = 0; i < 6 && i < samples.size(); ++i) {
+      subgraphs.push_back(
+          extract_enclosing_subgraph(graph.graph, samples[i].node_a, samples[i].node_b, {}));
+    }
+    normalizer.fit(graph.xc);
+  }
+
+  std::vector<const Subgraph*> refs() const {
+    std::vector<const Subgraph*> out;
+    for (const Subgraph& sg : subgraphs) out.push_back(&sg);
+    return out;
+  }
+};
+
+const Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(XcNormalizerTest, MapsToUnitInterval) {
+  XcNormalizer n;
+  n.fit({{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+         {10, 4, 2, 1, 5, 5, 1, 1, 1, 1, 1, 1, 1}});
+  const auto mapped = n.apply({5, 2, 1, 0.5f, 2.5f, 2.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f, 0.5f});
+  for (float v : mapped) EXPECT_NEAR(v, 0.5f, 1e-5);
+  // Out-of-range values clamp.
+  EXPECT_EQ(n.apply({100, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})[0], 1.0f);
+}
+
+TEST(XcNormalizerTest, ConstantDimensionMapsToZero) {
+  XcNormalizer n;
+  n.fit({{3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+         {3, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}});
+  EXPECT_EQ(n.apply({3, 0.5f, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})[0], 0.0f);
+}
+
+TEST(MakeBatch, ConcatenationOffsetsCorrect) {
+  const Fixture& f = fixture();
+  const SubgraphBatch batch = make_batch(f.refs(), f.graph.xc, f.normalizer, {});
+
+  std::int64_t expected_nodes = 0;
+  std::int64_t expected_edges = 0;
+  for (const Subgraph& sg : f.subgraphs) {
+    expected_nodes += sg.num_nodes();
+    expected_edges += sg.num_directed_edges();
+  }
+  EXPECT_EQ(batch.num_nodes(), expected_nodes);
+  EXPECT_EQ(static_cast<std::int64_t>(batch.edges.size()), expected_edges);
+  EXPECT_EQ(batch.num_graphs(), static_cast<std::int64_t>(f.subgraphs.size()));
+  EXPECT_EQ(batch.graph_ptr.front(), 0);
+  EXPECT_EQ(batch.graph_ptr.back(), expected_nodes);
+  EXPECT_EQ(batch.xc.rows(), expected_nodes);
+  EXPECT_EQ(batch.xc.cols(), kXcDim);
+
+  // Edges stay within their graph's node range.
+  for (std::size_t e = 0; e < batch.edges.size(); ++e) {
+    const std::int32_t s = batch.edges.src[e];
+    const std::int32_t d = batch.edges.dst[e];
+    const std::int32_t g = batch.graph_of_node[static_cast<std::size_t>(s)];
+    EXPECT_EQ(batch.graph_of_node[static_cast<std::size_t>(d)], g);
+    EXPECT_GE(s, batch.graph_ptr[static_cast<std::size_t>(g)]);
+    EXPECT_LT(s, batch.graph_ptr[static_cast<std::size_t>(g) + 1]);
+  }
+}
+
+TEST(MakeBatch, XcValuesNormalized) {
+  const Fixture& f = fixture();
+  const SubgraphBatch batch = make_batch(f.refs(), f.graph.xc, f.normalizer, {});
+  for (float v : batch.xc.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(MakeBatch, PinRolesRaw) {
+  const Fixture& f = fixture();
+  const SubgraphBatch batch = make_batch(f.refs(), f.graph.xc, f.normalizer, {});
+  for (std::int64_t i = 0; i < batch.num_nodes(); ++i) {
+    const std::int32_t role = batch.pin_role[static_cast<std::size_t>(i)];
+    EXPECT_GE(role, 0);
+    EXPECT_LT(role, 6);
+    if (batch.node_type[static_cast<std::size_t>(i)] !=
+        static_cast<std::int32_t>(NodeType::kPin))
+      EXPECT_EQ(role, 0);
+  }
+}
+
+TEST(MakeBatch, DrnlOnDemand) {
+  const Fixture& f = fixture();
+  BatchOptions options;
+  options.pe = PeKind::kDrnl;
+  const SubgraphBatch batch = make_batch(f.refs(), f.graph.xc, f.normalizer, options);
+  EXPECT_EQ(static_cast<std::int64_t>(batch.drnl.size()), batch.num_nodes());
+  // Default batch doesn't compute DRNL.
+  const SubgraphBatch plain = make_batch(f.refs(), f.graph.xc, f.normalizer, {});
+  EXPECT_TRUE(plain.drnl.empty());
+}
+
+TEST(MakeBatch, DensePeDims) {
+  const Fixture& f = fixture();
+  BatchOptions rwse_options;
+  rwse_options.pe = PeKind::kRwse;
+  rwse_options.rwse_steps = 5;
+  const SubgraphBatch rb = make_batch(f.refs(), f.graph.xc, f.normalizer, rwse_options);
+  EXPECT_EQ(rb.pe_dense_dim, 5);
+  EXPECT_EQ(static_cast<std::int64_t>(rb.pe_dense.size()), rb.num_nodes() * 5);
+
+  BatchOptions lap_options;
+  lap_options.pe = PeKind::kLappe;
+  lap_options.lappe_k = 3;
+  const SubgraphBatch lb = make_batch(f.refs(), f.graph.xc, f.normalizer, lap_options);
+  EXPECT_EQ(lb.pe_dense_dim, 3);
+  EXPECT_EQ(static_cast<std::int64_t>(lb.pe_dense.size()), lb.num_nodes() * 3);
+}
+
+TEST(MakeBatch, EmptyBatchThrows) {
+  const Fixture& f = fixture();
+  EXPECT_THROW(make_batch({}, f.graph.xc, f.normalizer, {}), std::invalid_argument);
+}
+
+TEST(MakeBatch, DistancesClamped) {
+  const Fixture& f = fixture();
+  const SubgraphBatch batch = make_batch(f.refs(), f.graph.xc, f.normalizer, {});
+  for (std::int32_t d : batch.dist0) {
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, kDspdMax);
+  }
+}
+
+}  // namespace
+}  // namespace cgps

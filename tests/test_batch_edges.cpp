@@ -1,0 +1,96 @@
+// Additional batching invariants: edge-type preservation through injection
+// and batching, and PE payload alignment.
+#include <gtest/gtest.h>
+
+#include "train/trainer.hpp"
+
+namespace cgps {
+namespace {
+
+CircuitDataset& dataset() {
+  static CircuitDataset ds = [] {
+    DatasetOptions options;
+    options.seed = 41;
+    return build_dataset(gen::DatasetId::kTimingControl, options);
+  }();
+  return ds;
+}
+
+TEST(BatchEdges, InjectedLinkTypesSurviveBatching) {
+  Rng rng(1);
+  const TaskData data = TaskData::for_links(dataset(), {}, 40, rng);
+  const TaskData* tasks[] = {&data};
+  const XcNormalizer norm = fit_normalizer(tasks);
+  std::vector<const Subgraph*> refs;
+  for (const Subgraph& sg : data.subgraphs) refs.push_back(&sg);
+  const SubgraphBatch batch = make_batch(refs, data.graph->xc, norm, {});
+
+  // Batch must contain both structural edge types and at least one injected
+  // coupling-link type somewhere (positives were injected into the graph).
+  bool has_structural = false, has_link_type = false;
+  for (std::int32_t t : batch.edge_type) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kNumEdgeTypes);
+    if (t == kEdgeDevicePin || t == kEdgeNetPin) has_structural = true;
+    if (t >= kLinkPinNet) has_link_type = true;
+  }
+  EXPECT_TRUE(has_structural);
+  EXPECT_TRUE(has_link_type);
+}
+
+TEST(BatchEdges, TargetEdgeNeverInsideOwnSubgraph) {
+  Rng rng(2);
+  const TaskData data = TaskData::for_links(dataset(), {}, 60, rng);
+  for (const Subgraph& sg : data.subgraphs) {
+    for (std::size_t e = 0; e < sg.edges.size(); ++e) {
+      const bool between_anchors =
+          (sg.edges.src[e] == 0 && sg.edges.dst[e] == sg.second_anchor) ||
+          (sg.edges.dst[e] == 0 && sg.edges.src[e] == sg.second_anchor);
+      EXPECT_FALSE(between_anchors)
+          << "label leak: direct anchor-anchor edge survived sampling";
+    }
+  }
+}
+
+TEST(BatchEdges, PositiveSubgraphsAreBetterConnectedThanNegatives) {
+  // The learning signal after injection: positives' anchors are close in the
+  // partially observed coupling network, negatives' are not. This is a
+  // distributional property, so compare means.
+  Rng rng(3);
+  const TaskData data = TaskData::for_links(dataset(), {}, 400, rng);
+  double pos = 0, neg = 0;
+  std::int64_t n_pos = 0, n_neg = 0;
+  for (std::int64_t i = 0; i < data.size(); ++i) {
+    const Subgraph& sg = data.subgraphs[static_cast<std::size_t>(i)];
+    const std::int32_t d = sg.dist0[static_cast<std::size_t>(sg.second_anchor)];
+    if (data.labels[static_cast<std::size_t>(i)] >= 0.5f) {
+      pos += d;
+      ++n_pos;
+    } else {
+      neg += d;
+      ++n_neg;
+    }
+  }
+  ASSERT_GT(n_pos, 0);
+  ASSERT_GT(n_neg, 0);
+  EXPECT_LT(pos / static_cast<double>(n_pos), neg / static_cast<double>(n_neg));
+}
+
+TEST(BatchEdges, NodeTaskBatchesHaveSelfAnchors) {
+  Rng rng(4);
+  SubgraphOptions options;
+  options.hops = 2;
+  const TaskData data = TaskData::for_nodes(dataset(), options, 30, rng);
+  const TaskData* tasks[] = {&data};
+  const XcNormalizer norm = fit_normalizer(tasks);
+  std::vector<const Subgraph*> refs;
+  for (const Subgraph& sg : data.subgraphs) refs.push_back(&sg);
+  const SubgraphBatch batch = make_batch(refs, data.graph->xc, norm, {});
+  for (std::int64_t g = 0; g < batch.num_graphs(); ++g) {
+    EXPECT_EQ(batch.anchor_a[static_cast<std::size_t>(g)],
+              batch.anchor_b[static_cast<std::size_t>(g)]);
+  }
+}
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+#include "tensor/ops.hpp"
+
+namespace cgps {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// Small composite module exercising params + buffers + nesting.
+class ToyModel : public nn::Module {
+ public:
+  explicit ToyModel(Rng& rng) : lin_(3, 4, rng), bn_(4), mlp_({4, 5, 1}, rng) {
+    register_module("lin", lin_);
+    register_module("bn", bn_);
+    register_module("mlp", mlp_);
+  }
+  Tensor forward(const Tensor& x, Rng& rng) {
+    return mlp_.forward(bn_.forward(lin_.forward(x)), rng);
+  }
+
+ private:
+  nn::Linear lin_;
+  nn::BatchNorm1d bn_;
+  nn::Mlp mlp_;
+};
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  Rng rng(1);
+  ToyModel a(rng), b(rng);
+  // Mutate `a` so the two models differ, including BN running stats.
+  Tensor x = Tensor::randn(16, 3, 1.0f, rng);
+  a.set_training(true);
+  a.forward(x, rng);
+  for (Tensor& p : a.parameters())
+    for (float& v : p.data()) v += 0.25f;
+
+  const std::string path = temp_path("cgps_ckpt_test.bin");
+  nn::save_checkpoint(a, path);
+  nn::load_checkpoint(b, path);
+
+  const auto pa = a.named_parameters();
+  const auto pb = b.named_parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].first, pb[i].first);
+    for (std::size_t j = 0; j < pa[i].second.data().size(); ++j)
+      EXPECT_EQ(pa[i].second.data()[j], pb[i].second.data()[j]);
+  }
+  const auto ba = a.named_buffers();
+  const auto bb = b.named_buffers();
+  ASSERT_EQ(ba.size(), bb.size());
+  for (std::size_t i = 0; i < ba.size(); ++i) EXPECT_EQ(*ba[i].second, *bb[i].second);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, BadMagicRejected) {
+  Rng rng(2);
+  ToyModel m(rng);
+  const std::string path = temp_path("cgps_ckpt_bad.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage";
+  }
+  EXPECT_THROW(nn::load_checkpoint(m, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, ArchitectureMismatchRejected) {
+  Rng rng(3);
+  ToyModel a(rng);
+  nn::Linear other(2, 2, rng);
+  const std::string path = temp_path("cgps_ckpt_mismatch.bin");
+  nn::save_checkpoint(a, path);
+  EXPECT_THROW(nn::load_checkpoint(other, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(CopyState, TransfersParamsAndBuffers) {
+  Rng rng(4);
+  ToyModel a(rng), b(rng);
+  for (Tensor& p : a.parameters())
+    for (float& v : p.data()) v = 1.5f;
+  nn::copy_state(a, b);
+  for (const Tensor& p : b.parameters())
+    for (float v : p.data()) EXPECT_EQ(v, 1.5f);
+}
+
+TEST(CopyState, MismatchThrows) {
+  Rng rng(5);
+  ToyModel a(rng);
+  nn::Linear lin(2, 2, rng);
+  EXPECT_THROW(nn::copy_state(a, lin), std::runtime_error);
+}
+
+TEST(Module, TrainingFlagPropagates) {
+  Rng rng(6);
+  ToyModel m(rng);
+  m.set_training(false);
+  EXPECT_FALSE(m.training());
+}
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,62 @@
+#include "train/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgps {
+namespace {
+
+TEST(BuildDataset, EndToEndPipeline) {
+  DatasetOptions options;
+  options.seed = 11;
+  const CircuitDataset ds = build_dataset(gen::DatasetId::kTimingControl, options);
+  EXPECT_EQ(ds.name, "TIMING_CONTROL");
+  EXPECT_FALSE(ds.is_train);
+  EXPECT_GT(ds.netlist.num_devices(), 0);
+  EXPECT_EQ(ds.graph.graph.num_nodes(),
+            ds.netlist.num_nets() + ds.netlist.num_devices() + ds.netlist.num_pins());
+  EXPECT_GT(ds.link_samples.size(), 0u);
+  EXPECT_GT(ds.node_samples.size(), 0u);
+  EXPECT_EQ(ds.placement.flat_pins.size(), static_cast<std::size_t>(ds.netlist.num_pins()));
+}
+
+TEST(BuildDataset, ViaSpfGivesIdenticalTargets) {
+  DatasetOptions direct;
+  direct.seed = 12;
+  DatasetOptions spf = direct;
+  spf.via_spf = true;
+  const CircuitDataset a = build_dataset(gen::DatasetId::kTimingControl, direct);
+  const CircuitDataset b = build_dataset(gen::DatasetId::kTimingControl, spf);
+  ASSERT_EQ(a.extraction.links.size(), b.extraction.links.size());
+  ASSERT_EQ(a.link_samples.size(), b.link_samples.size());
+  for (std::size_t i = 0; i < a.link_samples.size(); ++i) {
+    EXPECT_EQ(a.link_samples[i].node_a, b.link_samples[i].node_a);
+    EXPECT_EQ(a.link_samples[i].label, b.link_samples[i].label);
+    EXPECT_NEAR(a.link_samples[i].cap, b.link_samples[i].cap,
+                a.link_samples[i].cap * 1e-4);
+  }
+}
+
+TEST(BuildDataset, SeedChangesSampling) {
+  DatasetOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 2;
+  const CircuitDataset a = build_dataset(gen::DatasetId::kTimingControl, o1);
+  const CircuitDataset b = build_dataset(gen::DatasetId::kTimingControl, o2);
+  // Same underlying circuit...
+  EXPECT_EQ(a.netlist.num_devices(), b.netlist.num_devices());
+  // ...different sampled targets (with overwhelming probability).
+  bool any_diff = a.link_samples.size() != b.link_samples.size();
+  for (std::size_t i = 0; !any_diff && i < a.link_samples.size(); ++i)
+    any_diff = a.link_samples[i].node_a != b.link_samples[i].node_a;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BuildDataset, MaxNodeSamplesHonored) {
+  DatasetOptions options;
+  options.max_node_samples = 17;
+  const CircuitDataset ds = build_dataset(gen::DatasetId::kTimingControl, options);
+  EXPECT_LE(ds.node_samples.size(), 17u);
+}
+
+}  // namespace
+}  // namespace cgps

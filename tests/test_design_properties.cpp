@@ -1,0 +1,158 @@
+// Property sweeps over all six dataset designs: structural invariants of
+// generation -> flattening -> placement -> extraction -> sampling that must
+// hold regardless of which design is processed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "gen/designs.hpp"
+#include "graph/circuit_graph.hpp"
+#include "graph/links.hpp"
+#include "layout/placer.hpp"
+#include "netlist/spice.hpp"
+#include "parasitics/extraction.hpp"
+#include "train/dataset.hpp"
+
+namespace cgps {
+namespace {
+
+class DesignProperty : public ::testing::TestWithParam<gen::DatasetId> {
+ protected:
+  // One shared dataset per design across all properties (construction is the
+  // expensive part). Small training scale keeps the sweep fast.
+  static const CircuitDataset& dataset() {
+    static std::map<gen::DatasetId, CircuitDataset> cache;
+    auto it = cache.find(GetParam());
+    if (it == cache.end()) {
+      DatasetOptions options;
+      options.seed = 99;
+      options.design_scale.train_scale = 0.25;
+      it = cache.emplace(GetParam(), build_dataset(GetParam(), options)).first;
+    }
+    return it->second;
+  }
+
+  static gen::DatasetId GetParam() {
+    return ::testing::TestWithParam<gen::DatasetId>::GetParam();
+  }
+};
+
+TEST_P(DesignProperty, FlattenCountMatchesHierarchyCount) {
+  gen::DesignScale scale{0.25};
+  const Design design = gen::make_design(GetParam(), scale);
+  EXPECT_EQ(design.count_devices(), flatten(design).num_devices());
+}
+
+TEST_P(DesignProperty, SpiceRoundTripPreservesDeviceCount) {
+  gen::DesignScale scale{0.25};
+  const Design design = gen::make_design(GetParam(), scale);
+  const Design reparsed = parse_spice(write_spice(design), design.top.name);
+  EXPECT_EQ(flatten(reparsed).num_devices(), flatten(design).num_devices());
+  EXPECT_EQ(flatten(reparsed).num_nets(), flatten(design).num_nets());
+}
+
+TEST_P(DesignProperty, NoFloatingGates) {
+  // Every MOS gate must be driven: its gate net has at least one other pin.
+  const CircuitDataset& ds = dataset();
+  std::vector<std::int32_t> net_pins(static_cast<std::size_t>(ds.netlist.num_nets()), 0);
+  for (const Device& dev : ds.netlist.devices())
+    for (const Pin& pin : dev.pins) ++net_pins[static_cast<std::size_t>(pin.net)];
+  for (const Device& dev : ds.netlist.devices()) {
+    if (dev.kind != DeviceKind::kNmos && dev.kind != DeviceKind::kPmos) continue;
+    for (const Pin& pin : dev.pins) {
+      if (pin.role != PinRole::kGate) continue;
+      EXPECT_GE(net_pins[static_cast<std::size_t>(pin.net)], 2)
+          << dev.name << " gate net " << ds.netlist.nets()[static_cast<std::size_t>(pin.net)].name;
+    }
+  }
+}
+
+TEST_P(DesignProperty, GraphNodeCountIdentity) {
+  const CircuitDataset& ds = dataset();
+  EXPECT_EQ(ds.graph.graph.num_nodes(),
+            ds.netlist.num_nets() + ds.netlist.num_devices() + ds.netlist.num_pins());
+  EXPECT_EQ(ds.graph.graph.num_edges(), 2 * ds.netlist.num_pins());
+}
+
+TEST_P(DesignProperty, LinkGraphSupersetsStructuralGraph) {
+  const CircuitDataset& ds = dataset();
+  EXPECT_EQ(ds.link_graph.num_nodes(), ds.graph.graph.num_nodes());
+  std::int64_t positives = 0;
+  for (const LinkSample& s : ds.link_samples)
+    if (s.label >= 0.5f) ++positives;
+  EXPECT_EQ(ds.link_graph.num_edges(), ds.graph.graph.num_edges() + positives);
+}
+
+TEST_P(DesignProperty, ExtractionEndpointsValid) {
+  const CircuitDataset& ds = dataset();
+  const auto n_nets = static_cast<std::int32_t>(ds.netlist.num_nets());
+  const auto n_pins = static_cast<std::int32_t>(ds.netlist.num_pins());
+  for (const CouplingLink& link : ds.extraction.links) {
+    switch (link.kind) {
+      case CouplingKind::kPinToNet:
+        EXPECT_GE(link.a, 0);
+        EXPECT_LT(link.a, n_pins);
+        EXPECT_GE(link.b, 0);
+        EXPECT_LT(link.b, n_nets);
+        break;
+      case CouplingKind::kPinToPin:
+        EXPECT_LT(link.b, n_pins);
+        EXPECT_LT(link.a, link.b);
+        break;
+      case CouplingKind::kNetToNet:
+        EXPECT_LT(link.b, n_nets);
+        EXPECT_LT(link.a, link.b);
+        break;
+    }
+    EXPECT_GE(link.cap, 1e-21);
+    EXPECT_LE(link.cap, 1e-15);
+  }
+}
+
+TEST_P(DesignProperty, SampledLinkCapsConsistentWithLabels) {
+  const CircuitDataset& ds = dataset();
+  for (const LinkSample& s : ds.link_samples) {
+    if (s.label >= 0.5f) {
+      EXPECT_GT(s.cap, 0.0);
+    } else {
+      EXPECT_EQ(s.cap, 0.0);
+    }
+    EXPECT_NE(s.node_a, s.node_b);
+  }
+}
+
+TEST_P(DesignProperty, PlacementDeterministicPerDesign) {
+  const CircuitDataset& ds = dataset();
+  PlacerOptions options;
+  options.seed = 99 ^ static_cast<std::uint64_t>(GetParam());
+  const Placement again = place(ds.netlist, options);
+  ASSERT_EQ(again.device_center.size(), ds.placement.device_center.size());
+  for (std::size_t i = 0; i < again.device_center.size(); ++i) {
+    EXPECT_EQ(again.device_center[i].x, ds.placement.device_center[i].x);
+    EXPECT_EQ(again.device_center[i].y, ds.placement.device_center[i].y);
+  }
+}
+
+TEST_P(DesignProperty, GroundCapsInPhysicalRange) {
+  const CircuitDataset& ds = dataset();
+  for (const NodeSample& s : ds.node_samples) {
+    EXPECT_GT(s.cap, 1e-19);
+    EXPECT_LT(s.cap, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, DesignProperty,
+    ::testing::Values(gen::DatasetId::kSsram, gen::DatasetId::kUltra8t,
+                      gen::DatasetId::kSandwichRam, gen::DatasetId::kDigitalClkGen,
+                      gen::DatasetId::kTimingControl, gen::DatasetId::kArray128x32),
+    [](const auto& info) {
+      std::string name = gen::dataset_name(info.param);
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,65 @@
+#include "graph/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgps {
+namespace {
+
+Subgraph sample_subgraph() {
+  Subgraph sg;
+  sg.orig_nodes = {10, 20, 30};
+  sg.node_type = {static_cast<std::int8_t>(NodeType::kNet),
+                  static_cast<std::int8_t>(NodeType::kNet),
+                  static_cast<std::int8_t>(NodeType::kPin)};
+  sg.second_anchor = 1;
+  sg.edges.src = {0, 2, 2, 1};
+  sg.edges.dst = {2, 0, 1, 2};
+  sg.edge_type = {kEdgeNetPin, kEdgeNetPin, kLinkPinNet, kLinkPinNet};
+  sg.dist0 = {0, 2, 1};
+  sg.dist1 = {2, 0, 1};
+  return sg;
+}
+
+TEST(DotExport, ContainsAllNodesAndShapes) {
+  const std::string dot = to_dot(sample_subgraph());
+  EXPECT_NE(dot.find("graph \"subgraph\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 [shape=ellipse"), std::string::npos);
+  EXPECT_NE(dot.find("n2 [shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("net10"), std::string::npos);
+  EXPECT_NE(dot.find("pin30"), std::string::npos);
+}
+
+TEST(DotExport, AnchorsHighlighted) {
+  const std::string dot = to_dot(sample_subgraph());
+  // Anchor rows (n0, n1) carry the bold red styling.
+  EXPECT_NE(dot.find("penwidth=3"), std::string::npos);
+  const auto first = dot.find("color=red");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(dot.find("color=red", first + 1), std::string::npos);
+}
+
+TEST(DotExport, EmitsEachUndirectedEdgeOnce) {
+  const std::string dot = to_dot(sample_subgraph());
+  EXPECT_NE(dot.find("n0 -- n2"), std::string::npos);
+  EXPECT_EQ(dot.find("n2 -- n0"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+}
+
+TEST(DotExport, InjectedLinksDashed) {
+  const std::string dot = to_dot(sample_subgraph());
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  DotOptions plain;
+  plain.show_edge_types = false;
+  EXPECT_EQ(to_dot(sample_subgraph(), plain).find("style=dashed"), std::string::npos);
+}
+
+TEST(DotExport, DspdAnnotationsToggle) {
+  const std::string with = to_dot(sample_subgraph());
+  EXPECT_NE(with.find("(0,2)"), std::string::npos);
+  DotOptions off;
+  off.show_dspd = false;
+  EXPECT_EQ(to_dot(sample_subgraph(), off).find("(0,2)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,84 @@
+#include "graph/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace cgps {
+namespace {
+
+TEST(Jacobi, DiagonalMatrix) {
+  const std::vector<double> a{3, 0, 0, 0, 1, 0, 0, 0, 2};
+  const EigenResult r = jacobi_eigen_symmetric(a, 3);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-9);
+  EXPECT_NEAR(r.values[2], 3.0, 1e-9);
+}
+
+TEST(Jacobi, Known2x2) {
+  // [[2, 1], [1, 2]] -> eigenvalues 1 and 3.
+  const EigenResult r = jacobi_eigen_symmetric({2, 1, 1, 2}, 2);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-9);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const double v0 = r.vectors[0 + 2 * 1];
+  const double v1 = r.vectors[1 + 2 * 1];
+  EXPECT_NEAR(std::fabs(v0), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(Jacobi, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(1);
+  const std::int64_t n = 8;
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a[static_cast<std::size_t>(i * n + j)] = v;
+      a[static_cast<std::size_t>(j * n + i)] = v;
+    }
+  const EigenResult r = jacobi_eigen_symmetric(a, n);
+
+  // Check A v_k = lambda_k v_k for all k.
+  for (std::int64_t k = 0; k < n; ++k) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      double av = 0;
+      for (std::int64_t j = 0; j < n; ++j)
+        av += a[static_cast<std::size_t>(i * n + j)] * r.vectors[static_cast<std::size_t>(j + n * k)];
+      EXPECT_NEAR(av, r.values[static_cast<std::size_t>(k)] *
+                          r.vectors[static_cast<std::size_t>(i + n * k)],
+                  1e-7);
+    }
+  }
+}
+
+TEST(Jacobi, EigenvectorsOrthonormal) {
+  Rng rng(2);
+  const std::int64_t n = 6;
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a[static_cast<std::size_t>(i * n + j)] = v;
+      a[static_cast<std::size_t>(j * n + i)] = v;
+    }
+  const EigenResult r = jacobi_eigen_symmetric(a, n);
+  for (std::int64_t p = 0; p < n; ++p) {
+    for (std::int64_t q = 0; q < n; ++q) {
+      double dot = 0;
+      for (std::int64_t i = 0; i < n; ++i)
+        dot += r.vectors[static_cast<std::size_t>(i + n * p)] *
+               r.vectors[static_cast<std::size_t>(i + n * q)];
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Jacobi, SizeMismatchThrows) {
+  EXPECT_THROW(jacobi_eigen_symmetric({1, 2, 3}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cgps

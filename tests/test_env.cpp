@@ -1,0 +1,33 @@
+#include "util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/timer.hpp"
+
+namespace cgps {
+namespace {
+
+// bench_scale() caches the env var on first use, so these tests exercise the
+// default path (the suite runs without CIRCUITGPS_SCALE set).
+TEST(Env, DefaultScaleIsOne) { EXPECT_DOUBLE_EQ(bench_scale(), 1.0); }
+
+TEST(Env, ScaledAppliesFactorAndFloor) {
+  EXPECT_EQ(scaled(100), 100);
+  EXPECT_EQ(scaled(0), 1);        // floor at min_value
+  EXPECT_EQ(scaled(0, 5), 5);     // custom floor
+  EXPECT_EQ(scaled(7, 3), 7);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += i;
+  const double t1 = watch.seconds();
+  EXPECT_GT(t1, 0.0);
+  EXPECT_EQ(watch.milliseconds() >= t1 * 1e3, true);
+  watch.reset();
+  EXPECT_LT(watch.seconds(), t1 + 1.0);
+}
+
+}  // namespace
+}  // namespace cgps

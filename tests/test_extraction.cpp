@@ -1,0 +1,153 @@
+#include "parasitics/extraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "gen/designs.hpp"
+#include "netlist/hierarchy.hpp"
+
+namespace cgps {
+namespace {
+
+struct Fixture {
+  Netlist netlist;
+  Placement placement;
+  ExtractionResult extraction;
+};
+
+Fixture extract_design(gen::DatasetId id) {
+  Fixture f;
+  f.netlist = flatten(gen::make_design(id));
+  f.placement = place(f.netlist);
+  f.extraction = extract_parasitics(f.netlist, f.placement);
+  return f;
+}
+
+TEST(Extraction, ProducesAllThreeLinkKinds) {
+  const Fixture f = extract_design(gen::DatasetId::kDigitalClkGen);
+  EXPECT_GT(f.extraction.count(CouplingKind::kPinToNet), 0);
+  EXPECT_GT(f.extraction.count(CouplingKind::kPinToPin), 0);
+  EXPECT_GT(f.extraction.count(CouplingKind::kNetToNet), 0);
+}
+
+TEST(Extraction, PinToNetIsTheMajority) {
+  // Paper §III-B: pin-net links constitute the majority, net-net the fewest.
+  const Fixture f = extract_design(gen::DatasetId::kDigitalClkGen);
+  const auto p2n = f.extraction.count(CouplingKind::kPinToNet);
+  const auto n2n = f.extraction.count(CouplingKind::kNetToNet);
+  EXPECT_GT(p2n, n2n);
+}
+
+TEST(Extraction, CapsWithinPaperWindow) {
+  const Fixture f = extract_design(gen::DatasetId::kTimingControl);
+  for (const CouplingLink& link : f.extraction.links) {
+    EXPECT_GE(link.cap, 1e-21);
+    EXPECT_LE(link.cap, 1e-15);
+  }
+}
+
+TEST(Extraction, NoSelfCoupling) {
+  const Fixture f = extract_design(gen::DatasetId::kTimingControl);
+  for (const CouplingLink& link : f.extraction.links) {
+    if (link.kind != CouplingKind::kPinToNet) EXPECT_NE(link.a, link.b);
+  }
+}
+
+TEST(Extraction, CanonicalOrderingForSymmetricKinds) {
+  const Fixture f = extract_design(gen::DatasetId::kTimingControl);
+  for (const CouplingLink& link : f.extraction.links) {
+    if (link.kind == CouplingKind::kPinToPin || link.kind == CouplingKind::kNetToNet)
+      EXPECT_LT(link.a, link.b);
+  }
+}
+
+TEST(Extraction, NoDuplicateLinks) {
+  const Fixture f = extract_design(gen::DatasetId::kTimingControl);
+  std::set<std::tuple<int, int, int>> seen;
+  for (const CouplingLink& link : f.extraction.links) {
+    const auto key = std::make_tuple(static_cast<int>(link.kind), link.a, link.b);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate link kind=" << static_cast<int>(link.kind)
+                                         << " a=" << link.a << " b=" << link.b;
+  }
+}
+
+TEST(Extraction, GroundCapsPositiveForConnectedNets) {
+  const Fixture f = extract_design(gen::DatasetId::kTimingControl);
+  for (std::size_t n = 0; n < f.extraction.net_ground_cap.size(); ++n) {
+    if (f.placement.net_route[n].n_pins > 0) EXPECT_GT(f.extraction.net_ground_cap[n], 0.0);
+  }
+  for (double c : f.extraction.pin_ground_cap) EXPECT_GT(c, 0.0);
+}
+
+TEST(Extraction, GateCapScalesWithDeviceArea) {
+  Netlist nl;
+  nl.add_mosfet("MSMALL", DeviceKind::kNmos, "d1", "g1", "s1", "b1", 100e-9, 30e-9);
+  nl.add_mosfet("MBIG", DeviceKind::kNmos, "d2", "g2", "s2", "b2", 800e-9, 60e-9);
+  const Placement p = place(nl);
+  const ExtractionResult ex = extract_parasitics(nl, p);
+  // Flat pin order: device 0 pins 0..3 then device 1. Gate is pin index 1.
+  EXPECT_GT(ex.pin_ground_cap[4 + 1], ex.pin_ground_cap[1]);
+}
+
+TEST(Extraction, DistanceDecay) {
+  // Closer net pairs must couple more strongly. Build two parallel pairs at
+  // controlled spacing through a synthetic placement.
+  Netlist nl;
+  nl.add_resistor("R1", "a1", "a2", 1e3);
+  nl.add_resistor("R2", "b1", "b2", 1e3);
+  Placement p = place(nl);
+  // Override geometry: two horizontal trunks.
+  auto set_trunk = [&](std::int32_t net, double y) {
+    p.net_route[static_cast<std::size_t>(net)].trunk_y = y;
+    p.net_route[static_cast<std::size_t>(net)].trunk_x0 = 0.0;
+    p.net_route[static_cast<std::size_t>(net)].trunk_x1 = 10e-6;
+  };
+  set_trunk(nl.find_net("a1"), 0.0);
+  set_trunk(nl.find_net("b1"), 0.2e-6);
+  const ExtractionResult close_ex = extract_parasitics(nl, p);
+  set_trunk(nl.find_net("b1"), 2.0e-6);
+  const ExtractionResult far_ex = extract_parasitics(nl, p);
+
+  auto find_cap = [&](const ExtractionResult& ex) {
+    const std::int32_t na = nl.find_net("a1");
+    const std::int32_t nb = nl.find_net("b1");
+    for (const CouplingLink& link : ex.links) {
+      if (link.kind == CouplingKind::kNetToNet &&
+          ((link.a == na && link.b == nb) || (link.a == nb && link.b == na)))
+        return link.cap;
+    }
+    return 0.0;
+  };
+  EXPECT_GT(find_cap(close_ex), find_cap(far_ex));
+  EXPECT_GT(find_cap(close_ex), 0.0);
+}
+
+TEST(Extraction, GlobalNetsExcluded) {
+  const Fixture f = extract_design(gen::DatasetId::kArray128x32);
+  // VDD/VSS have thousands of pins; they must never appear as net endpoints.
+  const std::int32_t vdd = f.netlist.find_net("VDD");
+  const std::int32_t vss = f.netlist.find_net("VSS");
+  for (const CouplingLink& link : f.extraction.links) {
+    if (link.kind == CouplingKind::kNetToNet) {
+      EXPECT_NE(link.a, vdd);
+      EXPECT_NE(link.b, vdd);
+      EXPECT_NE(link.a, vss);
+      EXPECT_NE(link.b, vss);
+    }
+  }
+}
+
+TEST(Extraction, Deterministic) {
+  const Fixture a = extract_design(gen::DatasetId::kTimingControl);
+  const Fixture b = extract_design(gen::DatasetId::kTimingControl);
+  ASSERT_EQ(a.extraction.links.size(), b.extraction.links.size());
+  for (std::size_t i = 0; i < a.extraction.links.size(); ++i) {
+    EXPECT_EQ(a.extraction.links[i].a, b.extraction.links[i].a);
+    EXPECT_DOUBLE_EQ(a.extraction.links[i].cap, b.extraction.links[i].cap);
+  }
+}
+
+}  // namespace
+}  // namespace cgps

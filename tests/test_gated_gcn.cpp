@@ -1,0 +1,109 @@
+#include "nn/gated_gcn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/gradcheck.hpp"
+#include "tensor/ops.hpp"
+
+namespace cgps {
+namespace {
+
+nn::EdgeIndex path_edges() {
+  // 0 - 1 - 2 (undirected => both directions)
+  nn::EdgeIndex e;
+  e.src = {0, 1, 1, 2};
+  e.dst = {1, 0, 2, 1};
+  return e;
+}
+
+TEST(GatedGcn, OutputShapes) {
+  Rng rng(1);
+  nn::GatedGcn layer(8, rng);
+  Tensor x = Tensor::randn(3, 8, 1.0f, rng);
+  Tensor e = Tensor::randn(4, 8, 1.0f, rng);
+  auto out = layer.forward(x, e, path_edges());
+  EXPECT_EQ(out.x.rows(), 3);
+  EXPECT_EQ(out.x.cols(), 8);
+  EXPECT_EQ(out.e.rows(), 4);
+  EXPECT_EQ(out.e.cols(), 8);
+}
+
+TEST(GatedGcn, EdgeCountMismatchThrows) {
+  Rng rng(1);
+  nn::GatedGcn layer(4, rng);
+  Tensor x = Tensor::randn(3, 4, 1.0f, rng);
+  Tensor e = Tensor::randn(2, 4, 1.0f, rng);  // 4 edges expected
+  EXPECT_THROW(layer.forward(x, e, path_edges()), std::invalid_argument);
+}
+
+TEST(GatedGcn, NoEdgesStillTransformsSelf) {
+  Rng rng(2);
+  nn::GatedGcn layer(4, rng);
+  Tensor x = Tensor::randn(3, 4, 1.0f, rng);
+  Tensor e = Tensor::zeros(0, 4);
+  auto out = layer.forward(x, e, nn::EdgeIndex{});
+  EXPECT_EQ(out.x.rows(), 3);
+  EXPECT_EQ(out.e.rows(), 0);
+}
+
+TEST(GatedGcn, IsolatedNodeGetsOnlySelfTerm) {
+  Rng rng(3);
+  nn::GatedGcn layer(4, rng);
+  // Node 2 has no incident edges.
+  nn::EdgeIndex edges;
+  edges.src = {0, 1};
+  edges.dst = {1, 0};
+  Tensor x = Tensor::randn(3, 4, 1.0f, rng);
+  Tensor e = Tensor::randn(2, 4, 1.0f, rng);
+  auto out = layer.forward(x, e, edges);
+
+  // Compare against a no-edge forward on the same node: isolated node rows
+  // must match (it receives no messages).
+  auto out_isolated = layer.forward(x, Tensor::zeros(0, 4), nn::EdgeIndex{});
+  for (int j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(out.x.at(2, j), out_isolated.x.at(2, j));
+}
+
+TEST(GatedGcn, MessagePassingMovesInformation) {
+  Rng rng(4);
+  nn::GatedGcn layer(4, rng);
+  Tensor x0 = Tensor::zeros(3, 4);
+  Tensor x1 = Tensor::zeros(3, 4);
+  x1.at(0, 0) = 5.0f;  // perturb node 0 only
+  Tensor e = Tensor::zeros(4, 4);
+  auto a = layer.forward(x0, e, path_edges());
+  auto b = layer.forward(x1, e, path_edges());
+  // Node 1 (neighbor of 0) must change; node 2 (two hops) must not.
+  double diff1 = 0, diff2 = 0;
+  for (int j = 0; j < 4; ++j) {
+    diff1 += std::fabs(a.x.at(1, j) - b.x.at(1, j));
+    diff2 += std::fabs(a.x.at(2, j) - b.x.at(2, j));
+  }
+  EXPECT_GT(diff1, 1e-4);
+  EXPECT_LT(diff2, 1e-6);
+}
+
+TEST(GatedGcn, GradCheckSmall) {
+  Rng rng(5);
+  nn::GatedGcn layer(3, rng);
+  Tensor x = Tensor::randn(3, 3, 0.5f, rng, true);
+  Tensor e = Tensor::randn(4, 3, 0.5f, rng, true);
+  const auto result = grad_check(
+      [&] {
+        auto out = layer.forward(x, e, path_edges());
+        return ops::add(ops::sum_all(ops::square(out.x)), ops::sum_all(ops::square(out.e)));
+      },
+      {x, e});
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(GatedGcn, ParameterCount) {
+  Rng rng(6);
+  nn::GatedGcn layer(8, rng);
+  // 5 linears, each 8x8 + bias 8.
+  EXPECT_EQ(layer.num_parameters(), 5 * (8 * 8 + 8));
+}
+
+}  // namespace
+}  // namespace cgps

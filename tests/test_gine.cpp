@@ -1,0 +1,94 @@
+#include "nn/gine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/gradcheck.hpp"
+#include "tensor/ops.hpp"
+
+namespace cgps {
+namespace {
+
+nn::EdgeIndex path_edges() {
+  nn::EdgeIndex e;
+  e.src = {0, 1, 1, 2};
+  e.dst = {1, 0, 2, 1};
+  return e;
+}
+
+TEST(GineLayer, OutputShape) {
+  Rng rng(1);
+  nn::GineLayer layer(6, rng);
+  layer.set_training(false);
+  Tensor x = Tensor::randn(3, 6, 1.0f, rng);
+  Tensor e = Tensor::randn(4, 6, 1.0f, rng);
+  Tensor y = layer.forward(x, e, path_edges(), rng);
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.cols(), 6);
+}
+
+TEST(GineLayer, EdgeCountMismatchThrows) {
+  Rng rng(1);
+  nn::GineLayer layer(4, rng);
+  Tensor x = Tensor::randn(3, 4, 1.0f, rng);
+  Tensor e = Tensor::randn(1, 4, 1.0f, rng);
+  EXPECT_THROW(layer.forward(x, e, path_edges(), rng), std::invalid_argument);
+}
+
+TEST(GineLayer, NoEdgesUsesSelfOnly) {
+  Rng rng(2);
+  nn::GineLayer layer(4, rng);
+  layer.set_training(false);
+  Tensor x = Tensor::randn(2, 4, 1.0f, rng);
+  Tensor y = layer.forward(x, Tensor::zeros(0, 4), nn::EdgeIndex{}, rng);
+  EXPECT_EQ(y.rows(), 2);
+}
+
+TEST(GineLayer, MessagesRespectEdges) {
+  Rng rng(3);
+  nn::GineLayer layer(4, rng);
+  layer.set_training(false);
+  Tensor x0 = Tensor::zeros(3, 4);
+  Tensor x1 = Tensor::zeros(3, 4);
+  x1.at(0, 1) = 3.0f;
+  Tensor e = Tensor::zeros(4, 4);
+  Tensor a = layer.forward(x0, e, path_edges(), rng);
+  Tensor b = layer.forward(x1, e, path_edges(), rng);
+  // Node 2 is two hops from node 0: unchanged after one layer.
+  for (int j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(a.at(2, j), b.at(2, j));
+  double diff = 0;
+  for (int j = 0; j < 4; ++j) diff += std::fabs(a.at(1, j) - b.at(1, j));
+  EXPECT_GT(diff, 1e-5);
+}
+
+TEST(GineLayer, GradCheck) {
+  Rng rng(4);
+  nn::GineLayer layer(3, rng);
+  layer.set_training(false);
+  Tensor x = Tensor::randn(3, 3, 0.5f, rng, true);
+  Tensor e = Tensor::randn(4, 3, 0.5f, rng, true);
+  // Shift edge features away from the ReLU kink inside the message.
+  for (float& v : e.data()) v += (v >= 0 ? 1.0f : -1.0f);
+  const auto result = grad_check(
+      [&] { return ops::sum_all(ops::square(layer.forward(x, e, path_edges(), rng))); },
+      {x, e});
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(GineLayer, EpsilonIsTrainable) {
+  Rng rng(5);
+  nn::GineLayer layer(4, rng);
+  bool found_eps = false;
+  for (const auto& [name, p] : layer.named_parameters()) {
+    if (name == "eps") {
+      found_eps = true;
+      EXPECT_EQ(p.numel(), 1);
+      EXPECT_TRUE(p.requires_grad());
+    }
+  }
+  EXPECT_TRUE(found_eps);
+}
+
+}  // namespace
+}  // namespace cgps

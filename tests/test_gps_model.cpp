@@ -1,0 +1,249 @@
+#include "gps/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <filesystem>
+
+#include "gen/designs.hpp"
+#include "graph/links.hpp"
+#include "layout/placer.hpp"
+#include "netlist/hierarchy.hpp"
+#include "tensor/ops.hpp"
+
+namespace cgps {
+namespace {
+
+struct Fixture {
+  Netlist netlist;
+  CircuitGraph graph;
+  std::vector<Subgraph> subgraphs;
+  XcNormalizer normalizer;
+
+  Fixture() {
+    netlist = flatten(gen::make_design(gen::DatasetId::kTimingControl));
+    graph = build_circuit_graph(netlist);
+    const Placement placement = place(netlist);
+    const ExtractionResult extraction = extract_parasitics(netlist, placement);
+    Rng rng(1);
+    const auto samples = build_link_samples(graph, extraction.links, rng, {});
+    for (std::size_t i = 0; i < 4 && i < samples.size(); ++i) {
+      subgraphs.push_back(
+          extract_enclosing_subgraph(graph.graph, samples[i].node_a, samples[i].node_b, {}));
+    }
+    normalizer.fit(graph.xc);
+  }
+
+  SubgraphBatch batch(const GpsConfig& config) const {
+    std::vector<const Subgraph*> refs;
+    for (const Subgraph& sg : subgraphs) refs.push_back(&sg);
+    BatchOptions options;
+    options.pe = config.pe;
+    options.rwse_steps = config.rwse_steps;
+    options.lappe_k = config.lappe_k;
+    return make_batch(refs, graph.xc, normalizer, options);
+  }
+};
+
+const Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+GpsConfig small_config() {
+  GpsConfig c;
+  c.hidden = 16;
+  c.layers = 2;
+  c.heads = 2;
+  c.performer_features = 8;
+  c.head_hidden = 16;
+  c.dropout = 0.0f;
+  return c;
+}
+
+// Sweep the full ablation grid of Tables III/VII plus every PE of Table II.
+class GpsForward
+    : public ::testing::TestWithParam<std::tuple<MpnnKind, AttnKind, PeKind>> {};
+
+TEST_P(GpsForward, ProducesFiniteGraphOutputs) {
+  const auto [mpnn, attn, pe] = GetParam();
+  GpsConfig config = small_config();
+  config.mpnn = mpnn;
+  config.attn = attn;
+  config.pe = pe;
+
+  CircuitGps model(config);
+  const Fixture& f = fixture();
+  const SubgraphBatch batch = f.batch(config);
+  model.set_training(false);
+  Tensor out = model.forward(batch);
+  EXPECT_EQ(out.rows(), batch.num_graphs());
+  EXPECT_EQ(out.cols(), 1);
+  for (float v : out.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AblationGrid, GpsForward,
+    ::testing::Combine(::testing::Values(MpnnKind::kNone, MpnnKind::kGatedGcn),
+                       ::testing::Values(AttnKind::kNone, AttnKind::kTransformer,
+                                         AttnKind::kPerformer),
+                       ::testing::Values(PeKind::kDspd)));
+
+INSTANTIATE_TEST_SUITE_P(
+    PeGrid, GpsForward,
+    ::testing::Combine(::testing::Values(MpnnKind::kGatedGcn),
+                       ::testing::Values(AttnKind::kPerformer),
+                       ::testing::Values(PeKind::kNone, PeKind::kXc, PeKind::kDrnl,
+                                         PeKind::kRwse, PeKind::kLappe, PeKind::kDspd)));
+
+TEST(CircuitGpsModel, GradientsReachAllTrainableParameters) {
+  GpsConfig config = small_config();
+  CircuitGps model(config);
+  const Fixture& f = fixture();
+  const SubgraphBatch batch = f.batch(config);
+  model.set_training(true);
+
+  Tensor out = model.forward(batch);
+  Tensor target = Tensor::zeros(out.rows(), 1);
+  Tensor loss = ops::bce_with_logits(out, target);
+  loss.backward();
+
+  int touched = 0;
+  for (const auto& [name, p] : model.named_parameters()) {
+    double g = 0;
+    for (float v : p.grad()) g += std::fabs(v);
+    if (g > 0) ++touched;
+  }
+  // The vast majority of parameters must receive gradient (unused PE slots
+  // for absent node roles may legitimately be zero).
+  EXPECT_GT(touched, static_cast<int>(model.named_parameters().size() * 3 / 4));
+}
+
+TEST(CircuitGpsModel, FreezeBackboneKeepsHeadTrainable) {
+  GpsConfig config = small_config();
+  CircuitGps model(config);
+  model.freeze_backbone();
+  bool head_trainable = false, backbone_trainable = false;
+  for (const auto& [name, p] : model.named_parameters()) {
+    if (name.rfind("head_", 0) == 0) {
+      head_trainable = head_trainable || p.requires_grad();
+    } else {
+      backbone_trainable = backbone_trainable || p.requires_grad();
+    }
+  }
+  EXPECT_TRUE(head_trainable);
+  EXPECT_FALSE(backbone_trainable);
+  EXPECT_LT(model.trainable_parameters().size(), model.parameters().size());
+}
+
+TEST(CircuitGpsModel, DeterministicInEvalMode) {
+  GpsConfig config = small_config();
+  CircuitGps model(config);
+  const Fixture& f = fixture();
+  const SubgraphBatch batch = f.batch(config);
+  model.set_training(false);
+  InferenceGuard guard;
+  Tensor a = model.forward(batch);
+  Tensor b = model.forward(batch);
+  for (std::size_t i = 0; i < a.data().size(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(CircuitGpsModel, CheckpointRoundTripPreservesOutputs) {
+  GpsConfig config = small_config();
+  CircuitGps a(config);
+  const Fixture& f = fixture();
+  const SubgraphBatch batch = f.batch(config);
+  a.set_training(false);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cgps_model_ckpt.bin").string();
+  nn::save_checkpoint(a, path);
+  CircuitGps b(config);
+  nn::load_checkpoint(b, path);
+  b.set_training(false);
+
+  InferenceGuard guard;
+  Tensor ya = a.forward(batch);
+  Tensor yb = b.forward(batch);
+  for (std::size_t i = 0; i < ya.data().size(); ++i) EXPECT_EQ(ya.data()[i], yb.data()[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(CircuitGpsModel, AnchorReadoutShapesAndGradients) {
+  GpsConfig config = small_config();
+  config.anchor_readout = true;
+  CircuitGps model(config);
+  const Fixture& f = fixture();
+  const SubgraphBatch batch = f.batch(config);
+  model.set_training(true);
+  Tensor out = model.forward(batch);
+  EXPECT_EQ(out.rows(), batch.num_graphs());
+  EXPECT_EQ(out.cols(), 1);
+  Tensor loss = ops::mse_loss(out, Tensor::zeros(out.rows(), 1));
+  loss.backward();  // must not throw; head input is 3*hidden wide
+}
+
+TEST(CircuitGpsModel, AnchorIndicesPointAtAnchors) {
+  const Fixture& f = fixture();
+  const SubgraphBatch batch = f.batch(small_config());
+  ASSERT_EQ(static_cast<std::int64_t>(batch.anchor_a.size()), batch.num_graphs());
+  for (std::int64_t g = 0; g < batch.num_graphs(); ++g) {
+    const std::int32_t a = batch.anchor_a[static_cast<std::size_t>(g)];
+    const std::int32_t b = batch.anchor_b[static_cast<std::size_t>(g)];
+    EXPECT_EQ(a, batch.graph_ptr[static_cast<std::size_t>(g)]);
+    EXPECT_GE(b, batch.graph_ptr[static_cast<std::size_t>(g)]);
+    EXPECT_LT(b, batch.graph_ptr[static_cast<std::size_t>(g) + 1]);
+    // Anchors have DSPD zero to themselves.
+    EXPECT_EQ(batch.dist0[static_cast<std::size_t>(a)], 0);
+    EXPECT_EQ(batch.dist1[static_cast<std::size_t>(b)], 0);
+  }
+}
+
+TEST(CircuitGpsModel, ResetHeadTouchesOnlyHead) {
+  GpsConfig config = small_config();
+  CircuitGps model(config);
+  std::vector<std::vector<float>> before;
+  for (const auto& [name, p] : model.named_parameters())
+    before.emplace_back(p.data().begin(), p.data().end());
+
+  model.reset_head(777);
+  std::size_t i = 0;
+  bool head_changed = false;
+  for (const auto& [name, p] : model.named_parameters()) {
+    const bool is_head = name.rfind("head_", 0) == 0;
+    bool changed = false;
+    for (std::size_t j = 0; j < before[i].size(); ++j)
+      if (before[i][j] != p.data()[j]) changed = true;
+    if (is_head) {
+      head_changed = head_changed || changed;
+    } else {
+      EXPECT_FALSE(changed) << name;
+    }
+    ++i;
+  }
+  EXPECT_TRUE(head_changed);
+}
+
+TEST(CircuitGpsModel, ParameterCountGrowsWithWidth) {
+  GpsConfig small = small_config();
+  GpsConfig big = small_config();
+  big.hidden = 32;
+  EXPECT_GT(CircuitGps(big).num_parameters(), CircuitGps(small).num_parameters());
+}
+
+TEST(CircuitGpsModel, ConfigDescribe) {
+  GpsConfig c = small_config();
+  const std::string s = c.describe();
+  EXPECT_NE(s.find("GatedGCN"), std::string::npos);
+  EXPECT_NE(s.find("DSPD"), std::string::npos);
+}
+
+TEST(CircuitGpsModel, RejectsTinyHidden) {
+  GpsConfig c = small_config();
+  c.hidden = 8;  // 2*pe_dim would consume everything
+  EXPECT_THROW(CircuitGps{c}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,99 @@
+#include "netlist/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgps {
+namespace {
+
+Design two_level_design() {
+  Design d;
+  SubcktDef inv;
+  inv.name = "INV";
+  inv.ports = {"A", "Y", "VDD", "VSS"};
+  inv.mos("MP", DeviceKind::kPmos, "Y", "A", "VDD", "VDD", 140e-9, 30e-9);
+  inv.mos("MN", DeviceKind::kNmos, "Y", "A", "VSS", "VSS", 100e-9, 30e-9);
+  d.add_subckt(inv);
+
+  SubcktDef buf;
+  buf.name = "BUF";
+  buf.ports = {"A", "Y", "VDD", "VSS"};
+  buf.inst("XI1", "INV", {"A", "mid", "VDD", "VSS"});
+  buf.inst("XI2", "INV", {"mid", "Y", "VDD", "VSS"});
+  d.add_subckt(buf);
+
+  d.top.name = "TOP";
+  d.top.ports = {"IN", "OUT", "VDD", "VSS"};
+  d.top.inst("XB", "BUF", {"IN", "OUT", "VDD", "VSS"});
+  d.top.cap("CL", "OUT", "VSS", 2e-15);
+  return d;
+}
+
+TEST(Hierarchy, CountDevicesExpandsInstances) {
+  const Design d = two_level_design();
+  EXPECT_EQ(d.count_devices(), 5);  // 2 INVs x 2 MOS + 1 cap
+}
+
+TEST(Hierarchy, FlattenProducesPrefixedNames) {
+  const Netlist flat = flatten(two_level_design());
+  EXPECT_EQ(flat.num_devices(), 5);
+  bool found = false;
+  for (const Device& dev : flat.devices())
+    if (dev.name == "XB/XI1/MP") found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Hierarchy, FlattenMapsPortsThroughLevels) {
+  const Netlist flat = flatten(two_level_design());
+  // IN must reach the gate of the first inverter's transistors.
+  const std::int32_t in_net = flat.find_net("IN");
+  ASSERT_GE(in_net, 0);
+  EXPECT_TRUE(flat.nets()[static_cast<std::size_t>(in_net)].is_port);
+  int gate_connections = 0;
+  for (const Device& dev : flat.devices()) {
+    for (const Pin& pin : dev.pins)
+      if (pin.net == in_net && pin.role == PinRole::kGate) ++gate_connections;
+  }
+  EXPECT_EQ(gate_connections, 2);  // MP + MN of the first INV
+}
+
+TEST(Hierarchy, LocalNetsGetInstancePrefix) {
+  const Netlist flat = flatten(two_level_design());
+  EXPECT_GE(flat.find_net("XB/mid"), 0);
+  EXPECT_EQ(flat.find_net("mid"), -1);
+}
+
+TEST(Hierarchy, UnknownSubcktThrows) {
+  Design d;
+  d.top.name = "TOP";
+  d.top.inst("X1", "MISSING", {});
+  EXPECT_THROW(flatten(d), std::invalid_argument);
+}
+
+TEST(Hierarchy, PortCountMismatchThrows) {
+  Design d = two_level_design();
+  d.top.instances[0].nets.pop_back();
+  EXPECT_THROW(flatten(d), std::invalid_argument);
+}
+
+TEST(Hierarchy, DuplicateSubcktThrows) {
+  Design d = two_level_design();
+  SubcktDef inv;
+  inv.name = "INV";
+  EXPECT_THROW(d.add_subckt(inv), std::invalid_argument);
+}
+
+TEST(Hierarchy, SharedInstanceNetsMerge) {
+  // Two instances sharing a top-level net must resolve to the same net id.
+  Design d = two_level_design();
+  d.top.inst("XB2", "BUF", {"IN", "OUT2", "VDD", "VSS"});
+  const Netlist flat = flatten(d);
+  const std::int32_t in_net = flat.find_net("IN");
+  int users = 0;
+  for (const Device& dev : flat.devices())
+    for (const Pin& pin : dev.pins)
+      if (pin.net == in_net) ++users;
+  EXPECT_EQ(users, 4);  // 2 transistors per BUF input inverter x 2 bufs
+}
+
+}  // namespace
+}  // namespace cgps

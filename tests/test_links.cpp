@@ -1,0 +1,207 @@
+#include "graph/links.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "gen/designs.hpp"
+#include "layout/placer.hpp"
+#include "netlist/hierarchy.hpp"
+
+namespace cgps {
+namespace {
+
+struct Fixture {
+  Netlist netlist;
+  CircuitGraph graph;
+  ExtractionResult extraction;
+
+  explicit Fixture(gen::DatasetId id = gen::DatasetId::kTimingControl) {
+    netlist = flatten(gen::make_design(id));
+    graph = build_circuit_graph(netlist);
+    const Placement placement = place(netlist);
+    extraction = extract_parasitics(netlist, placement);
+  }
+};
+
+TEST(LinkSamples, BalancedTypesMatchPaperRule) {
+  Fixture f;
+  Rng rng(1);
+  LinkSampleOptions options;
+  options.balance_types = true;
+  const auto samples = build_link_samples(f.graph, f.extraction.links, rng, options);
+
+  std::int64_t per_type_pos[3] = {0, 0, 0};
+  for (const LinkSample& s : samples)
+    if (s.label >= 0.5f) ++per_type_pos[s.type - 2];
+  // Paper rule: every type contributes as many positives as the rarest
+  // type, so all three counts are equal (and non-zero).
+  EXPECT_EQ(per_type_pos[0], per_type_pos[2]);
+  EXPECT_EQ(per_type_pos[1], per_type_pos[2]);
+  EXPECT_GT(per_type_pos[2], 0);
+}
+
+TEST(LinkSamples, NegativesShareTypeAndNodeTypes) {
+  Fixture f;
+  Rng rng(2);
+  const auto samples = build_link_samples(f.graph, f.extraction.links, rng, {});
+  for (const LinkSample& s : samples) {
+    if (s.label >= 0.5f) continue;
+    const NodeType ta = f.graph.graph.node_type(s.node_a);
+    const NodeType tb = f.graph.graph.node_type(s.node_b);
+    switch (s.type) {
+      case kLinkPinNet:
+        EXPECT_EQ(ta, NodeType::kPin);
+        EXPECT_EQ(tb, NodeType::kNet);
+        break;
+      case kLinkPinPin:
+        EXPECT_EQ(ta, NodeType::kPin);
+        EXPECT_EQ(tb, NodeType::kPin);
+        break;
+      case kLinkNetNet:
+        EXPECT_EQ(ta, NodeType::kNet);
+        EXPECT_EQ(tb, NodeType::kNet);
+        break;
+      default:
+        FAIL() << "unexpected type";
+    }
+    EXPECT_EQ(s.cap, 0.0);
+  }
+}
+
+TEST(LinkSamples, NegativesNeverCollideWithPositives) {
+  Fixture f;
+  Rng rng(3);
+  const auto samples = build_link_samples(f.graph, f.extraction.links, rng, {});
+  std::set<std::pair<std::int32_t, std::int32_t>> positives;
+  for (const CouplingLink& link : f.extraction.links) {
+    LinkSample s;
+    switch (link.kind) {
+      case CouplingKind::kPinToNet:
+        positives.emplace(f.graph.pin_node(link.a), f.graph.net_node(link.b));
+        break;
+      case CouplingKind::kPinToPin:
+        positives.emplace(f.graph.pin_node(link.a), f.graph.pin_node(link.b));
+        positives.emplace(f.graph.pin_node(link.b), f.graph.pin_node(link.a));
+        break;
+      case CouplingKind::kNetToNet:
+        positives.emplace(f.graph.net_node(link.a), f.graph.net_node(link.b));
+        positives.emplace(f.graph.net_node(link.b), f.graph.net_node(link.a));
+        break;
+    }
+  }
+  for (const LinkSample& s : samples) {
+    if (s.label < 0.5f) EXPECT_FALSE(positives.contains({s.node_a, s.node_b}));
+  }
+}
+
+TEST(LinkSamples, NegativeRatioRespected) {
+  Fixture f;
+  Rng rng(4);
+  LinkSampleOptions options;
+  options.negative_ratio = 2.0;
+  const auto samples = build_link_samples(f.graph, f.extraction.links, rng, options);
+  std::int64_t pos = 0, neg = 0;
+  for (const LinkSample& s : samples) (s.label >= 0.5f ? pos : neg)++;
+  EXPECT_NEAR(static_cast<double>(neg) / pos, 2.0, 0.2);
+}
+
+TEST(LinkSamples, MaxPerTypeCaps) {
+  Fixture f;
+  Rng rng(5);
+  LinkSampleOptions options;
+  options.max_per_type = 10;
+  const auto samples = build_link_samples(f.graph, f.extraction.links, rng, options);
+  std::int64_t per_type_pos[3] = {0, 0, 0};
+  for (const LinkSample& s : samples)
+    if (s.label >= 0.5f) ++per_type_pos[s.type - 2];
+  for (std::int64_t c : per_type_pos) EXPECT_LE(c, 10);
+}
+
+TEST(LinkSamples, DeterministicGivenSeed) {
+  Fixture f;
+  Rng rng1(6), rng2(6);
+  const auto a = build_link_samples(f.graph, f.extraction.links, rng1, {});
+  const auto b = build_link_samples(f.graph, f.extraction.links, rng2, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node_a, b[i].node_a);
+    EXPECT_EQ(a[i].node_b, b[i].node_b);
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+}
+
+TEST(LinkSamples, ProportionalTotalCapPreservesMix) {
+  Fixture f;
+  Rng rng1(10), rng2(10);
+  LinkSampleOptions natural;
+  natural.balance_types = false;
+  const auto full = build_link_samples(f.graph, f.extraction.links, rng1, natural);
+
+  LinkSampleOptions capped = natural;
+  capped.max_total_positives = 600;
+  const auto small = build_link_samples(f.graph, f.extraction.links, rng2, capped);
+
+  auto type_fractions = [](const std::vector<LinkSample>& samples) {
+    double count[3] = {0, 0, 0};
+    double total = 0;
+    for (const LinkSample& s : samples) {
+      if (s.label < 0.5f) continue;
+      count[s.type - 2] += 1;
+      ++total;
+    }
+    return std::array<double, 3>{count[0] / total, count[1] / total, count[2] / total};
+  };
+  const auto f_full = type_fractions(full);
+  const auto f_small = type_fractions(small);
+  std::int64_t positives = 0;
+  for (const LinkSample& s : small)
+    if (s.label >= 0.5f) ++positives;
+  EXPECT_LE(positives, 600);
+  EXPECT_GT(positives, 500);
+  for (int t = 0; t < 3; ++t) EXPECT_NEAR(f_small[t], f_full[t], 0.05) << "type " << t;
+}
+
+TEST(LinkGraph, InjectsPositivesOnlyByDefault) {
+  Fixture f;
+  Rng rng(8);
+  const auto samples = build_link_samples(f.graph, f.extraction.links, rng, {});
+  std::int64_t positives = 0, negatives = 0;
+  for (const LinkSample& s : samples) (s.label >= 0.5f ? positives : negatives)++;
+
+  const HeteroGraph pos_only = build_link_graph(f.graph, samples);
+  EXPECT_EQ(pos_only.num_edges(), f.graph.graph.num_edges() + positives);
+
+  const HeteroGraph with_neg = build_link_graph(f.graph, samples, /*include_negatives=*/true);
+  EXPECT_EQ(with_neg.num_edges(), f.graph.graph.num_edges() + positives + negatives);
+}
+
+TEST(LinkGraph, InjectedEdgesCarryLinkTypes) {
+  Fixture f;
+  Rng rng(9);
+  const auto samples = build_link_samples(f.graph, f.extraction.links, rng, {});
+  const HeteroGraph g = build_link_graph(f.graph, samples);
+  for (std::int64_t e = f.graph.graph.num_edges(); e < g.num_edges(); ++e) {
+    EXPECT_GE(g.edge_type(e), kLinkPinNet);
+    EXPECT_LE(g.edge_type(e), kLinkNetNet);
+  }
+}
+
+TEST(NodeSamples, PositiveCapsAndValidNodes) {
+  Fixture f;
+  Rng rng(7);
+  const auto samples = build_node_samples(f.graph, f.extraction, rng, 500);
+  EXPECT_LE(static_cast<std::int64_t>(samples.size()), 500);
+  EXPECT_GT(samples.size(), 0u);
+  for (const NodeSample& s : samples) {
+    EXPECT_GT(s.cap, 0.0);
+    EXPECT_GE(s.node, 0);
+    EXPECT_LT(s.node, f.graph.graph.num_nodes());
+    const NodeType t = f.graph.graph.node_type(s.node);
+    EXPECT_TRUE(t == NodeType::kNet || t == NodeType::kPin);
+  }
+}
+
+}  // namespace
+}  // namespace cgps

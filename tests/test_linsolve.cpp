@@ -1,0 +1,59 @@
+#include "spice/linsolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cgps {
+namespace {
+
+TEST(LuFactorization, SolvesKnownSystem) {
+  // [[2, 1], [1, 3]] x = [3, 5] -> x = [0.8, 1.4].
+  LuFactorization lu({2, 1, 1, 3}, 2);
+  std::vector<double> b{3, 5};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 0.8, 1e-12);
+  EXPECT_NEAR(b[1], 1.4, 1e-12);
+}
+
+TEST(LuFactorization, PivotingHandlesZeroDiagonal) {
+  // [[0, 1], [1, 0]] requires a row swap.
+  LuFactorization lu({0, 1, 1, 0}, 2);
+  std::vector<double> b{2, 3};
+  lu.solve(b);
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(LuFactorization, RandomSystemResidual) {
+  Rng rng(1);
+  const std::int64_t n = 12;
+  std::vector<double> a(static_cast<std::size_t>(n * n));
+  for (double& v : a) v = rng.normal();
+  for (std::int64_t i = 0; i < n; ++i) a[static_cast<std::size_t>(i * n + i)] += 5.0;
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (double& v : x_true) v = rng.normal();
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      b[static_cast<std::size_t>(i)] += a[static_cast<std::size_t>(i * n + j)] * x_true[static_cast<std::size_t>(j)];
+
+  LuFactorization lu(a, n);
+  lu.solve(b);
+  for (std::int64_t i = 0; i < n; ++i)
+    EXPECT_NEAR(b[static_cast<std::size_t>(i)], x_true[static_cast<std::size_t>(i)], 1e-9);
+}
+
+TEST(LuFactorization, SingularThrows) {
+  EXPECT_THROW(LuFactorization({1, 1, 1, 1}, 2), std::runtime_error);
+}
+
+TEST(LuFactorization, SizeMismatchThrows) {
+  EXPECT_THROW(LuFactorization({1, 2, 3}, 2), std::invalid_argument);
+  LuFactorization lu({1, 0, 0, 1}, 2);
+  std::vector<double> b{1};
+  EXPECT_THROW(lu.solve(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cgps

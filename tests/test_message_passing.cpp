@@ -1,0 +1,91 @@
+#include "nn/message_passing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/gradcheck.hpp"
+#include "tensor/ops.hpp"
+
+namespace cgps {
+namespace {
+
+nn::EdgeIndex triangle() {
+  nn::EdgeIndex e;
+  e.src = {0, 1, 1, 2, 2, 0};
+  e.dst = {1, 0, 2, 1, 0, 2};
+  return e;
+}
+
+TEST(SageLayer, ShapeAndNoEdges) {
+  Rng rng(1);
+  nn::SageLayer layer(4, 6, rng);
+  Tensor x = Tensor::randn(3, 4, 1.0f, rng);
+  Tensor y = layer.forward(x, triangle());
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.cols(), 6);
+  Tensor y0 = layer.forward(x, nn::EdgeIndex{});
+  EXPECT_EQ(y0.rows(), 3);
+}
+
+TEST(SageLayer, MeanAggregationIsPermutationInvariant) {
+  Rng rng(2);
+  nn::SageLayer layer(3, 3, rng);
+  Tensor x = Tensor::randn(4, 3, 1.0f, rng);
+  // Node 0 aggregates nodes {1, 2, 3} in two different edge orders.
+  nn::EdgeIndex e1, e2;
+  e1.src = {1, 2, 3};
+  e1.dst = {0, 0, 0};
+  e2.src = {3, 1, 2};
+  e2.dst = {0, 0, 0};
+  Tensor a = layer.forward(x, e1);
+  Tensor b = layer.forward(x, e2);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(a.at(0, j), b.at(0, j), 1e-5);
+}
+
+TEST(SageLayer, GradCheck) {
+  Rng rng(3);
+  nn::SageLayer layer(3, 2, rng);
+  Tensor x = Tensor::randn(3, 3, 0.5f, rng, true);
+  const auto result =
+      grad_check([&] { return ops::sum_all(ops::square(layer.forward(x, triangle()))); }, {x});
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(GcnLayer, ShapeAndSelfLoopOnly) {
+  Rng rng(4);
+  nn::GcnLayer layer(4, 4, rng);
+  Tensor x = Tensor::randn(2, 4, 1.0f, rng);
+  Tensor y = layer.forward(x, nn::EdgeIndex{});
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 4);
+}
+
+TEST(GcnLayer, SymmetricNormalizationBoundsOutput) {
+  Rng rng(5);
+  nn::GcnLayer layer(2, 2, rng);
+  // Star graph: node 0 connected to 1..5; aggregation must not blow up with
+  // degree because of the 1/sqrt(d) normalization.
+  nn::EdgeIndex edges;
+  for (std::int32_t i = 1; i <= 5; ++i) {
+    edges.src.push_back(i);
+    edges.dst.push_back(0);
+    edges.src.push_back(0);
+    edges.dst.push_back(i);
+  }
+  Tensor x = Tensor::full(6, 2, 1.0f);
+  Tensor y = layer.forward(x, edges);
+  for (float v : y.data()) EXPECT_LT(std::fabs(v), 50.0f);
+}
+
+TEST(GcnLayer, GradCheck) {
+  Rng rng(6);
+  nn::GcnLayer layer(3, 2, rng);
+  Tensor x = Tensor::randn(3, 3, 0.5f, rng, true);
+  const auto result =
+      grad_check([&] { return ops::sum_all(ops::square(layer.forward(x, triangle()))); }, {x});
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,79 @@
+#include "train/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgps {
+namespace {
+
+TEST(BinaryMetricsTest, PerfectClassifier) {
+  const auto m = binary_metrics({0.9f, 0.8f, 0.1f, 0.2f}, {1, 1, 0, 0});
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.auc, 1.0);
+}
+
+TEST(BinaryMetricsTest, InvertedClassifier) {
+  const auto m = binary_metrics({0.1f, 0.2f, 0.9f, 0.8f}, {1, 1, 0, 0});
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.auc, 0.0);
+}
+
+TEST(BinaryMetricsTest, KnownMixedCase) {
+  // scores: pos {0.9, 0.4}, neg {0.6, 0.1}.
+  const auto m = binary_metrics({0.9f, 0.4f, 0.6f, 0.1f}, {1, 1, 0, 0});
+  // Predictions at 0.5: TP=1, FN=1, FP=1, TN=1.
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, 0.5);
+  // Pairs: (0.9>0.6), (0.9>0.1), (0.4<0.6), (0.4>0.1) -> 3/4.
+  EXPECT_DOUBLE_EQ(m.auc, 0.75);
+}
+
+TEST(BinaryMetricsTest, TiesGetHalfCredit) {
+  const auto m = binary_metrics({0.5f, 0.5f}, {1, 0});
+  EXPECT_DOUBLE_EQ(m.auc, 0.5);
+}
+
+TEST(BinaryMetricsTest, SingleClassAucIsHalf) {
+  const auto m = binary_metrics({0.9f, 0.2f}, {1, 1});
+  EXPECT_DOUBLE_EQ(m.auc, 0.5);
+}
+
+TEST(BinaryMetricsTest, EmptyThrows) {
+  EXPECT_THROW(binary_metrics({}, {}), std::invalid_argument);
+  EXPECT_THROW(binary_metrics({0.5f}, {1, 0}), std::invalid_argument);
+}
+
+TEST(RegressionMetricsTest, PerfectPrediction) {
+  const auto m = regression_metrics({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.r2, 1.0);
+}
+
+TEST(RegressionMetricsTest, KnownErrors) {
+  const auto m = regression_metrics({2, 2}, {1, 3});
+  EXPECT_DOUBLE_EQ(m.mae, 1.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 1.0);
+  EXPECT_DOUBLE_EQ(m.r2, 0.0);  // predicting the mean
+}
+
+TEST(RegressionMetricsTest, R2NegativeForWorseThanMean) {
+  const auto m = regression_metrics({10, -10}, {1, 3});
+  EXPECT_LT(m.r2, 0.0);
+}
+
+TEST(RegressionMetricsTest, RmseGeqMae) {
+  const auto m = regression_metrics({1.0f, 5.0f, 2.5f}, {1.5f, 2.0f, 2.5f});
+  EXPECT_GE(m.rmse, m.mae);
+}
+
+TEST(MapeTest, KnownValue) {
+  EXPECT_NEAR(mape({110, 90}, {100, 100}), 0.1, 1e-12);
+}
+
+TEST(MapeTest, SkipsNonPositiveTargets) {
+  EXPECT_NEAR(mape({110, 5}, {100, 0}), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace cgps

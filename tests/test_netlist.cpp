@@ -1,0 +1,68 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgps {
+namespace {
+
+TEST(Netlist, AddNetDeduplicates) {
+  Netlist nl("t");
+  const auto a = nl.add_net("n1");
+  const auto b = nl.add_net("n1");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(nl.num_nets(), 1);
+  EXPECT_EQ(nl.find_net("n1"), a);
+  EXPECT_EQ(nl.find_net("missing"), -1);
+}
+
+TEST(Netlist, PortFlagSticks) {
+  Netlist nl;
+  nl.add_net("x");
+  nl.add_net("x", /*is_port=*/true);
+  EXPECT_TRUE(nl.nets()[0].is_port);
+}
+
+TEST(Netlist, AddMosfetWiresFourPins) {
+  Netlist nl;
+  const auto d = nl.add_mosfet("M1", DeviceKind::kNmos, "d", "g", "s", "b", 100e-9, 30e-9, 2);
+  const Device& dev = nl.devices()[static_cast<std::size_t>(d)];
+  EXPECT_EQ(dev.pins.size(), 4u);
+  EXPECT_EQ(dev.pins[0].role, PinRole::kDrain);
+  EXPECT_EQ(dev.pins[1].role, PinRole::kGate);
+  EXPECT_EQ(dev.pins[2].role, PinRole::kSource);
+  EXPECT_EQ(dev.pins[3].role, PinRole::kBulk);
+  EXPECT_EQ(dev.multiplier, 2);
+  EXPECT_EQ(nl.num_nets(), 4);
+  EXPECT_EQ(nl.num_pins(), 4);
+  EXPECT_THROW(nl.add_mosfet("M2", DeviceKind::kResistor, "a", "b", "c", "d", 1, 1),
+               std::invalid_argument);
+}
+
+TEST(Netlist, TwoTerminalDevices) {
+  Netlist nl;
+  nl.add_resistor("R1", "a", "b", 1e3, 0.2e-6, 2e-6);
+  nl.add_capacitor("C1", "a", "c", 1e-15, 1e-6, 4);
+  nl.add_diode("D1", "c", "b", "dio");
+  EXPECT_EQ(nl.num_devices(), 3);
+  EXPECT_EQ(nl.num_nets(), 3);
+  EXPECT_EQ(nl.devices()[0].kind, DeviceKind::kResistor);
+  EXPECT_EQ(nl.devices()[1].fingers, 4);
+  EXPECT_EQ(nl.devices()[2].model, "dio");
+}
+
+TEST(Netlist, SharedNetsAcrossDevices) {
+  Netlist nl;
+  nl.add_mosfet("M1", DeviceKind::kNmos, "y", "a", "gnd", "gnd", 100e-9, 30e-9);
+  nl.add_mosfet("M2", DeviceKind::kPmos, "y", "a", "vdd", "vdd", 140e-9, 30e-9);
+  EXPECT_EQ(nl.num_nets(), 4);  // y, a, gnd, vdd
+  EXPECT_EQ(nl.devices()[0].pins[0].net, nl.devices()[1].pins[0].net);
+}
+
+TEST(Netlist, DeviceKindNames) {
+  EXPECT_STREQ(device_kind_name(DeviceKind::kNmos), "nmos");
+  EXPECT_STREQ(device_kind_name(DeviceKind::kCapacitor), "capacitor");
+  EXPECT_STREQ(pin_role_name(PinRole::kGate), "G");
+}
+
+}  // namespace
+}  // namespace cgps

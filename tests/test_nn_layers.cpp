@@ -1,0 +1,116 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/gradcheck.hpp"
+#include "tensor/ops.hpp"
+
+namespace cgps {
+namespace {
+
+TEST(Linear, ShapesAndBias) {
+  Rng rng(1);
+  nn::Linear lin(4, 3, rng);
+  Tensor x = Tensor::randn(5, 4, 1.0f, rng);
+  Tensor y = lin.forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 3);
+  EXPECT_EQ(lin.parameters().size(), 2u);
+
+  nn::Linear nobias(4, 3, rng, /*bias=*/false);
+  EXPECT_EQ(nobias.parameters().size(), 1u);
+}
+
+TEST(Linear, GradCheckThroughLayer) {
+  Rng rng(2);
+  nn::Linear lin(3, 2, rng);
+  Tensor x = Tensor::randn(4, 3, 1.0f, rng, true);
+  std::vector<Tensor> inputs = lin.parameters();
+  inputs.push_back(x);
+  const auto result =
+      grad_check([&] { return ops::sum_all(ops::square(lin.forward(x))); }, inputs);
+  EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+TEST(Embedding, LookupMatchesWeightRows) {
+  Rng rng(3);
+  nn::Embedding emb(5, 4, rng);
+  Tensor out = emb.forward({1, 3, 1});
+  EXPECT_EQ(out.rows(), 3);
+  EXPECT_EQ(out.cols(), 4);
+  // Same index twice -> identical rows.
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(out.at(0, j), out.at(2, j));
+}
+
+TEST(Embedding, GradAccumulatesForRepeatedIndex) {
+  Rng rng(3);
+  nn::Embedding emb(4, 2, rng);
+  Tensor out = ops::sum_all(emb.forward({2, 2}));
+  out.backward();
+  const Tensor w = emb.parameters()[0];
+  EXPECT_NEAR(w.grad()[2 * 2 + 0], 2.0f, 1e-6);  // row 2 used twice
+  EXPECT_EQ(w.grad()[0], 0.0f);
+}
+
+TEST(BatchNorm1d, TrainThenEvalConsistency) {
+  Rng rng(4);
+  nn::BatchNorm1d bn(3);
+  Tensor x = Tensor::randn(64, 3, 2.0f, rng);
+  bn.set_training(true);
+  for (int i = 0; i < 20; ++i) bn.forward(x);
+  bn.set_training(false);
+  Tensor y = bn.forward(x);
+  // With converged running stats, eval output is approximately normalized.
+  double mean = 0;
+  for (int i = 0; i < 64; ++i) mean += y.at(i, 0);
+  mean /= 64;
+  EXPECT_NEAR(mean, 0.0, 0.15);
+}
+
+TEST(BatchNorm1d, HasRunningBuffers) {
+  nn::BatchNorm1d bn(2);
+  EXPECT_EQ(bn.named_buffers().size(), 2u);
+  EXPECT_EQ(bn.parameters().size(), 2u);
+}
+
+TEST(Mlp, ForwardShapeAndDepth) {
+  Rng rng(5);
+  nn::Mlp mlp({6, 8, 8, 2}, rng);
+  Tensor x = Tensor::randn(3, 6, 1.0f, rng);
+  Tensor y = mlp.forward(x, rng);
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.cols(), 2);
+  EXPECT_EQ(mlp.parameters().size(), 6u);  // 3 linears x (W, b)
+  EXPECT_THROW(nn::Mlp({4}, rng), std::invalid_argument);
+}
+
+TEST(Mlp, GradFlowsToAllParameters) {
+  Rng rng(6);
+  nn::Mlp mlp({3, 5, 1}, rng);
+  Tensor x = Tensor::randn(8, 3, 1.0f, rng);
+  Tensor loss = ops::sum_all(ops::square(mlp.forward(x, rng)));
+  loss.backward();
+  for (const Tensor& p : mlp.parameters()) {
+    double norm = 0;
+    for (float g : p.grad()) norm += std::fabs(g);
+    EXPECT_GT(norm, 0.0);
+  }
+}
+
+TEST(Module, NumParametersCountsEverything) {
+  Rng rng(7);
+  nn::Mlp mlp({4, 6, 2}, rng);
+  EXPECT_EQ(mlp.num_parameters(), 4 * 6 + 6 + 6 * 2 + 2);
+}
+
+TEST(Module, SetRequiresGradFreezes) {
+  Rng rng(8);
+  nn::Linear lin(2, 2, rng);
+  lin.set_requires_grad(false);
+  for (const Tensor& p : lin.parameters()) EXPECT_FALSE(p.requires_grad());
+}
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,91 @@
+// Fuzz-lite robustness: the SPICE and SPF parsers must either parse or throw
+// a typed exception on mutated/garbage input — never crash, hang, or accept
+// silently-corrupted structure.
+#include <gtest/gtest.h>
+
+#include "netlist/spice.hpp"
+#include "parasitics/spf.hpp"
+#include "util/rng.hpp"
+
+namespace cgps {
+namespace {
+
+const char* kSeedNetlist = R"(.SUBCKT INV A Y VDD VSS
+MP Y A VDD VDD pch W=140n L=30n
+MN Y A VSS VSS nch W=100n L=30n
+.ENDS
+XI1 in out vdd gnd INV
+CL out gnd 2f
+RD in drv 1.5k
+.END
+)";
+
+std::string mutate(const std::string& text, Rng& rng) {
+  std::string out = text;
+  const int edits = 1 + static_cast<int>(rng.uniform_int(4));
+  for (int e = 0; e < edits; ++e) {
+    if (out.empty()) break;
+    const std::size_t pos = static_cast<std::size_t>(rng.uniform_int(out.size()));
+    switch (rng.uniform_int(4)) {
+      case 0: out[pos] = static_cast<char>(32 + rng.uniform_int(95)); break;  // replace
+      case 1: out.erase(pos, 1 + rng.uniform_int(5)); break;                  // delete
+      case 2: out.insert(pos, 1, static_cast<char>(32 + rng.uniform_int(95))); break;
+      default: out.insert(pos, "\n+ "); break;  // random continuation
+    }
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, SpiceParserNeverCrashes) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const std::string mutated = mutate(kSeedNetlist, rng);
+    try {
+      const Design d = parse_spice(mutated);
+      // Parsed inputs must still flatten or throw a typed error.
+      try {
+        (void)flatten(d);
+      } catch (const std::invalid_argument&) {
+      } catch (const std::runtime_error&) {
+      }
+    } catch (const std::runtime_error&) {
+      // Typed rejection is fine.
+    }
+  }
+}
+
+TEST_P(ParserFuzz, SpfParserNeverCrashes) {
+  Netlist nl("t");
+  nl.add_mosfet("M1", DeviceKind::kNmos, "d", "g", "s", "b", 100e-9, 30e-9);
+  nl.add_resistor("R1", "d", "g", 1e3);
+  const std::string seed_spf = "Cg0 d 0 1.5f\nCc0 M1:0 g 2e-18\nCc1 d g 3e-18\n";
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int round = 0; round < 200; ++round) {
+    const std::string mutated = mutate(seed_spf, rng);
+    try {
+      (void)parse_spf(mutated, nl);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RandomGarbageRejectedOrEmpty) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int round = 0; round < 100; ++round) {
+    std::string garbage;
+    const std::size_t len = rng.uniform_int(400);
+    for (std::size_t i = 0; i < len; ++i)
+      garbage.push_back(static_cast<char>(rng.uniform_int(256)));
+    try {
+      (void)parse_spice(garbage);
+    } catch (const std::runtime_error&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+}  // namespace
+}  // namespace cgps

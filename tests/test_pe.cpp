@@ -1,0 +1,121 @@
+#include "graph/pe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cgps {
+namespace {
+
+// Hand-built path subgraph: 0(m) - 2 - 1(n) plus a pendant 3 off node 2.
+Subgraph path_subgraph() {
+  Subgraph sg;
+  sg.orig_nodes = {100, 101, 102, 103};
+  sg.node_type = {0, 0, 2, 1};
+  sg.second_anchor = 1;
+  auto add_undirected = [&](std::int32_t a, std::int32_t b, std::int8_t t) {
+    sg.edges.src.push_back(a);
+    sg.edges.dst.push_back(b);
+    sg.edge_type.push_back(t);
+    sg.edges.src.push_back(b);
+    sg.edges.dst.push_back(a);
+    sg.edge_type.push_back(t);
+  };
+  add_undirected(0, 2, kEdgeNetPin);
+  add_undirected(2, 1, kEdgeNetPin);
+  add_undirected(2, 3, kEdgeDevicePin);
+  sg.dist0 = {0, 2, 1, 2};
+  sg.dist1 = {2, 0, 1, 2};
+  return sg;
+}
+
+TEST(Drnl, AnchorsGetLabelOne) {
+  const auto labels = drnl_labels(path_subgraph());
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_EQ(labels[1], 1);
+}
+
+TEST(Drnl, MatchesSealFormula) {
+  const auto labels = drnl_labels(path_subgraph());
+  // Node 2: (d0, d1) = (1, 1); d=2, half=1 -> 1 + 1 + 1*(1+0-1) = 2.
+  EXPECT_EQ(labels[2], 2);
+  // Node 3: (2, 2); d=4, half=2 -> 1 + 2 + 2*(2+0-1) = 5.
+  EXPECT_EQ(labels[3], 5);
+}
+
+TEST(Drnl, UnreachableGetsZero) {
+  Subgraph sg = path_subgraph();
+  sg.dist0[3] = kDspdMax;  // simulate unreachable
+  const auto labels = drnl_labels(sg);
+  EXPECT_EQ(labels[3], 0);
+}
+
+TEST(Drnl, MaxLabelBoundsAllLabels) {
+  const auto labels = drnl_labels(path_subgraph());
+  for (std::int32_t l : labels) EXPECT_LE(l, drnl_max_label());
+}
+
+TEST(Rwse, ReturnsProbabilitiesInUnitInterval) {
+  const Subgraph sg = path_subgraph();
+  const int k = 6;
+  const auto features = rwse(sg, k);
+  ASSERT_EQ(features.size(), static_cast<std::size_t>(sg.num_nodes() * k));
+  for (float v : features) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Rwse, OddStepsOnBipartiteLikePathAreZero) {
+  // On a path, a 1-step return is impossible: P^1_ii = 0.
+  const auto features = rwse(path_subgraph(), 2);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(features[static_cast<std::size_t>(i * 2)], 0.0f);
+  // Two-step returns are positive for every node on a connected path.
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_GT(features[static_cast<std::size_t>(i * 2 + 1)], 0.0f);
+}
+
+TEST(Rwse, CenterNodeReturnsMoreSlowly) {
+  // Node 2 has degree 3: its 2-step return probability is the mean over
+  // neighbors of 1/deg(neighbor) = 1 (all pendant). Leaf 0's is 1/3.
+  const auto features = rwse(path_subgraph(), 2);
+  const float leaf0 = features[0 * 2 + 1];
+  EXPECT_NEAR(leaf0, 1.0f / 3.0f, 1e-5);
+  const float center = features[2 * 2 + 1];
+  EXPECT_NEAR(center, 1.0f, 1e-5);
+}
+
+TEST(Lappe, ShapeAndZeroPaddingForTinyGraphs) {
+  Subgraph tiny;
+  tiny.orig_nodes = {5};
+  tiny.node_type = {0};
+  tiny.dist0 = {0};
+  tiny.dist1 = {0};
+  tiny.second_anchor = 0;
+  const auto features = lappe(tiny, 4);
+  ASSERT_EQ(features.size(), 4u);
+  for (float v : features) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Lappe, EigenvectorEntriesBounded) {
+  const auto features = lappe(path_subgraph(), 3);
+  ASSERT_EQ(features.size(), 12u);
+  for (float v : features) EXPECT_LE(std::fabs(v), 1.0f + 1e-5f);
+}
+
+TEST(Lappe, SignConventionDeterministic) {
+  const auto a = lappe(path_subgraph(), 3);
+  const auto b = lappe(path_subgraph(), 3);
+  EXPECT_EQ(a, b);
+  // Largest-magnitude entry of each used column is positive.
+  for (int col = 0; col < 2; ++col) {
+    float best = 0.0f;
+    for (int i = 0; i < 4; ++i) {
+      const float v = a[static_cast<std::size_t>(i * 3 + col)];
+      if (std::fabs(v) > std::fabs(best)) best = v;
+    }
+    EXPECT_GE(best, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,137 @@
+#include "layout/placer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/designs.hpp"
+#include "netlist/hierarchy.hpp"
+
+namespace cgps {
+namespace {
+
+Netlist inverter_chain(int n) {
+  Netlist nl("chain");
+  for (int i = 0; i < n; ++i) {
+    const std::string in = "n" + std::to_string(i);
+    const std::string out = "n" + std::to_string(i + 1);
+    nl.add_mosfet("MP" + std::to_string(i), DeviceKind::kPmos, out, in, "vdd", "vdd",
+                  140e-9, 30e-9);
+    nl.add_mosfet("MN" + std::to_string(i), DeviceKind::kNmos, out, in, "gnd", "gnd",
+                  100e-9, 30e-9);
+  }
+  return nl;
+}
+
+TEST(Placer, EveryDeviceAndPinPlaced) {
+  const Netlist nl = inverter_chain(10);
+  const Placement p = place(nl);
+  EXPECT_EQ(p.device_center.size(), 20u);
+  EXPECT_EQ(p.pin_position.size(), 20u);
+  EXPECT_EQ(p.flat_pins.size(), static_cast<std::size_t>(nl.num_pins()));
+  EXPECT_EQ(p.flat_pin_owner.size(), p.flat_pins.size());
+}
+
+TEST(Placer, Deterministic) {
+  const Netlist nl = inverter_chain(8);
+  const Placement a = place(nl);
+  const Placement b = place(nl);
+  for (std::size_t i = 0; i < a.device_center.size(); ++i) {
+    EXPECT_EQ(a.device_center[i].x, b.device_center[i].x);
+    EXPECT_EQ(a.device_center[i].y, b.device_center[i].y);
+  }
+}
+
+TEST(Placer, SeedChangesJitterOnly) {
+  const Netlist nl = inverter_chain(8);
+  PlacerOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 2;
+  const Placement a = place(nl, o1);
+  const Placement b = place(nl, o2);
+  // Same site grid, different jitter: positions close but not identical.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.device_center.size(); ++i) {
+    EXPECT_NEAR(a.device_center[i].x, b.device_center[i].x, o1.site_width);
+    if (a.device_center[i].x != b.device_center[i].x) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Placer, ConnectedDevicesAreNearby) {
+  // In an inverter chain, the two transistors of one inverter share in/out
+  // nets and must be placed closer (on average) than random pairs.
+  const Netlist nl = inverter_chain(50);
+  const Placement p = place(nl);
+  double paired = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const Point a = p.device_center[static_cast<std::size_t>(2 * i)];
+    const Point b = p.device_center[static_cast<std::size_t>(2 * i + 1)];
+    paired += std::hypot(a.x - b.x, a.y - b.y);
+  }
+  paired /= 50;
+  double random_pairs = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const Point a = p.device_center[static_cast<std::size_t>(i)];
+    const Point b = p.device_center[static_cast<std::size_t>(99 - i)];
+    random_pairs += std::hypot(a.x - b.x, a.y - b.y);
+  }
+  random_pairs /= 50;
+  EXPECT_LT(paired, random_pairs);
+}
+
+TEST(Placer, NetRoutesCoverPins) {
+  const Netlist nl = inverter_chain(5);
+  const Placement p = place(nl);
+  for (std::size_t d = 0; d < p.pin_position.size(); ++d) {
+    const Device& dev = nl.devices()[d];
+    for (std::size_t k = 0; k < dev.pins.size(); ++k) {
+      const auto net = static_cast<std::size_t>(dev.pins[k].net);
+      const NetRoute& route = p.net_route[net];
+      const Point& pt = p.pin_position[d][k];
+      EXPECT_GE(pt.x, route.bbox.x0 - 1e-12);
+      EXPECT_LE(pt.x, route.bbox.x1 + 1e-12);
+      EXPECT_GE(pt.y, route.bbox.y0 - 1e-12);
+      EXPECT_LE(pt.y, route.bbox.y1 + 1e-12);
+    }
+  }
+}
+
+TEST(Placer, TrunkInsideBbox) {
+  const Netlist nl = inverter_chain(12);
+  const Placement p = place(nl);
+  for (const NetRoute& route : p.net_route) {
+    if (route.n_pins == 0) continue;
+    EXPECT_GE(route.trunk_y, route.bbox.y0 - 1e-12);
+    EXPECT_LE(route.trunk_y, route.bbox.y1 + 1e-12);
+    EXPECT_DOUBLE_EQ(route.trunk_x0, route.bbox.x0);
+    EXPECT_DOUBLE_EQ(route.trunk_x1, route.bbox.x1);
+    EXPECT_GE(route.wire_length, 0.0);
+  }
+}
+
+TEST(Placer, PinCountsPerNetConsistent) {
+  const Netlist nl = inverter_chain(12);
+  const Placement p = place(nl);
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(nl.num_nets()), 0);
+  for (const Device& dev : nl.devices())
+    for (const Pin& pin : dev.pins) ++counts[static_cast<std::size_t>(pin.net)];
+  for (std::size_t n = 0; n < counts.size(); ++n)
+    EXPECT_EQ(p.net_route[n].n_pins, counts[n]);
+}
+
+TEST(Placer, HandlesGeneratedDesign) {
+  const Netlist flat = flatten(gen::timing_control());
+  const Placement p = place(flat);
+  EXPECT_EQ(p.device_center.size(), static_cast<std::size_t>(flat.num_devices()));
+}
+
+TEST(Placer, EmptyNetlist) {
+  Netlist nl("empty");
+  const Placement p = place(nl);
+  EXPECT_TRUE(p.device_center.empty());
+  EXPECT_TRUE(p.flat_pins.empty());
+}
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,92 @@
+#include "spice/rc_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cgps {
+namespace {
+
+TEST(RcSim, RcChargingMatchesAnalyticSolution) {
+  // Single RC: V(t) = VDD (1 - e^{-t/RC}).
+  RcNetwork net;
+  const std::int32_t n = net.add_node();
+  const double r = 1e3, c = 1e-12, vdd = 1.0;
+  net.add_source(n, step_wave(vdd), r);
+  net.add_capacitor(n, kGroundNode, c);
+
+  const double tau = r * c;
+  const auto result = net.simulate(5 * tau, tau / 200);
+  for (std::size_t k = 10; k < result.time.size(); k += 100) {
+    const double t = result.time[k];
+    const double expected = vdd * (1.0 - std::exp(-t / tau));
+    EXPECT_NEAR(result.voltage[k][0], expected, 0.01);
+  }
+}
+
+TEST(RcSim, SupplyEnergyIsCVddSquared) {
+  // Energy drawn from an ideal step through R into C is C*VDD^2 (half in
+  // the cap, half dissipated in R).
+  RcNetwork net;
+  const std::int32_t n = net.add_node();
+  const double r = 1e3, c = 2e-12, vdd = 0.9;
+  net.add_source(n, step_wave(vdd), r);
+  net.add_capacitor(n, kGroundNode, c);
+  const auto result = net.simulate(20 * r * c, r * c / 100);
+  EXPECT_NEAR(result.source_energy, c * vdd * vdd, 0.03 * c * vdd * vdd);
+}
+
+TEST(RcSim, CouplingIncreasesSwitchingEnergy) {
+  auto energy_with_coupling = [](double cc) {
+    RcNetwork net;
+    const std::int32_t victim = net.add_node();
+    const std::int32_t aggressor = net.add_node();
+    net.add_source(victim, step_wave(1.0), 1e3);
+    net.add_capacitor(victim, kGroundNode, 1e-15);
+    net.add_capacitor(aggressor, kGroundNode, 1e-15);
+    net.add_resistor(aggressor, kGroundNode, 10e3);
+    net.add_capacitor(victim, aggressor, cc);
+    return net.simulate(50e-9, 20e-12).source_energy;
+  };
+  EXPECT_GT(energy_with_coupling(5e-16), energy_with_coupling(1e-18));
+}
+
+TEST(RcSim, VoltageDividerSteadyState) {
+  RcNetwork net;
+  const std::int32_t a = net.add_node();
+  const std::int32_t b = net.add_node();
+  net.add_source(a, step_wave(2.0), 1e3);
+  net.add_resistor(a, b, 1e3);
+  net.add_resistor(b, kGroundNode, 2e3);
+  const auto result = net.simulate(1e-6, 1e-9);
+  // Steady state: chain 1k + 1k + 2k from 2V -> node b = 2 * 2/4 = 1.0 V.
+  EXPECT_NEAR(result.voltage.back()[b], 1.0, 1e-3);
+  EXPECT_NEAR(result.voltage.back()[a], 1.5, 1e-3);
+}
+
+TEST(RcSim, InitialConditionsRespected) {
+  RcNetwork net;
+  const std::int32_t n = net.add_node();
+  net.add_capacitor(n, kGroundNode, 1e-12);
+  net.add_resistor(n, kGroundNode, 1e3);
+  const auto result = net.simulate(10e-9, 0.01e-9, {1.0});
+  EXPECT_NEAR(result.voltage.front()[n], 1.0, 1e-12);
+  EXPECT_LT(result.voltage.back()[n], 0.01);  // decays through R
+}
+
+TEST(RcSim, InvalidInputsThrow) {
+  RcNetwork net;
+  const std::int32_t n = net.add_node();
+  EXPECT_THROW(net.add_resistor(n, 5, 1e3), std::invalid_argument);
+  EXPECT_THROW(net.add_resistor(n, kGroundNode, -1.0), std::invalid_argument);
+  EXPECT_THROW(net.add_capacitor(n, kGroundNode, -1e-15), std::invalid_argument);
+  EXPECT_THROW(net.add_source(kGroundNode, step_wave(1.0), 1e3), std::invalid_argument);
+  EXPECT_THROW(net.add_source(n, step_wave(1.0), 0.0), std::invalid_argument);
+  net.add_capacitor(n, kGroundNode, 1e-15);
+  EXPECT_THROW(net.simulate(-1.0, 1e-12), std::invalid_argument);
+  RcNetwork empty;
+  EXPECT_THROW(empty.simulate(1e-9, 1e-12), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,87 @@
+#include "parasitics/spf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/designs.hpp"
+#include "netlist/hierarchy.hpp"
+
+namespace cgps {
+namespace {
+
+TEST(Spf, RoundTripPreservesEverything) {
+  const Netlist netlist = flatten(gen::make_design(gen::DatasetId::kTimingControl));
+  const Placement placement = place(netlist);
+  const ExtractionResult original = extract_parasitics(netlist, placement);
+
+  const std::string text = write_spf(netlist, original);
+  const ExtractionResult parsed = parse_spf(text, netlist);
+
+  ASSERT_EQ(parsed.links.size(), original.links.size());
+  for (std::size_t i = 0; i < original.links.size(); ++i) {
+    EXPECT_EQ(parsed.links[i].kind, original.links[i].kind);
+    EXPECT_EQ(parsed.links[i].a, original.links[i].a);
+    EXPECT_EQ(parsed.links[i].b, original.links[i].b);
+    EXPECT_NEAR(parsed.links[i].cap, original.links[i].cap,
+                original.links[i].cap * 1e-4);
+  }
+  ASSERT_EQ(parsed.net_ground_cap.size(), original.net_ground_cap.size());
+  for (std::size_t n = 0; n < original.net_ground_cap.size(); ++n) {
+    EXPECT_NEAR(parsed.net_ground_cap[n], original.net_ground_cap[n],
+                original.net_ground_cap[n] * 1e-4 + 1e-24);
+  }
+  for (std::size_t p = 0; p < original.pin_ground_cap.size(); ++p) {
+    EXPECT_NEAR(parsed.pin_ground_cap[p], original.pin_ground_cap[p],
+                original.pin_ground_cap[p] * 1e-4 + 1e-24);
+  }
+}
+
+TEST(Spf, HeaderAndFormat) {
+  Netlist nl("tiny");
+  nl.add_resistor("R1", "a", "b", 1e3);
+  const Placement p = place(nl);
+  ExtractionResult ex = extract_parasitics(nl, p);
+  const std::string text = write_spf(nl, ex);
+  EXPECT_NE(text.find("*|DSPF"), std::string::npos);
+  EXPECT_NE(text.find("*|DESIGN tiny"), std::string::npos);
+  EXPECT_NE(text.find("*|GROUND_NET 0"), std::string::npos);
+}
+
+TEST(Spf, UnknownNodeRejected) {
+  Netlist nl("tiny");
+  nl.add_resistor("R1", "a", "b", 1e3);
+  EXPECT_THROW(parse_spf("C1 bogus_node 0 1f\n", nl), std::runtime_error);
+}
+
+TEST(Spf, MalformedCardsRejected) {
+  Netlist nl("tiny");
+  nl.add_resistor("R1", "a", "b", 1e3);
+  EXPECT_THROW(parse_spf("R1 a b 1k\n", nl), std::runtime_error);   // not a cap card
+  EXPECT_THROW(parse_spf("C1 a b\n", nl), std::runtime_error);      // missing value
+  EXPECT_THROW(parse_spf("C1 a b zzz\n", nl), std::runtime_error);  // bad value
+  EXPECT_THROW(parse_spf("C1 0 0 1f\n", nl), std::runtime_error);   // ground to ground
+}
+
+TEST(Spf, PinNodeNaming) {
+  Netlist nl("tiny");
+  nl.add_mosfet("M1", DeviceKind::kNmos, "d", "g", "s", "b", 100e-9, 30e-9);
+  // Pin 1 (gate) of device M1 couples to net d.
+  const ExtractionResult parsed = parse_spf("Cc0 M1:1 d 2e-18\n", nl);
+  ASSERT_EQ(parsed.links.size(), 1u);
+  EXPECT_EQ(parsed.links[0].kind, CouplingKind::kPinToNet);
+  EXPECT_EQ(parsed.links[0].a, 1);  // flat pin index
+  EXPECT_EQ(parsed.links[0].b, nl.find_net("d"));
+}
+
+TEST(Spf, PinNetConventionNormalized) {
+  Netlist nl("tiny");
+  nl.add_mosfet("M1", DeviceKind::kNmos, "d", "g", "s", "b", 100e-9, 30e-9);
+  // Net listed first: parser must still put the pin in `a`.
+  const ExtractionResult parsed = parse_spf("Cc0 d M1:0 3e-18\n", nl);
+  ASSERT_EQ(parsed.links.size(), 1u);
+  EXPECT_EQ(parsed.links[0].kind, CouplingKind::kPinToNet);
+  EXPECT_EQ(parsed.links[0].a, 0);
+  EXPECT_EQ(parsed.links[0].b, nl.find_net("d"));
+}
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,104 @@
+#include "netlist/spice.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgps {
+namespace {
+
+const char* kSample = R"(
+* sample netlist
+.SUBCKT INV A Y VDD VSS
+MP Y A VDD VDD pch W=140n L=30n M=1
+MN Y A VSS VSS nch W=100n L=30n M=1
+.ENDS INV
+
+* top level
+XI1 in mid vdd gnd INV
+XI2 mid out vdd gnd INV
+CL out gnd 2f
+RD in drv 1.5k W=0.2u L=3u
+DP out vdd dio
+.END
+)";
+
+TEST(SpiceParser, ParsesSubcktsAndTop) {
+  const Design d = parse_spice(kSample, "TOP");
+  ASSERT_TRUE(d.subckts.contains("INV"));
+  const SubcktDef& inv = d.subckts.at("INV");
+  EXPECT_EQ(inv.ports, (std::vector<std::string>{"A", "Y", "VDD", "VSS"}));
+  EXPECT_EQ(inv.devices.size(), 2u);
+  EXPECT_EQ(inv.devices[0].kind, DeviceKind::kPmos);
+  EXPECT_DOUBLE_EQ(inv.devices[0].width, 140e-9);
+  EXPECT_EQ(d.top.instances.size(), 2u);
+  EXPECT_EQ(d.top.devices.size(), 3u);
+  EXPECT_EQ(d.top.devices[0].kind, DeviceKind::kCapacitor);
+  EXPECT_DOUBLE_EQ(d.top.devices[0].value, 2e-15);
+  EXPECT_DOUBLE_EQ(d.top.devices[1].value, 1.5e3);
+  EXPECT_EQ(d.top.devices[2].kind, DeviceKind::kDiode);
+}
+
+TEST(SpiceParser, ContinuationLines) {
+  const Design d = parse_spice("M1 d g s b nch\n+ W=100n\n+ L=30n\n");
+  ASSERT_EQ(d.top.devices.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.top.devices[0].width, 100e-9);
+  EXPECT_DOUBLE_EQ(d.top.devices[0].length, 30e-9);
+}
+
+TEST(SpiceParser, CommentsAndDollarStripped) {
+  const Design d = parse_spice("* full comment\nR1 a b 1k $ inline comment\n");
+  ASSERT_EQ(d.top.devices.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.top.devices[0].value, 1e3);
+}
+
+TEST(SpiceParser, PmosDetectedFromModelName) {
+  const Design d = parse_spice("M1 d g s b pch W=1u L=30n\nM2 d g s b nch W=1u L=30n\n");
+  EXPECT_EQ(d.top.devices[0].kind, DeviceKind::kPmos);
+  EXPECT_EQ(d.top.devices[1].kind, DeviceKind::kNmos);
+}
+
+TEST(SpiceParser, Errors) {
+  EXPECT_THROW(parse_spice(".SUBCKT A\n.SUBCKT B\n.ENDS\n.ENDS\n"), std::runtime_error);
+  EXPECT_THROW(parse_spice(".ENDS\n"), std::runtime_error);
+  EXPECT_THROW(parse_spice(".SUBCKT X\nM1 d g s b nch\n"), std::runtime_error);  // missing .ENDS
+  EXPECT_THROW(parse_spice("Q1 c b e npn\n"), std::runtime_error);  // unsupported prefix
+  EXPECT_THROW(parse_spice("M1 d g nch\n"), std::runtime_error);    // too few nets
+  EXPECT_THROW(parse_spice("+ orphan\n"), std::runtime_error);
+  EXPECT_THROW(parse_spice(".weird\n"), std::runtime_error);
+}
+
+TEST(SpiceParser, IgnoredControlCards) {
+  const Design d = parse_spice(".GLOBAL vdd\n.param x=1\nR1 a b 1k\n.END\n");
+  EXPECT_EQ(d.top.devices.size(), 1u);
+}
+
+TEST(SpiceWriter, RoundTripPreservesStructure) {
+  const Design original = parse_spice(kSample, "TOP");
+  const std::string text = write_spice(original);
+  const Design reparsed = parse_spice(text, "TOP");
+
+  EXPECT_EQ(reparsed.subckts.size(), original.subckts.size());
+  EXPECT_EQ(reparsed.top.devices.size(), original.top.devices.size());
+  EXPECT_EQ(reparsed.top.instances.size(), original.top.instances.size());
+  EXPECT_EQ(reparsed.count_devices(), original.count_devices());
+
+  const auto& inv_a = original.subckts.at("INV");
+  const auto& inv_b = reparsed.subckts.at("INV");
+  for (std::size_t i = 0; i < inv_a.devices.size(); ++i) {
+    EXPECT_EQ(inv_a.devices[i].kind, inv_b.devices[i].kind);
+    EXPECT_NEAR(inv_a.devices[i].width, inv_b.devices[i].width, 1e-12);
+    EXPECT_EQ(inv_a.devices[i].nets, inv_b.devices[i].nets);
+  }
+}
+
+TEST(SpiceWriter, FlattenedEquivalence) {
+  const Design original = parse_spice(kSample, "TOP");
+  const Design reparsed = parse_spice(write_spice(original), "TOP");
+  const Netlist a = flatten(original);
+  const Netlist b = flatten(reparsed);
+  EXPECT_EQ(a.num_devices(), b.num_devices());
+  EXPECT_EQ(a.num_nets(), b.num_nets());
+  EXPECT_EQ(a.num_pins(), b.num_pins());
+}
+
+}  // namespace
+}  // namespace cgps

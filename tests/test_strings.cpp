@@ -1,0 +1,85 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgps {
+namespace {
+
+TEST(SplitWs, BasicAndEdgeCases) {
+  EXPECT_EQ(split_ws("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_ws("  leading"), (std::vector<std::string>{"leading"}));
+  EXPECT_EQ(split_ws("trailing  "), (std::vector<std::string>{"trailing"}));
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   \t ").empty());
+}
+
+TEST(Split, PreservesEmptyTokens) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(ToLower, Basic) { EXPECT_EQ(to_lower("MiXeD"), "mixed"); }
+
+TEST(StartsWithIcase, Basic) {
+  EXPECT_TRUE(starts_with_icase("MEGAWATT", "mega"));
+  EXPECT_TRUE(starts_with_icase(".SUBCKT foo", ".subckt"));
+  EXPECT_FALSE(starts_with_icase("me", "mega"));
+}
+
+TEST(ParseSpiceNumber, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(*parse_spice_number("42"), 42.0);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("-1.5"), -1.5);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("3e-9"), 3e-9);
+}
+
+TEST(ParseSpiceNumber, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(*parse_spice_number("10f"), 10e-15);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("2.5p"), 2.5e-12);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("100n"), 100e-9);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("0.4u"), 0.4e-6);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("3m"), 3e-3);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("120k"), 120e3);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("2x"), 2e6);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("1g"), 1e9);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("5a"), 5e-18);
+}
+
+TEST(ParseSpiceNumber, UnitSuffixAfterScale) {
+  EXPECT_DOUBLE_EQ(*parse_spice_number("10pF"), 10e-12);
+  EXPECT_DOUBLE_EQ(*parse_spice_number("30nm"), 30e-9);  // n wins, trailing m ignored
+}
+
+TEST(ParseSpiceNumber, PlainUnitNoScale) {
+  EXPECT_DOUBLE_EQ(*parse_spice_number("5V"), 5.0);
+}
+
+TEST(ParseSpiceNumber, Malformed) {
+  EXPECT_FALSE(parse_spice_number("").has_value());
+  EXPECT_FALSE(parse_spice_number("abc").has_value());
+  EXPECT_FALSE(parse_spice_number("1.2.3!").has_value());
+}
+
+TEST(FormatSi, RoundTripsThroughParse) {
+  for (double v : {1.5e-15, 2.2e-12, 4.7e-9, 1e-6, 3.3e-3, 1.0, 120e3, 2e6}) {
+    const auto parsed = parse_spice_number(format_si(v, 6));
+    ASSERT_TRUE(parsed.has_value()) << format_si(v, 6);
+    EXPECT_NEAR(*parsed, v, v * 1e-5);
+  }
+}
+
+TEST(FormatSi, Zero) { EXPECT_EQ(format_si(0.0), "0"); }
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(1446.12, 1), "1446.1");
+}
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,31 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgps {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Name", "Acc"});
+  t.add_row({"DSPD", "0.9618"});
+  t.add_row({"LapPE", "0.9561"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Name  | Acc    |"), std::string::npos);
+  EXPECT_NE(s.find("| DSPD  | 0.9618 |"), std::string::npos);
+  EXPECT_NE(s.find("| LapPE | 0.9561 |"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"x"});
+  EXPECT_NE(t.to_string().find("| x |"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace cgps
