@@ -12,6 +12,9 @@
 #include "nn/attention.hpp"
 #include "nn/gated_gcn.hpp"
 #include "tensor/ops.hpp"
+#include "train/dataset.hpp"
+#include "train/task_data.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -129,6 +132,105 @@ void BM_DatasetExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DatasetExtraction);
+
+// ------------------------------------------------------- thread sweeps --
+// Arg is the work-pool width (0 = CIRCUITGPS_THREADS / hardware default).
+// Results are bit-identical across the sweep; only wall-clock changes.
+
+class ThreadSweep {
+ public:
+  explicit ThreadSweep(std::int64_t threads) {
+    par::set_threads(static_cast<int>(threads));
+  }
+  ~ThreadSweep() { par::set_threads(0); }
+};
+
+void BM_MatmulThreads(benchmark::State& state) {
+  const ThreadSweep sweep(state.range(0));
+  const std::int64_t n = 256;
+  Rng rng(1);
+  Tensor a = Tensor::randn(n, n, 1.0f, rng);
+  Tensor b = Tensor::randn(n, n, 1.0f, rng);
+  InferenceGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+void BM_GatedGcnTrainThreads(benchmark::State& state) {
+  const ThreadSweep sweep(state.range(0));
+  GraphFixture& f = fixture();
+  Rng rng(3);
+  const std::int64_t dim = 48;
+  nn::GatedGcn layer(dim, rng);
+  layer.set_training(true);
+  Tensor x = Tensor::randn(f.subgraph.num_nodes(), dim, 1.0f, rng);
+  Tensor e = Tensor::randn(f.subgraph.num_directed_edges(), dim, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor loss = ops::mean_all(layer.forward(x, e, f.subgraph.edges).x);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_GatedGcnTrainThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+void BM_AttentionThreads(benchmark::State& state) {
+  const ThreadSweep sweep(state.range(0));
+  Rng rng(4);
+  const std::int64_t n = 128, dim = 48;
+  Tensor x = Tensor::randn(n, dim, 1.0f, rng);
+  const std::vector<std::int64_t> ptr{0, n};
+  nn::MultiheadSelfAttention attn(dim, 4, rng);
+  attn.set_training(false);
+  InferenceGuard guard;
+  for (auto _ : state) benchmark::DoNotOptimize(attn.forward(x, ptr).data().data());
+}
+BENCHMARK(BM_AttentionThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+const CircuitDataset& sweep_dataset() {
+  static const CircuitDataset ds = [] {
+    DatasetOptions options;
+    options.seed = 5;
+    return build_dataset(gen::DatasetId::kTimingControl, options);
+  }();
+  return ds;
+}
+
+void BM_SamplingThreads(benchmark::State& state) {
+  const ThreadSweep sweep(state.range(0));
+  const CircuitDataset& ds = sweep_dataset();
+  SubgraphOptions options;
+  options.max_nodes_per_anchor = 96;
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(TaskData::for_links(ds, options, 64, rng).subgraphs.size());
+  }
+}
+BENCHMARK(BM_SamplingThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
+
+void BM_BatchAssemblyThreads(benchmark::State& state) {
+  const ThreadSweep sweep(state.range(0));
+  const CircuitDataset& ds = sweep_dataset();
+  static const TaskData task = [&] {
+    SubgraphOptions options;
+    options.max_nodes_per_anchor = 96;
+    Rng rng(7);
+    return TaskData::for_links(ds, options, 64, rng);
+  }();
+  XcNormalizer normalizer;
+  normalizer.fit(ds.graph.xc);
+  std::vector<const Subgraph*> refs;
+  refs.reserve(task.subgraphs.size());
+  for (const Subgraph& sg : task.subgraphs) refs.push_back(&sg);
+  BatchOptions options;
+  options.pe = PeKind::kRwse;  // per-graph PE cost dominates assembly
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_batch(refs, ds.graph.xc, normalizer, options).num_nodes());
+  }
+}
+BENCHMARK(BM_BatchAssemblyThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
 
 }  // namespace
 

@@ -5,6 +5,7 @@
 #include "tensor/optim.hpp"
 #include "tensor/ops.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace cgps {
@@ -66,38 +67,59 @@ double run_baseline_training(FullGraphBaseline& model,
   Adam optimizer(model.parameters(), options.lr, 0.9f, 0.999f, 1e-8f, options.weight_decay);
   Rng rng(model.config().seed ^ 0x5F5F5F5FULL);
 
-  // Precompute the full edge lists (constant across epochs).
-  std::vector<nn::EdgeIndex> edges;
-  edges.reserve(train.size());
-  for (const CircuitDataset* ds : train) edges.push_back(full_graph_edges(ds->graph));
+  // Precompute the full edge lists (constant across epochs); datasets are
+  // independent, so the conversion fans out across the work pool.
+  std::vector<nn::EdgeIndex> edges(train.size());
+  par::parallel_for(0, static_cast<std::int64_t>(train.size()), 1,
+                    [&](std::int64_t b, std::int64_t e) {
+                      for (std::int64_t t = b; t < e; ++t)
+                        edges[static_cast<std::size_t>(t)] =
+                            full_graph_edges(train[static_cast<std::size_t>(t)]->graph);
+                    });
 
   model.set_training(true);
   Stopwatch timer;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     double loss_sum = 0.0;
+    double t_sample = 0.0, t_fwd = 0.0, t_bwd = 0.0, t_opt = 0.0;
     for (std::size_t t = 0; t < train.size(); ++t) {
       Pairs pairs;
       std::vector<float> values;
-      collect_targets(*train[t], mode, pairs, values);
-      if (pairs.empty()) continue;
-      subsample(pairs, values, options.max_pairs_per_epoch, rng);
-
-      Tensor emb = model.embed(train[t]->graph, edges[t], normalizer);
-      Tensor loss;
-      if (mode == TargetMode::kLinkLabels) {
-        Tensor logits = model.link_logits(emb, pairs);
-        Tensor target = Tensor::from_vector(std::move(values), logits.rows(), 1);
-        loss = ops::bce_with_logits(logits, target);
-      } else {
-        loss = model.cap_loss(emb, pairs, values);
+      {
+        ScopedTimer st(t_sample);
+        collect_targets(*train[t], mode, pairs, values);
+        if (!pairs.empty()) subsample(pairs, values, options.max_pairs_per_epoch, rng);
       }
-      optimizer.zero_grad();
-      loss.backward();
-      optimizer.clip_grad_norm(options.grad_clip);
-      optimizer.step();
+      if (pairs.empty()) continue;
+
+      Tensor loss;
+      {
+        ScopedTimer st(t_fwd);
+        Tensor emb = model.embed(train[t]->graph, edges[t], normalizer);
+        if (mode == TargetMode::kLinkLabels) {
+          Tensor logits = model.link_logits(emb, pairs);
+          Tensor target = Tensor::from_vector(std::move(values), logits.rows(), 1);
+          loss = ops::bce_with_logits(logits, target);
+        } else {
+          loss = model.cap_loss(emb, pairs, values);
+        }
+      }
+      {
+        ScopedTimer st(t_bwd);
+        optimizer.zero_grad();
+        loss.backward();
+      }
+      {
+        ScopedTimer st(t_opt);
+        optimizer.clip_grad_norm(options.grad_clip);
+        optimizer.step();
+      }
       loss_sum += loss.item();
     }
-    if (options.verbose) log_info("baseline epoch ", epoch, " loss ", loss_sum);
+    if (options.verbose) {
+      log_info("baseline epoch ", epoch, " loss ", loss_sum, " phases[s] sample=", t_sample,
+               " fwd=", t_fwd, " bwd=", t_bwd, " opt=", t_opt);
+    }
   }
   model.set_training(false);
   return timer.seconds();

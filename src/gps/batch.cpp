@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "graph/pe.hpp"
+#include "util/parallel.hpp"
 
 namespace cgps {
 
@@ -53,70 +54,88 @@ SubgraphBatch make_batch(const std::vector<const Subgraph*>& subgraphs,
                          const XcNormalizer& normalizer, const BatchOptions& options) {
   if (subgraphs.empty()) throw std::invalid_argument("make_batch: empty batch");
   SubgraphBatch batch;
+  const std::int64_t n_graphs = static_cast<std::int64_t>(subgraphs.size());
 
-  std::int64_t total_nodes = 0;
-  std::int64_t total_edges = 0;
-  for (const Subgraph* sg : subgraphs) {
-    total_nodes += sg->num_nodes();
-    total_edges += sg->num_directed_edges();
+  // Prefix sums over subgraph sizes assign every graph a fixed slice of each
+  // output vector, so per-graph fill (including the PE encoders, the dominant
+  // cost for RWSE / LapPE) runs on the work pool with no write overlap and a
+  // layout identical to the old append-only loop.
+  std::vector<std::int64_t> node_off(static_cast<std::size_t>(n_graphs) + 1, 0);
+  std::vector<std::int64_t> edge_off(static_cast<std::size_t>(n_graphs) + 1, 0);
+  for (std::int64_t g = 0; g < n_graphs; ++g) {
+    node_off[g + 1] = node_off[g] + subgraphs[g]->num_nodes();
+    edge_off[g + 1] = edge_off[g] + subgraphs[g]->num_directed_edges();
   }
-  batch.node_type.reserve(static_cast<std::size_t>(total_nodes));
-  batch.dist0.reserve(static_cast<std::size_t>(total_nodes));
-  batch.dist1.reserve(static_cast<std::size_t>(total_nodes));
-  batch.graph_of_node.reserve(static_cast<std::size_t>(total_nodes));
-  batch.edges.src.reserve(static_cast<std::size_t>(total_edges));
-  batch.edges.dst.reserve(static_cast<std::size_t>(total_edges));
-  batch.edge_type.reserve(static_cast<std::size_t>(total_edges));
-  batch.graph_ptr.push_back(0);
+  const std::int64_t total_nodes = node_off[static_cast<std::size_t>(n_graphs)];
+  const std::int64_t total_edges = edge_off[static_cast<std::size_t>(n_graphs)];
 
-  std::vector<float> xc_flat;
-  xc_flat.reserve(static_cast<std::size_t>(total_nodes * kXcDim));
+  batch.node_type.resize(static_cast<std::size_t>(total_nodes));
+  batch.dist0.resize(static_cast<std::size_t>(total_nodes));
+  batch.dist1.resize(static_cast<std::size_t>(total_nodes));
+  batch.graph_of_node.resize(static_cast<std::size_t>(total_nodes));
+  batch.pin_role.resize(static_cast<std::size_t>(total_nodes));
+  batch.edges.src.resize(static_cast<std::size_t>(total_edges));
+  batch.edges.dst.resize(static_cast<std::size_t>(total_edges));
+  batch.edge_type.resize(static_cast<std::size_t>(total_edges));
+  batch.graph_ptr.assign(node_off.begin(), node_off.end());
+  batch.anchor_a.resize(static_cast<std::size_t>(n_graphs));
+  batch.anchor_b.resize(static_cast<std::size_t>(n_graphs));
+
+  std::vector<float> xc_flat(static_cast<std::size_t>(total_nodes * kXcDim));
 
   const bool want_drnl = options.pe == PeKind::kDrnl;
   const bool want_rwse = options.pe == PeKind::kRwse;
   const bool want_lappe = options.pe == PeKind::kLappe;
   batch.pe_dense_dim = want_rwse ? options.rwse_steps : (want_lappe ? options.lappe_k : 0);
+  if (want_drnl) batch.drnl.resize(static_cast<std::size_t>(total_nodes));
+  if (batch.pe_dense_dim > 0)
+    batch.pe_dense.resize(static_cast<std::size_t>(total_nodes * batch.pe_dense_dim));
 
-  std::int32_t offset = 0;
-  std::int32_t graph_id = 0;
-  for (const Subgraph* sg : subgraphs) {
-    const auto n = static_cast<std::int32_t>(sg->num_nodes());
-    batch.anchor_a.push_back(offset);
-    batch.anchor_b.push_back(offset + sg->second_anchor);
-    for (std::int32_t i = 0; i < n; ++i) {
-      batch.node_type.push_back(sg->node_type[static_cast<std::size_t>(i)]);
-      batch.dist0.push_back(std::min(sg->dist0[static_cast<std::size_t>(i)], kDspdMax));
-      batch.dist1.push_back(std::min(sg->dist1[static_cast<std::size_t>(i)], kDspdMax));
-      batch.graph_of_node.push_back(graph_id);
-      const auto& raw = xc_all[static_cast<std::size_t>(
-          sg->orig_nodes[static_cast<std::size_t>(i)])];
-      const bool is_pin =
-          sg->node_type[static_cast<std::size_t>(i)] == static_cast<std::int8_t>(NodeType::kPin);
-      batch.pin_role.push_back(is_pin ? static_cast<std::int32_t>(raw[0]) : 0);
-      const auto row = normalizer.apply(raw);
-      xc_flat.insert(xc_flat.end(), row.begin(), row.end());
+  par::parallel_for(0, n_graphs, 1, [&](std::int64_t g0, std::int64_t g1) {
+    for (std::int64_t g = g0; g < g1; ++g) {
+      const Subgraph* sg = subgraphs[static_cast<std::size_t>(g)];
+      const auto n = static_cast<std::int32_t>(sg->num_nodes());
+      const std::int64_t nb = node_off[static_cast<std::size_t>(g)];
+      const std::int64_t eb = edge_off[static_cast<std::size_t>(g)];
+      const auto offset = static_cast<std::int32_t>(nb);
+      batch.anchor_a[static_cast<std::size_t>(g)] = offset;
+      batch.anchor_b[static_cast<std::size_t>(g)] = offset + sg->second_anchor;
+      for (std::int32_t i = 0; i < n; ++i) {
+        const std::size_t out = static_cast<std::size_t>(nb + i);
+        batch.node_type[out] = sg->node_type[static_cast<std::size_t>(i)];
+        batch.dist0[out] = std::min(sg->dist0[static_cast<std::size_t>(i)], kDspdMax);
+        batch.dist1[out] = std::min(sg->dist1[static_cast<std::size_t>(i)], kDspdMax);
+        batch.graph_of_node[out] = static_cast<std::int32_t>(g);
+        const auto& raw = xc_all[static_cast<std::size_t>(
+            sg->orig_nodes[static_cast<std::size_t>(i)])];
+        const bool is_pin = sg->node_type[static_cast<std::size_t>(i)] ==
+                            static_cast<std::int8_t>(NodeType::kPin);
+        batch.pin_role[out] = is_pin ? static_cast<std::int32_t>(raw[0]) : 0;
+        const auto row = normalizer.apply(raw);
+        std::copy(row.begin(), row.end(), xc_flat.begin() + (nb + i) * kXcDim);
+      }
+      for (std::size_t e = 0; e < sg->edges.size(); ++e) {
+        const std::size_t out = static_cast<std::size_t>(eb) + e;
+        batch.edges.src[out] = sg->edges.src[e] + offset;
+        batch.edges.dst[out] = sg->edges.dst[e] + offset;
+        batch.edge_type[out] = sg->edge_type[e];
+      }
+      if (want_drnl) {
+        const auto labels = drnl_labels(*sg);
+        std::copy(labels.begin(), labels.end(), batch.drnl.begin() + nb);
+      }
+      if (want_rwse) {
+        const auto features = rwse(*sg, options.rwse_steps);
+        std::copy(features.begin(), features.end(),
+                  batch.pe_dense.begin() + nb * batch.pe_dense_dim);
+      }
+      if (want_lappe) {
+        const auto features = lappe(*sg, options.lappe_k);
+        std::copy(features.begin(), features.end(),
+                  batch.pe_dense.begin() + nb * batch.pe_dense_dim);
+      }
     }
-    for (std::size_t e = 0; e < sg->edges.size(); ++e) {
-      batch.edges.src.push_back(sg->edges.src[e] + offset);
-      batch.edges.dst.push_back(sg->edges.dst[e] + offset);
-      batch.edge_type.push_back(sg->edge_type[e]);
-    }
-    if (want_drnl) {
-      const auto labels = drnl_labels(*sg);
-      batch.drnl.insert(batch.drnl.end(), labels.begin(), labels.end());
-    }
-    if (want_rwse) {
-      const auto features = rwse(*sg, options.rwse_steps);
-      batch.pe_dense.insert(batch.pe_dense.end(), features.begin(), features.end());
-    }
-    if (want_lappe) {
-      const auto features = lappe(*sg, options.lappe_k);
-      batch.pe_dense.insert(batch.pe_dense.end(), features.begin(), features.end());
-    }
-    offset += n;
-    batch.graph_ptr.push_back(offset);
-    ++graph_id;
-  }
+  });
   batch.xc = Tensor::from_vector(std::move(xc_flat), total_nodes, kXcDim);
   return batch;
 }

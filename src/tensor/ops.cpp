@@ -4,7 +4,17 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
+
+// Parallelization strategy (see util/parallel.hpp for the pool contract):
+// every parallel loop in this file partitions *disjoint output elements*
+// (rows of the result, rows of one grad buffer, or flat index ranges) and
+// keeps the per-element accumulation order of the serial code. Indexed
+// accumulations (scatter/segment/gather-backward) are regrouped by output
+// row first — a stable counting sort, so contributions still land in
+// ascending source order. Results are therefore bit-identical at every
+// CIRCUITGPS_THREADS setting, including 1.
 
 namespace cgps::ops {
 
@@ -12,6 +22,31 @@ namespace {
 
 using detail::Node;
 using NodePtr = std::shared_ptr<detail::Node>;
+
+// Stable CSR grouping of row indices: for each output row r, pos[ptr[r])..
+// pos[ptr[r+1]) lists the source rows i with idx[i] == r in ascending order.
+struct RowGroups {
+  std::vector<std::int64_t> ptr;
+  std::vector<std::int32_t> pos;
+};
+
+RowGroups group_rows(const std::vector<std::int32_t>& idx, std::int64_t n_rows) {
+  RowGroups g;
+  g.ptr.assign(static_cast<std::size_t>(n_rows) + 1, 0);
+  for (std::int32_t r : idx) ++g.ptr[static_cast<std::size_t>(r) + 1];
+  for (std::int64_t r = 0; r < n_rows; ++r) g.ptr[r + 1] += g.ptr[r];
+  g.pos.resize(idx.size());
+  std::vector<std::int64_t> cursor(g.ptr.begin(), g.ptr.end() - 1);
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    g.pos[static_cast<std::size_t>(cursor[static_cast<std::size_t>(idx[i])]++)] =
+        static_cast<std::int32_t>(i);
+  return g;
+}
+
+// Indexed row accumulation dst[idx[i], :] += w_i * src[i, :] is a data race
+// under row-of-src partitioning; below this many scalar ops we also skip the
+// grouping pass and use the direct serial loop (bit-identical either way).
+constexpr std::int64_t kScatterSerialCutoff = 1 << 13;
 
 [[noreturn]] void shape_error(const char* op, const Tensor& a, const Tensor& b) {
   std::ostringstream os;
@@ -32,20 +67,24 @@ Tensor elementwise_binary(const char* name, const Tensor& a, const Tensor& b, Fw
   const bool track = grad_enabled_for({&a, &b});
   Tensor out = Tensor::make(
       a.rows(), a.cols(), track, {a.ptr(), b.ptr()}, [pa = a.ptr(), pb = b.ptr(), bwd](Node& n) {
-        const std::size_t count = n.value.size();
-        for (std::size_t i = 0; i < count; ++i) {
-          float da = 0.0f;
-          float db = 0.0f;
-          bwd(pa->value[i], pb->value[i], n.value[i], n.grad[i], da, db);
-          if (pa->requires_grad) pa->grad[i] += da;
-          if (pb->requires_grad) pb->grad[i] += db;
-        }
+        const auto count = static_cast<std::int64_t>(n.value.size());
+        par::parallel_for(0, count, par::grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            float da = 0.0f;
+            float db = 0.0f;
+            bwd(pa->value[i], pb->value[i], n.value[i], n.grad[i], da, db);
+            if (pa->requires_grad) pa->grad[i] += da;
+            if (pb->requires_grad) pb->grad[i] += db;
+          }
+        });
       });
-  const std::size_t count = out.data().size();
-  auto av = a.data();
-  auto bv = b.data();
-  auto ov = out.data();
-  for (std::size_t i = 0; i < count; ++i) ov[i] = fwd(av[i], bv[i]);
+  const auto count = static_cast<std::int64_t>(out.data().size());
+  const float* av = a.data().data();
+  const float* bv = b.data().data();
+  float* ov = out.data().data();
+  par::parallel_for(0, count, par::grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) ov[i] = fwd(av[i], bv[i]);
+  });
   return out;
 }
 
@@ -56,14 +95,18 @@ Tensor elementwise_unary(const Tensor& x, Fwd fwd, Bwd bwd) {
   Tensor out =
       Tensor::make(x.rows(), x.cols(), track, {x.ptr()}, [px = x.ptr(), bwd](Node& n) {
         if (!px->requires_grad) return;
-        const std::size_t count = n.value.size();
-        for (std::size_t i = 0; i < count; ++i)
-          px->grad[i] += bwd(px->value[i], n.value[i], n.grad[i]);
+        const auto count = static_cast<std::int64_t>(n.value.size());
+        par::parallel_for(0, count, par::grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i)
+            px->grad[i] += bwd(px->value[i], n.value[i], n.grad[i]);
+        });
       });
-  const std::size_t count = out.data().size();
-  auto xv = x.data();
-  auto ov = out.data();
-  for (std::size_t i = 0; i < count; ++i) ov[i] = fwd(xv[i]);
+  const auto count = static_cast<std::int64_t>(out.data().size());
+  const float* xv = x.data().data();
+  float* ov = out.data().data();
+  par::parallel_for(0, count, par::grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) ov[i] = fwd(xv[i]);
+  });
   return out;
 }
 
@@ -125,19 +168,27 @@ Tensor add_rowvec(const Tensor& x, const Tensor& row) {
         const std::int64_t m = n.rows;
         const std::int64_t c = n.cols;
         if (px->requires_grad) {
-          for (std::int64_t i = 0; i < m * c; ++i) px->grad[i] += n.grad[i];
+          par::parallel_for(0, m * c, par::grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t i = lo; i < hi; ++i) px->grad[i] += n.grad[i];
+          });
         }
         if (pr->requires_grad) {
-          for (std::int64_t i = 0; i < m; ++i)
-            for (std::int64_t j = 0; j < c; ++j) pr->grad[j] += n.grad[i * c + j];
+          // Column-parallel: each chunk owns grad columns, scanning rows in
+          // ascending order exactly like the serial accumulation.
+          par::parallel_for(0, c, par::grain_for(m), [&](std::int64_t j0, std::int64_t j1) {
+            for (std::int64_t i = 0; i < m; ++i)
+              for (std::int64_t j = j0; j < j1; ++j) pr->grad[j] += n.grad[i * c + j];
+          });
         }
       });
-  auto xv = x.data();
-  auto rv = row.data();
-  auto ov = out.data();
+  const float* xv = x.data().data();
+  const float* rv = row.data().data();
+  float* ov = out.data().data();
   const std::int64_t c = x.cols();
-  for (std::int64_t i = 0; i < x.rows(); ++i)
-    for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = xv[i * c + j] + rv[j];
+  par::parallel_for(0, x.rows(), par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = xv[i * c + j] + rv[j];
+  });
   return out;
 }
 
@@ -148,20 +199,29 @@ Tensor mul_rowvec(const Tensor& x, const Tensor& row) {
       x.rows(), x.cols(), track, {x.ptr(), row.ptr()}, [px = x.ptr(), pr = row.ptr()](Node& n) {
         const std::int64_t m = n.rows;
         const std::int64_t c = n.cols;
-        for (std::int64_t i = 0; i < m; ++i) {
-          for (std::int64_t j = 0; j < c; ++j) {
-            const float dy = n.grad[i * c + j];
-            if (px->requires_grad) px->grad[i * c + j] += dy * pr->value[j];
-            if (pr->requires_grad) pr->grad[j] += dy * px->value[i * c + j];
-          }
+        if (px->requires_grad) {
+          par::parallel_for(0, m, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i)
+              for (std::int64_t j = 0; j < c; ++j)
+                px->grad[i * c + j] += n.grad[i * c + j] * pr->value[j];
+          });
+        }
+        if (pr->requires_grad) {
+          par::parallel_for(0, c, par::grain_for(m), [&](std::int64_t j0, std::int64_t j1) {
+            for (std::int64_t i = 0; i < m; ++i)
+              for (std::int64_t j = j0; j < j1; ++j)
+                pr->grad[j] += n.grad[i * c + j] * px->value[i * c + j];
+          });
         }
       });
-  auto xv = x.data();
-  auto rv = row.data();
-  auto ov = out.data();
+  const float* xv = x.data().data();
+  const float* rv = row.data().data();
+  float* ov = out.data().data();
   const std::int64_t c = x.cols();
-  for (std::int64_t i = 0; i < x.rows(); ++i)
-    for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = xv[i * c + j] * rv[j];
+  par::parallel_for(0, x.rows(), par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = xv[i * c + j] * rv[j];
+  });
   return out;
 }
 
@@ -177,24 +237,29 @@ Tensor colvec_broadcast(const char* name, const Tensor& x, const Tensor& col, Fw
       [px = x.ptr(), pc = col.ptr(), bwd](Node& n) {
         const std::int64_t m = n.rows;
         const std::int64_t c = n.cols;
-        for (std::int64_t i = 0; i < m; ++i) {
-          const float cv = pc->value[i];
-          for (std::int64_t j = 0; j < c; ++j) {
-            const float dy = n.grad[i * c + j];
-            float dx = 0.0f;
-            float dc = 0.0f;
-            bwd(px->value[i * c + j], cv, dy, dx, dc);
-            if (px->requires_grad) px->grad[i * c + j] += dx;
-            if (pc->requires_grad) pc->grad[i] += dc;
+        // Both grads are row-indexed, so one row partition covers them.
+        par::parallel_for(0, m, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const float cv = pc->value[i];
+            for (std::int64_t j = 0; j < c; ++j) {
+              const float dy = n.grad[i * c + j];
+              float dx = 0.0f;
+              float dc = 0.0f;
+              bwd(px->value[i * c + j], cv, dy, dx, dc);
+              if (px->requires_grad) px->grad[i * c + j] += dx;
+              if (pc->requires_grad) pc->grad[i] += dc;
+            }
           }
-        }
+        });
       });
-  auto xv = x.data();
-  auto cv = col.data();
-  auto ov = out.data();
+  const float* xv = x.data().data();
+  const float* cv = col.data().data();
+  float* ov = out.data().data();
   const std::int64_t c = x.cols();
-  for (std::int64_t i = 0; i < x.rows(); ++i)
-    for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = fwd(xv[i * c + j], cv[i]);
+  par::parallel_for(0, x.rows(), par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = fwd(xv[i * c + j], cv[i]);
+  });
   return out;
 }
 
@@ -323,47 +388,81 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         const std::int64_t n = pb->cols;
         const float* dc = node.grad.data();
         if (pa->requires_grad) {
-          // dA[i, p] = sum_j dC[i, j] * B[p, j]
+          // dA[i, p] = sum_j dC[i, j] * B[p, j]: each thread owns dA rows.
+          // Four B rows are blocked per pass so the dC row is loaded once
+          // per four dot products and the FMA chains are independent; each
+          // dot still runs j-ascending over one contiguous B row, so the
+          // per-element accumulation order matches the naive loop.
           float* da = pa->grad.data();
           const float* bv = pb->value.data();
-          for (std::int64_t i = 0; i < m; ++i) {
-            for (std::int64_t p = 0; p < k; ++p) {
-              float acc = 0.0f;
+          par::parallel_for(0, m, par::grain_for(k * n), [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i) {
               const float* dci = dc + i * n;
-              const float* bp = bv + p * n;
-              for (std::int64_t j = 0; j < n; ++j) acc += dci[j] * bp[j];
-              da[i * k + p] += acc;
+              float* dai = da + i * k;
+              std::int64_t p = 0;
+              for (; p + 4 <= k; p += 4) {
+                const float* b0 = bv + p * n;
+                const float* b1 = b0 + n;
+                const float* b2 = b1 + n;
+                const float* b3 = b2 + n;
+                float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+                for (std::int64_t j = 0; j < n; ++j) {
+                  const float d = dci[j];
+                  acc0 += d * b0[j];
+                  acc1 += d * b1[j];
+                  acc2 += d * b2[j];
+                  acc3 += d * b3[j];
+                }
+                dai[p] += acc0;
+                dai[p + 1] += acc1;
+                dai[p + 2] += acc2;
+                dai[p + 3] += acc3;
+              }
+              for (; p < k; ++p) {
+                const float* bp = bv + p * n;
+                float acc = 0.0f;
+                for (std::int64_t j = 0; j < n; ++j) acc += dci[j] * bp[j];
+                dai[p] += acc;
+              }
             }
-          }
+          });
         }
         if (pb->requires_grad) {
-          // dB[p, j] = sum_i A[i, p] * dC[i, j]
+          // dB[p, j] = sum_i A[i, p] * dC[i, j]: each thread owns dB rows
+          // [p0, p1); per (p, j) the sum still runs i-ascending, matching
+          // the serial axpy order.
           float* db = pb->grad.data();
           const float* av = pa->value.data();
-          for (std::int64_t i = 0; i < m; ++i) {
-            const float* dci = dc + i * n;
-            for (std::int64_t p = 0; p < k; ++p) {
-              const float aip = av[i * k + p];
-              if (aip == 0.0f) continue;
-              float* dbp = db + p * n;
-              for (std::int64_t j = 0; j < n; ++j) dbp[j] += aip * dci[j];
+          par::parallel_for(0, k, par::grain_for(m * n), [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t i = 0; i < m; ++i) {
+              const float* dci = dc + i * n;
+              const float* ai = av + i * k;
+              for (std::int64_t p = p0; p < p1; ++p) {
+                const float aip = ai[p];
+                if (aip == 0.0f) continue;
+                float* dbp = db + p * n;
+                for (std::int64_t j = 0; j < n; ++j) dbp[j] += aip * dci[j];
+              }
             }
-          }
+          });
         }
       });
-  // Forward: ikj loop order for contiguous access.
+  // Forward: ikj loop order for contiguous access; threads own output rows.
   const float* av = a.data().data();
   const float* bv = b.data().data();
   float* ov = out.data().data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* oi = ov + i * n;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float aip = av[i * k + p];
-      if (aip == 0.0f) continue;
-      const float* bp = bv + p * n;
-      for (std::int64_t j = 0; j < n; ++j) oi[j] += aip * bp[j];
+  par::parallel_for(0, m, par::grain_for(k * n), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* oi = ov + i * n;
+      const float* ai = av + i * k;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float aip = ai[p];
+        if (aip == 0.0f) continue;
+        const float* bp = bv + p * n;
+        for (std::int64_t j = 0; j < n; ++j) oi[j] += aip * bp[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -375,13 +474,17 @@ Tensor transpose(const Tensor& x) {
     if (!px->requires_grad) return;
     const std::int64_t m = px->rows;
     const std::int64_t n = px->cols;
-    for (std::int64_t i = 0; i < m; ++i)
-      for (std::int64_t j = 0; j < n; ++j) px->grad[i * n + j] += node.grad[j * m + i];
+    par::parallel_for(0, m, par::grain_for(n), [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i)
+        for (std::int64_t j = 0; j < n; ++j) px->grad[i * n + j] += node.grad[j * m + i];
+    });
   });
-  auto xv = x.data();
-  auto ov = out.data();
-  for (std::int64_t i = 0; i < m; ++i)
-    for (std::int64_t j = 0; j < n; ++j) ov[j * m + i] = xv[i * n + j];
+  const float* xv = x.data().data();
+  float* ov = out.data().data();
+  par::parallel_for(0, n, par::grain_for(m), [&](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t j = j0; j < j1; ++j)
+      for (std::int64_t i = 0; i < m; ++i) ov[j * m + i] = xv[i * n + j];
+  });
   return out;
 }
 
@@ -484,22 +587,42 @@ Tensor gather_rows(const Tensor& x, const std::vector<std::int32_t>& idx) {
     if (i < 0 || i >= x.rows()) throw std::invalid_argument("gather_rows: index out of range");
   }
   const bool track = grad_enabled_for({&x});
-  Tensor out = Tensor::make(static_cast<std::int64_t>(idx.size()), c, track, {x.ptr()},
-                            [px = x.ptr(), idx](Node& node) {
-                              if (!px->requires_grad) return;
-                              const std::int64_t c = node.cols;
-                              for (std::size_t i = 0; i < idx.size(); ++i) {
-                                float* g = px->grad.data() + static_cast<std::int64_t>(idx[i]) * c;
-                                const float* d = node.grad.data() + static_cast<std::int64_t>(i) * c;
-                                for (std::int64_t j = 0; j < c; ++j) g[j] += d[j];
-                              }
-                            });
-  auto xv = x.data();
-  auto ov = out.data();
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    const float* src = xv.data() + static_cast<std::int64_t>(idx[i]) * c;
-    std::copy(src, src + c, ov.data() + static_cast<std::int64_t>(i) * c);
-  }
+  Tensor out = Tensor::make(
+      static_cast<std::int64_t>(idx.size()), c, track, {x.ptr()},
+      [px = x.ptr(), idx](Node& node) {
+        if (!px->requires_grad) return;
+        const std::int64_t c = node.cols;
+        const auto count = static_cast<std::int64_t>(idx.size());
+        if (count * c <= kScatterSerialCutoff || par::max_threads() == 1) {
+          for (std::int64_t i = 0; i < count; ++i) {
+            float* g = px->grad.data() + static_cast<std::int64_t>(idx[i]) * c;
+            const float* d = node.grad.data() + i * c;
+            for (std::int64_t j = 0; j < c; ++j) g[j] += d[j];
+          }
+          return;
+        }
+        // Group output rows by target so each thread owns disjoint grad
+        // rows; sources stay in ascending order (bit-identical to serial).
+        const RowGroups groups = group_rows(idx, px->rows);
+        par::parallel_for(0, px->rows, par::grain_for(c), [&](std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            float* g = px->grad.data() + r * c;
+            for (std::int64_t s = groups.ptr[r]; s < groups.ptr[r + 1]; ++s) {
+              const float* d = node.grad.data() + static_cast<std::int64_t>(groups.pos[s]) * c;
+              for (std::int64_t j = 0; j < c; ++j) g[j] += d[j];
+            }
+          }
+        });
+      });
+  const float* xv = x.data().data();
+  float* ov = out.data().data();
+  par::parallel_for(0, static_cast<std::int64_t>(idx.size()), par::grain_for(c),
+                    [&](std::int64_t i0, std::int64_t i1) {
+                      for (std::int64_t i = i0; i < i1; ++i) {
+                        const float* src = xv + static_cast<std::int64_t>(idx[i]) * c;
+                        std::copy(src, src + c, ov + i * c);
+                      }
+                    });
   return out;
 }
 
@@ -516,18 +639,37 @@ Tensor scatter_add_rows(const Tensor& x, const std::vector<std::int32_t>& idx,
   Tensor out = Tensor::make(out_rows, c, track, {x.ptr()}, [px = x.ptr(), idx](Node& node) {
     if (!px->requires_grad) return;
     const std::int64_t c = node.cols;
-    for (std::size_t i = 0; i < idx.size(); ++i) {
-      const float* d = node.grad.data() + static_cast<std::int64_t>(idx[i]) * c;
-      float* g = px->grad.data() + static_cast<std::int64_t>(i) * c;
-      for (std::int64_t j = 0; j < c; ++j) g[j] += d[j];
-    }
+    // Each source row's grad is written exactly once: row-parallel over i.
+    par::parallel_for(0, static_cast<std::int64_t>(idx.size()), par::grain_for(c),
+                      [&](std::int64_t i0, std::int64_t i1) {
+                        for (std::int64_t i = i0; i < i1; ++i) {
+                          const float* d =
+                              node.grad.data() + static_cast<std::int64_t>(idx[i]) * c;
+                          float* g = px->grad.data() + i * c;
+                          for (std::int64_t j = 0; j < c; ++j) g[j] += d[j];
+                        }
+                      });
   });
-  auto xv = x.data();
-  auto ov = out.data();
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    float* dst = ov.data() + static_cast<std::int64_t>(idx[i]) * c;
-    const float* src = xv.data() + static_cast<std::int64_t>(i) * c;
-    for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+  const float* xv = x.data().data();
+  float* ov = out.data().data();
+  const auto count = static_cast<std::int64_t>(idx.size());
+  if (count * c <= kScatterSerialCutoff || par::max_threads() == 1) {
+    for (std::int64_t i = 0; i < count; ++i) {
+      float* dst = ov + static_cast<std::int64_t>(idx[i]) * c;
+      const float* src = xv + i * c;
+      for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+    }
+  } else {
+    const RowGroups groups = group_rows(idx, out_rows);
+    par::parallel_for(0, out_rows, par::grain_for(c), [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t r = r0; r < r1; ++r) {
+        float* dst = ov + r * c;
+        for (std::int64_t s = groups.ptr[r]; s < groups.ptr[r + 1]; ++s) {
+          const float* src = xv + static_cast<std::int64_t>(groups.pos[s]) * c;
+          for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+        }
+      }
+    });
   }
   return out;
 }
@@ -555,20 +697,39 @@ Tensor segment_mean(const Tensor& x, const std::vector<std::int32_t>& seg,
       n_segments, c, track, {x.ptr()}, [px = x.ptr(), seg, inv_count](Node& node) {
         if (!px->requires_grad) return;
         const std::int64_t c = node.cols;
-        for (std::size_t i = 0; i < seg.size(); ++i) {
-          const float w = inv_count[static_cast<std::size_t>(seg[i])];
-          const float* d = node.grad.data() + static_cast<std::int64_t>(seg[i]) * c;
-          float* g = px->grad.data() + static_cast<std::int64_t>(i) * c;
-          for (std::int64_t j = 0; j < c; ++j) g[j] += w * d[j];
-        }
+        par::parallel_for(0, static_cast<std::int64_t>(seg.size()), par::grain_for(c),
+                          [&](std::int64_t i0, std::int64_t i1) {
+                            for (std::int64_t i = i0; i < i1; ++i) {
+                              const float w = inv_count[static_cast<std::size_t>(seg[i])];
+                              const float* d =
+                                  node.grad.data() + static_cast<std::int64_t>(seg[i]) * c;
+                              float* g = px->grad.data() + i * c;
+                              for (std::int64_t j = 0; j < c; ++j) g[j] += w * d[j];
+                            }
+                          });
       });
-  auto xv = x.data();
-  auto ov = out.data();
-  for (std::size_t i = 0; i < seg.size(); ++i) {
-    const float w = inv_count[static_cast<std::size_t>(seg[i])];
-    float* dst = ov.data() + static_cast<std::int64_t>(seg[i]) * c;
-    const float* src = xv.data() + static_cast<std::int64_t>(i) * c;
-    for (std::int64_t j = 0; j < c; ++j) dst[j] += w * src[j];
+  const float* xv = x.data().data();
+  float* ov = out.data().data();
+  const auto count = static_cast<std::int64_t>(seg.size());
+  if (count * c <= kScatterSerialCutoff || par::max_threads() == 1) {
+    for (std::int64_t i = 0; i < count; ++i) {
+      const float w = inv_count[static_cast<std::size_t>(seg[i])];
+      float* dst = ov + static_cast<std::int64_t>(seg[i]) * c;
+      const float* src = xv + i * c;
+      for (std::int64_t j = 0; j < c; ++j) dst[j] += w * src[j];
+    }
+  } else {
+    const RowGroups groups = group_rows(seg, n_segments);
+    par::parallel_for(0, n_segments, par::grain_for(c), [&](std::int64_t r0, std::int64_t r1) {
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const float w = inv_count[static_cast<std::size_t>(r)];
+        float* dst = ov + r * c;
+        for (std::int64_t s = groups.ptr[r]; s < groups.ptr[r + 1]; ++s) {
+          const float* src = xv + static_cast<std::int64_t>(groups.pos[s]) * c;
+          for (std::int64_t j = 0; j < c; ++j) dst[j] += w * src[j];
+        }
+      }
+    });
   }
   return out;
 }
@@ -580,8 +741,13 @@ Tensor sum_all(const Tensor& x) {
   Tensor out = Tensor::make(1, 1, track, {x.ptr()}, [px = x.ptr()](Node& node) {
     if (!px->requires_grad) return;
     const float dy = node.grad[0];
-    for (float& g : px->grad) g += dy;
+    const auto count = static_cast<std::int64_t>(px->grad.size());
+    par::parallel_for(0, count, par::grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) px->grad[i] += dy;
+    });
   });
+  // Forward reduction stays serial: a single left-to-right sum is the
+  // cheapest way to keep the scalar bit-identical at every thread count.
   float acc = 0.0f;
   for (float v : x.data()) acc += v;
   out.data()[0] = acc;
@@ -600,19 +766,23 @@ Tensor row_sum(const Tensor& x) {
   Tensor out = Tensor::make(m, 1, track, {x.ptr()}, [px = x.ptr()](Node& node) {
     if (!px->requires_grad) return;
     const std::int64_t c = px->cols;
-    for (std::int64_t i = 0; i < px->rows; ++i) {
-      const float dy = node.grad[i];
-      float* g = px->grad.data() + i * c;
-      for (std::int64_t j = 0; j < c; ++j) g[j] += dy;
+    par::parallel_for(0, px->rows, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float dy = node.grad[i];
+        float* g = px->grad.data() + i * c;
+        for (std::int64_t j = 0; j < c; ++j) g[j] += dy;
+      }
+    });
+  });
+  const float* xv = x.data().data();
+  float* ov = out.data().data();
+  par::parallel_for(0, m, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float acc = 0.0f;
+      for (std::int64_t j = 0; j < c; ++j) acc += xv[i * c + j];
+      ov[i] = acc;
     }
   });
-  auto xv = x.data();
-  auto ov = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    float acc = 0.0f;
-    for (std::int64_t j = 0; j < c; ++j) acc += xv[i * c + j];
-    ov[i] = acc;
-  }
   return out;
 }
 
@@ -625,30 +795,34 @@ Tensor softmax_rows(const Tensor& x) {
   Tensor out = Tensor::make(m, c, track, {x.ptr()}, [px = x.ptr()](Node& node) {
     if (!px->requires_grad) return;
     const std::int64_t c = node.cols;
-    for (std::int64_t i = 0; i < node.rows; ++i) {
-      const float* s = node.value.data() + i * c;
-      const float* dy = node.grad.data() + i * c;
-      float dot = 0.0f;
-      for (std::int64_t j = 0; j < c; ++j) dot += dy[j] * s[j];
-      float* g = px->grad.data() + i * c;
-      for (std::int64_t j = 0; j < c; ++j) g[j] += s[j] * (dy[j] - dot);
+    par::parallel_for(0, node.rows, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float* s = node.value.data() + i * c;
+        const float* dy = node.grad.data() + i * c;
+        float dot = 0.0f;
+        for (std::int64_t j = 0; j < c; ++j) dot += dy[j] * s[j];
+        float* g = px->grad.data() + i * c;
+        for (std::int64_t j = 0; j < c; ++j) g[j] += s[j] * (dy[j] - dot);
+      }
+    });
+  });
+  const float* xv = x.data().data();
+  float* ov = out.data().data();
+  par::parallel_for(0, m, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* row = xv + i * c;
+      float mx = row[0];
+      for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+      float sum = 0.0f;
+      float* o = ov + i * c;
+      for (std::int64_t j = 0; j < c; ++j) {
+        o[j] = std::exp(row[j] - mx);
+        sum += o[j];
+      }
+      const float inv = 1.0f / sum;
+      for (std::int64_t j = 0; j < c; ++j) o[j] *= inv;
     }
   });
-  auto xv = x.data();
-  auto ov = out.data();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* row = xv.data() + i * c;
-    float mx = row[0];
-    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    float* o = ov.data() + i * c;
-    for (std::int64_t j = 0; j < c; ++j) {
-      o[j] = std::exp(row[j] - mx);
-      sum += o[j];
-    }
-    const float inv = 1.0f / sum;
-    for (std::int64_t j = 0; j < c; ++j) o[j] *= inv;
-  }
   return out;
 }
 
@@ -664,11 +838,17 @@ Tensor dropout(const Tensor& x, float p, Rng& rng) {
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(x.rows(), x.cols(), track, {x.ptr()}, [px = x.ptr(), mask](Node& node) {
     if (!px->requires_grad) return;
-    for (std::size_t i = 0; i < node.grad.size(); ++i) px->grad[i] += node.grad[i] * mask[i];
+    const auto count = static_cast<std::int64_t>(node.grad.size());
+    par::parallel_for(0, count, par::grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) px->grad[i] += node.grad[i] * mask[i];
+    });
   });
-  auto xv = x.data();
-  auto ov = out.data();
-  for (std::size_t i = 0; i < mask.size(); ++i) ov[i] = xv[i] * mask[i];
+  const float* xv = x.data().data();
+  float* ov = out.data().data();
+  par::parallel_for(0, static_cast<std::int64_t>(mask.size()), par::grain_for(1),
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i) ov[i] = xv[i] * mask[i];
+                    });
   return out;
 }
 
@@ -686,17 +866,21 @@ Tensor batchnorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   std::vector<float> mean(c), invstd(c);
   auto xv = x.data();
   if (training) {
-    for (std::int64_t j = 0; j < c; ++j) mean[j] = 0.0f;
-    for (std::int64_t i = 0; i < m; ++i)
-      for (std::int64_t j = 0; j < c; ++j) mean[j] += xv[i * c + j];
-    const float inv_m = 1.0f / static_cast<float>(m);
-    for (std::int64_t j = 0; j < c; ++j) mean[j] *= inv_m;
     std::vector<float> var(c, 0.0f);
-    for (std::int64_t i = 0; i < m; ++i)
-      for (std::int64_t j = 0; j < c; ++j) {
-        const float d = xv[i * c + j] - mean[j];
-        var[j] += d * d;
-      }
+    const float inv_m = 1.0f / static_cast<float>(m);
+    // Per-column statistics: chunks own disjoint columns and scan rows in
+    // ascending order, matching the serial accumulation per column.
+    par::parallel_for(0, c, par::grain_for(2 * m), [&](std::int64_t j0, std::int64_t j1) {
+      for (std::int64_t j = j0; j < j1; ++j) mean[j] = 0.0f;
+      for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = j0; j < j1; ++j) mean[j] += xv[i * c + j];
+      for (std::int64_t j = j0; j < j1; ++j) mean[j] *= inv_m;
+      for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = j0; j < j1; ++j) {
+          const float d = xv[i * c + j] - mean[j];
+          var[j] += d * d;
+        }
+    });
     for (std::int64_t j = 0; j < c; ++j) {
       var[j] *= inv_m;
       invstd[j] = 1.0f / std::sqrt(var[j] + eps);
@@ -712,9 +896,11 @@ Tensor batchnorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 
   // xhat saved for backward.
   std::vector<float> xhat(static_cast<std::size_t>(m * c));
-  for (std::int64_t i = 0; i < m; ++i)
-    for (std::int64_t j = 0; j < c; ++j)
-      xhat[i * c + j] = (xv[i * c + j] - mean[j]) * invstd[j];
+  par::parallel_for(0, m, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < c; ++j)
+        xhat[i * c + j] = (xv[i * c + j] - mean[j]) * invstd[j];
+  });
 
   const bool track = grad_enabled_for({&x, &gamma, &beta});
   Tensor out = Tensor::make(
@@ -722,47 +908,56 @@ Tensor batchnorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       [px = x.ptr(), pg = gamma.ptr(), pb = beta.ptr(), xhat, invstd, training](Node& node) {
         const std::int64_t m = node.rows;
         const std::int64_t c = node.cols;
-        // dgamma / dbeta.
-        for (std::int64_t j = 0; j < c; ++j) {
-          float dg = 0.0f;
-          float db = 0.0f;
-          for (std::int64_t i = 0; i < m; ++i) {
-            dg += node.grad[i * c + j] * xhat[i * c + j];
-            db += node.grad[i * c + j];
+        // dgamma / dbeta: column-parallel, i-ascending per column.
+        par::parallel_for(0, c, par::grain_for(2 * m), [&](std::int64_t j0, std::int64_t j1) {
+          for (std::int64_t j = j0; j < j1; ++j) {
+            float dg = 0.0f;
+            float db = 0.0f;
+            for (std::int64_t i = 0; i < m; ++i) {
+              dg += node.grad[i * c + j] * xhat[i * c + j];
+              db += node.grad[i * c + j];
+            }
+            if (pg->requires_grad) pg->grad[j] += dg;
+            if (pb->requires_grad) pb->grad[j] += db;
           }
-          if (pg->requires_grad) pg->grad[j] += dg;
-          if (pb->requires_grad) pb->grad[j] += db;
-        }
+        });
         if (!px->requires_grad) return;
         if (!training) {
           // Running stats treated as constants.
-          for (std::int64_t i = 0; i < m; ++i)
-            for (std::int64_t j = 0; j < c; ++j)
-              px->grad[i * c + j] += node.grad[i * c + j] * pg->value[j] * invstd[j];
+          par::parallel_for(0, m, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+            for (std::int64_t i = i0; i < i1; ++i)
+              for (std::int64_t j = 0; j < c; ++j)
+                px->grad[i * c + j] += node.grad[i * c + j] * pg->value[j] * invstd[j];
+          });
           return;
         }
-        // Full backward through batch statistics.
+        // Full backward through batch statistics; per-column reductions are
+        // independent, so columns partition cleanly.
         const float inv_m = 1.0f / static_cast<float>(m);
-        for (std::int64_t j = 0; j < c; ++j) {
-          float sum_dxhat = 0.0f;
-          float sum_dxhat_xhat = 0.0f;
-          for (std::int64_t i = 0; i < m; ++i) {
-            const float dxhat = node.grad[i * c + j] * pg->value[j];
-            sum_dxhat += dxhat;
-            sum_dxhat_xhat += dxhat * xhat[i * c + j];
+        par::parallel_for(0, c, par::grain_for(4 * m), [&](std::int64_t j0, std::int64_t j1) {
+          for (std::int64_t j = j0; j < j1; ++j) {
+            float sum_dxhat = 0.0f;
+            float sum_dxhat_xhat = 0.0f;
+            for (std::int64_t i = 0; i < m; ++i) {
+              const float dxhat = node.grad[i * c + j] * pg->value[j];
+              sum_dxhat += dxhat;
+              sum_dxhat_xhat += dxhat * xhat[i * c + j];
+            }
+            for (std::int64_t i = 0; i < m; ++i) {
+              const float dxhat = node.grad[i * c + j] * pg->value[j];
+              px->grad[i * c + j] += invstd[j] * (dxhat - inv_m * sum_dxhat -
+                                                  xhat[i * c + j] * inv_m * sum_dxhat_xhat);
+            }
           }
-          for (std::int64_t i = 0; i < m; ++i) {
-            const float dxhat = node.grad[i * c + j] * pg->value[j];
-            px->grad[i * c + j] +=
-                invstd[j] * (dxhat - inv_m * sum_dxhat - xhat[i * c + j] * inv_m * sum_dxhat_xhat);
-          }
-        }
+        });
       });
-  auto gv = gamma.data();
-  auto bv = beta.data();
-  auto ov = out.data();
-  for (std::int64_t i = 0; i < m; ++i)
-    for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = gv[j] * xhat[i * c + j] + bv[j];
+  const float* gv = gamma.data().data();
+  const float* bv = beta.data().data();
+  float* ov = out.data().data();
+  par::parallel_for(0, m, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i)
+      for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = gv[j] * xhat[i * c + j] + bv[j];
+  });
   return out;
 }
 
@@ -778,12 +973,15 @@ Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
       [pl = logits.ptr(), pt = targets.ptr(), inv_n](Node& node) {
         if (!pl->requires_grad) return;
         const float dy = node.grad[0];
-        for (std::size_t i = 0; i < pl->value.size(); ++i) {
-          const float z = pl->value[i];
-          const float s = z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
-                                    : std::exp(z) / (1.0f + std::exp(z));
-          pl->grad[i] += dy * inv_n * (s - pt->value[i]);
-        }
+        const std::int64_t total = static_cast<std::int64_t>(pl->value.size());
+        par::parallel_for(0, total, par::grain_for(4), [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const float z = pl->value[i];
+            const float s = z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                                      : std::exp(z) / (1.0f + std::exp(z));
+            pl->grad[i] += dy * inv_n * (s - pt->value[i]);
+          }
+        });
       });
   float loss = 0.0f;
   auto lv = logits.data();
@@ -808,8 +1006,11 @@ Tensor mse_loss(const Tensor& pred, const Tensor& target) {
       [pp = pred.ptr(), pt = target.ptr(), inv_n](Node& node) {
         if (!pp->requires_grad) return;
         const float dy = node.grad[0];
-        for (std::size_t i = 0; i < pp->value.size(); ++i)
-          pp->grad[i] += dy * inv_n * 2.0f * (pp->value[i] - pt->value[i]);
+        const std::int64_t total = static_cast<std::int64_t>(pp->value.size());
+        par::parallel_for(0, total, par::grain_for(1), [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i)
+            pp->grad[i] += dy * inv_n * 2.0f * (pp->value[i] - pt->value[i]);
+        });
       });
   float loss = 0.0f;
   auto pv = pred.data();
@@ -832,10 +1033,13 @@ Tensor l1_loss(const Tensor& pred, const Tensor& target) {
       [pp = pred.ptr(), pt = target.ptr(), inv_n](Node& node) {
         if (!pp->requires_grad) return;
         const float dy = node.grad[0];
-        for (std::size_t i = 0; i < pp->value.size(); ++i) {
-          const float d = pp->value[i] - pt->value[i];
-          pp->grad[i] += dy * inv_n * (d >= 0.0f ? 1.0f : -1.0f);
-        }
+        const std::int64_t total = static_cast<std::int64_t>(pp->value.size());
+        par::parallel_for(0, total, par::grain_for(1), [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const float d = pp->value[i] - pt->value[i];
+            pp->grad[i] += dy * inv_n * (d >= 0.0f ? 1.0f : -1.0f);
+          }
+        });
       });
   float loss = 0.0f;
   auto pv = pred.data();
@@ -854,23 +1058,28 @@ Tensor softmax_cross_entropy(const Tensor& logits, const std::vector<std::int32_
     if (l < 0 || l >= k)
       throw std::invalid_argument("softmax_cross_entropy: label out of range");
   }
-  // Precompute softmax for both forward and backward.
+  // Precompute softmax for both forward and backward. Rows are independent;
+  // the scalar loss reduction stays serial (i-ascending) over the finished
+  // probs for determinism.
   std::vector<float> probs(static_cast<std::size_t>(m * k));
   auto lv = logits.data();
-  float loss = 0.0f;
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* row = lv.data() + i * k;
-    float mx = row[0];
-    for (std::int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (std::int64_t j = 0; j < k; ++j) {
-      probs[i * k + j] = std::exp(row[j] - mx);
-      sum += probs[i * k + j];
+  par::parallel_for(0, m, par::grain_for(4 * k), [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* row = lv.data() + i * k;
+      float mx = row[0];
+      for (std::int64_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+      float sum = 0.0f;
+      for (std::int64_t j = 0; j < k; ++j) {
+        probs[i * k + j] = std::exp(row[j] - mx);
+        sum += probs[i * k + j];
+      }
+      const float inv = 1.0f / sum;
+      for (std::int64_t j = 0; j < k; ++j) probs[i * k + j] *= inv;
     }
-    const float inv = 1.0f / sum;
-    for (std::int64_t j = 0; j < k; ++j) probs[i * k + j] *= inv;
+  });
+  float loss = 0.0f;
+  for (std::int64_t i = 0; i < m; ++i)
     loss -= std::log(std::max(probs[i * k + labels[i]], 1e-12f));
-  }
   const float inv_m = 1.0f / static_cast<float>(m);
   const bool track = grad_enabled_for({&logits});
   Tensor out = Tensor::make(1, 1, track, {logits.ptr()},
@@ -878,13 +1087,17 @@ Tensor softmax_cross_entropy(const Tensor& logits, const std::vector<std::int32_
                               if (!pl->requires_grad) return;
                               const float dy = node.grad[0];
                               const std::int64_t k = pl->cols;
-                              for (std::int64_t i = 0; i < pl->rows; ++i) {
-                                for (std::int64_t j = 0; j < k; ++j) {
-                                  float g = probs[i * k + j];
-                                  if (j == labels[i]) g -= 1.0f;
-                                  pl->grad[i * k + j] += dy * inv_m * g;
-                                }
-                              }
+                              par::parallel_for(
+                                  0, pl->rows, par::grain_for(k),
+                                  [&](std::int64_t i0, std::int64_t i1) {
+                                    for (std::int64_t i = i0; i < i1; ++i) {
+                                      for (std::int64_t j = 0; j < k; ++j) {
+                                        float g = probs[i * k + j];
+                                        if (j == labels[i]) g -= 1.0f;
+                                        pl->grad[i * k + j] += dy * inv_m * g;
+                                      }
+                                    }
+                                  });
                             });
   out.data()[0] = loss * inv_m;
   return out;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/parallel.hpp"
+
 namespace cgps {
 
 namespace {
@@ -18,21 +20,29 @@ std::vector<std::size_t> pick(std::size_t available, std::int64_t max_samples, R
 
 }  // namespace
 
+// Sample selection (pick / shuffle) consumes the caller's Rng serially, so the
+// chosen index set is thread-count independent. Subgraph extraction itself is
+// rng-free and per-sample independent, so it fans out across the work pool
+// with each worker writing its own preallocated slot — results are identical
+// to the serial loop at any CIRCUITGPS_THREADS.
+
 TaskData TaskData::for_links(const CircuitDataset& ds, const SubgraphOptions& options,
                              std::int64_t max_samples, Rng& rng) {
   TaskData data;
   data.graph = &ds.graph;
   const auto idx = pick(ds.link_samples.size(), max_samples, rng);
-  data.subgraphs.reserve(idx.size());
-  data.labels.reserve(idx.size());
-  data.targets.reserve(idx.size());
-  for (std::size_t i : idx) {
-    const LinkSample& s = ds.link_samples[i];
-    data.subgraphs.push_back(
-        extract_enclosing_subgraph(ds.link_graph, s.node_a, s.node_b, options));
-    data.labels.push_back(s.label);
-    data.targets.push_back(normalize_cap(s.cap));
-  }
+  const std::int64_t n = static_cast<std::int64_t>(idx.size());
+  data.subgraphs.resize(idx.size());
+  data.labels.resize(idx.size());
+  data.targets.resize(idx.size());
+  par::parallel_for(0, n, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t p = b; p < e; ++p) {
+      const LinkSample& s = ds.link_samples[idx[p]];
+      data.subgraphs[p] = extract_enclosing_subgraph(ds.link_graph, s.node_a, s.node_b, options);
+      data.labels[p] = s.label;
+      data.targets[p] = normalize_cap(s.cap);
+    }
+  });
   return data;
 }
 
@@ -51,14 +61,16 @@ TaskData TaskData::for_edge_regression(const CircuitDataset& ds,
 
   TaskData data;
   data.graph = &ds.graph;
-  data.subgraphs.reserve(positives.size());
-  data.targets.reserve(positives.size());
-  for (std::size_t i : positives) {
-    const LinkSample& s = ds.link_samples[i];
-    data.subgraphs.push_back(
-        extract_enclosing_subgraph(ds.link_graph, s.node_a, s.node_b, options));
-    data.targets.push_back(normalize_cap(s.cap));
-  }
+  const std::int64_t n = static_cast<std::int64_t>(positives.size());
+  data.subgraphs.resize(positives.size());
+  data.targets.resize(positives.size());
+  par::parallel_for(0, n, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t p = b; p < e; ++p) {
+      const LinkSample& s = ds.link_samples[positives[p]];
+      data.subgraphs[p] = extract_enclosing_subgraph(ds.link_graph, s.node_a, s.node_b, options);
+      data.targets[p] = normalize_cap(s.cap);
+    }
+  });
   return data;
 }
 
@@ -67,13 +79,16 @@ TaskData TaskData::for_nodes(const CircuitDataset& ds, const SubgraphOptions& op
   TaskData data;
   data.graph = &ds.graph;
   const auto idx = pick(ds.node_samples.size(), max_samples, rng);
-  data.subgraphs.reserve(idx.size());
-  data.targets.reserve(idx.size());
-  for (std::size_t i : idx) {
-    const NodeSample& s = ds.node_samples[i];
-    data.subgraphs.push_back(extract_enclosing_subgraph(ds.link_graph, s.node, -1, options));
-    data.targets.push_back(normalize_cap(s.cap));
-  }
+  const std::int64_t n = static_cast<std::int64_t>(idx.size());
+  data.subgraphs.resize(idx.size());
+  data.targets.resize(idx.size());
+  par::parallel_for(0, n, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t p = b; p < e; ++p) {
+      const NodeSample& s = ds.node_samples[idx[p]];
+      data.subgraphs[p] = extract_enclosing_subgraph(ds.link_graph, s.node, -1, options);
+      data.targets[p] = normalize_cap(s.cap);
+    }
+  });
   return data;
 }
 

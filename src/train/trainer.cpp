@@ -8,6 +8,7 @@
 #include "tensor/optim.hpp"
 #include "tensor/ops.hpp"
 #include "util/logging.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace cgps {
@@ -141,34 +142,57 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
     }
     double loss_sum = 0.0;
     std::int64_t batches = 0;
-    for (const BatchRef& ref : plan_epoch(train, order, options.batch_size, rng)) {
-      MiniBatch mb = gather_batch(*train[ref.task], order[ref.task], ref.begin, ref.end,
-                                  link_task, normalizer, batch_options);
-      Tensor out = model.forward(mb.batch);
-      Tensor target = Tensor::from_vector(std::move(mb.values),
-                                          out.rows(), 1);
-      Tensor loss;
-      if (link_task) {
-        loss = ops::bce_with_logits(out, target);
-      } else if (options.target_weight_alpha > 0.0f) {
-        std::vector<float> weights(static_cast<std::size_t>(out.rows()));
-        for (std::int64_t i = 0; i < out.rows(); ++i)
-          weights[static_cast<std::size_t>(i)] =
-              1.0f + options.target_weight_alpha * target.at(i, 0);
-        Tensor w = Tensor::from_vector(std::move(weights), out.rows(), 1);
-        loss = ops::mean_all(ops::mul(w, ops::square(ops::sub(out, target))));
-      } else {
-        loss = ops::mse_loss(out, target);
+    // Per-phase wall-clock accumulators (seconds) for this epoch.
+    double t_sample = 0.0, t_batch = 0.0, t_fwd = 0.0, t_bwd = 0.0, t_opt = 0.0;
+    std::vector<BatchRef> plan;
+    {
+      ScopedTimer st(t_sample);
+      plan = plan_epoch(train, order, options.batch_size, rng);
+    }
+    for (const BatchRef& ref : plan) {
+      MiniBatch mb;
+      {
+        ScopedTimer st(t_batch);
+        mb = gather_batch(*train[ref.task], order[ref.task], ref.begin, ref.end,
+                          link_task, normalizer, batch_options);
       }
-      optimizer.zero_grad();
-      loss.backward();
-      optimizer.clip_grad_norm(options.grad_clip);
-      optimizer.step();
+      Tensor loss;
+      {
+        ScopedTimer st(t_fwd);
+        Tensor out = model.forward(mb.batch);
+        Tensor target = Tensor::from_vector(std::move(mb.values),
+                                            out.rows(), 1);
+        if (link_task) {
+          loss = ops::bce_with_logits(out, target);
+        } else if (options.target_weight_alpha > 0.0f) {
+          std::vector<float> weights(static_cast<std::size_t>(out.rows()));
+          for (std::int64_t i = 0; i < out.rows(); ++i)
+            weights[static_cast<std::size_t>(i)] =
+                1.0f + options.target_weight_alpha * target.at(i, 0);
+          Tensor w = Tensor::from_vector(std::move(weights), out.rows(), 1);
+          loss = ops::mean_all(ops::mul(w, ops::square(ops::sub(out, target))));
+        } else {
+          loss = ops::mse_loss(out, target);
+        }
+      }
+      {
+        ScopedTimer st(t_bwd);
+        optimizer.zero_grad();
+        loss.backward();
+      }
+      {
+        ScopedTimer st(t_opt);
+        optimizer.clip_grad_norm(options.grad_clip);
+        optimizer.step();
+      }
       loss_sum += loss.item();
       ++batches;
     }
     if (options.verbose) {
-      log_info("epoch ", epoch, " loss ", batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0);
+      log_info("epoch ", epoch, " loss ",
+               batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0, " phases[s]",
+               " sample=", t_sample, " batch=", t_batch, " fwd=", t_fwd, " bwd=", t_bwd,
+               " opt=", t_opt);
     }
     stats.epochs_run = epoch + 1;
     if (validation != nullptr) {
@@ -195,14 +219,28 @@ std::vector<float> run_inference(CircuitGps& model, const XcNormalizer& normaliz
   model.set_training(false);
   InferenceGuard guard;
 
-  std::vector<float> scores;
-  scores.reserve(static_cast<std::size_t>(test.size()));
+  // Assemble every evaluation batch on the work pool up front (batches are
+  // independent), then run the forwards in order so score layout matches the
+  // old serial loop exactly.
   const std::size_t n = static_cast<std::size_t>(test.size());
-  for (std::size_t start = 0; start < n; start += static_cast<std::size_t>(batch_size)) {
-    const std::size_t end = std::min(n, start + static_cast<std::size_t>(batch_size));
-    std::vector<const Subgraph*> refs;
-    for (std::size_t i = start; i < end; ++i) refs.push_back(&test.subgraphs[i]);
-    const SubgraphBatch batch = make_batch(refs, test.graph->xc, normalizer, batch_options);
+  const std::size_t stride = static_cast<std::size_t>(batch_size);
+  const std::int64_t n_batches = static_cast<std::int64_t>((n + stride - 1) / stride);
+  std::vector<SubgraphBatch> prepared(static_cast<std::size_t>(n_batches));
+  par::parallel_for(0, n_batches, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      const std::size_t start = static_cast<std::size_t>(b) * stride;
+      const std::size_t end = std::min(n, start + stride);
+      std::vector<const Subgraph*> refs;
+      refs.reserve(end - start);
+      for (std::size_t i = start; i < end; ++i) refs.push_back(&test.subgraphs[i]);
+      prepared[static_cast<std::size_t>(b)] =
+          make_batch(refs, test.graph->xc, normalizer, batch_options);
+    }
+  });
+
+  std::vector<float> scores;
+  scores.reserve(n);
+  for (const SubgraphBatch& batch : prepared) {
     Tensor out = model.forward(batch);
     if (link_task) out = ops::sigmoid(out);
     for (float v : out.data())

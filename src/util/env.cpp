@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 namespace cgps {
 
@@ -22,6 +23,18 @@ double bench_scale() {
 
 int scaled(int base, int min_value) {
   return std::max(min_value, static_cast<int>(base * bench_scale()));
+}
+
+int env_thread_count() {
+  if (const char* env = std::getenv("CIRCUITGPS_THREADS")) {
+    try {
+      const int v = std::stoi(env);
+      if (v >= 1) return v;
+    } catch (...) {
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
 }  // namespace cgps

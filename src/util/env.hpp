@@ -10,4 +10,10 @@ double bench_scale();
 // Scale a base count, keeping at least `min_value`.
 int scaled(int base, int min_value = 1);
 
+// Value of CIRCUITGPS_THREADS (clamped to >= 1). Unset or invalid values
+// fall back to std::thread::hardware_concurrency() (>= 1). This is the
+// width of the shared work pool in util/parallel; 1 keeps every hot path
+// on the calling thread.
+int env_thread_count();
+
 }  // namespace cgps

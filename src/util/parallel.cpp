@@ -1,0 +1,206 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/env.hpp"
+
+namespace cgps::par {
+
+namespace {
+
+thread_local bool g_on_worker = false;
+
+// Marks the calling thread as "inside a parallel region" while it helps
+// drain its own job, so a nested parallel_for from one of its chunks runs
+// inline instead of re-entering Pool::run() (which would self-deadlock on
+// job_mu_). Workers get the same flag permanently in worker_loop().
+class InParallelRegion {
+ public:
+  InParallelRegion() : prev_(g_on_worker) { g_on_worker = true; }
+  ~InParallelRegion() { g_on_worker = prev_; }
+
+ private:
+  bool prev_;
+};
+
+// A persistent pool executing one chunked job at a time. Workers park on a
+// condition variable between jobs; chunks are claimed with an atomic
+// counter, so assignment of chunks to threads is dynamic (load-balanced)
+// while chunk *boundaries* stay fixed (see parallel.hpp contract).
+class Pool {
+ public:
+  explicit Pool(int workers) {
+    active_ = workers;  // each worker decrements when it first parks
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  int width() const { return static_cast<int>(workers_.size()) + 1; }
+
+  void run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+           const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    std::lock_guard<std::mutex> job_lock(job_mu_);  // one job at a time
+    std::unique_lock<std::mutex> lk(mu_);
+    // Job state may only be rewritten once every straggler from the previous
+    // job has left drain(); otherwise a worker that already claimed an
+    // out-of-range chunk index could race the reset of next_/n_chunks_.
+    idle_cv_.wait(lk, [this] { return active_ == 0; });
+    fn_ = &fn;
+    begin_ = begin;
+    end_ = end;
+    grain_ = grain;
+    n_chunks_ = (end - begin + grain - 1) / grain;
+    finished_ = 0;
+    error_ = nullptr;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+    lk.unlock();
+    cv_.notify_all();
+    {
+      const InParallelRegion region;  // nested parallel_for must run inline
+      drain();                        // the caller participates as a worker
+    }
+    lk.lock();
+    done_cv_.wait(lk, [this] { return finished_ == n_chunks_; });
+    if (error_) {
+      std::exception_ptr err = error_;
+      error_ = nullptr;
+      lk.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  void drain() {
+    for (;;) {
+      const std::int64_t chunk = next_.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= n_chunks_) return;
+      const std::int64_t b = begin_ + chunk * grain_;
+      const std::int64_t e = std::min(end_, b + grain_);
+      std::exception_ptr err;
+      try {
+        (*fn_)(b, e);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      if (err && !error_) error_ = err;
+      if (++finished_ == n_chunks_) done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    g_on_worker = true;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      --active_;  // parking
+      if (active_ == 0) idle_cv_.notify_all();
+      cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      ++active_;
+      lk.unlock();
+      drain();
+      lk.lock();
+    }
+  }
+
+  std::mutex job_mu_;  // serializes concurrent run() callers
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // workers: new job or stop
+  std::condition_variable done_cv_;  // caller: all chunks finished
+  std::condition_variable idle_cv_;  // caller: all workers parked
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  // Workers not parked on cv_. Initialized to the worker count so run()
+  // cannot touch job state before every spawned thread first parks.
+  int active_ = 0;
+
+  const std::function<void(std::int64_t, std::int64_t)>* fn_ = nullptr;
+  std::int64_t begin_ = 0;
+  std::int64_t end_ = 0;
+  std::int64_t grain_ = 1;
+  std::int64_t n_chunks_ = 0;
+  std::int64_t finished_ = 0;
+  std::atomic<std::int64_t> next_{0};
+  std::exception_ptr error_;
+};
+
+struct State {
+  std::mutex mu;
+  int threads = 0;  // 0 = take the environment default on first use
+  std::unique_ptr<Pool> pool;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+void run_serial(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  // Same chunk boundaries as the pooled path, in ascending order.
+  for (std::int64_t b = begin; b < end; b += grain) {
+    fn(b, std::min(end, b + grain));
+  }
+}
+
+}  // namespace
+
+int max_threads() {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.threads == 0) s.threads = env_thread_count();
+  return s.threads;
+}
+
+void set_threads(int n) {
+  State& s = state();
+  std::unique_ptr<Pool> old;  // joined outside the lock
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.threads = n > 0 ? n : env_thread_count();
+  if (s.pool && s.pool->width() != s.threads) old = std::move(s.pool);
+}
+
+bool on_worker_thread() { return g_on_worker; }
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t n_chunks = (end - begin + grain - 1) / grain;
+  if (g_on_worker || n_chunks == 1 || max_threads() == 1) {
+    run_serial(begin, end, grain, fn);
+    return;
+  }
+  Pool* pool;
+  {
+    State& s = state();
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (!s.pool) s.pool = std::make_unique<Pool>(s.threads - 1);
+    pool = s.pool.get();
+  }
+  pool->run(begin, end, grain, fn);
+}
+
+}  // namespace cgps::par

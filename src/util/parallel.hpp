@@ -1,0 +1,48 @@
+// Shared work-pool layer: deterministic data parallelism for the tensor
+// kernels and the sampling pipeline.
+//
+// Determinism contract: `parallel_for` covers the half-open range
+// [begin, end) with disjoint chunks whose boundaries are a pure function of
+// (begin, end, grain) — never of the thread count or of scheduling. Callers
+// partition work so every output element is produced by exactly one chunk
+// with a fixed accumulation order; any per-chunk partials a caller keeps are
+// therefore bit-identical at every CIRCUITGPS_THREADS setting, and
+// CIRCUITGPS_THREADS=1 reproduces serial results exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace cgps::par {
+
+// Configured pool width: CIRCUITGPS_THREADS if set (clamped to >= 1), else
+// std::thread::hardware_concurrency(). 1 means "never touch the pool".
+int max_threads();
+
+// Runtime override of the pool width (benches / determinism tests).
+// n <= 0 resets to the environment default. Safe to call between jobs; the
+// persistent pool is resized lazily on the next parallel_for.
+void set_threads(int n);
+
+// True on a pool worker thread. Nested parallel_for calls detect this and
+// run inline (serially) to avoid deadlocking the single shared pool.
+bool on_worker_thread();
+
+// Invoke fn(b, e) over consecutive chunks covering [begin, end), each at
+// most `grain` elements long (grain < 1 is treated as 1). With one thread,
+// one chunk, or when already on a worker thread, runs serially on the
+// calling thread in ascending chunk order. The first exception thrown by fn
+// is rethrown on the calling thread after the range is drained.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+// Convenience: grain that yields roughly `target_work` scalar operations per
+// chunk for a loop whose per-index cost is `work_per_index`.
+inline std::int64_t grain_for(std::int64_t work_per_index,
+                              std::int64_t target_work = 1 << 14) {
+  if (work_per_index < 1) work_per_index = 1;
+  const std::int64_t g = target_work / work_per_index;
+  return g < 1 ? 1 : g;
+}
+
+}  // namespace cgps::par

@@ -24,4 +24,20 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+// RAII section tracker: adds the scope's wall-clock seconds to an
+// accumulator on destruction, so per-phase costs (sample / batch / fwd /
+// bwd / opt, ...) can be summed across loop iterations and reported per
+// epoch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& accumulator) : acc_(&accumulator) {}
+  ~ScopedTimer() { *acc_ += watch_.seconds(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stopwatch watch_;
+  double* acc_;
+};
+
 }  // namespace cgps

@@ -1,0 +1,203 @@
+// Work-pool semantics plus the determinism contract: every parallel code
+// path must produce bit-identical results at any CIRCUITGPS_THREADS.
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace cgps {
+namespace {
+
+// Restores the default pool width even when a test fails mid-way.
+struct ThreadGuard {
+  explicit ThreadGuard(int n) { par::set_threads(n); }
+  ~ThreadGuard() { par::set_threads(0); }
+};
+
+std::vector<std::pair<std::int64_t, std::int64_t>> record_chunks(std::int64_t begin,
+                                                                 std::int64_t end,
+                                                                 std::int64_t grain) {
+  std::mutex mu;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  par::parallel_for(begin, end, grain, [&](std::int64_t b, std::int64_t e) {
+    const std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  const ThreadGuard guard(4);
+  std::vector<std::atomic<int>> hits(1000);
+  par::parallel_for(0, 1000, 7, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokes) {
+  const ThreadGuard guard(4);
+  std::atomic<int> calls{0};
+  par::parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { calls.fetch_add(1); });
+  par::parallel_for(7, 3, 1, [&](std::int64_t, std::int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, RangeSmallerThanGrainIsOneChunk) {
+  const ThreadGuard guard(4);
+  const auto chunks = record_chunks(3, 9, 100);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 3);
+  EXPECT_EQ(chunks[0].second, 9);
+}
+
+TEST(ParallelFor, ChunkBoundariesIndependentOfThreadCount) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> serial, parallel;
+  {
+    const ThreadGuard guard(1);
+    serial = record_chunks(2, 1003, 17);
+  }
+  {
+    const ThreadGuard guard(4);
+    parallel = record_chunks(2, 1003, 17);
+  }
+  EXPECT_EQ(serial, parallel);
+  // Chunks tile [begin, end) contiguously.
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial.front().first, 2);
+  EXPECT_EQ(serial.back().second, 1003);
+  for (std::size_t i = 1; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i - 1].second, serial[i].first);
+}
+
+TEST(ParallelFor, ExceptionPropagatesAndPoolStaysUsable) {
+  const ThreadGuard guard(4);
+  EXPECT_THROW(par::parallel_for(0, 100, 1,
+                                 [&](std::int64_t b, std::int64_t) {
+                                   if (b == 42) throw std::runtime_error("chunk 42");
+                                 }),
+               std::runtime_error);
+  // The pool must survive and process subsequent jobs.
+  std::atomic<std::int64_t> sum{0};
+  par::parallel_for(0, 100, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  const ThreadGuard guard(4);
+  std::vector<std::atomic<int>> hits(64);
+  par::parallel_for(0, 8, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t outer = b; outer < e; ++outer) {
+      par::parallel_for(0, 8, 1, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t inner = ib; inner < ie; ++inner)
+          hits[static_cast<std::size_t>(outer * 8 + inner)].fetch_add(1);
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SetThreadsControlsPoolWidth) {
+  par::set_threads(3);
+  EXPECT_EQ(par::max_threads(), 3);
+  par::set_threads(0);  // back to the environment default
+  EXPECT_GE(par::max_threads(), 1);
+}
+
+TEST(ParallelFor, GrainForTargetsFixedWork) {
+  EXPECT_GE(par::grain_for(1), 1);
+  EXPECT_EQ(par::grain_for(1 << 14), 1);
+  EXPECT_GT(par::grain_for(1), par::grain_for(1 << 10));
+}
+
+// ---------------------------------------------------------- determinism --
+
+struct MatmulRun {
+  std::vector<float> out, da, db;
+};
+
+MatmulRun run_matmul(int threads) {
+  const ThreadGuard guard(threads);
+  Rng rng(11);
+  Tensor a = Tensor::randn(37, 53, 1.0f, rng, /*requires_grad=*/true);
+  Tensor b = Tensor::randn(53, 29, 1.0f, rng, /*requires_grad=*/true);
+  Tensor out = ops::matmul(a, b);
+  Tensor loss = ops::sum_all(ops::mul(out, out));
+  loss.backward();
+  MatmulRun r;
+  r.out.assign(out.data().begin(), out.data().end());
+  r.da.assign(a.grad().begin(), a.grad().end());
+  r.db.assign(b.grad().begin(), b.grad().end());
+  return r;
+}
+
+TEST(Determinism, MatmulForwardAndGradBitIdentical) {
+  const MatmulRun serial = run_matmul(1);
+  const MatmulRun parallel = run_matmul(4);
+  EXPECT_EQ(serial.out, parallel.out);
+  EXPECT_EQ(serial.da, parallel.da);
+  EXPECT_EQ(serial.db, parallel.db);
+}
+
+GpsConfig tiny_config() {
+  GpsConfig c;
+  c.hidden = 16;
+  c.layers = 2;
+  c.heads = 2;
+  c.performer_features = 8;
+  c.head_hidden = 16;
+  c.dropout = 0.0f;
+  c.attn = AttnKind::kNone;
+  return c;
+}
+
+// Full pipeline at a given pool width: sampling, batching, training,
+// inference. Returns every learned parameter value.
+std::vector<std::vector<float>> run_training(int threads, std::vector<float>* scores) {
+  const ThreadGuard guard(threads);
+  DatasetOptions ds_options;
+  ds_options.seed = 5;
+  const CircuitDataset ds = build_dataset(gen::DatasetId::kTimingControl, ds_options);
+  Rng rng(6);
+  const TaskData train = TaskData::for_links(ds, {}, 96, rng);
+  const TaskData* tasks[] = {&train};
+  const XcNormalizer norm = fit_normalizer(tasks);
+
+  CircuitGps model(tiny_config());
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 16;
+  train_link_prediction(model, norm, tasks, options);
+
+  *scores = predict_regression(model, norm, train);
+  std::vector<std::vector<float>> params;
+  for (const auto& [name, p] : model.named_parameters())
+    params.emplace_back(p.data().begin(), p.data().end());
+  return params;
+}
+
+TEST(Determinism, TrainingBitIdenticalAcrossThreadCounts) {
+  std::vector<float> scores1, scores4;
+  const auto params1 = run_training(1, &scores1);
+  const auto params4 = run_training(4, &scores4);
+  ASSERT_EQ(params1.size(), params4.size());
+  for (std::size_t i = 0; i < params1.size(); ++i) EXPECT_EQ(params1[i], params4[i]);
+  EXPECT_EQ(scores1, scores4);
+}
+
+}  // namespace
+}  // namespace cgps
