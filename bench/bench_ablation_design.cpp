@@ -13,6 +13,8 @@ using namespace cgps::bench;
 
 int main() {
   print_header("extended ablations: sampling + MPNN design choices");
+  BenchReport report("ablation_design");
+  fill_common_config(report);
 
   const CircuitDataset train_ds = load_dataset(gen::DatasetId::kSsram);
   const CircuitDataset test_ds = load_dataset(gen::DatasetId::kDigitalClkGen);
@@ -52,6 +54,7 @@ int main() {
     std::printf("%s\n", table.to_string().c_str());
     std::printf("Paper rationale: small h already captures the high-order features\n"
                 "(gamma-decaying theory); larger subgraphs mostly cost time.\n\n");
+    report.add_table("(a,b) hops and frontier cap", table);
   }
 
   // (c): balanced vs imbalanced sampling.
@@ -85,6 +88,7 @@ int main() {
       std::fprintf(stderr, "[bench] balance=%d done\n", balanced ? 1 : 0);
     }
     std::printf("%s\n", table.to_string().c_str());
+    report.add_table("(c) balanced vs imbalanced link sampling", table);
   }
 
   // (d): MPNN flavor at fixed budget.
@@ -97,6 +101,7 @@ int main() {
       run(mpnn_kind_name(mpnn), bench_subgraph_options(), config, table);
     }
     std::printf("%s\n", table.to_string().c_str());
+    report.add_table("(d) MPNN flavor at fixed budget", table);
   }
 
   // (e): positive-only vs positive+negative link injection (the paper
@@ -126,6 +131,7 @@ int main() {
       std::fprintf(stderr, "[bench] inject_neg=%d done\n", with_negatives ? 1 : 0);
     }
     std::printf("%s\n", table.to_string().c_str());
+    report.add_table("(e) positive-only vs positive+negative injection", table);
   }
 
   // (f): pooled readout (paper Eq. 7) vs pooled + anchor concat, on edge
@@ -151,6 +157,8 @@ int main() {
       std::fprintf(stderr, "[bench] anchor_readout=%d done\n", anchors ? 1 : 0);
     }
     std::printf("%s\n", table.to_string().c_str());
+    report.add_table("(f) pooled vs pooled+anchor readout", table);
   }
+  report.write();
   return 0;
 }

@@ -72,6 +72,8 @@ std::vector<double> predicted_link_caps(const CircuitDataset& ds, CircuitGps& mo
 
 int main() {
   print_header("Fig. 4: simulated switching energy, truth vs prediction");
+  BenchReport report("fig4_energy");
+  fill_common_config(report);
 
   // Train the regressor (pre-train + all-parameter fine-tune, the paper's
   // best variant) on the training designs.
@@ -144,5 +146,9 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("mean energy MAPE over the three test cases: %.1f%% (paper Fig. 4: 14.5%%)\n",
               mape_sum / std::max(1, cases));
+  report.add_table("Fig. 4: switching energy, truth vs prediction", table);
+  report.add_metric("mean_energy_mape_pct", mape_sum / std::max(1, cases));
+  report.add_note("paper Fig. 4 reference: 14.5% mean energy MAPE");
+  report.write();
   return 0;
 }

@@ -3,6 +3,8 @@
 // sampling, and the positional encodings of Table II.
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
+
 #include "gen/designs.hpp"
 #include "gps/batch.hpp"
 #include "graph/links.hpp"
@@ -232,6 +234,49 @@ void BM_BatchAssemblyThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchAssemblyThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0);
 
+// Chains the normal console output while capturing each run for the
+// machine-readable BENCH_micro_kernels.json report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_time;
+    double cpu_time;
+    std::string time_unit;
+    std::int64_t iterations;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      rows_.push_back({run.benchmark_name(), run.GetAdjustedRealTime(), run.GetAdjustedCPUTime(),
+                       benchmark::GetTimeUnitString(run.time_unit), run.iterations});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  cgps::bench::BenchReport report("micro_kernels");
+  cgps::TextTable table({"Benchmark", "Real", "CPU", "Unit", "Iterations"});
+  for (const CaptureReporter::Row& row : reporter.rows())
+    table.add_row({row.name, cgps::bench::fmt(row.real_time, 1), cgps::bench::fmt(row.cpu_time, 1),
+                   row.time_unit, std::to_string(row.iterations)});
+  report.add_table("google-benchmark runs", table);
+  report.add_metric("runs", static_cast<double>(reporter.rows().size()));
+  report.write();
+  return 0;
+}

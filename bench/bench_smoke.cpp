@@ -1,0 +1,84 @@
+// Observability smoke check: exercises the netlist → graph → subgraph path
+// on one small design, emits BENCH_smoke.json through the same BenchReport
+// used by every table bench, then reads the file back and validates it
+// parses with the full cgps-bench-v1 schema. Registered in ctest as
+// `bench_smoke_json`; exits nonzero on any schema violation, so the JSON
+// contract is enforced by the tier-1 suite. Runs in well under a second.
+#include "common.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "gen/designs.hpp"
+#include "graph/circuit_graph.hpp"
+#include "graph/subgraph.hpp"
+#include "netlist/hierarchy.hpp"
+
+using namespace cgps;
+using namespace cgps::bench;
+
+namespace {
+
+int fail(const std::string& what) {
+  std::fprintf(stderr, "[smoke] FAIL: %s\n", what.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  print_header("smoke: BENCH_*.json schema check");
+
+  BenchReport report("smoke");
+  Stopwatch build_timer;
+  const Netlist netlist = flatten(gen::digital_clk_gen());
+  const CircuitGraph graph = build_circuit_graph(netlist);
+  SubgraphOptions options;
+  options.max_nodes_per_anchor = 32;
+  const Subgraph sg = extract_enclosing_subgraph(graph.graph, 0, 1, options);
+
+  TextTable table({"Stage", "Count"});
+  table.add_row({"devices", std::to_string(netlist.devices().size())});
+  table.add_row({"graph nodes", std::to_string(graph.graph.num_nodes())});
+  table.add_row({"graph edges", std::to_string(graph.graph.num_edges())});
+  table.add_row({"subgraph nodes", std::to_string(sg.num_nodes())});
+  std::printf("%s\n", table.to_string().c_str());
+
+  report.set_config("design", "DIGITAL_CLK_GEN");
+  report.set_config("max_nodes_per_anchor", static_cast<double>(options.max_nodes_per_anchor));
+  report.add_table("smoke pipeline stats", table);
+  report.add_metric("build_seconds", build_timer.seconds());
+  report.add_note("schema self-check target; see DESIGN.md §8");
+
+  const std::string path = report.write();
+  if (path.empty()) return fail("BenchReport::write produced no file");
+
+  // Read back and validate against the documented schema.
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  const auto parsed = json_parse(buffer.str(), &error);
+  if (!parsed) return fail("emitted JSON does not parse: " + error);
+  if (parsed->type != JsonValue::Type::kObject) return fail("top level is not an object");
+
+  for (const char* key : {"schema", "bench", "git", "scale", "threads", "config", "tables",
+                          "metrics", "notes", "registry", "wall_seconds"}) {
+    if (!parsed->has(key)) return fail(std::string("missing required field: ") + key);
+  }
+  if (parsed->find("schema")->string != "cgps-bench-v1") return fail("wrong schema tag");
+  if (parsed->find("bench")->string != "smoke") return fail("wrong bench name");
+  const JsonValue* tables = parsed->find("tables");
+  if (tables->type != JsonValue::Type::kArray || tables->array.empty())
+    return fail("tables must be a non-empty array");
+  const JsonValue& t0 = tables->array.front();
+  if (!t0.has("title") || !t0.has("columns") || !t0.has("rows"))
+    return fail("table entry missing title/columns/rows");
+  if (t0.find("rows")->array.size() != 4) return fail("unexpected row count");
+  const JsonValue* registry = parsed->find("registry");
+  if (!registry->has("counters")) return fail("registry missing counters");
+  if (parsed->find("wall_seconds")->number < 0.0) return fail("negative wall_seconds");
+
+  std::printf("BENCH json ok: %s\n", path.c_str());
+  return 0;
+}

@@ -11,6 +11,8 @@ using namespace cgps::bench;
 
 int main() {
   print_header("Table II: positional encodings on link prediction");
+  BenchReport report("table2_pe");
+  fill_common_config(report);
 
   const CircuitDataset train_ds = load_dataset(gen::DatasetId::kSsram);
   const CircuitDataset test_ds = load_dataset(gen::DatasetId::kDigitalClkGen);
@@ -60,5 +62,9 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper shape: DSPD best accuracy at ~DRNL cost; LapPE accurate but\n"
               "~10x more expensive per graph; X_C-as-PE underperforms (Obs. 1).\n");
+  report.set_config("train", train_ds.name);
+  report.set_config("test", test_ds.name);
+  report.add_table("Table II: PEs on link prediction", table);
+  report.write();
   return 0;
 }

@@ -8,6 +8,8 @@ using namespace cgps::bench;
 
 int main() {
   print_header("Table III: GPS layer ablation on link prediction");
+  BenchReport report("table3_ablation_link");
+  fill_common_config(report);
 
   const CircuitDataset train_ds = load_dataset(gen::DatasetId::kSsram);
   const CircuitDataset test_ds = load_dataset(gen::DatasetId::kDigitalClkGen);
@@ -48,5 +50,9 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper shape (Obs. 2): GatedGCN rows beat attention-only rows;\n"
               "GatedGCN+None is the fastest and close to best.\n");
+  report.set_config("train", train_ds.name);
+  report.set_config("test", test_ds.name);
+  report.add_table("Table III: GPS layer ablation (link)", table);
+  report.write();
   return 0;
 }

@@ -7,6 +7,8 @@ using namespace cgps::bench;
 
 int main() {
   print_header("Table IV: dataset statistics");
+  BenchReport report("table4_datasets");
+  report.set_config("train_scale", sizes().train_scale);
 
   Rng rng(3);
   TextTable table({"Split", "Dataset", "N", "N_E", "#Links", "N/G1", "NE/G1"});
@@ -33,5 +35,7 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Note: training designs are generated at a reduced scale (DESIGN.md §2);\n"
               "test designs target the paper's reported node counts.\n");
+  report.add_table("Table IV: dataset statistics", table);
+  report.write();
   return 0;
 }

@@ -8,6 +8,8 @@ using namespace cgps::bench;
 
 int main() {
   print_header("Table V: link prediction vs baselines (zero-shot)");
+  BenchReport report("table5_link_prediction");
+  fill_common_config(report);
 
   std::vector<CircuitDataset> train_sets;
   train_sets.push_back(load_dataset(gen::DatasetId::kSsram));
@@ -83,5 +85,7 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper shape: CircuitGPS improves accuracy by >=20%% over both\n"
               "full-graph baselines on every unseen design.\n");
+  report.add_table("Table V: link prediction vs baselines", table);
+  report.write();
   return 0;
 }

@@ -9,6 +9,8 @@ using namespace cgps::bench;
 
 int main() {
   print_header("Table VI: edge regression vs baselines + fine-tuning");
+  BenchReport report("table6_edge_regression");
+  fill_common_config(report);
 
   std::vector<CircuitDataset> train_sets;
   train_sets.push_back(load_dataset(gen::DatasetId::kSsram));
@@ -110,5 +112,7 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper shape: every CircuitGPS variant beats the baselines; all-ft\n"
               "gives the lowest MAE (paper: >=0.067 MAE reduction vs baselines).\n");
+  report.add_table("Table VI: edge regression vs baselines + fine-tuning", table);
+  report.write();
   return 0;
 }

@@ -7,6 +7,8 @@ using namespace cgps::bench;
 
 int main() {
   print_header("Table VII: GPS layer ablation on edge regression");
+  BenchReport report("table7_ablation_edge");
+  fill_common_config(report);
 
   const CircuitDataset train_ds = load_dataset(gen::DatasetId::kSsram);
   const CircuitDataset test_ds = load_dataset(gen::DatasetId::kDigitalClkGen);
@@ -48,5 +50,9 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper shape: GatedGCN configurations dominate; GatedGCN+None is the\n"
               "fastest with near-best error (Observation 2).\n");
+  report.set_config("train", train_ds.name);
+  report.set_config("test", test_ds.name);
+  report.add_table("Table VII: GPS layer ablation (edge regression)", table);
+  report.write();
   return 0;
 }

@@ -8,6 +8,8 @@ using namespace cgps::bench;
 
 int main() {
   print_header("Table VIII: node regression (ground capacitance)");
+  BenchReport report("table8_node_regression");
+  fill_common_config(report);
 
   std::vector<CircuitDataset> train_sets;
   train_sets.push_back(load_dataset(gen::DatasetId::kSsram));
@@ -77,5 +79,7 @@ int main() {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper shape: CircuitGPS best on all three designs; DLPL-Cap's\n"
               "class-wise experts generalize worst to unseen designs.\n");
+  report.add_table("Table VIII: node regression vs baselines", table);
+  report.write();
   return 0;
 }

@@ -6,16 +6,27 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/baseline_trainer.hpp"
 #include "train/dataset_cache.hpp"
 #include "train/trainer.hpp"
 #include "util/env.hpp"
+#include "util/json_writer.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+
+// Set per-target by bench/CMakeLists.txt from `git describe` at configure
+// time; "unknown" outside a git checkout.
+#ifndef CGPS_GIT_DESCRIBE
+#define CGPS_GIT_DESCRIBE "unknown"
+#endif
 
 namespace cgps::bench {
 
@@ -104,6 +115,121 @@ inline CircuitDataset load_dataset(gen::DatasetId id, std::uint64_t seed = 100) 
 }
 
 inline std::string fmt(double v, int decimals = 4) { return format_fixed(v, decimals); }
+
+// Machine-readable companion to the printed tables: every bench target
+// builds one BenchReport and writes BENCH_<name>.json next to its table
+// output, so run-over-run trajectories can be diffed/plotted. Schema
+// "cgps-bench-v1" is documented field-by-field in DESIGN.md §8.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void set_config(std::string key, std::string value) {
+    config_.emplace_back(std::move(key), Config{std::move(value), 0.0, true});
+  }
+  void set_config(std::string key, double value) {
+    config_.emplace_back(std::move(key), Config{{}, value, false});
+  }
+
+  void add_table(std::string title, const TextTable& table) {
+    tables_.emplace_back(std::move(title), TableCopy{table.header(), table.rows()});
+  }
+
+  void add_metric(std::string name, double value) {
+    metrics_.emplace_back(std::move(name), value);
+  }
+
+  void add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+  // Serialize and write BENCH_<name>.json into CIRCUITGPS_BENCH_DIR
+  // (default: current directory). Returns the path ("" on write failure).
+  std::string write() const {
+    const std::string path = env_bench_dir() + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+      return "";
+    }
+    out << to_json();
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    return path;
+  }
+
+  std::string to_json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.field("schema", "cgps-bench-v1");
+    w.field("bench", name_);
+    w.field("git", CGPS_GIT_DESCRIBE);
+    w.field("scale", bench_scale());
+    w.field("threads", par::max_threads());
+    w.key("config").begin_object();
+    for (const auto& [key, value] : config_) {
+      if (value.is_string) {
+        w.field(key, value.text);
+      } else {
+        w.field(key, value.number);
+      }
+    }
+    w.end_object();
+    w.key("tables").begin_array();
+    for (const auto& [title, table] : tables_) {
+      w.begin_object();
+      w.field("title", title);
+      w.key("columns").begin_array();
+      for (const std::string& c : table.header) w.value(c);
+      w.end_array();
+      w.key("rows").begin_array();
+      for (const auto& row : table.rows) {
+        w.begin_array();
+        for (const std::string& cell : row) w.value(cell);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics").begin_object();
+    for (const auto& [name, value] : metrics_) w.field(name, value);
+    w.end_object();
+    w.key("notes").begin_array();
+    for (const std::string& note : notes_) w.value(note);
+    w.end_array();
+    w.key("registry");
+    MetricsRegistry::instance().write_json(w);
+    w.field("wall_seconds", watch_.seconds());
+    w.end_object();
+    return w.str();
+  }
+
+ private:
+  struct Config {
+    std::string text;
+    double number;
+    bool is_string;
+  };
+  struct TableCopy {
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string name_;
+  std::vector<std::pair<std::string, Config>> config_;
+  std::vector<std::pair<std::string, TableCopy>> tables_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::string> notes_;
+  Stopwatch watch_;  // started at construction = bench wall clock
+};
+
+// Shared config block: the knobs every training bench inherits from sizes().
+inline void fill_common_config(BenchReport& report) {
+  const Sizes s = sizes();
+  report.set_config("train_scale", s.train_scale);
+  report.set_config("train_links", static_cast<double>(s.train_links));
+  report.set_config("test_links", static_cast<double>(s.test_links));
+  report.set_config("epochs", static_cast<double>(s.epochs));
+  report.set_config("baseline_epochs", static_cast<double>(s.baseline_epochs));
+}
 
 inline void print_header(const char* what) {
   std::printf("==============================================================\n");

@@ -1,10 +1,15 @@
 #include "baselines/baseline_trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 
 #include "tensor/optim.hpp"
 #include "tensor/ops.hpp"
+#include "util/env.hpp"
+#include "util/json_writer.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -16,6 +21,18 @@ using Pairs = std::vector<std::pair<std::int32_t, std::int32_t>>;
 
 // Target extraction modes over a dataset's samples.
 enum class TargetMode { kLinkLabels, kEdgeCaps, kNodeCaps };
+
+const char* target_mode_name(TargetMode mode) {
+  switch (mode) {
+    case TargetMode::kLinkLabels:
+      return "link";
+    case TargetMode::kEdgeCaps:
+      return "edge_regression";
+    case TargetMode::kNodeCaps:
+      return "node_regression";
+  }
+  return "unknown";
+}
 
 void collect_targets(const CircuitDataset& ds, TargetMode mode, Pairs& pairs,
                      std::vector<float>& values) {
@@ -60,6 +77,19 @@ void subsample(Pairs& pairs, std::vector<float>& values, std::int64_t max_count,
   values.swap(new_values);
 }
 
+// Same JSONL epoch telemetry as train/trainer.cpp, tagged model="baseline"
+// so run logs from both trainers can share one file (DESIGN.md §8).
+std::unique_ptr<JsonlFile> open_run_log() {
+  const std::string path = env_run_log_path();
+  if (path.empty()) return nullptr;
+  auto log = std::make_unique<JsonlFile>(path);
+  if (!log->ok()) {
+    log_warn("CIRCUITGPS_RUN_LOG: cannot open ", path, "; epoch telemetry disabled");
+    return nullptr;
+  }
+  return log;
+}
+
 double run_baseline_training(FullGraphBaseline& model,
                              std::span<const CircuitDataset* const> train,
                              const XcNormalizer& normalizer,
@@ -78,9 +108,12 @@ double run_baseline_training(FullGraphBaseline& model,
                     });
 
   model.set_training(true);
+  const std::unique_ptr<JsonlFile> run_log = open_run_log();
   Stopwatch timer;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     double loss_sum = 0.0;
+    std::int64_t total_pairs = 0;
+    std::int64_t steps = 0;
     double t_sample = 0.0, t_fwd = 0.0, t_bwd = 0.0, t_opt = 0.0;
     for (std::size_t t = 0; t < train.size(); ++t) {
       Pairs pairs;
@@ -115,10 +148,38 @@ double run_baseline_training(FullGraphBaseline& model,
         optimizer.step();
       }
       loss_sum += loss.item();
+      total_pairs += static_cast<std::int64_t>(pairs.size());
+      ++steps;
     }
     if (options.verbose) {
       log_info("baseline epoch ", epoch, " loss ", loss_sum, " phases[s] sample=", t_sample,
                " fwd=", t_fwd, " bwd=", t_bwd, " opt=", t_opt);
+    }
+    if (run_log != nullptr) {
+      JsonWriter w;
+      w.begin_object();
+      w.field("schema", "cgps-train-v1");
+      w.field("model", "baseline");
+      w.field("task", target_mode_name(mode));
+      w.field("epoch", epoch);
+      w.field("epochs_total", options.epochs);
+      w.field("loss", steps > 0 ? loss_sum / static_cast<double>(steps) : 0.0);
+      w.field("lr", static_cast<double>(optimizer.lr()));
+      w.field("batches", steps);
+      w.field("samples", total_pairs);
+      w.field("t_sample_s", t_sample);
+      w.field("t_batch_s", 0.0);  // full-graph baselines have no batch-assembly phase
+      w.field("t_fwd_s", t_fwd);
+      w.field("t_bwd_s", t_bwd);
+      w.field("t_opt_s", t_opt);
+      w.null_field("val_score");
+      w.field("threads", par::max_threads());
+      w.field("rss_mb", static_cast<double>(current_rss_bytes()) / (1024.0 * 1024.0));
+      w.field("elapsed_s", timer.seconds());
+      w.key("counters");
+      MetricsRegistry::instance().write_counters_json(w);
+      w.end_object();
+      run_log->write_line(w.str());
     }
   }
   model.set_training(false);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "graph/pe.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace cgps {
@@ -137,6 +138,12 @@ SubgraphBatch make_batch(const std::vector<const Subgraph*>& subgraphs,
     }
   });
   batch.xc = Tensor::from_vector(std::move(xc_flat), total_nodes, kXcDim);
+  // Assembly telemetry (atomic adds — make_batch also runs on pool workers
+  // during parallel inference batching).
+  metric_counter("batch.batches_built").add(1);
+  metric_counter("batch.graphs").add(n_graphs);
+  metric_counter("batch.nodes").add(total_nodes);
+  metric_counter("batch.edges").add(total_edges);
   return batch;
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/serialize.hpp"
 
 namespace cgps {
@@ -205,11 +206,14 @@ CircuitDataset build_dataset_cached(gen::DatasetId id, const DatasetOptions& opt
   const fs::path path = fs::path(cache_dir) / dataset_cache_key(id, options);
   if (fs::exists(path)) {
     try {
-      return load_dataset(path.string(), options);
+      CircuitDataset ds = load_dataset(path.string(), options);
+      metric_counter("dataset_cache.hits").add(1);
+      return ds;
     } catch (const std::exception& e) {
       log_warn("dataset cache read failed (", e.what(), "); rebuilding");
     }
   }
+  metric_counter("dataset_cache.misses").add(1);
   CircuitDataset ds = build_dataset(id, options);
   try {
     save_dataset(ds, path.string());

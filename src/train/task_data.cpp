@@ -3,11 +3,26 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace cgps {
 
 namespace {
+
+// Registry counters for the sampling pipeline (DESIGN.md §8). Pure
+// telemetry: incremented after extraction, never read back by it.
+void count_extracted(const TaskData& data) {
+  std::int64_t nodes = 0, edges = 0;
+  for (const Subgraph& sg : data.subgraphs) {
+    nodes += sg.num_nodes();
+    edges += sg.num_directed_edges();
+  }
+  metric_counter("sampling.subgraphs_extracted")
+      .add(static_cast<std::int64_t>(data.subgraphs.size()));
+  metric_counter("sampling.subgraph_nodes").add(nodes);
+  metric_counter("sampling.subgraph_edges").add(edges);
+}
 
 std::vector<std::size_t> pick(std::size_t available, std::int64_t max_samples, Rng& rng) {
   std::vector<std::size_t> idx(available);
@@ -43,6 +58,7 @@ TaskData TaskData::for_links(const CircuitDataset& ds, const SubgraphOptions& op
       data.targets[p] = normalize_cap(s.cap);
     }
   });
+  count_extracted(data);
   return data;
 }
 
@@ -71,6 +87,7 @@ TaskData TaskData::for_edge_regression(const CircuitDataset& ds,
       data.targets[p] = normalize_cap(s.cap);
     }
   });
+  count_extracted(data);
   return data;
 }
 
@@ -89,6 +106,7 @@ TaskData TaskData::for_nodes(const CircuitDataset& ds, const SubgraphOptions& op
       data.targets[p] = normalize_cap(s.cap);
     }
   });
+  count_extracted(data);
   return data;
 }
 

@@ -3,11 +3,15 @@
 #include <cmath>
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include "tensor/optim.hpp"
 #include "tensor/ops.hpp"
+#include "util/env.hpp"
+#include "util/json_writer.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -31,6 +35,21 @@ XcNormalizer fit_normalizer(std::span<const TaskData* const> train) {
 }
 
 namespace {
+
+// Per-epoch JSONL telemetry (DESIGN.md §8), enabled by CIRCUITGPS_RUN_LOG.
+// Returns nullptr when the variable is unset or the path cannot be opened;
+// the training loop itself is unchanged either way (records are built from
+// values the loop already computes).
+std::unique_ptr<JsonlFile> open_run_log() {
+  const std::string path = env_run_log_path();
+  if (path.empty()) return nullptr;
+  auto log = std::make_unique<JsonlFile>(path);
+  if (!log->ok()) {
+    log_warn("CIRCUITGPS_RUN_LOG: cannot open ", path, "; epoch telemetry disabled");
+    return nullptr;
+  }
+  return log;
+}
 
 // One (task, sample-range) unit of work per step; single-task batches keep
 // the X_C source unambiguous.
@@ -131,6 +150,7 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
   const bool early_stopping = validation != nullptr && options.early_stop_patience > 0;
 
   model.set_training(true);
+  const std::unique_ptr<JsonlFile> run_log = open_run_log();
   Stopwatch timer;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     model.set_training(true);
@@ -142,6 +162,7 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
     }
     double loss_sum = 0.0;
     std::int64_t batches = 0;
+    std::int64_t samples = 0;
     // Per-phase wall-clock accumulators (seconds) for this epoch.
     double t_sample = 0.0, t_batch = 0.0, t_fwd = 0.0, t_bwd = 0.0, t_opt = 0.0;
     std::vector<BatchRef> plan;
@@ -187,6 +208,7 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
       }
       loss_sum += loss.item();
       ++batches;
+      samples += static_cast<std::int64_t>(ref.end - ref.begin);
     }
     if (options.verbose) {
       log_info("epoch ", epoch, " loss ",
@@ -195,17 +217,50 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
                " opt=", t_opt);
     }
     stats.epochs_run = epoch + 1;
+    double val_score = std::numeric_limits<double>::quiet_NaN();
+    bool stop = false;
     if (validation != nullptr) {
-      const double score = validation_score(model, normalizer, *validation, link_task);
-      if (score > best_score) {
-        best_score = score;
-        stats.best_validation = score;
+      val_score = validation_score(model, normalizer, *validation, link_task);
+      if (val_score > best_score) {
+        best_score = val_score;
+        stats.best_validation = val_score;
         since_best = 0;
         if (early_stopping) best = ModelSnapshot::capture(model);
       } else if (early_stopping && ++since_best >= options.early_stop_patience) {
-        break;
+        stop = true;
       }
     }
+    if (run_log != nullptr) {
+      JsonWriter w;
+      w.begin_object();
+      w.field("schema", "cgps-train-v1");
+      w.field("model", "circuitgps");
+      w.field("task", link_task ? "link" : "regression");
+      w.field("epoch", epoch);
+      w.field("epochs_total", options.epochs);
+      w.field("loss", batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0);
+      w.field("lr", static_cast<double>(optimizer.lr()));
+      w.field("batches", batches);
+      w.field("samples", samples);
+      w.field("t_sample_s", t_sample);
+      w.field("t_batch_s", t_batch);
+      w.field("t_fwd_s", t_fwd);
+      w.field("t_bwd_s", t_bwd);
+      w.field("t_opt_s", t_opt);
+      if (std::isnan(val_score)) {
+        w.null_field("val_score");
+      } else {
+        w.field("val_score", val_score);
+      }
+      w.field("threads", par::max_threads());
+      w.field("rss_mb", static_cast<double>(current_rss_bytes()) / (1024.0 * 1024.0));
+      w.field("elapsed_s", timer.seconds());
+      w.key("counters");
+      MetricsRegistry::instance().write_counters_json(w);
+      w.end_object();
+      run_log->write_line(w.str());
+    }
+    if (stop) break;
   }
   if (early_stopping && !best.params.empty()) best.restore(model);
   model.set_training(false);

@@ -37,4 +37,14 @@ int env_thread_count() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+std::string env_run_log_path() {
+  const char* env = std::getenv("CIRCUITGPS_RUN_LOG");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+std::string env_bench_dir() {
+  const char* env = std::getenv("CIRCUITGPS_BENCH_DIR");
+  return env != nullptr && *env != '\0' ? std::string(env) : std::string(".");
+}
+
 }  // namespace cgps

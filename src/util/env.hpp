@@ -1,5 +1,9 @@
-// Environment knobs for scaling benchmark fidelity.
+// Environment knobs for scaling benchmark fidelity and routing telemetry.
+// The authoritative reference table for every CIRCUITGPS_* variable lives in
+// README.md ("Environment variables").
 #pragma once
+
+#include <string>
 
 namespace cgps {
 
@@ -15,5 +19,14 @@ int scaled(int base, int min_value = 1);
 // width of the shared work pool in util/parallel; 1 keeps every hot path
 // on the calling thread.
 int env_thread_count();
+
+// Value of CIRCUITGPS_RUN_LOG: path of the per-epoch JSONL training log
+// (DESIGN.md §8), or "" when unset. Read fresh on every call (not cached)
+// so tests and long-lived processes can retarget the log between runs.
+std::string env_run_log_path();
+
+// Value of CIRCUITGPS_BENCH_DIR: directory that receives BENCH_<name>.json
+// reports; "." when unset. Read fresh on every call.
+std::string env_bench_dir();
 
 }  // namespace cgps

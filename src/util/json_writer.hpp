@@ -1,0 +1,104 @@
+// Streaming JSON/JSONL emission and a minimal parser for validating emitted
+// documents. The writer manages commas and escaping so call sites stay
+// declarative; the parser exists for tests and smoke checks (round-tripping
+// our own telemetry), not as a general-purpose JSON library.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgps {
+
+// Escape a UTF-8 string for inclusion inside a JSON string literal
+// (quotes, backslashes, and control characters < 0x20).
+std::string json_escape(std::string_view s);
+
+// Incremental JSON document builder. Commas are inserted automatically;
+// keys are only legal directly inside an object. Non-finite doubles are
+// emitted as null (JSON has no NaN/Inf).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null_value();
+
+  template <typename T>
+  JsonWriter& field(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+  JsonWriter& null_field(std::string_view k) {
+    key(k);
+    return null_value();
+  }
+
+  // Splice a pre-rendered JSON value (object/array/scalar) in value position.
+  JsonWriter& raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void before_value();
+  std::string out_;
+  // One entry per open container: number of items emitted so far.
+  std::vector<std::int64_t> counts_;
+  bool pending_key_ = false;
+};
+
+// Parsed JSON value (tagged union). Object member order is preserved.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+};
+
+// Strict-ish recursive-descent parse of a full JSON document (trailing
+// whitespace allowed, trailing garbage rejected). Returns nullopt and fills
+// `error` (if given) on malformed input.
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error = nullptr);
+
+// Append-mode JSONL sink: one record per line, flushed per line so partial
+// runs still leave a readable log. Thread-safe per line.
+class JsonlFile {
+ public:
+  explicit JsonlFile(const std::string& path);
+  ~JsonlFile();
+  JsonlFile(const JsonlFile&) = delete;
+  JsonlFile& operator=(const JsonlFile&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  void write_line(std::string_view line);
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace cgps

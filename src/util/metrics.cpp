@@ -1,0 +1,151 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/json_writer.hpp"
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace cgps {
+
+namespace {
+
+// Relaxed atomic add for doubles (atomic<double>::fetch_add needs no
+// hardware support guarantee pre-C++20 on all targets; CAS is portable).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double old = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(old, old + delta, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_) snap.counts.push_back(c.load(std::memory_order_relaxed));
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double> bounds) {
+  const std::scoped_lock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  return *it->second;
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  const std::scoped_lock lock(mu_);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.field(name, g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot snap = h->snapshot();
+    w.key(name).begin_object();
+    w.key("bounds").begin_array();
+    for (const double b : snap.bounds) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const std::int64_t c : snap.counts) w.value(c);
+    w.end_array();
+    w.field("count", snap.count);
+    w.field("sum", snap.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void MetricsRegistry::write_counters_json(JsonWriter& w) const {
+  const std::scoped_lock lock(mu_);
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.field(name, c->value());
+  w.end_object();
+}
+
+void MetricsRegistry::reset() {
+  const std::scoped_lock lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+Counter& metric_counter(std::string_view name) {
+  return MetricsRegistry::instance().counter(name);
+}
+
+Gauge& metric_gauge(std::string_view name) { return MetricsRegistry::instance().gauge(name); }
+
+Histogram& metric_histogram(std::string_view name, std::vector<double> bounds) {
+  return MetricsRegistry::instance().histogram(name, std::move(bounds));
+}
+
+std::int64_t current_rss_bytes() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long size_pages = 0, rss_pages = 0;
+  const int got = std::fscanf(f, "%lld %lld", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::int64_t>(rss_pages) * static_cast<std::int64_t>(page);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace cgps

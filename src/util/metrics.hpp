@@ -1,0 +1,107 @@
+// Process-wide observability registry: named counters, gauges, and
+// fixed-bucket histograms. All mutation paths are lock-free atomics, safe to
+// call from util/parallel pool workers; instruments never feed back into any
+// computation, so telemetry cannot perturb training results. (Distinct from
+// train/metrics.hpp, which holds the paper's *evaluation* metrics.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgps {
+
+class JsonWriter;
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Histogram with fixed upper-bound buckets chosen at registration: a sample
+// lands in the first bucket whose bound is >= the sample, or in the implicit
+// overflow bucket past the last bound. Tracks count and sum for mean
+// recovery; bucket mutation is one relaxed atomic increment.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;        // upper bounds, ascending
+    std::vector<std::int64_t> counts;  // bounds.size() + 1 (last = overflow)
+    std::int64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::int64_t>> counts_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Registry of named instruments. Lookup is mutex-guarded; returned
+// references stay valid for the process lifetime (instruments are never
+// deleted). Re-registering a name returns the existing instrument.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  // Emit the full registry as one JSON object in value position:
+  // {"counters":{...},"gauges":{...},"histograms":{name:{...}}}.
+  void write_json(JsonWriter& w) const;
+
+  // Counters only, as a flat {name: value} object (per-epoch telemetry).
+  void write_counters_json(JsonWriter& w) const;
+
+  // Zero every instrument (tests and bench isolation). Names stay
+  // registered and references stay valid.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Convenience accessors against the process-wide registry.
+Counter& metric_counter(std::string_view name);
+Gauge& metric_gauge(std::string_view name);
+Histogram& metric_histogram(std::string_view name, std::vector<double> bounds);
+
+// Resident set size of this process in bytes (0 where unsupported).
+std::int64_t current_rss_bytes();
+
+}  // namespace cgps

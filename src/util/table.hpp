@@ -19,6 +19,10 @@ class TextTable {
   // Render as comma-separated values (for machine-readable dumps).
   std::string to_csv() const;
 
+  // Raw cells, for structured export (bench BenchReport JSON).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,154 @@
+#include "util/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace cgps {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world_123"), "hello world_123");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("c:\\path\\file"), "c:\\\\path\\\\file");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(json_escape(std::string_view("\x00", 1)), "\\u0000");
+}
+
+TEST(JsonWriterTest, ObjectWithAutoCommas) {
+  JsonWriter w;
+  w.begin_object().field("a", 1).field("b", "two").field("c", true).end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"two\",\"c\":true}");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.begin_object().key("rows").begin_array();
+  w.begin_array().value(1).value(2).end_array();
+  w.begin_array().value(3).end_array();
+  w.end_array().null_field("note").end_object();
+  EXPECT_EQ(w.str(), "{\"rows\":[[1,2],[3]],\"note\":null}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .value(1.5)
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, RawSplicesPreRenderedJson) {
+  JsonWriter w;
+  w.begin_object().key("inner").raw("{\"x\":1}").field("y", 2).end_object();
+  EXPECT_EQ(w.str(), "{\"inner\":{\"x\":1},\"y\":2}");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsThroughParser) {
+  JsonWriter w;
+  w.begin_object().field("v", 0.1234567890123456789).end_object();
+  const auto parsed = json_parse(w.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->find("v")->number, 0.1234567890123456789);
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_EQ(json_parse("null")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(json_parse("true")->boolean, true);
+  EXPECT_EQ(json_parse("false")->boolean, false);
+  EXPECT_DOUBLE_EQ(json_parse("-3.5e2")->number, -350.0);
+  EXPECT_EQ(json_parse("\"hi\"")->string, "hi");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  const auto v = json_parse("\"a\\u00e9\\u0041\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string, "a\xc3\xa9"
+                       "A");
+  // Surrogate pair: U+1F600.
+  const auto emoji = json_parse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(emoji.has_value());
+  EXPECT_EQ(emoji->string, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, ObjectOrderAndLookup) {
+  const auto v = json_parse("{\"b\":1,\"a\":[true,null]}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->type, JsonValue::Type::kObject);
+  EXPECT_EQ(v->object[0].first, "b");
+  EXPECT_EQ(v->object[1].first, "a");
+  ASSERT_TRUE(v->has("a"));
+  EXPECT_EQ(v->find("a")->array.size(), 2u);
+  EXPECT_FALSE(v->has("missing"));
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json_parse("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(json_parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(json_parse("[1 2]").has_value());
+  EXPECT_FALSE(json_parse("\"unterminated").has_value());
+  EXPECT_FALSE(json_parse("01").has_value());
+  EXPECT_FALSE(json_parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(json_parse("").has_value());
+}
+
+TEST(JsonParseTest, EscapeRoundTrip) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01 end";
+  JsonWriter w;
+  w.begin_object().field("s", nasty).end_object();
+  const auto parsed = json_parse(w.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("s")->string, nasty);
+}
+
+TEST(JsonlFileTest, AppendsOneRecordPerLine) {
+  const std::string path = ::testing::TempDir() + "cgps_test_jsonl.jsonl";
+  std::remove(path.c_str());
+  {
+    JsonlFile log(path);
+    ASSERT_TRUE(log.ok());
+    JsonWriter w;
+    w.begin_object().field("epoch", 0).field("loss", 0.5).end_object();
+    log.write_line(w.str());
+    log.write_line("{\"epoch\":1}");
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    const auto v = json_parse(line);
+    ASSERT_TRUE(v.has_value()) << line;
+    EXPECT_DOUBLE_EQ(v->find("epoch")->number, static_cast<double>(lines));
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlFileTest, BadPathReportsNotOk) {
+  JsonlFile log("/nonexistent_dir_cgps/telemetry.jsonl");
+  EXPECT_FALSE(log.ok());
+}
+
+}  // namespace
+}  // namespace cgps

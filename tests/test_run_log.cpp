@@ -1,0 +1,169 @@
+// End-to-end check of the CIRCUITGPS_RUN_LOG telemetry path (DESIGN.md §8):
+// trainers emit one parseable cgps-train-v1 record per epoch when the env
+// var is set, and training results are bit-identical when it is not.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_trainer.hpp"
+#include "baselines/baselines.hpp"
+#include "train/trainer.hpp"
+#include "util/json_writer.hpp"
+
+namespace cgps {
+namespace {
+
+CircuitDataset& small_dataset() {
+  static CircuitDataset ds = [] {
+    DatasetOptions options;
+    options.seed = 5;
+    return build_dataset(gen::DatasetId::kTimingControl, options);
+  }();
+  return ds;
+}
+
+GpsConfig tiny_config() {
+  GpsConfig c;
+  c.hidden = 16;
+  c.layers = 2;
+  c.heads = 2;
+  c.performer_features = 8;
+  c.head_hidden = 16;
+  c.dropout = 0.0f;
+  c.attn = AttnKind::kNone;
+  return c;
+}
+
+std::vector<JsonValue> read_records(const std::string& path) {
+  std::vector<JsonValue> records;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string error;
+    const auto v = json_parse(line, &error);
+    EXPECT_TRUE(v.has_value()) << error << " in: " << line;
+    if (v.has_value()) records.push_back(*v);
+  }
+  return records;
+}
+
+class RunLogEnv {
+ public:
+  explicit RunLogEnv(const std::string& path) : path_(path) {
+    std::remove(path_.c_str());
+    ::setenv("CIRCUITGPS_RUN_LOG", path_.c_str(), 1);
+  }
+  ~RunLogEnv() {
+    ::unsetenv("CIRCUITGPS_RUN_LOG");
+    std::remove(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(RunLogTest, TrainerEmitsOneRecordPerEpoch) {
+  Rng rng(6);
+  const TaskData train = TaskData::for_links(small_dataset(), {}, 60, rng);
+  const TaskData* tasks[] = {&train};
+  const XcNormalizer norm = fit_normalizer(tasks);
+
+  TrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 16;
+
+  const RunLogEnv env(::testing::TempDir() + "cgps_run_log_trainer.jsonl");
+  CircuitGps model(tiny_config());
+  train_link_prediction(model, norm, tasks, options);
+
+  const std::vector<JsonValue> records = read_records(env.path());
+  ASSERT_EQ(records.size(), 3u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonValue& r = records[i];
+    ASSERT_EQ(r.type, JsonValue::Type::kObject);
+    ASSERT_TRUE(r.has("schema"));
+    EXPECT_EQ(r.find("schema")->string, "cgps-train-v1");
+    EXPECT_EQ(r.find("model")->string, "circuitgps");
+    EXPECT_EQ(r.find("task")->string, "link");
+    EXPECT_DOUBLE_EQ(r.find("epoch")->number, static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(r.find("epochs_total")->number, 3.0);
+    for (const char* key : {"loss", "lr", "batches", "samples", "t_sample_s", "t_batch_s",
+                            "t_fwd_s", "t_bwd_s", "t_opt_s", "threads", "rss_mb", "elapsed_s"}) {
+      ASSERT_TRUE(r.has(key)) << "missing field " << key;
+      EXPECT_EQ(r.find(key)->type, JsonValue::Type::kNumber) << key;
+    }
+    ASSERT_TRUE(r.has("val_score"));  // null when no validation split is used
+    ASSERT_TRUE(r.has("counters"));
+    EXPECT_EQ(r.find("counters")->type, JsonValue::Type::kObject);
+    EXPECT_GT(r.find("batches")->number, 0.0);
+    EXPECT_GT(r.find("samples")->number, 0.0);
+    EXPECT_GT(r.find("threads")->number, 0.0);
+  }
+}
+
+TEST(RunLogTest, BaselineTrainerEmitsRecords) {
+  std::vector<const CircuitDataset*> sets{&small_dataset()};
+  const std::span<const CircuitDataset* const> span(sets.data(), sets.size());
+  XcNormalizer norm;
+  norm.fit(small_dataset().graph.xc);
+
+  BaselineTrainOptions options;
+  options.epochs = 2;
+
+  const RunLogEnv env(::testing::TempDir() + "cgps_run_log_baseline.jsonl");
+  BaselineConfig config;
+  config.hidden = 12;
+  config.layers = 2;
+  config.dropout = 0.0f;
+  ParaGraph model(config);
+  train_baseline_link(model, span, norm, options);
+
+  const std::vector<JsonValue> records = read_records(env.path());
+  ASSERT_EQ(records.size(), 2u);
+  for (const JsonValue& r : records) {
+    EXPECT_EQ(r.find("schema")->string, "cgps-train-v1");
+    EXPECT_EQ(r.find("model")->string, "baseline");
+    EXPECT_EQ(r.find("task")->string, "link");
+    ASSERT_TRUE(r.has("loss"));
+    ASSERT_TRUE(r.has("counters"));
+  }
+}
+
+TEST(RunLogTest, TelemetryDoesNotChangeTraining) {
+  Rng rng(7);
+  const TaskData train = TaskData::for_links(small_dataset(), {}, 60, rng);
+  const TaskData* tasks[] = {&train};
+  const XcNormalizer norm = fit_normalizer(tasks);
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 16;
+
+  ::unsetenv("CIRCUITGPS_RUN_LOG");
+  CircuitGps plain(tiny_config());
+  train_link_prediction(plain, norm, tasks, options);
+
+  std::vector<float> logged_params;
+  {
+    const RunLogEnv env(::testing::TempDir() + "cgps_run_log_identical.jsonl");
+    CircuitGps logged(tiny_config());
+    train_link_prediction(logged, norm, tasks, options);
+    for (const auto& [name, p] : logged.named_parameters())
+      logged_params.insert(logged_params.end(), p.data().begin(), p.data().end());
+  }
+
+  std::vector<float> plain_params;
+  for (const auto& [name, p] : plain.named_parameters())
+    plain_params.insert(plain_params.end(), p.data().begin(), p.data().end());
+  ASSERT_EQ(plain_params.size(), logged_params.size());
+  for (std::size_t i = 0; i < plain_params.size(); ++i)
+    ASSERT_EQ(plain_params[i], logged_params[i]) << "parameter " << i << " diverged";
+}
+
+}  // namespace
+}  // namespace cgps

@@ -1,0 +1,143 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/json_writer.hpp"
+#include "util/parallel.hpp"
+
+namespace cgps {
+namespace {
+
+TEST(CounterTest, AddValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(GaugeTest, SetValueReset) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (bound is inclusive)
+  h.observe(5.0);    // bucket 1
+  h.observe(100.0);  // bucket 2
+  h.observe(1e6);    // overflow bucket
+  const Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.bounds.size(), 3u);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2);
+  EXPECT_EQ(s.counts[1], 1);
+  EXPECT_EQ(s.counts[2], 1);
+  EXPECT_EQ(s.counts[3], 1);
+  EXPECT_EQ(s.count, 5);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0);
+}
+
+TEST(HistogramTest, SortsUnorderedBounds) {
+  Histogram h({100.0, 1.0, 10.0});
+  const auto bounds = h.bounds();
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_LT(bounds[0], bounds[1]);
+  EXPECT_LT(bounds[1], bounds[2]);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  Counter& a = metric_counter("test.registry.same");
+  Counter& b = metric_counter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.add(3);
+  EXPECT_EQ(b.value(), 3);
+  Gauge& g1 = metric_gauge("test.registry.gauge");
+  Gauge& g2 = metric_gauge("test.registry.gauge");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = metric_histogram("test.registry.hist", {1.0, 2.0});
+  Histogram& h2 = metric_histogram("test.registry.hist", {5.0});  // bounds ignored on re-reg
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, CountsAreExactUnderParallelFor) {
+  Counter& c = metric_counter("test.parallel.counter");
+  Histogram& h = metric_histogram("test.parallel.hist", {10.0, 100.0});
+  c.reset();
+  h.reset();
+  constexpr std::int64_t kN = 10000;
+  par::parallel_for(0, kN, 64, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      c.add();
+      h.observe(static_cast<double>(i % 200));
+    }
+  });
+  EXPECT_EQ(c.value(), kN);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kN);
+  std::int64_t bucket_total = 0;
+  for (const std::int64_t n : s.counts) bucket_total += n;
+  EXPECT_EQ(bucket_total, kN);
+}
+
+TEST(MetricsRegistryTest, WriteJsonParses) {
+  metric_counter("test.json.counter").add(7);
+  metric_gauge("test.json.gauge").set(1.25);
+  metric_histogram("test.json.hist", {1.0}).observe(0.5);
+
+  JsonWriter w;
+  MetricsRegistry::instance().write_json(w);
+  const auto v = json_parse(w.str());
+  ASSERT_TRUE(v.has_value()) << w.str();
+  ASSERT_TRUE(v->has("counters"));
+  ASSERT_TRUE(v->has("gauges"));
+  ASSERT_TRUE(v->has("histograms"));
+  const JsonValue* counter = v->find("counters")->find("test.json.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_GE(counter->number, 7.0);
+  EXPECT_DOUBLE_EQ(v->find("gauges")->find("test.json.gauge")->number, 1.25);
+  const JsonValue* hist = v->find("histograms")->find("test.json.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_TRUE(hist->has("bounds"));
+  EXPECT_TRUE(hist->has("counts"));
+  EXPECT_TRUE(hist->has("count"));
+  EXPECT_TRUE(hist->has("sum"));
+  EXPECT_EQ(hist->find("counts")->array.size(), hist->find("bounds")->array.size() + 1);
+}
+
+TEST(MetricsRegistryTest, WriteCountersJsonIsFlat) {
+  metric_counter("test.flat.counter").add(1);
+  JsonWriter w;
+  MetricsRegistry::instance().write_counters_json(w);
+  const auto v = json_parse(w.str());
+  ASSERT_TRUE(v.has_value()) << w.str();
+  ASSERT_EQ(v->type, JsonValue::Type::kObject);
+  const JsonValue* c = v->find("test.flat.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->type, JsonValue::Type::kNumber);
+}
+
+TEST(MetricsTest, RssIsPositiveOnLinux) {
+#ifdef __linux__
+  EXPECT_GT(current_rss_bytes(), 0);
+#else
+  EXPECT_GE(current_rss_bytes(), 0);
+#endif
+}
+
+}  // namespace
+}  // namespace cgps
