@@ -6,6 +6,7 @@
 // contract is enforced by the tier-1 suite. Runs in well under a second.
 #include "common.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -79,6 +80,43 @@ int main() {
   if (!registry->has("counters")) return fail("registry missing counters");
   if (parsed->find("wall_seconds")->number < 0.0) return fail("negative wall_seconds");
 
-  std::printf("BENCH json ok: %s\n", path.c_str());
+  // Histogram payloads must carry well-formed interpolated quantiles: the
+  // subgraph extraction above guarantees at least one populated latency
+  // histogram ("trace.sampling.extract").
+  const JsonValue* histograms = registry->find("histograms");
+  if (histograms == nullptr || histograms->type != JsonValue::Type::kObject)
+    return fail("registry missing histograms object");
+  int populated = 0;
+  for (const auto& [name, h] : histograms->object) {
+    const JsonValue* count = h.find("count");
+    const JsonValue* bounds = h.find("bounds");
+    for (const char* key : {"p50", "p95", "p99"}) {
+      if (!h.has(key)) return fail("histogram " + name + " missing " + key);
+    }
+    if (count == nullptr || bounds == nullptr || bounds->array.empty())
+      return fail("histogram " + name + " missing count/bounds");
+    const JsonValue& p50 = *h.find("p50");
+    const JsonValue& p95 = *h.find("p95");
+    const JsonValue& p99 = *h.find("p99");
+    if (count->number <= 0) {
+      // Empty histogram: quantiles are NaN, serialized as null.
+      if (p50.type != JsonValue::Type::kNull) return fail("empty histogram " + name + " has p50");
+      continue;
+    }
+    ++populated;
+    for (const JsonValue* q : {&p50, &p95, &p99}) {
+      if (q->type != JsonValue::Type::kNumber)
+        return fail("histogram " + name + " has non-numeric quantile");
+    }
+    if (!(p50.number <= p95.number && p95.number <= p99.number))
+      return fail("histogram " + name + " quantiles not ordered");
+    const double lower = std::min(0.0, bounds->array.front().number);
+    const double upper = bounds->array.back().number;
+    if (p50.number < lower || p99.number > upper)
+      return fail("histogram " + name + " quantiles outside bucket bounds");
+  }
+  if (populated == 0) return fail("no histogram with count > 0 in registry");
+
+  std::printf("BENCH json ok: %s (%d populated histograms)\n", path.c_str(), populated);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace cgps {
 
@@ -82,7 +83,7 @@ void subsample(Pairs& pairs, std::vector<float>& values, std::int64_t max_count,
 std::unique_ptr<JsonlFile> open_run_log() {
   const std::string path = env_run_log_path();
   if (path.empty()) return nullptr;
-  auto log = std::make_unique<JsonlFile>(path);
+  auto log = std::make_unique<JsonlFile>(path, env_run_log_max_bytes());
   if (!log->ok()) {
     log_warn("CIRCUITGPS_RUN_LOG: cannot open ", path, "; epoch telemetry disabled");
     return nullptr;
@@ -109,8 +110,10 @@ double run_baseline_training(FullGraphBaseline& model,
 
   model.set_training(true);
   const std::unique_ptr<JsonlFile> run_log = open_run_log();
+  const std::string run_id = trace::make_run_id();
   Stopwatch timer;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const TraceSpan epoch_span("baseline.epoch");
     double loss_sum = 0.0;
     std::int64_t total_pairs = 0;
     std::int64_t steps = 0;
@@ -155,10 +158,12 @@ double run_baseline_training(FullGraphBaseline& model,
       log_info("baseline epoch ", epoch, " loss ", loss_sum, " phases[s] sample=", t_sample,
                " fwd=", t_fwd, " bwd=", t_bwd, " opt=", t_opt);
     }
+    par::sample_pool_gauges();  // epoch-boundary pool gauges (DESIGN.md §8)
     if (run_log != nullptr) {
       JsonWriter w;
       w.begin_object();
       w.field("schema", "cgps-train-v1");
+      w.field("run_id", run_id);
       w.field("model", "baseline");
       w.field("task", target_mode_name(mode));
       w.field("epoch", epoch);
@@ -178,6 +183,8 @@ double run_baseline_training(FullGraphBaseline& model,
       w.field("elapsed_s", timer.seconds());
       w.key("counters");
       MetricsRegistry::instance().write_counters_json(w);
+      w.key("gauges");
+      MetricsRegistry::instance().write_gauges_json(w);
       w.end_object();
       run_log->write_line(w.str());
     }

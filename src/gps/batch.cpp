@@ -6,6 +6,7 @@
 #include "graph/pe.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace cgps {
 
@@ -53,6 +54,7 @@ std::array<float, kXcDim> XcNormalizer::apply(const std::array<float, kXcDim>& r
 SubgraphBatch make_batch(const std::vector<const Subgraph*>& subgraphs,
                          const std::vector<std::array<float, kXcDim>>& xc_all,
                          const XcNormalizer& normalizer, const BatchOptions& options) {
+  const TraceSpan span("batch.assemble");
   if (subgraphs.empty()) throw std::invalid_argument("make_batch: empty batch");
   SubgraphBatch batch;
   const std::int64_t n_graphs = static_cast<std::int64_t>(subgraphs.size());

@@ -3,10 +3,12 @@
 #include <cmath>
 
 #include "graph/eigen.hpp"
+#include "util/trace.hpp"
 
 namespace cgps {
 
 std::vector<std::int32_t> drnl_labels(const Subgraph& sg) {
+  const TraceSpan span("pe.drnl");
   const std::size_t n = static_cast<std::size_t>(sg.num_nodes());
   std::vector<std::int32_t> labels(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -34,6 +36,7 @@ std::int32_t drnl_max_label() {
 }
 
 std::vector<float> rwse(const Subgraph& sg, std::int32_t k_steps) {
+  const TraceSpan span("pe.rwse");
   const auto n = static_cast<std::size_t>(sg.num_nodes());
   std::vector<float> out(n * static_cast<std::size_t>(k_steps), 0.0f);
 
@@ -64,6 +67,7 @@ std::vector<float> rwse(const Subgraph& sg, std::int32_t k_steps) {
 }
 
 std::vector<float> lappe(const Subgraph& sg, std::int32_t k) {
+  const TraceSpan span("pe.lappe");
   const auto n = static_cast<std::size_t>(sg.num_nodes());
   std::vector<float> out(n * static_cast<std::size_t>(k), 0.0f);
   if (n <= 1) return out;

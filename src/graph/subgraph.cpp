@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/trace.hpp"
+
 namespace cgps {
 
 namespace {
@@ -34,6 +36,7 @@ void local_bfs(const std::vector<std::vector<std::int32_t>>& adj, std::int32_t s
 
 Subgraph extract_enclosing_subgraph(const HeteroGraph& graph, std::int32_t m, std::int32_t n,
                                     const SubgraphOptions& options) {
+  const TraceSpan span("sampling.extract");
   if (!graph.adjacency_built())
     throw std::logic_error("extract_enclosing_subgraph: adjacency not built");
   if (m < 0 || m >= graph.num_nodes())
@@ -112,6 +115,7 @@ Subgraph extract_enclosing_subgraph(const HeteroGraph& graph, std::int32_t m, st
   }
 
   // DSPD within the subgraph.
+  const TraceSpan dspd_span("sampling.dspd");
   sg.dist0.resize(n_local);
   sg.dist1.resize(n_local);
   local_bfs(local_adj, 0, sg.dist0);

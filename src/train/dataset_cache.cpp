@@ -6,6 +6,7 @@
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
 #include "util/serialize.hpp"
+#include "util/trace.hpp"
 
 namespace cgps {
 
@@ -206,6 +207,7 @@ CircuitDataset build_dataset_cached(gen::DatasetId id, const DatasetOptions& opt
   const fs::path path = fs::path(cache_dir) / dataset_cache_key(id, options);
   if (fs::exists(path)) {
     try {
+      const TraceSpan span("dataset_cache.load");
       CircuitDataset ds = load_dataset(path.string(), options);
       metric_counter("dataset_cache.hits").add(1);
       return ds;
@@ -214,6 +216,7 @@ CircuitDataset build_dataset_cached(gen::DatasetId id, const DatasetOptions& opt
     }
   }
   metric_counter("dataset_cache.misses").add(1);
+  const TraceSpan span("dataset_cache.build");
   CircuitDataset ds = build_dataset(id, options);
   try {
     save_dataset(ds, path.string());

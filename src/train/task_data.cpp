@@ -5,6 +5,7 @@
 
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace cgps {
 
@@ -43,6 +44,7 @@ std::vector<std::size_t> pick(std::size_t available, std::int64_t max_samples, R
 
 TaskData TaskData::for_links(const CircuitDataset& ds, const SubgraphOptions& options,
                              std::int64_t max_samples, Rng& rng) {
+  const TraceSpan span("sampling.for_links");
   TaskData data;
   data.graph = &ds.graph;
   const auto idx = pick(ds.link_samples.size(), max_samples, rng);
@@ -65,6 +67,7 @@ TaskData TaskData::for_links(const CircuitDataset& ds, const SubgraphOptions& op
 TaskData TaskData::for_edge_regression(const CircuitDataset& ds,
                                        const SubgraphOptions& options,
                                        std::int64_t max_samples, Rng& rng) {
+  const TraceSpan span("sampling.for_edge_regression");
   // Positive links only, with in-window capacitance.
   std::vector<std::size_t> positives;
   for (std::size_t i = 0; i < ds.link_samples.size(); ++i) {
@@ -93,6 +96,7 @@ TaskData TaskData::for_edge_regression(const CircuitDataset& ds,
 
 TaskData TaskData::for_nodes(const CircuitDataset& ds, const SubgraphOptions& options,
                              std::int64_t max_samples, Rng& rng) {
+  const TraceSpan span("sampling.for_nodes");
   TaskData data;
   data.graph = &ds.graph;
   const auto idx = pick(ds.node_samples.size(), max_samples, rng);

@@ -14,6 +14,7 @@
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace cgps {
 
@@ -43,7 +44,7 @@ namespace {
 std::unique_ptr<JsonlFile> open_run_log() {
   const std::string path = env_run_log_path();
   if (path.empty()) return nullptr;
-  auto log = std::make_unique<JsonlFile>(path);
+  auto log = std::make_unique<JsonlFile>(path, env_run_log_max_bytes());
   if (!log->ok()) {
     log_warn("CIRCUITGPS_RUN_LOG: cannot open ", path, "; epoch telemetry disabled");
     return nullptr;
@@ -151,8 +152,10 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
 
   model.set_training(true);
   const std::unique_ptr<JsonlFile> run_log = open_run_log();
+  const std::string run_id = trace::make_run_id();
   Stopwatch timer;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const TraceSpan epoch_span("train.epoch");
     model.set_training(true);
     if (options.lr_schedule == LrSchedule::kCosine && options.epochs > 1) {
       const double progress = static_cast<double>(epoch) / (options.epochs - 1);
@@ -168,18 +171,21 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
     std::vector<BatchRef> plan;
     {
       ScopedTimer st(t_sample);
+      const TraceSpan span("train.plan");
       plan = plan_epoch(train, order, options.batch_size, rng);
     }
     for (const BatchRef& ref : plan) {
       MiniBatch mb;
       {
         ScopedTimer st(t_batch);
+        const TraceSpan span("train.gather");
         mb = gather_batch(*train[ref.task], order[ref.task], ref.begin, ref.end,
                           link_task, normalizer, batch_options);
       }
       Tensor loss;
       {
         ScopedTimer st(t_fwd);
+        const TraceSpan span("train.forward");
         Tensor out = model.forward(mb.batch);
         Tensor target = Tensor::from_vector(std::move(mb.values),
                                             out.rows(), 1);
@@ -198,11 +204,13 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
       }
       {
         ScopedTimer st(t_bwd);
+        const TraceSpan span("train.backward");
         optimizer.zero_grad();
         loss.backward();
       }
       {
         ScopedTimer st(t_opt);
+        const TraceSpan span("train.optim");
         optimizer.clip_grad_norm(options.grad_clip);
         optimizer.step();
       }
@@ -230,10 +238,12 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
         stop = true;
       }
     }
+    par::sample_pool_gauges();  // epoch-boundary pool gauges (DESIGN.md §8)
     if (run_log != nullptr) {
       JsonWriter w;
       w.begin_object();
       w.field("schema", "cgps-train-v1");
+      w.field("run_id", run_id);
       w.field("model", "circuitgps");
       w.field("task", link_task ? "link" : "regression");
       w.field("epoch", epoch);
@@ -257,6 +267,8 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
       w.field("elapsed_s", timer.seconds());
       w.key("counters");
       MetricsRegistry::instance().write_counters_json(w);
+      w.key("gauges");
+      MetricsRegistry::instance().write_gauges_json(w);
       w.end_object();
       run_log->write_line(w.str());
     }
@@ -270,6 +282,7 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
 
 std::vector<float> run_inference(CircuitGps& model, const XcNormalizer& normalizer,
                                  const TaskData& test, int batch_size, bool link_task) {
+  const TraceSpan span("train.inference");
   const BatchOptions batch_options = batch_options_for(model.config());
   model.set_training(false);
   InferenceGuard guard;

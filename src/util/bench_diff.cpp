@@ -1,0 +1,250 @@
+#include "util/bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/json_writer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace cgps {
+
+namespace {
+
+// %+.2f without locale surprises; NaN renders as "n/a" (absent side).
+std::string fmt_value(double v) {
+  if (!std::isfinite(v)) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+std::string fmt_delta(double pct) {
+  if (!std::isfinite(pct)) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", pct);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::optional<BenchReportView> parse_bench_report(std::string_view text, std::string* error) {
+  std::string parse_error;
+  const std::optional<JsonValue> doc = json_parse(text, &parse_error);
+  if (!doc) {
+    if (error) *error = "JSON parse error: " + parse_error;
+    return std::nullopt;
+  }
+  if (doc->type != JsonValue::Type::kObject) {
+    if (error) *error = "report root is not an object";
+    return std::nullopt;
+  }
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || schema->type != JsonValue::Type::kString ||
+      schema->string != "cgps-bench-v1") {
+    if (error) *error = "missing or unexpected \"schema\" (want \"cgps-bench-v1\")";
+    return std::nullopt;
+  }
+  const JsonValue* bench = doc->find("bench");
+  if (bench == nullptr || bench->type != JsonValue::Type::kString || bench->string.empty()) {
+    if (error) *error = "missing or non-string \"bench\"";
+    return std::nullopt;
+  }
+  const JsonValue* metrics = doc->find("metrics");
+  if (metrics == nullptr || metrics->type != JsonValue::Type::kObject) {
+    if (error) *error = "missing or non-object \"metrics\"";
+    return std::nullopt;
+  }
+
+  BenchReportView view;
+  view.bench = bench->string;
+  if (const JsonValue* git = doc->find("git");
+      git != nullptr && git->type == JsonValue::Type::kString) {
+    view.git = git->string;
+  }
+  for (const auto& [name, value] : metrics->object) {
+    if (value.type != JsonValue::Type::kNumber) {
+      if (error) *error = "metric \"" + name + "\" is not a number";
+      return std::nullopt;
+    }
+    view.metrics.emplace_back(name, value.number);
+  }
+  if (const JsonValue* wall = doc->find("wall_seconds");
+      wall != nullptr && wall->type == JsonValue::Type::kNumber) {
+    view.wall_seconds = wall->number;
+  }
+  return view;
+}
+
+std::optional<BenchReportView> load_bench_report(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error) *error = "cannot read " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string inner;
+  std::optional<BenchReportView> view = parse_bench_report(buf.str(), &inner);
+  if (!view && error) *error = path + ": " + inner;
+  return view;
+}
+
+bool metric_higher_is_better(std::string_view name) {
+  static constexpr std::string_view kHigherBetter[] = {
+      "auc", "acc", "f1", "r2", "precision", "recall", "score", "hit", "throughput",
+  };
+  const std::string lowered = to_lower(name);
+  for (const std::string_view token : kHigherBetter) {
+    if (lowered.find(token) != std::string::npos) return true;
+  }
+  return false;
+}
+
+BenchDiffResult diff_bench_reports(const BenchReportView& baseline,
+                                   const BenchReportView& candidate,
+                                   const BenchDiffOptions& options) {
+  auto metrics_of = [&options](const BenchReportView& r) {
+    std::vector<std::pair<std::string, double>> m = r.metrics;
+    if (options.include_wall) m.emplace_back("wall_seconds", r.wall_seconds);
+    return m;
+  };
+  const auto base = metrics_of(baseline);
+  const auto cand = metrics_of(candidate);
+  auto find_in = [](const std::vector<std::pair<std::string, double>>& m,
+                    const std::string& name) -> const double* {
+    for (const auto& [n, v] : m)
+      if (n == name) return &v;
+    return nullptr;
+  };
+
+  BenchDiffResult result;
+  for (const auto& [name, base_value] : base) {
+    BenchDiffRow row;
+    row.metric = name;
+    row.in_baseline = true;
+    row.baseline = base_value;
+    row.higher_is_better = metric_higher_is_better(name);
+    if (const double* cand_value = find_in(cand, name)) {
+      row.in_candidate = true;
+      row.candidate = *cand_value;
+      const double denom = std::max(std::abs(base_value), 1e-12);
+      row.delta_pct = (row.candidate - row.baseline) / denom * 100.0;
+      const double bad_move = row.higher_is_better ? -row.delta_pct : row.delta_pct;
+      if (bad_move > options.tolerance_pct) {
+        row.status = "REGRESSED";
+        ++result.regressions;
+      } else if (bad_move < -options.tolerance_pct) {
+        row.status = "improved";
+      } else {
+        row.status = "ok";
+      }
+    } else {
+      row.status = "MISSING";  // baseline metric dropped = regression
+      ++result.regressions;
+    }
+    result.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, cand_value] : cand) {
+    if (find_in(base, name) != nullptr) continue;
+    BenchDiffRow row;
+    row.metric = name;
+    row.in_candidate = true;
+    row.candidate = cand_value;
+    row.higher_is_better = metric_higher_is_better(name);
+    row.status = "new";
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+std::string render_bench_diff(const BenchReportView& baseline,
+                              const BenchReportView& candidate,
+                              const BenchDiffResult& result,
+                              const BenchDiffOptions& options) {
+  std::string out;
+  out += "bench:     " + baseline.bench;
+  if (candidate.bench != baseline.bench) out += " vs " + candidate.bench;
+  out += "\n";
+  out += "baseline:  git " + (baseline.git.empty() ? "?" : baseline.git) + "\n";
+  out += "candidate: git " + (candidate.git.empty() ? "?" : candidate.git) + "\n";
+
+  TextTable table({"metric", "baseline", "candidate", "delta", "dir", "status"});
+  for (const BenchDiffRow& row : result.rows) {
+    table.add_row({
+        row.metric,
+        row.in_baseline ? fmt_value(row.baseline) : "n/a",
+        row.in_candidate ? fmt_value(row.candidate) : "n/a",
+        row.in_baseline && row.in_candidate ? fmt_delta(row.delta_pct) : "n/a",
+        row.higher_is_better ? "up" : "down",
+        row.status,
+    });
+  }
+  out += table.to_string();
+
+  char verdict[128];
+  std::snprintf(verdict, sizeof(verdict),
+                "%d regression(s) at tolerance %.2f%% over %d metric(s)\n",
+                result.regressions, options.tolerance_pct,
+                static_cast<int>(result.rows.size()));
+  out += verdict;
+  return out;
+}
+
+int bench_diff_main(int argc, const char* const* argv, std::string& out) {
+  BenchDiffOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--tolerance-pct") {
+      if (i + 1 >= argc) {
+        out += "--tolerance-pct needs a value\n";
+        return 2;
+      }
+      try {
+        options.tolerance_pct = std::stod(argv[++i]);
+      } catch (...) {
+        out += "--tolerance-pct: not a number\n";
+        return 2;
+      }
+      if (options.tolerance_pct < 0) {
+        out += "--tolerance-pct must be >= 0\n";
+        return 2;
+      }
+    } else if (arg == "--include-wall") {
+      options.include_wall = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      out += "unknown flag: " + std::string(arg) + "\n";
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    out +=
+        "usage: cgps_bench_diff <baseline.json> <candidate.json> "
+        "[--tolerance-pct N] [--include-wall]\n";
+    return 2;
+  }
+
+  std::string error;
+  const std::optional<BenchReportView> baseline = load_bench_report(paths[0], &error);
+  if (!baseline) {
+    out += "baseline: " + error + "\n";
+    return 2;
+  }
+  const std::optional<BenchReportView> candidate = load_bench_report(paths[1], &error);
+  if (!candidate) {
+    out += "candidate: " + error + "\n";
+    return 2;
+  }
+
+  const BenchDiffResult result = diff_bench_reports(*baseline, *candidate, options);
+  out += render_bench_diff(*baseline, *candidate, result, options);
+  return result.regressions > 0 ? 1 : 0;
+}
+
+}  // namespace cgps

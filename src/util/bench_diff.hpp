@@ -1,0 +1,85 @@
+// Comparison of two cgps-bench-v1 reports (bench/common.hpp BenchReport):
+// row-wise metric diff with a percentage tolerance, rendered as a util/table
+// TextTable. Backs the tools/cgps_bench_diff CLI and its tests; kept in
+// cgps_util so the diff logic is unit-testable without spawning the binary.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgps {
+
+// The subset of a cgps-bench-v1 report the differ consumes. `metrics`
+// preserves the report's member order so diff tables read like the report.
+struct BenchReportView {
+  std::string bench;  // report/bench name
+  std::string git;    // producing commit ("unknown" outside a checkout)
+  std::vector<std::pair<std::string, double>> metrics;
+  double wall_seconds = 0.0;
+};
+
+// Parse + validate a cgps-bench-v1 document. Requires schema ==
+// "cgps-bench-v1", a string "bench", and an all-numeric "metrics" object.
+// Returns nullopt and fills `error` (if given) on malformed input.
+std::optional<BenchReportView> parse_bench_report(std::string_view text,
+                                                  std::string* error = nullptr);
+
+// parse_bench_report over a file's contents; also fails on unreadable paths.
+std::optional<BenchReportView> load_bench_report(const std::string& path,
+                                                 std::string* error = nullptr);
+
+// Direction heuristic: quality scores (auc / acc / f1 / r2 / precision /
+// recall / score / hit / throughput) regress when they *drop*; everything
+// else (losses, errors, latencies, counts) regresses when it *rises*.
+bool metric_higher_is_better(std::string_view name);
+
+struct BenchDiffOptions {
+  // A candidate metric may move this many percent in the bad direction
+  // (relative to the baseline value) before it counts as a regression.
+  double tolerance_pct = 5.0;
+  // wall_seconds is machine noise across hosts; only diff it on request.
+  bool include_wall = false;
+};
+
+struct BenchDiffRow {
+  std::string metric;
+  bool in_baseline = false;
+  bool in_candidate = false;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double delta_pct = 0.0;  // signed, relative to the baseline value
+  bool higher_is_better = false;
+  // "ok" | "improved" | "REGRESSED" | "new" | "MISSING"
+  std::string status;
+};
+
+struct BenchDiffResult {
+  std::vector<BenchDiffRow> rows;
+  int regressions = 0;  // REGRESSED rows + MISSING rows
+};
+
+// Diff candidate against baseline. Rows follow the baseline's metric order,
+// then candidate-only metrics. A metric present in the baseline but absent
+// from the candidate is a regression (MISSING); a candidate-only metric is
+// informational (new).
+BenchDiffResult diff_bench_reports(const BenchReportView& baseline,
+                                   const BenchReportView& candidate,
+                                   const BenchDiffOptions& options = {});
+
+// Human-readable diff: header lines naming both reports, the row table, and
+// a one-line verdict.
+std::string render_bench_diff(const BenchReportView& baseline,
+                              const BenchReportView& candidate,
+                              const BenchDiffResult& result,
+                              const BenchDiffOptions& options);
+
+// CLI driver for tools/cgps_bench_diff:
+//   cgps_bench_diff <baseline.json> <candidate.json>
+//                   [--tolerance-pct N] [--include-wall]
+// Appends all output (table or error text) to *out. Returns 0 when no metric
+// regressed, 1 on regression, 2 on bad usage or malformed input.
+int bench_diff_main(int argc, const char* const* argv, std::string& out);
+
+}  // namespace cgps

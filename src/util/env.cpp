@@ -42,6 +42,17 @@ std::string env_run_log_path() {
   return env != nullptr ? std::string(env) : std::string();
 }
 
+std::int64_t env_run_log_max_bytes() {
+  if (const char* env = std::getenv("CIRCUITGPS_RUN_LOG_MAX_MB")) {
+    try {
+      const double mb = std::stod(env);
+      if (mb > 0) return static_cast<std::int64_t>(mb * 1024.0 * 1024.0);
+    } catch (...) {
+    }
+  }
+  return 0;
+}
+
 std::string env_bench_dir() {
   const char* env = std::getenv("CIRCUITGPS_BENCH_DIR");
   return env != nullptr && *env != '\0' ? std::string(env) : std::string(".");

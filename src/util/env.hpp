@@ -3,6 +3,7 @@
 // README.md ("Environment variables").
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace cgps {
@@ -24,6 +25,12 @@ int env_thread_count();
 // (DESIGN.md §8), or "" when unset. Read fresh on every call (not cached)
 // so tests and long-lived processes can retarget the log between runs.
 std::string env_run_log_path();
+
+// Size cap for the CIRCUITGPS_RUN_LOG file in bytes, from
+// CIRCUITGPS_RUN_LOG_MAX_MB (fractional values allowed, so tests can force
+// rotation cheaply). 0 when unset or invalid = no cap. A write pushing the
+// log past the cap rotates it to `<path>.1` first (util/json_writer).
+std::int64_t env_run_log_max_bytes();
 
 // Value of CIRCUITGPS_BENCH_DIR: directory that receives BENCH_<name>.json
 // reports; "." when unset. Read fresh on every call.

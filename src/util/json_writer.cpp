@@ -399,7 +399,15 @@ std::optional<JsonValue> json_parse(std::string_view text, std::string* error) {
   return Parser(text).parse(error);
 }
 
-JsonlFile::JsonlFile(const std::string& path) { file_ = std::fopen(path.c_str(), "ab"); }
+JsonlFile::JsonlFile(std::string path, std::int64_t max_bytes)
+    : path_(std::move(path)), max_bytes_(max_bytes) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ != nullptr) {
+    // "ab" positions at end-of-file; the offset is the current size.
+    const long pos = std::ftell(file_);
+    bytes_ = pos > 0 ? static_cast<std::int64_t>(pos) : 0;
+  }
+}
 
 JsonlFile::~JsonlFile() {
   if (file_ != nullptr) std::fclose(file_);
@@ -408,9 +416,20 @@ JsonlFile::~JsonlFile() {
 void JsonlFile::write_line(std::string_view line) {
   if (file_ == nullptr) return;
   const std::scoped_lock lock(mu_);
+  const std::int64_t incoming = static_cast<std::int64_t>(line.size()) + 1;
+  if (max_bytes_ > 0 && bytes_ > 0 && bytes_ + incoming > max_bytes_) {
+    std::fclose(file_);
+    const std::string rotated = path_ + ".1";
+    std::remove(rotated.c_str());
+    std::rename(path_.c_str(), rotated.c_str());
+    file_ = std::fopen(path_.c_str(), "ab");
+    bytes_ = 0;
+    if (file_ == nullptr) return;
+  }
   std::fwrite(line.data(), 1, line.size(), file_);
   std::fputc('\n', file_);
   std::fflush(file_);
+  bytes_ += incoming;
 }
 
 }  // namespace cgps

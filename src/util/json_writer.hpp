@@ -85,10 +85,13 @@ struct JsonValue {
 std::optional<JsonValue> json_parse(std::string_view text, std::string* error = nullptr);
 
 // Append-mode JSONL sink: one record per line, flushed per line so partial
-// runs still leave a readable log. Thread-safe per line.
+// runs still leave a readable log. Thread-safe per line. With a non-zero
+// `max_bytes`, a write that would push the file past the cap first rotates
+// it to `<path>.1` (replacing any previous rotation) and restarts the file,
+// so long sweeps keep a bounded, always-fresh tail.
 class JsonlFile {
  public:
-  explicit JsonlFile(const std::string& path);
+  explicit JsonlFile(std::string path, std::int64_t max_bytes = 0);
   ~JsonlFile();
   JsonlFile(const JsonlFile&) = delete;
   JsonlFile& operator=(const JsonlFile&) = delete;
@@ -98,7 +101,10 @@ class JsonlFile {
 
  private:
   std::mutex mu_;
+  std::string path_;
   std::FILE* file_ = nullptr;
+  std::int64_t max_bytes_ = 0;
+  std::int64_t bytes_ = 0;  // current file size (tracked for rotation)
 };
 
 }  // namespace cgps

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "util/json_writer.hpp"
 
@@ -50,6 +51,26 @@ void Histogram::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double estimate_quantile(const Histogram::Snapshot& snap, double q) {
+  if (snap.count <= 0 || snap.bounds.empty())
+    return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(snap.count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+    const double in_bucket = static_cast<double>(snap.counts[i]);
+    if (in_bucket <= 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      const double lo = i == 0 ? std::min(0.0, snap.bounds[0]) : snap.bounds[i - 1];
+      const double hi = snap.bounds[i];
+      const double frac = std::clamp((rank - cumulative) / in_bucket, 0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += in_bucket;
+  }
+  return snap.bounds.back();  // rank lies in the open overflow bucket
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -103,6 +124,10 @@ void MetricsRegistry::write_json(JsonWriter& w) const {
     w.end_array();
     w.field("count", snap.count);
     w.field("sum", snap.sum);
+    // Interpolated quantiles (NaN serializes as null when count == 0).
+    w.field("p50", estimate_quantile(snap, 0.50));
+    w.field("p95", estimate_quantile(snap, 0.95));
+    w.field("p99", estimate_quantile(snap, 0.99));
     w.end_object();
   }
   w.end_object();
@@ -113,6 +138,13 @@ void MetricsRegistry::write_counters_json(JsonWriter& w) const {
   const std::scoped_lock lock(mu_);
   w.begin_object();
   for (const auto& [name, c] : counters_) w.field(name, c->value());
+  w.end_object();
+}
+
+void MetricsRegistry::write_gauges_json(JsonWriter& w) const {
+  const std::scoped_lock lock(mu_);
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) w.field(name, g->value());
   w.end_object();
 }
 

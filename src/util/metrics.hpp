@@ -66,6 +66,14 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+// Interpolated quantile estimate (Prometheus-style) from a histogram
+// snapshot: the quantile's rank is located in the cumulative bucket counts
+// and the value interpolated linearly inside that bucket. The first bucket's
+// lower edge is min(0, bounds[0]); ranks landing in the open overflow bucket
+// clamp to the last bound. Returns NaN when the snapshot is empty or the
+// histogram has no bounds, and is monotone in q, so p50 <= p95 <= p99.
+double estimate_quantile(const Histogram::Snapshot& snap, double q);
+
 // Registry of named instruments. Lookup is mutex-guarded; returned
 // references stay valid for the process lifetime (instruments are never
 // deleted). Re-registering a name returns the existing instrument.
@@ -83,6 +91,9 @@ class MetricsRegistry {
 
   // Counters only, as a flat {name: value} object (per-epoch telemetry).
   void write_counters_json(JsonWriter& w) const;
+
+  // Gauges only, as a flat {name: value} object (per-epoch telemetry).
+  void write_gauges_json(JsonWriter& w) const;
 
   // Zero every instrument (tests and bench isolation). Names stay
   // registered and references stay valid.

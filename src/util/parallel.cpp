@@ -1,6 +1,8 @@
 #include "util/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <memory>
@@ -9,12 +11,27 @@
 #include <vector>
 
 #include "util/env.hpp"
+#include "util/metrics.hpp"
 
 namespace cgps::par {
 
 namespace {
 
 thread_local bool g_on_worker = false;
+
+// Cumulative activity counters (see PoolStats). Kept at namespace scope so
+// they survive Pool destruction when set_threads() resizes the pool.
+std::atomic<std::int64_t> g_pooled_jobs{0};
+std::atomic<std::int64_t> g_serial_jobs{0};
+std::atomic<std::int64_t> g_chunks{0};
+std::atomic<std::int64_t> g_busy_ns{0};
+std::atomic<std::int64_t> g_job_wall_ns{0};
+
+std::int64_t ns_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 // Marks the calling thread as "inside a parallel region" while it helps
 // drain its own job, so a nested parallel_for from one of its chunks runs
@@ -56,6 +73,8 @@ class Pool {
 
   void run(std::int64_t begin, std::int64_t end, std::int64_t grain,
            const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    g_pooled_jobs.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> job_lock(job_mu_);  // one job at a time
     std::unique_lock<std::mutex> lk(mu_);
     // Job state may only be rewritten once every straggler from the previous
@@ -79,6 +98,7 @@ class Pool {
     }
     lk.lock();
     done_cv_.wait(lk, [this] { return finished_ == n_chunks_; });
+    g_job_wall_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
     if (error_) {
       std::exception_ptr err = error_;
       error_ = nullptr;
@@ -94,12 +114,15 @@ class Pool {
       if (chunk >= n_chunks_) return;
       const std::int64_t b = begin_ + chunk * grain_;
       const std::int64_t e = std::min(end_, b + grain_);
+      const auto t0 = std::chrono::steady_clock::now();
       std::exception_ptr err;
       try {
         (*fn_)(b, e);
       } catch (...) {
         err = std::current_exception();
       }
+      g_busy_ns.fetch_add(ns_since(t0), std::memory_order_relaxed);
+      g_chunks.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lk(mu_);
       if (err && !error_) error_ = err;
       if (++finished_ == n_chunks_) done_cv_.notify_all();
@@ -159,6 +182,7 @@ State& state() {
 
 void run_serial(std::int64_t begin, std::int64_t end, std::int64_t grain,
                 const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  g_serial_jobs.fetch_add(1, std::memory_order_relaxed);
   // Same chunk boundaries as the pooled path, in ascending order.
   for (std::int64_t b = begin; b < end; b += grain) {
     fn(b, std::min(end, b + grain));
@@ -183,6 +207,41 @@ void set_threads(int n) {
 }
 
 bool on_worker_thread() { return g_on_worker; }
+
+PoolStats pool_stats() {
+  PoolStats s;
+  s.width = max_threads();
+  s.pooled_jobs = g_pooled_jobs.load(std::memory_order_relaxed);
+  s.serial_jobs = g_serial_jobs.load(std::memory_order_relaxed);
+  s.chunks = g_chunks.load(std::memory_order_relaxed);
+  s.busy_ns = g_busy_ns.load(std::memory_order_relaxed);
+  s.job_wall_ns = g_job_wall_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+void sample_pool_gauges() {
+  static std::mutex sample_mu;
+  static PoolStats prev;
+  const std::lock_guard<std::mutex> lk(sample_mu);
+  const PoolStats now = pool_stats();
+  const std::int64_t jobs = now.pooled_jobs - prev.pooled_jobs;
+  const std::int64_t chunks = now.chunks - prev.chunks;
+  const std::int64_t busy_ns = now.busy_ns - prev.busy_ns;
+  const std::int64_t wall_ns = now.job_wall_ns - prev.job_wall_ns;
+  prev = now;
+
+  metric_gauge("pool.width").set(static_cast<double>(now.width));
+  const double depth =
+      jobs > 0 ? static_cast<double>(chunks) / static_cast<double>(jobs) : 0.0;
+  metric_gauge("pool.queue_depth").set(depth);
+  // Busy time summed over threads / (job wall time x width). Can exceed 1
+  // slightly when chunks outlive run()'s wall clock by scheduling noise.
+  const double util =
+      wall_ns > 0 ? static_cast<double>(busy_ns) /
+                        (static_cast<double>(wall_ns) * static_cast<double>(now.width))
+                  : 0.0;
+  metric_gauge("pool.utilization").set(std::clamp(util, 0.0, 1.0));
+}
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& fn) {

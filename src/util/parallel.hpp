@@ -45,4 +45,27 @@ inline std::int64_t grain_for(std::int64_t work_per_index,
   return g < 1 ? 1 : g;
 }
 
+// Cumulative work-pool activity since process start. Counters survive pool
+// resizes (set_threads) — they live beside, not inside, the Pool object.
+// Serial jobs (width 1, single chunk, or nested-on-worker) are counted but
+// not timed: the serial path is the hot path for small kernels and must not
+// pay two clock reads per chunk.
+struct PoolStats {
+  int width = 1;                  // current configured width (max_threads)
+  std::int64_t pooled_jobs = 0;   // parallel_for calls that used the pool
+  std::int64_t serial_jobs = 0;   // parallel_for calls that ran inline
+  std::int64_t chunks = 0;        // chunks executed by pooled jobs
+  std::int64_t busy_ns = 0;       // summed per-thread time inside fn (pooled)
+  std::int64_t job_wall_ns = 0;   // summed wall time of pooled Pool::run calls
+};
+PoolStats pool_stats();
+
+// Publish pool gauges to the metrics registry from the activity since the
+// previous call (first call covers process start): `pool.width`,
+// `pool.queue_depth` (mean chunks per pooled job — how much work each fan-out
+// had to distribute), and `pool.utilization` (busy time / (wall time x
+// width), 0..1). Intended to be sampled at epoch boundaries; an interval with
+// no pooled jobs leaves queue depth and utilization at 0.
+void sample_pool_gauges();
+
 }  // namespace cgps::par

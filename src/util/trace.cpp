@@ -1,0 +1,179 @@
+#include "util/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/json_writer.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace cgps {
+
+namespace trace {
+
+namespace {
+
+std::int64_t process_pid() {
+#ifdef __linux__
+  return static_cast<std::int64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+// Event sink guarded by one mutex: reopened whenever CIRCUITGPS_TRACE
+// changes between calls (tests retarget it), dropped when it is unset. A
+// path that fails to open is remembered so the warning fires once.
+struct Sink {
+  std::mutex mu;
+  std::string path;  // path the current file (or failure) corresponds to
+  std::unique_ptr<JsonlFile> file;
+};
+
+Sink& sink_state() {
+  static Sink* s = new Sink();  // never destroyed (spans run at exit)
+  return *s;
+}
+
+// Metadata header emitted once per opened file: tags the stream with the
+// schema and run id so mixed logs stay attributable.
+void write_header(JsonlFile& file) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "cgps-trace-v1");
+  w.field("run_id", make_run_id());
+  w.field("name", "process_name");
+  w.field("ph", "M");
+  w.field("pid", process_pid());
+  w.key("args").begin_object().field("name", "circuitgps").end_object();
+  w.end_object();
+  file.write_line(w.str());
+}
+
+// Returns the open sink for the current CIRCUITGPS_TRACE value, or nullptr
+// when tracing is off (or the path cannot be opened).
+JsonlFile* sink() {
+  const char* env = std::getenv("CIRCUITGPS_TRACE");
+  const std::string_view path = env != nullptr ? std::string_view(env) : std::string_view();
+  Sink& s = sink_state();
+  const std::scoped_lock lock(s.mu);
+  if (path.empty()) {
+    s.file.reset();
+    s.path.clear();
+    return nullptr;
+  }
+  if (s.path != path) {
+    s.path = std::string(path);
+    s.file = std::make_unique<JsonlFile>(s.path);
+    if (!s.file->ok()) {
+      log_warn("CIRCUITGPS_TRACE: cannot open ", s.path, "; span streaming disabled");
+      s.file.reset();
+    } else {
+      write_header(*s.file);
+    }
+  }
+  return s.file.get();
+}
+
+void write_event(std::string_view name, const char* phase, std::int64_t ts_us,
+                 double dur_s, bool with_dur) {
+  if (!stream_enabled()) return;  // keep the off path lock-free
+  JsonlFile* file = sink();
+  if (file == nullptr) return;
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", name);
+  w.field("cat", "cgps");
+  w.field("ph", phase);
+  w.field("ts", ts_us);
+  if (with_dur) w.field("dur", static_cast<std::int64_t>(dur_s * 1e6));
+  w.field("pid", process_pid());
+  w.field("tid", thread_id());
+  w.end_object();
+  file->write_line(w.str());
+}
+
+// Thread-local stack of live span names (pointers into the owning
+// TraceSpan, which strictly outlives its stack entry).
+thread_local std::vector<const std::string*> t_stack;
+
+}  // namespace
+
+bool stream_enabled() {
+  const char* env = std::getenv("CIRCUITGPS_TRACE");
+  return env != nullptr && *env != '\0';
+}
+
+std::int64_t now_us() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start).count();
+}
+
+int depth() { return static_cast<int>(t_stack.size()); }
+
+std::string_view current_span() {
+  return t_stack.empty() ? std::string_view() : std::string_view(*t_stack.back());
+}
+
+int thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Histogram& latency_histogram(std::string_view name) {
+  // 1-2-5 ladder over 1 µs .. 100 s, in seconds: wide enough for a single
+  // subgraph extraction and a whole training epoch alike.
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1e-6; decade < 1e3; decade *= 10.0) {
+      b.push_back(decade);
+      b.push_back(2.0 * decade);
+      b.push_back(5.0 * decade);
+    }
+    return b;
+  }();
+  return metric_histogram("trace." + std::string(name), bounds);
+}
+
+void record_complete(std::string_view name, std::int64_t start_us, double dur_s) {
+  latency_histogram(name).observe(dur_s);
+  write_event(name, "X", start_us, dur_s, /*with_dur=*/true);
+}
+
+std::string make_run_id() {
+  const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%llx-%llx", static_cast<unsigned long long>(wall_us),
+                static_cast<unsigned long long>(process_pid()));
+  return buf;
+}
+
+}  // namespace trace
+
+TraceSpan::TraceSpan(std::string_view name)
+    : name_(name), start_us_(trace::now_us()), hist_(&trace::latency_histogram(name)) {
+  trace::t_stack.push_back(&name_);
+  trace::write_event(name_, "B", start_us_, 0.0, /*with_dur=*/false);
+}
+
+TraceSpan::~TraceSpan() {
+  const std::int64_t end_us = trace::now_us();
+  hist_->observe(static_cast<double>(end_us - start_us_) / 1e6);
+  trace::write_event(name_, "E", end_us, 0.0, /*with_dur=*/false);
+  trace::t_stack.pop_back();
+}
+
+}  // namespace cgps

@@ -1,0 +1,196 @@
+// Tests for the cgps-bench-v1 regression gate (util/bench_diff +
+// tools/cgps_bench_diff): report parsing/validation, the diff and its
+// direction heuristic, the rendered table, and the CLI exit-code contract
+// (0 = clean, 1 = regression, 2 = malformed input or bad usage).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/bench_diff.hpp"
+
+namespace cgps {
+namespace {
+
+std::string report_json(const std::string& bench,
+                        const std::vector<std::pair<std::string, double>>& metrics,
+                        double wall_seconds = 1.0) {
+  std::string out = "{\"schema\":\"cgps-bench-v1\",\"bench\":\"" + bench +
+                    "\",\"git\":\"test\",\"metrics\":{";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + metrics[i].first + "\":" + std::to_string(metrics[i].second);
+  }
+  out += "},\"wall_seconds\":" + std::to_string(wall_seconds) + "}";
+  return out;
+}
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+int run_cli(const std::vector<std::string>& args, std::string& out) {
+  std::vector<const char*> argv{"cgps_bench_diff"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  return bench_diff_main(static_cast<int>(argv.size()), argv.data(), out);
+}
+
+TEST(ParseBenchReport, AcceptsValidReport) {
+  const auto view = parse_bench_report(report_json("smoke", {{"auc", 0.9}, {"loss", 0.1}}, 2.5));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->bench, "smoke");
+  EXPECT_EQ(view->git, "test");
+  ASSERT_EQ(view->metrics.size(), 2u);
+  EXPECT_EQ(view->metrics[0].first, "auc");
+  EXPECT_DOUBLE_EQ(view->metrics[0].second, 0.9);
+  EXPECT_DOUBLE_EQ(view->wall_seconds, 2.5);
+}
+
+TEST(ParseBenchReport, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_bench_report("not json at all", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_bench_report("[1,2,3]", &error).has_value());
+  // Wrong schema tag.
+  EXPECT_FALSE(
+      parse_bench_report("{\"schema\":\"cgps-train-v1\",\"bench\":\"x\",\"metrics\":{}}", &error)
+          .has_value());
+  // Missing bench name.
+  EXPECT_FALSE(
+      parse_bench_report("{\"schema\":\"cgps-bench-v1\",\"metrics\":{}}", &error).has_value());
+  // Non-numeric metric value.
+  EXPECT_FALSE(parse_bench_report(
+                   "{\"schema\":\"cgps-bench-v1\",\"bench\":\"x\",\"metrics\":{\"a\":\"hi\"}}",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("metric"), std::string::npos);
+}
+
+TEST(MetricDirection, QualityScoresAreHigherBetter) {
+  EXPECT_TRUE(metric_higher_is_better("link_auc"));
+  EXPECT_TRUE(metric_higher_is_better("test_accuracy"));
+  EXPECT_TRUE(metric_higher_is_better("F1_macro"));
+  EXPECT_TRUE(metric_higher_is_better("r2"));
+  EXPECT_FALSE(metric_higher_is_better("loss"));
+  EXPECT_FALSE(metric_higher_is_better("mae"));
+  EXPECT_FALSE(metric_higher_is_better("build_seconds"));
+  EXPECT_FALSE(metric_higher_is_better("wall_seconds"));
+}
+
+TEST(DiffBenchReports, WithinToleranceIsClean) {
+  const auto a = parse_bench_report(report_json("b", {{"auc", 0.90}, {"mae", 0.100}}));
+  const auto b = parse_bench_report(report_json("b", {{"auc", 0.89}, {"mae", 0.103}}));
+  BenchDiffOptions options;
+  options.tolerance_pct = 5.0;
+  const BenchDiffResult result = diff_bench_reports(*a, *b, options);
+  EXPECT_EQ(result.regressions, 0);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0].status, "ok");
+  EXPECT_EQ(result.rows[1].status, "ok");
+}
+
+TEST(DiffBenchReports, FlagsLowerIsBetterRegression) {
+  const auto a = parse_bench_report(report_json("b", {{"mae", 0.100}}));
+  const auto b = parse_bench_report(report_json("b", {{"mae", 0.111}}));
+  const BenchDiffResult result = diff_bench_reports(*a, *b, {.tolerance_pct = 5.0});
+  EXPECT_EQ(result.regressions, 1);
+  EXPECT_EQ(result.rows[0].status, "REGRESSED");
+  EXPECT_NEAR(result.rows[0].delta_pct, 11.0, 0.2);
+}
+
+TEST(DiffBenchReports, FlagsHigherIsBetterRegression) {
+  const auto a = parse_bench_report(report_json("b", {{"auc", 0.90}}));
+  const auto b = parse_bench_report(report_json("b", {{"auc", 0.80}}));
+  const BenchDiffResult result = diff_bench_reports(*a, *b, {.tolerance_pct = 5.0});
+  EXPECT_EQ(result.regressions, 1);
+  EXPECT_EQ(result.rows[0].status, "REGRESSED");
+  // An *improvement* on a higher-is-better metric is not a regression.
+  const BenchDiffResult gain = diff_bench_reports(*b, *a, {.tolerance_pct = 5.0});
+  EXPECT_EQ(gain.regressions, 0);
+  EXPECT_EQ(gain.rows[0].status, "improved");
+}
+
+TEST(DiffBenchReports, MissingMetricIsRegressionNewIsNot) {
+  const auto a = parse_bench_report(report_json("b", {{"auc", 0.9}, {"mae", 0.1}}));
+  const auto b = parse_bench_report(report_json("b", {{"auc", 0.9}, {"rmse", 0.2}}));
+  const BenchDiffResult result = diff_bench_reports(*a, *b, {});
+  EXPECT_EQ(result.regressions, 1);
+  ASSERT_EQ(result.rows.size(), 3u);  // auc, mae (missing), rmse (new)
+  EXPECT_EQ(result.rows[1].metric, "mae");
+  EXPECT_EQ(result.rows[1].status, "MISSING");
+  EXPECT_EQ(result.rows[2].metric, "rmse");
+  EXPECT_EQ(result.rows[2].status, "new");
+}
+
+TEST(DiffBenchReports, WallClockOnlyOnRequest) {
+  const auto a = parse_bench_report(report_json("b", {{"auc", 0.9}}, 1.0));
+  const auto b = parse_bench_report(report_json("b", {{"auc", 0.9}}, 100.0));
+  EXPECT_EQ(diff_bench_reports(*a, *b, {}).rows.size(), 1u);
+  BenchDiffOptions with_wall;
+  with_wall.include_wall = true;
+  const BenchDiffResult result = diff_bench_reports(*a, *b, with_wall);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[1].metric, "wall_seconds");
+  EXPECT_EQ(result.rows[1].status, "REGRESSED");
+}
+
+TEST(RenderBenchDiff, GoldenTableShape) {
+  const auto a = parse_bench_report(report_json("smoke", {{"auc", 0.90}, {"mae", 0.10}}));
+  const auto b = parse_bench_report(report_json("smoke", {{"auc", 0.80}, {"mae", 0.10}}));
+  BenchDiffOptions options;
+  options.tolerance_pct = 5.0;
+  const BenchDiffResult result = diff_bench_reports(*a, *b, options);
+  const std::string text = render_bench_diff(*a, *b, result, options);
+  EXPECT_NE(text.find("bench:     smoke"), std::string::npos) << text;
+  EXPECT_NE(text.find("metric"), std::string::npos);
+  EXPECT_NE(text.find("auc"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("-11.11%"), std::string::npos) << text;
+  EXPECT_NE(text.find("1 regression(s) at tolerance 5.00%"), std::string::npos) << text;
+}
+
+TEST(BenchDiffMain, ExitCodeContract) {
+  const std::string clean = write_temp("bd_clean.json", report_json("b", {{"auc", 0.9}}));
+  const std::string worse = write_temp("bd_worse.json", report_json("b", {{"auc", 0.5}}));
+  const std::string broken = write_temp("bd_broken.json", "{nope");
+
+  std::string out;
+  EXPECT_EQ(run_cli({clean, clean}, out), 0);
+  EXPECT_NE(out.find("0 regression(s)"), std::string::npos) << out;
+
+  out.clear();
+  EXPECT_EQ(run_cli({clean, worse, "--tolerance-pct", "5"}, out), 1);
+  EXPECT_NE(out.find("REGRESSED"), std::string::npos) << out;
+
+  out.clear();
+  EXPECT_EQ(run_cli({clean, broken}, out), 2);
+  EXPECT_NE(out.find("candidate"), std::string::npos) << out;
+
+  out.clear();
+  EXPECT_EQ(run_cli({clean, "/nonexistent_cgps/missing.json"}, out), 2);
+
+  out.clear();
+  EXPECT_EQ(run_cli({clean}, out), 2);  // usage error
+  EXPECT_NE(out.find("usage"), std::string::npos) << out;
+
+  out.clear();
+  EXPECT_EQ(run_cli({clean, clean, "--tolerance-pct", "abc"}, out), 2);
+  out.clear();
+  EXPECT_EQ(run_cli({clean, clean, "--bogus-flag"}, out), 2);
+
+  // A generous tolerance turns the regression into a pass.
+  out.clear();
+  EXPECT_EQ(run_cli({clean, worse, "--tolerance-pct", "60"}, out), 0);
+
+  std::remove(clean.c_str());
+  std::remove(worse.c_str());
+  std::remove(broken.c_str());
+}
+
+}  // namespace
+}  // namespace cgps

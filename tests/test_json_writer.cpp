@@ -150,5 +150,61 @@ TEST(JsonlFileTest, BadPathReportsNotOk) {
   EXPECT_FALSE(log.ok());
 }
 
+namespace {
+
+int count_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) ++n;
+  return n;
+}
+
+}  // namespace
+
+TEST(JsonlFileTest, RotatesAtSizeCap) {
+  const std::string path = ::testing::TempDir() + "cgps_test_rotate.jsonl";
+  const std::string rotated = path + ".1";
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+
+  const std::string line(99, 'x');  // 100 bytes per write with the newline
+  {
+    JsonlFile log(path, /*max_bytes=*/250);
+    ASSERT_TRUE(log.ok());
+    // Writes 1-2 fit (200 bytes); write 3 rotates; 3-4 fill the fresh file;
+    // write 5 rotates again, replacing the first rotation.
+    for (int i = 0; i < 5; ++i) log.write_line(line);
+  }
+  EXPECT_EQ(count_lines(path), 1);     // the always-fresh tail
+  EXPECT_EQ(count_lines(rotated), 2);  // the previous generation
+
+  // Reopening an existing capped file picks up its current size.
+  {
+    JsonlFile log(path, /*max_bytes=*/250);
+    ASSERT_TRUE(log.ok());
+    log.write_line(line);  // 100 + 100 <= 250: appends
+    log.write_line(line);  // would hit 300: rotates
+  }
+  EXPECT_EQ(count_lines(path), 1);
+  EXPECT_EQ(count_lines(rotated), 2);
+
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+}
+
+TEST(JsonlFileTest, NoCapNeverRotates) {
+  const std::string path = ::testing::TempDir() + "cgps_test_nocap.jsonl";
+  std::remove(path.c_str());
+  {
+    JsonlFile log(path);  // max_bytes = 0: unbounded
+    for (int i = 0; i < 50; ++i) log.write_line(std::string(99, 'y'));
+  }
+  EXPECT_EQ(count_lines(path), 50);
+  std::ifstream rotated(path + ".1");
+  EXPECT_FALSE(rotated.good());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace cgps

@@ -101,10 +101,23 @@ TEST(RunLogTest, TrainerEmitsOneRecordPerEpoch) {
     ASSERT_TRUE(r.has("val_score"));  // null when no validation split is used
     ASSERT_TRUE(r.has("counters"));
     EXPECT_EQ(r.find("counters")->type, JsonValue::Type::kObject);
+    ASSERT_TRUE(r.has("gauges"));
+    EXPECT_EQ(r.find("gauges")->type, JsonValue::Type::kObject);
     EXPECT_GT(r.find("batches")->number, 0.0);
     EXPECT_GT(r.find("samples")->number, 0.0);
     EXPECT_GT(r.find("threads")->number, 0.0);
+    // run_id tags every record of one run with the same timestamp-pid hex.
+    ASSERT_TRUE(r.has("run_id"));
+    ASSERT_EQ(r.find("run_id")->type, JsonValue::Type::kString);
+    EXPECT_FALSE(r.find("run_id")->string.empty());
+    EXPECT_EQ(r.find("run_id")->string, records.front().find("run_id")->string);
   }
+  // Pool gauges are sampled at every epoch boundary.
+  const JsonValue* gauges = records.back().find("gauges");
+  ASSERT_NE(gauges->find("pool.width"), nullptr);
+  EXPECT_GT(gauges->find("pool.width")->number, 0.0);
+  ASSERT_NE(gauges->find("pool.queue_depth"), nullptr);
+  ASSERT_NE(gauges->find("pool.utilization"), nullptr);
 }
 
 TEST(RunLogTest, BaselineTrainerEmitsRecords) {
@@ -133,6 +146,35 @@ TEST(RunLogTest, BaselineTrainerEmitsRecords) {
     ASSERT_TRUE(r.has("loss"));
     ASSERT_TRUE(r.has("counters"));
   }
+}
+
+TEST(RunLogTest, SizeCapRotatesLog) {
+  Rng rng(8);
+  const TaskData train = TaskData::for_links(small_dataset(), {}, 48, rng);
+  const TaskData* tasks[] = {&train};
+  const XcNormalizer norm = fit_normalizer(tasks);
+  TrainOptions options;
+  options.epochs = 4;
+  options.batch_size = 16;
+
+  const RunLogEnv env(::testing::TempDir() + "cgps_run_log_rotate.jsonl");
+  const std::string rotated = env.path() + ".1";
+  std::remove(rotated.c_str());
+  // ~0.5 KB cap: every cgps-train-v1 record exceeds it, so each write past
+  // the first rotates the file. Fractional MB exist exactly for this test.
+  ::setenv("CIRCUITGPS_RUN_LOG_MAX_MB", "0.0005", 1);
+  CircuitGps model(tiny_config());
+  train_link_prediction(model, norm, tasks, options);
+  ::unsetenv("CIRCUITGPS_RUN_LOG_MAX_MB");
+
+  const std::vector<JsonValue> tail = read_records(env.path());
+  const std::vector<JsonValue> prev = read_records(rotated);
+  EXPECT_FALSE(tail.empty());
+  EXPECT_FALSE(prev.empty()) << "no rotation happened";
+  // Rotation keeps a bounded tail; older records are dropped, never corrupted.
+  EXPECT_LE(tail.size() + prev.size(), 4u);
+  for (const JsonValue& r : prev) EXPECT_EQ(r.find("schema")->string, "cgps-train-v1");
+  std::remove(rotated.c_str());
 }
 
 TEST(RunLogTest, TelemetryDoesNotChangeTraining) {

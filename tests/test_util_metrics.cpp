@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -94,6 +95,51 @@ TEST(MetricsRegistryTest, CountsAreExactUnderParallelFor) {
   EXPECT_EQ(bucket_total, kN);
 }
 
+TEST(EstimateQuantileTest, EmptySnapshotIsNaN) {
+  const Histogram h({1.0, 2.0});
+  EXPECT_TRUE(std::isnan(estimate_quantile(h.snapshot(), 0.5)));
+}
+
+TEST(EstimateQuantileTest, InterpolatesLinearlyWithinBucket) {
+  Histogram h({10.0});
+  for (int i = 0; i < 100; ++i) h.observe(3.0);  // all land in [0, 10]
+  const Histogram::Snapshot snap = h.snapshot();
+  // First bucket's lower edge is min(0, bounds[0]) = 0; rank q*100
+  // interpolates to q * 10.
+  EXPECT_DOUBLE_EQ(estimate_quantile(snap, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(estimate_quantile(snap, 0.95), 9.5);
+  EXPECT_DOUBLE_EQ(estimate_quantile(snap, 0.99), 9.9);
+}
+
+TEST(EstimateQuantileTest, SpansBucketsByCumulativeRank) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 50; ++i) h.observe(0.5);  // bucket [0, 1]
+  for (int i = 0; i < 50; ++i) h.observe(3.0);  // bucket (2, 4]
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(estimate_quantile(snap, 0.25), 0.5);  // rank 25 of 50 in [0,1]
+  EXPECT_DOUBLE_EQ(estimate_quantile(snap, 0.75), 3.0);  // rank 25 of 50 in (2,4]
+}
+
+TEST(EstimateQuantileTest, OverflowClampsToLastBound) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.observe(99.0);  // all in the open overflow bucket
+  EXPECT_DOUBLE_EQ(estimate_quantile(h.snapshot(), 0.5), 2.0);
+}
+
+TEST(EstimateQuantileTest, MonotoneInQ) {
+  Histogram h({0.001, 0.01, 0.1, 1.0});
+  for (int i = 0; i < 7; ++i) h.observe(0.0005 * (i + 1));
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(2.0);
+  const Histogram::Snapshot snap = h.snapshot();
+  const double p50 = estimate_quantile(snap, 0.50);
+  const double p95 = estimate_quantile(snap, 0.95);
+  const double p99 = estimate_quantile(snap, 0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+}
+
 TEST(MetricsRegistryTest, WriteJsonParses) {
   metric_counter("test.json.counter").add(7);
   metric_gauge("test.json.gauge").set(1.25);
@@ -117,6 +163,25 @@ TEST(MetricsRegistryTest, WriteJsonParses) {
   EXPECT_TRUE(hist->has("count"));
   EXPECT_TRUE(hist->has("sum"));
   EXPECT_EQ(hist->find("counts")->array.size(), hist->find("bounds")->array.size() + 1);
+  // Interpolated quantiles ride along with every histogram payload.
+  for (const char* q : {"p50", "p95", "p99"}) {
+    ASSERT_TRUE(hist->has(q)) << q;
+    EXPECT_EQ(hist->find(q)->type, JsonValue::Type::kNumber) << q;
+  }
+  EXPECT_LE(hist->find("p50")->number, hist->find("p95")->number);
+  EXPECT_LE(hist->find("p95")->number, hist->find("p99")->number);
+}
+
+TEST(MetricsRegistryTest, WriteGaugesJsonIsFlat) {
+  metric_gauge("test.flat.gauge").set(3.5);
+  JsonWriter w;
+  MetricsRegistry::instance().write_gauges_json(w);
+  const auto v = json_parse(w.str());
+  ASSERT_TRUE(v.has_value()) << w.str();
+  ASSERT_EQ(v->type, JsonValue::Type::kObject);
+  const JsonValue* g = v->find("test.flat.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->number, 3.5);
 }
 
 TEST(MetricsRegistryTest, WriteCountersJsonIsFlat) {

@@ -1,0 +1,19 @@
+// cgps_bench_diff: regression gate over two cgps-bench-v1 reports.
+//
+//   cgps_bench_diff <baseline.json> <candidate.json>
+//                   [--tolerance-pct N] [--include-wall]
+//
+// Prints a row-wise metric diff table and exits 0 when nothing regressed
+// beyond the tolerance, 1 on regression (including a baseline metric the
+// candidate dropped), 2 on bad usage or malformed input. All logic lives in
+// util/bench_diff so the tests exercise it in-process.
+#include <cstdio>
+
+#include "util/bench_diff.hpp"
+
+int main(int argc, char** argv) {
+  std::string out;
+  const int code = cgps::bench_diff_main(argc, argv, out);
+  std::fputs(out.c_str(), code == 2 ? stderr : stdout);
+  return code;
+}
