@@ -141,13 +141,17 @@ int main() {
     ++cases;
     table.add_row({ds.name, std::to_string(victims.size()), format_si(total_t, 3),
                    format_si(total_p, 3), fmt(case_error, 1), fmt(victim_mape, 1)});
+    const std::string key = metric_key(ds.name);
+    report.add_metric(key + ".case_error_pct", case_error, MetricDirection::kLowerIsBetter);
+    report.add_metric(key + ".victim_mape_pct", victim_mape, MetricDirection::kLowerIsBetter);
     std::fprintf(stderr, "[bench] %s done\n", ds.name.c_str());
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("mean energy MAPE over the three test cases: %.1f%% (paper Fig. 4: 14.5%%)\n",
               mape_sum / std::max(1, cases));
   report.add_table("Fig. 4: switching energy, truth vs prediction", table);
-  report.add_metric("mean_energy_mape_pct", mape_sum / std::max(1, cases));
+  report.add_metric("mean_energy_mape_pct", mape_sum / std::max(1, cases),
+                    MetricDirection::kLowerIsBetter);
   report.add_note("paper Fig. 4 reference: 14.5% mean energy MAPE");
   report.write();
   return 0;

@@ -272,11 +272,26 @@ int main(int argc, char** argv) {
 
   cgps::bench::BenchReport report("micro_kernels");
   cgps::TextTable table({"Benchmark", "Real", "CPU", "Unit", "Iterations"});
-  for (const CaptureReporter::Row& row : reporter.rows())
+  // google-benchmark reports each run in its own time unit; normalize to
+  // nanoseconds so the metric keys (<kernel>.real_ns) stay unit-stable.
+  auto to_ns = [](double v, const std::string& unit) {
+    if (unit == "ns") return v;
+    if (unit == "us") return v * 1e3;
+    if (unit == "ms") return v * 1e6;
+    return v * 1e9;  // "s"
+  };
+  for (const CaptureReporter::Row& row : reporter.rows()) {
     table.add_row({row.name, cgps::bench::fmt(row.real_time, 1), cgps::bench::fmt(row.cpu_time, 1),
                    row.time_unit, std::to_string(row.iterations)});
+    report.add_metric(cgps::bench::metric_key(row.name) + ".real_ns",
+                      to_ns(row.real_time, row.time_unit),
+                      cgps::MetricDirection::kLowerIsBetter);
+  }
   report.add_table("google-benchmark runs", table);
-  report.add_metric("runs", static_cast<double>(reporter.rows().size()));
+  // Run-set size is pinned by the --benchmark_filter the caller passes: a
+  // drift either way means the gate and its baseline ran different kernels.
+  report.add_metric("runs", static_cast<double>(reporter.rows().size()),
+                    cgps::MetricDirection::kTwoSided);
   report.write();
   return 0;
 }

@@ -48,8 +48,23 @@ int main() {
   report.set_config("design", "DIGITAL_CLK_GEN");
   report.set_config("max_nodes_per_anchor", static_cast<double>(options.max_nodes_per_anchor));
   report.add_table("smoke pipeline stats", table);
-  report.add_metric("build_seconds", build_timer.seconds());
+  // Pipeline shape counts are deterministic: any drift, either way, means the
+  // generator / graph-build / sampling contract changed.
+  report.add_metric("devices", static_cast<double>(netlist.devices().size()),
+                    MetricDirection::kTwoSided);
+  report.add_metric("graph_nodes", static_cast<double>(graph.graph.num_nodes()),
+                    MetricDirection::kTwoSided);
+  report.add_metric("graph_edges", static_cast<double>(graph.graph.num_edges()),
+                    MetricDirection::kTwoSided);
+  report.add_metric("subgraph_nodes", static_cast<double>(sg.num_nodes()),
+                    MetricDirection::kTwoSided);
+  report.add_metric("build_seconds", build_timer.seconds(), MetricDirection::kLowerIsBetter);
   report.add_note("schema self-check target; see DESIGN.md §8");
+
+  // Saturate a throwaway histogram so the overflow contract below is
+  // exercised on every run: quantiles in the open overflow bucket must not
+  // pretend to be finite, and overflow_count must expose the saturation.
+  metric_histogram("smoke.overflow_probe", {1.0, 2.0}).observe(1e9);
 
   const std::string path = report.write();
   if (path.empty()) return fail("BenchReport::write produced no file");
@@ -64,8 +79,17 @@ int main() {
   if (parsed->type != JsonValue::Type::kObject) return fail("top level is not an object");
 
   for (const char* key : {"schema", "bench", "git", "scale", "threads", "config", "tables",
-                          "metrics", "notes", "registry", "wall_seconds"}) {
+                          "metrics", "directions", "notes", "registry", "wall_seconds"}) {
     if (!parsed->has(key)) return fail(std::string("missing required field: ") + key);
+  }
+  // Every metric carries an explicit direction token.
+  const JsonValue* directions = parsed->find("directions");
+  if (directions->type != JsonValue::Type::kObject) return fail("directions is not an object");
+  for (const auto& [name, value] : parsed->find("metrics")->object) {
+    const JsonValue* dir = directions->find(name);
+    if (dir == nullptr) return fail("metric " + name + " has no direction");
+    if (dir->string != "down" && dir->string != "up" && dir->string != "both")
+      return fail("metric " + name + " has bad direction \"" + dir->string + "\"");
   }
   if (parsed->find("schema")->string != "cgps-bench-v1") return fail("wrong schema tag");
   if (parsed->find("bench")->string != "smoke") return fail("wrong bench name");
@@ -87,6 +111,7 @@ int main() {
   if (histograms == nullptr || histograms->type != JsonValue::Type::kObject)
     return fail("registry missing histograms object");
   int populated = 0;
+  bool saw_overflow = false;
   for (const auto& [name, h] : histograms->object) {
     const JsonValue* count = h.find("count");
     const JsonValue* bounds = h.find("bounds");
@@ -95,6 +120,10 @@ int main() {
     }
     if (count == nullptr || bounds == nullptr || bounds->array.empty())
       return fail("histogram " + name + " missing count/bounds");
+    const JsonValue* overflow = h.find("overflow_count");
+    if (overflow == nullptr || overflow->type != JsonValue::Type::kNumber ||
+        overflow->number < 0)
+      return fail("histogram " + name + " missing overflow_count");
     const JsonValue& p50 = *h.find("p50");
     const JsonValue& p95 = *h.find("p95");
     const JsonValue& p99 = *h.find("p99");
@@ -104,6 +133,15 @@ int main() {
       continue;
     }
     ++populated;
+    // Saturated at p99: the 0.99-rank lies past the finite buckets, so the
+    // quantile has no finite value and must serialize as null — a number
+    // here is the silent-capping bug this field exists to expose.
+    if (0.99 * count->number > count->number - overflow->number) {
+      saw_overflow = true;
+      if (p99.type != JsonValue::Type::kNull)
+        return fail("histogram " + name + " reports a finite p99 despite overflow");
+      continue;
+    }
     for (const JsonValue* q : {&p50, &p95, &p99}) {
       if (q->type != JsonValue::Type::kNumber)
         return fail("histogram " + name + " has non-numeric quantile");
@@ -116,6 +154,7 @@ int main() {
       return fail("histogram " + name + " quantiles outside bucket bounds");
   }
   if (populated == 0) return fail("no histogram with count > 0 in registry");
+  if (!saw_overflow) return fail("overflow probe histogram not found saturated");
 
   std::printf("BENCH json ok: %s (%d populated histograms)\n", path.c_str(), populated);
   return 0;

@@ -57,6 +57,15 @@ int main() {
                        pe == PeKind::kDspd;
     table.add_row({pe_kind_name(pe), fmt(m.accuracy), fmt(m.f1), fmt(m.auc),
                    timed ? fmt(per_graph, 6) : "N/A"});
+    // Stable per-PE metric keys (w_o_pe / x_c / drnl / rwse / lappe / dspd)
+    // for the diff gate and trend series.
+    const std::string key = metric_key(pe_kind_name(pe));
+    report.add_metric(key + ".acc", m.accuracy, MetricDirection::kHigherIsBetter);
+    report.add_metric(key + ".f1", m.f1, MetricDirection::kHigherIsBetter);
+    report.add_metric(key + ".auc", m.auc, MetricDirection::kHigherIsBetter);
+    if (timed)
+      report.add_metric(key + ".pe_seconds_per_graph", per_graph,
+                        MetricDirection::kLowerIsBetter);
     std::fprintf(stderr, "[bench] %s done\n", pe_kind_name(pe));
   }
   std::printf("%s\n", table.to_string().c_str());

@@ -59,28 +59,55 @@ int main() {
   }
   TextTable table(header);
 
+  // Stable metric keys per method × design (<method>.<design>.acc|f1|auc)
+  // plus per-method means — the rows the trend gate tracks.
+  auto add_method_metrics = [&](const std::string& method,
+                                const std::vector<BinaryMetrics>& per_design) {
+    double acc = 0, f1 = 0, auc = 0;
+    for (std::size_t i = 0; i < per_design.size(); ++i) {
+      const std::string key = method + "." + metric_key(test_sets[i].name);
+      report.add_metric(key + ".acc", per_design[i].accuracy,
+                        MetricDirection::kHigherIsBetter);
+      report.add_metric(key + ".f1", per_design[i].f1, MetricDirection::kHigherIsBetter);
+      report.add_metric(key + ".auc", per_design[i].auc, MetricDirection::kHigherIsBetter);
+      acc += per_design[i].accuracy;
+      f1 += per_design[i].f1;
+      auc += per_design[i].auc;
+    }
+    const double n = per_design.empty() ? 1.0 : static_cast<double>(per_design.size());
+    report.add_metric(method + ".mean_acc", acc / n, MetricDirection::kHigherIsBetter);
+    report.add_metric(method + ".mean_f1", f1 / n, MetricDirection::kHigherIsBetter);
+    report.add_metric(method + ".mean_auc", auc / n, MetricDirection::kHigherIsBetter);
+  };
+
   auto add_baseline_row = [&](const char* name, FullGraphBaseline& model) {
     std::vector<std::string> row{name};
+    std::vector<BinaryMetrics> per_design;
     for (const CircuitDataset& ds : test_sets) {
       const BinaryMetrics m = evaluate_baseline_link(model, ds, base_norm);
+      per_design.push_back(m);
       row.push_back(fmt(m.accuracy, 3));
       row.push_back(fmt(m.f1, 3));
       row.push_back(fmt(m.auc, 3));
     }
     table.add_row(row);
+    add_method_metrics(metric_key(name), per_design);
   };
   add_baseline_row("ParaGraph", paragraph);
   add_baseline_row("DLPL-Cap", dlpl);
 
   std::vector<std::string> gps_row{"CircuitGPS"};
+  std::vector<BinaryMetrics> gps_metrics;
   for (const CircuitDataset& ds : test_sets) {
     const TaskData test = TaskData::for_links(ds, sg_options, sizes().test_links, rng);
     const BinaryMetrics m = evaluate_link_prediction(gps_model, gps_norm, test);
+    gps_metrics.push_back(m);
     gps_row.push_back(fmt(m.accuracy, 3));
     gps_row.push_back(fmt(m.f1, 3));
     gps_row.push_back(fmt(m.auc, 3));
   }
   table.add_row(gps_row);
+  add_method_metrics("circuitgps", gps_metrics);
 
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper shape: CircuitGPS improves accuracy by >=20%% over both\n"

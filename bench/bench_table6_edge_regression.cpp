@@ -82,32 +82,58 @@ int main() {
     header.push_back("R2");
   }
   TextTable table(header);
+  // Stable metric keys per method × design (<method>.<design>.mae|rmse|r2)
+  // plus per-method means — the rows the trend gate tracks. Method keys:
+  // paragraph, dlpl_cap, circuitgps, circuitgps_head_ft, circuitgps_all_ft.
+  auto add_method_metrics = [&](const std::string& method,
+                                const std::vector<RegressionMetrics>& per_design) {
+    double mae = 0, rmse = 0, r2 = 0;
+    for (std::size_t i = 0; i < per_design.size(); ++i) {
+      const std::string key = method + "." + metric_key(test_sets[i].name);
+      report.add_metric(key + ".mae", per_design[i].mae, MetricDirection::kLowerIsBetter);
+      report.add_metric(key + ".rmse", per_design[i].rmse, MetricDirection::kLowerIsBetter);
+      report.add_metric(key + ".r2", per_design[i].r2, MetricDirection::kHigherIsBetter);
+      mae += per_design[i].mae;
+      rmse += per_design[i].rmse;
+      r2 += per_design[i].r2;
+    }
+    const double n = per_design.empty() ? 1.0 : static_cast<double>(per_design.size());
+    report.add_metric(method + ".mean_mae", mae / n, MetricDirection::kLowerIsBetter);
+    report.add_metric(method + ".mean_rmse", rmse / n, MetricDirection::kLowerIsBetter);
+    report.add_metric(method + ".mean_r2", r2 / n, MetricDirection::kHigherIsBetter);
+  };
   auto add_baseline_row = [&](const char* name, FullGraphBaseline& model) {
     std::vector<std::string> row{name};
+    std::vector<RegressionMetrics> per_design;
     for (const CircuitDataset& ds : test_sets) {
       const RegressionMetrics m = evaluate_baseline_edge(model, ds, base_norm);
+      per_design.push_back(m);
       row.push_back(fmt(m.mae, 3));
       row.push_back(fmt(m.rmse, 3));
       row.push_back(fmt(m.r2, 3));
     }
     table.add_row(row);
+    add_method_metrics(metric_key(name), per_design);
   };
-  auto add_gps_row = [&](const char* name, CircuitGps& model) {
+  auto add_gps_row = [&](const char* name, const std::string& method, CircuitGps& model) {
     std::vector<std::string> row{name};
+    std::vector<RegressionMetrics> per_design;
     for (const CircuitDataset& ds : test_sets) {
       const TaskData test = TaskData::for_edge_regression(ds, sg_options, sizes().reg_test, rng);
       const RegressionMetrics m = evaluate_regression(model, gps_norm, test);
+      per_design.push_back(m);
       row.push_back(fmt(m.mae, 3));
       row.push_back(fmt(m.rmse, 3));
       row.push_back(fmt(m.r2, 3));
     }
     table.add_row(row);
+    add_method_metrics(method, per_design);
   };
   add_baseline_row("ParaGraph", paragraph);
   add_baseline_row("DLPL-Cap", dlpl);
-  add_gps_row("CircuitGPS", scratch);
-  add_gps_row("CircuitGPS(head-ft)", head_ft);
-  add_gps_row("CircuitGPS(all-ft)", all_ft);
+  add_gps_row("CircuitGPS", "circuitgps", scratch);
+  add_gps_row("CircuitGPS(head-ft)", "circuitgps_head_ft", head_ft);
+  add_gps_row("CircuitGPS(all-ft)", "circuitgps_all_ft", all_ft);
 
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper shape: every CircuitGPS variant beats the baselines; all-ft\n"

@@ -5,15 +5,18 @@
 // CIRCUITGPS_SCALE (see DESIGN.md §7).
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "baselines/baseline_trainer.hpp"
 #include "train/dataset_cache.hpp"
 #include "train/trainer.hpp"
+#include "util/bench_diff.hpp"
 #include "util/env.hpp"
 #include "util/json_writer.hpp"
 #include "util/metrics.hpp"
@@ -116,6 +119,25 @@ inline CircuitDataset load_dataset(gen::DatasetId id, std::uint64_t seed = 100) 
 
 inline std::string fmt(double v, int decimals = 4) { return format_fixed(v, decimals); }
 
+// Flatten display text ("SANDWICH-RAM", "w/o PE", "BM_Matmul/64") into a
+// stable metric-key token: lowercase, runs of non-alphanumerics collapse to
+// one '_', no leading/trailing '_'. Metric keys are a compatibility surface
+// — cgps_bench_diff gates and cgps_bench_trend series break when they churn
+// — so every bench derives them through this one function.
+inline std::string metric_key(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
 // Machine-readable companion to the printed tables: every bench target
 // builds one BenchReport and writes BENCH_<name>.json next to its table
 // output, so run-over-run trajectories can be diffed/plotted. Schema
@@ -135,7 +157,13 @@ class BenchReport {
     tables_.emplace_back(std::move(title), TableCopy{table.header(), table.rows()});
   }
 
-  void add_metric(std::string name, double value) {
+  // Every metric declares its regression direction explicitly —
+  // kLowerIsBetter (errors, latencies), kHigherIsBetter (quality scores),
+  // kTwoSided (deterministic counts where any drift is suspect) — emitted as
+  // the report's "directions" object so cgps_bench_diff / cgps_bench_trend
+  // never fall back to the name heuristic for our own benches.
+  void add_metric(std::string name, double value, MetricDirection direction) {
+    directions_.emplace_back(name, direction);
     metrics_.emplace_back(std::move(name), value);
   }
 
@@ -192,6 +220,10 @@ class BenchReport {
     w.key("metrics").begin_object();
     for (const auto& [name, value] : metrics_) w.field(name, value);
     w.end_object();
+    w.key("directions").begin_object();
+    for (const auto& [name, direction] : directions_)
+      w.field(name, metric_direction_token(direction));
+    w.end_object();
     w.key("notes").begin_array();
     for (const std::string& note : notes_) w.value(note);
     w.end_array();
@@ -217,6 +249,7 @@ class BenchReport {
   std::vector<std::pair<std::string, Config>> config_;
   std::vector<std::pair<std::string, TableCopy>> tables_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, MetricDirection>> directions_;
   std::vector<std::string> notes_;
   Stopwatch watch_;  // started at construction = bench wall clock
 };

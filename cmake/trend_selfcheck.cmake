@@ -1,0 +1,55 @@
+# ctest driver for cgps_bench_trend_selfcheck (see tools/CMakeLists.txt).
+#
+# Runs bench_smoke three times, lays the reports out in the bench/history
+# convention (<seq>-<git>.json, lexicographic order == chronological order),
+# and trends them. Deterministic metrics must not drift between runs of the
+# same binary, so any nonzero exit from the trend tool fails the test.
+#
+# Inputs: -DBENCH_SMOKE=<path> -DBENCH_TREND=<path> -DWORK_DIR=<scratch dir>
+foreach(var BENCH_SMOKE BENCH_TREND WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "trend_selfcheck.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR}/history)
+
+foreach(seq 0001 0002 0003)
+  set(run_dir ${WORK_DIR}/run-${seq})
+  file(MAKE_DIRECTORY ${run_dir})
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env CIRCUITGPS_BENCH_DIR=${run_dir}
+            ${BENCH_SMOKE}
+    RESULT_VARIABLE smoke_rc
+    OUTPUT_QUIET)
+  if(NOT smoke_rc EQUAL 0)
+    message(FATAL_ERROR "bench_smoke run ${seq} failed (exit ${smoke_rc})")
+  endif()
+  file(COPY_FILE ${run_dir}/BENCH_smoke.json
+       ${WORK_DIR}/history/${seq}-selfcheck.json)
+endforeach()
+
+# Wall-clock and build timings jitter run-to-run on shared hosts; the gated
+# (deterministic + quality) metrics must be flat. Same skip set as the
+# per-bench diff gates.
+execute_process(
+  COMMAND ${BENCH_TREND} --tolerance-pct 0.0 --skip seconds
+          ${WORK_DIR}/history
+  RESULT_VARIABLE trend_rc
+  OUTPUT_VARIABLE trend_out
+  ERROR_VARIABLE trend_err)
+message(STATUS "cgps_bench_trend output:\n${trend_out}${trend_err}")
+if(NOT trend_rc EQUAL 0)
+  message(FATAL_ERROR "cgps_bench_trend reported drift across identical runs "
+                      "(exit ${trend_rc})")
+endif()
+
+# Usage contract: fewer than two reports is an operator error -> exit 2.
+execute_process(
+  COMMAND ${BENCH_TREND} ${WORK_DIR}/history/0001-selfcheck.json
+  RESULT_VARIABLE lone_rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT lone_rc EQUAL 2)
+  message(FATAL_ERROR "cgps_bench_trend on one report: want exit 2, got ${lone_rc}")
+endif()

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/json_writer.hpp"
 #include "util/strings.hpp"
@@ -29,7 +31,50 @@ std::string fmt_delta(double pct) {
   return std::string(buf);
 }
 
+bool matches_skip(const std::vector<std::string>& skip, std::string_view name) {
+  for (const std::string& token : skip)
+    if (!token.empty() && name.find(token) != std::string_view::npos) return true;
+  return false;
+}
+
+double relative_delta_pct(double from, double to) {
+  const double denom = std::max(std::abs(from), 1e-12);
+  return (to - from) / denom * 100.0;
+}
+
+// Signed size of a move in the metric's bad direction: positive = worse.
+double bad_move(MetricDirection direction, double delta_pct) {
+  switch (direction) {
+    case MetricDirection::kHigherIsBetter:
+      return -delta_pct;
+    case MetricDirection::kLowerIsBetter:
+      return delta_pct;
+    case MetricDirection::kTwoSided:
+      return std::abs(delta_pct);
+  }
+  return delta_pct;
+}
+
+std::optional<MetricDirection> direction_from_token(std::string_view token) {
+  if (token == "down") return MetricDirection::kLowerIsBetter;
+  if (token == "up") return MetricDirection::kHigherIsBetter;
+  if (token == "both") return MetricDirection::kTwoSided;
+  return std::nullopt;
+}
+
 }  // namespace
+
+std::string_view metric_direction_token(MetricDirection direction) {
+  switch (direction) {
+    case MetricDirection::kLowerIsBetter:
+      return "down";
+    case MetricDirection::kHigherIsBetter:
+      return "up";
+    case MetricDirection::kTwoSided:
+      return "both";
+  }
+  return "down";
+}
 
 std::optional<BenchReportView> parse_bench_report(std::string_view text, std::string* error) {
   std::string parse_error;
@@ -72,6 +117,23 @@ std::optional<BenchReportView> parse_bench_report(std::string_view text, std::st
     }
     view.metrics.emplace_back(name, value.number);
   }
+  if (const JsonValue* directions = doc->find("directions");
+      directions != nullptr && directions->type == JsonValue::Type::kObject) {
+    for (const auto& [name, value] : directions->object) {
+      if (value.type != JsonValue::Type::kString) {
+        if (error) *error = "direction of \"" + name + "\" is not a string";
+        return std::nullopt;
+      }
+      const std::optional<MetricDirection> dir = direction_from_token(value.string);
+      if (!dir) {
+        if (error)
+          *error = "direction of \"" + name + "\" is \"" + value.string +
+                   "\" (want \"down\", \"up\", or \"both\")";
+        return std::nullopt;
+      }
+      view.directions.emplace_back(name, *dir);
+    }
+  }
   if (const JsonValue* wall = doc->find("wall_seconds");
       wall != nullptr && wall->type == JsonValue::Type::kNumber) {
     view.wall_seconds = wall->number;
@@ -90,6 +152,7 @@ std::optional<BenchReportView> load_bench_report(const std::string& path, std::s
   std::string inner;
   std::optional<BenchReportView> view = parse_bench_report(buf.str(), &inner);
   if (!view && error) *error = path + ": " + inner;
+  if (view) view->source = path;
   return view;
 }
 
@@ -102,6 +165,13 @@ bool metric_higher_is_better(std::string_view name) {
     if (lowered.find(token) != std::string::npos) return true;
   }
   return false;
+}
+
+MetricDirection metric_direction(const BenchReportView& report, std::string_view name) {
+  for (const auto& [metric, direction] : report.directions)
+    if (metric == name) return direction;
+  return metric_higher_is_better(name) ? MetricDirection::kHigherIsBetter
+                                       : MetricDirection::kLowerIsBetter;
 }
 
 BenchDiffResult diff_bench_reports(const BenchReportView& baseline,
@@ -120,6 +190,14 @@ BenchDiffResult diff_bench_reports(const BenchReportView& baseline,
       if (n == name) return &v;
     return nullptr;
   };
+  // Baseline metadata wins: the committed baseline is the contract. A metric
+  // only the candidate declares (e.g. a newly added one) uses the
+  // candidate's; reports without metadata fall back to the name heuristic.
+  auto direction_of = [&](const std::string& name) {
+    for (const auto& [metric, direction] : baseline.directions)
+      if (metric == name) return direction;
+    return metric_direction(candidate, name);
+  };
 
   BenchDiffResult result;
   for (const auto& [name, base_value] : base) {
@@ -127,21 +205,25 @@ BenchDiffResult diff_bench_reports(const BenchReportView& baseline,
     row.metric = name;
     row.in_baseline = true;
     row.baseline = base_value;
-    row.higher_is_better = metric_higher_is_better(name);
+    row.direction = direction_of(name);
+    const bool skipped = matches_skip(options.skip, name);
     if (const double* cand_value = find_in(cand, name)) {
       row.in_candidate = true;
       row.candidate = *cand_value;
-      const double denom = std::max(std::abs(base_value), 1e-12);
-      row.delta_pct = (row.candidate - row.baseline) / denom * 100.0;
-      const double bad_move = row.higher_is_better ? -row.delta_pct : row.delta_pct;
-      if (bad_move > options.tolerance_pct) {
+      row.delta_pct = relative_delta_pct(row.baseline, row.candidate);
+      const double worse = bad_move(row.direction, row.delta_pct);
+      if (skipped) {
+        row.status = "skipped";
+      } else if (worse > options.tolerance_pct) {
         row.status = "REGRESSED";
         ++result.regressions;
-      } else if (bad_move < -options.tolerance_pct) {
+      } else if (worse < -options.tolerance_pct) {
         row.status = "improved";
       } else {
         row.status = "ok";
       }
+    } else if (skipped) {
+      row.status = "skipped";
     } else {
       row.status = "MISSING";  // baseline metric dropped = regression
       ++result.regressions;
@@ -154,8 +236,8 @@ BenchDiffResult diff_bench_reports(const BenchReportView& baseline,
     row.metric = name;
     row.in_candidate = true;
     row.candidate = cand_value;
-    row.higher_is_better = metric_higher_is_better(name);
-    row.status = "new";
+    row.direction = direction_of(name);
+    row.status = matches_skip(options.skip, name) ? "skipped" : "new";
     result.rows.push_back(std::move(row));
   }
   return result;
@@ -179,7 +261,7 @@ std::string render_bench_diff(const BenchReportView& baseline,
         row.in_baseline ? fmt_value(row.baseline) : "n/a",
         row.in_candidate ? fmt_value(row.candidate) : "n/a",
         row.in_baseline && row.in_candidate ? fmt_delta(row.delta_pct) : "n/a",
-        row.higher_is_better ? "up" : "down",
+        std::string(metric_direction_token(row.direction)),
         row.status,
     });
   }
@@ -216,6 +298,12 @@ int bench_diff_main(int argc, const char* const* argv, std::string& out) {
       }
     } else if (arg == "--include-wall") {
       options.include_wall = true;
+    } else if (arg == "--skip") {
+      if (i + 1 >= argc) {
+        out += "--skip needs a substring\n";
+        return 2;
+      }
+      options.skip.emplace_back(argv[++i]);
     } else if (!arg.empty() && arg[0] == '-') {
       out += "unknown flag: " + std::string(arg) + "\n";
       return 2;
@@ -226,7 +314,7 @@ int bench_diff_main(int argc, const char* const* argv, std::string& out) {
   if (paths.size() != 2) {
     out +=
         "usage: cgps_bench_diff <baseline.json> <candidate.json> "
-        "[--tolerance-pct N] [--include-wall]\n";
+        "[--tolerance-pct N] [--include-wall] [--skip SUBSTR]...\n";
     return 2;
   }
 
@@ -245,6 +333,253 @@ int bench_diff_main(int argc, const char* const* argv, std::string& out) {
   const BenchDiffResult result = diff_bench_reports(*baseline, *candidate, options);
   out += render_bench_diff(*baseline, *candidate, result, options);
   return result.regressions > 0 ? 1 : 0;
+}
+
+// ---------------------------------------------------------------- trend --
+
+namespace {
+
+// ASCII min..max ramp: one character per report carrying the metric. Dense
+// enough to spot a step change at a glance without scraping the numbers.
+std::string spark_line(const std::vector<double>& values) {
+  static constexpr char kRamp[] = "_.-=+*#@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp) - 1);
+  if (values.empty()) return "";
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it, hi = *hi_it;
+  std::string out;
+  out.reserve(values.size());
+  for (const double v : values) {
+    const double t = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+    const int level = std::clamp(static_cast<int>(t * (kLevels - 1) + 0.5), 0, kLevels - 1);
+    out += kRamp[level];
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchTrendResult trend_bench_reports(const std::vector<BenchReportView>& series,
+                                     const BenchTrendOptions& options) {
+  BenchTrendResult result;
+  const std::size_t begin =
+      options.last_n > 0 && options.last_n < series.size() ? series.size() - options.last_n : 0;
+  const std::size_t n = series.size() - begin;
+  result.reports = n;
+  if (n == 0) return result;
+  result.bench = series[begin].bench;
+  result.first_git = series[begin].git;
+  result.last_git = series.back().git;
+
+  auto metrics_of = [&options](const BenchReportView& r) {
+    std::vector<std::pair<std::string, double>> m = r.metrics;
+    if (options.include_wall) m.emplace_back("wall_seconds", r.wall_seconds);
+    return m;
+  };
+
+  // Metric universe ordered by first appearance, oldest report first, so the
+  // trend table reads like the oldest report plus later additions.
+  std::vector<std::string> universe;
+  for (std::size_t i = begin; i < series.size(); ++i)
+    for (const auto& [name, value] : metrics_of(series[i]))
+      if (std::find(universe.begin(), universe.end(), name) == universe.end())
+        universe.push_back(name);
+
+  for (const std::string& name : universe) {
+    BenchTrendRow row;
+    row.metric = name;
+    // Newest report's metadata wins — it reflects the current bench source.
+    row.direction = metric_direction(series.back(), name);
+    std::vector<double> values;
+    bool in_latest = false;
+    for (std::size_t i = begin; i < series.size(); ++i) {
+      for (const auto& [metric, value] : metrics_of(series[i])) {
+        if (metric != name) continue;
+        values.push_back(value);
+        if (i + 1 == series.size()) in_latest = true;
+        break;
+      }
+    }
+    row.present = static_cast<int>(values.size());
+    if (!values.empty()) {
+      row.first = values.front();
+      row.last = values.back();
+      const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+      row.min = *lo;
+      row.max = *hi;
+      row.delta_pct = relative_delta_pct(row.first, row.last);
+      row.spark = spark_line(values);
+    }
+    const bool skipped = matches_skip(options.skip, name);
+    if (skipped) {
+      row.status = "skipped";
+    } else if (!in_latest) {
+      row.status = "MISSING";  // tracked metric vanished from the newest report
+      ++result.drifts;
+    } else if (values.size() <= 1) {
+      row.status = "new";
+    } else {
+      const double worse = bad_move(row.direction, row.delta_pct);
+      if (worse > options.tolerance_pct) {
+        row.status = "DRIFTED";
+        ++result.drifts;
+      } else if (worse < -options.tolerance_pct) {
+        row.status = "improved";
+      } else {
+        row.status = "ok";
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+std::string render_bench_trend(const BenchTrendResult& result,
+                               const BenchTrendOptions& options) {
+  std::string out;
+  out += "bench:   " + result.bench + "\n";
+  char span[192];
+  std::snprintf(span, sizeof(span), "reports: %d (git %s .. %s)\n",
+                static_cast<int>(result.reports),
+                result.first_git.empty() ? "?" : result.first_git.c_str(),
+                result.last_git.empty() ? "?" : result.last_git.c_str());
+  out += span;
+
+  TextTable table({"metric", "dir", "n", "first", "last", "min", "max", "delta", "trend",
+                   "status"});
+  for (const BenchTrendRow& row : result.rows) {
+    table.add_row({
+        row.metric,
+        std::string(metric_direction_token(row.direction)),
+        std::to_string(row.present),
+        row.present > 0 ? fmt_value(row.first) : "n/a",
+        row.present > 0 ? fmt_value(row.last) : "n/a",
+        row.present > 0 ? fmt_value(row.min) : "n/a",
+        row.present > 0 ? fmt_value(row.max) : "n/a",
+        row.present > 1 ? fmt_delta(row.delta_pct) : "n/a",
+        row.spark,
+        row.status,
+    });
+  }
+  out += table.to_string();
+
+  char verdict[160];
+  std::snprintf(verdict, sizeof(verdict),
+                "%d drift(s) at tolerance %.2f%% over %d metric(s), %d report(s)\n",
+                result.drifts, options.tolerance_pct, static_cast<int>(result.rows.size()),
+                static_cast<int>(result.reports));
+  out += verdict;
+  return out;
+}
+
+int bench_trend_main(int argc, const char* const* argv, std::string& out) {
+  BenchTrendOptions options;
+  std::string bench_filter;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--tolerance-pct") {
+      if (i + 1 >= argc) {
+        out += "--tolerance-pct needs a value\n";
+        return 2;
+      }
+      try {
+        options.tolerance_pct = std::stod(argv[++i]);
+      } catch (...) {
+        out += "--tolerance-pct: not a number\n";
+        return 2;
+      }
+      if (options.tolerance_pct < 0) {
+        out += "--tolerance-pct must be >= 0\n";
+        return 2;
+      }
+    } else if (arg == "--last") {
+      if (i + 1 >= argc) {
+        out += "--last needs a count\n";
+        return 2;
+      }
+      try {
+        const int n = std::stoi(argv[++i]);
+        if (n < 1) throw std::invalid_argument("non-positive");
+        options.last_n = static_cast<std::size_t>(n);
+      } catch (...) {
+        out += "--last: want a positive integer\n";
+        return 2;
+      }
+    } else if (arg == "--bench") {
+      if (i + 1 >= argc) {
+        out += "--bench needs a name\n";
+        return 2;
+      }
+      bench_filter = argv[++i];
+    } else if (arg == "--skip") {
+      if (i + 1 >= argc) {
+        out += "--skip needs a substring\n";
+        return 2;
+      }
+      options.skip.emplace_back(argv[++i]);
+    } else if (arg == "--include-wall") {
+      options.include_wall = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      out += "unknown flag: " + std::string(arg) + "\n";
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    out +=
+        "usage: cgps_bench_trend <history-dir | report.json...> [--bench NAME] "
+        "[--last N] [--tolerance-pct N] [--skip SUBSTR]... [--include-wall]\n";
+    return 2;
+  }
+
+  // Expand directory arguments to their *.json entries. Lexicographic order
+  // is chronological under the bench/history/ <seq>-<git>.json convention.
+  std::vector<std::string> paths;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      std::vector<std::string> entries;
+      for (const auto& entry : std::filesystem::directory_iterator(input, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".json")
+          entries.push_back(entry.path().string());
+      }
+      if (ec) {
+        out += "cannot list " + input + "\n";
+        return 2;
+      }
+      std::sort(entries.begin(), entries.end());
+      paths.insert(paths.end(), entries.begin(), entries.end());
+    } else {
+      paths.push_back(input);
+    }
+  }
+
+  std::vector<BenchReportView> series;
+  for (const std::string& path : paths) {
+    std::string error;
+    std::optional<BenchReportView> view = load_bench_report(path, &error);
+    if (!view) {
+      out += error + "\n";
+      return 2;
+    }
+    if (!bench_filter.empty() && view->bench != bench_filter) continue;
+    if (!series.empty() && view->bench != series.front().bench) {
+      out += "mixed bench names (\"" + series.front().bench + "\" vs \"" + view->bench +
+             "\" in " + path + "); pass --bench NAME to select one\n";
+      return 2;
+    }
+    series.push_back(std::move(*view));
+  }
+  if (series.size() < 2) {
+    out += "need at least two reports to trend (got " + std::to_string(series.size()) + ")\n";
+    return 2;
+  }
+
+  const BenchTrendResult result = trend_bench_reports(series, options);
+  out += render_bench_trend(result, options);
+  return result.drifts > 0 ? 1 : 0;
 }
 
 }  // namespace cgps

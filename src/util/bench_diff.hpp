@@ -1,9 +1,12 @@
-// Comparison of two cgps-bench-v1 reports (bench/common.hpp BenchReport):
-// row-wise metric diff with a percentage tolerance, rendered as a util/table
-// TextTable. Backs the tools/cgps_bench_diff CLI and its tests; kept in
-// cgps_util so the diff logic is unit-testable without spawning the binary.
+// Comparison of cgps-bench-v1 reports (bench/common.hpp BenchReport):
+// pairwise metric diffs with a percentage tolerance, and a multi-report
+// trend mode over a chronological series of git-describe-stamped reports.
+// Backs the tools/cgps_bench_diff and tools/cgps_bench_trend CLIs and their
+// tests; kept in cgps_util so the logic is unit-testable without spawning
+// the binaries.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -11,29 +14,52 @@
 
 namespace cgps {
 
+// Per-metric regression direction. Reports written since the "directions"
+// payload exists carry one explicitly per metric; for older reports a name
+// heuristic (metric_higher_is_better) fills the gap.
+enum class MetricDirection {
+  kLowerIsBetter,   // losses, errors, latencies — regress when they rise
+  kHigherIsBetter,  // quality scores — regress when they drop
+  kTwoSided,        // deterministic counts — any move is a regression
+};
+
+// "down" / "up" / "both" — the tokens used in the report's "directions"
+// object and in rendered tables.
+std::string_view metric_direction_token(MetricDirection direction);
+
 // The subset of a cgps-bench-v1 report the differ consumes. `metrics`
 // preserves the report's member order so diff tables read like the report.
 struct BenchReportView {
-  std::string bench;  // report/bench name
-  std::string git;    // producing commit ("unknown" outside a checkout)
+  std::string bench;   // report/bench name
+  std::string git;     // producing commit ("unknown" outside a checkout)
+  std::string source;  // file path or label; trend tables cite it
   std::vector<std::pair<std::string, double>> metrics;
+  // Explicit per-metric directions from the optional "directions" object.
+  std::vector<std::pair<std::string, MetricDirection>> directions;
   double wall_seconds = 0.0;
 };
 
 // Parse + validate a cgps-bench-v1 document. Requires schema ==
 // "cgps-bench-v1", a string "bench", and an all-numeric "metrics" object.
+// An optional "directions" object maps metric names to "down"/"up"/"both".
 // Returns nullopt and fills `error` (if given) on malformed input.
 std::optional<BenchReportView> parse_bench_report(std::string_view text,
                                                   std::string* error = nullptr);
 
 // parse_bench_report over a file's contents; also fails on unreadable paths.
+// Fills `source` with the path.
 std::optional<BenchReportView> load_bench_report(const std::string& path,
                                                  std::string* error = nullptr);
 
-// Direction heuristic: quality scores (auc / acc / f1 / r2 / precision /
-// recall / score / hit / throughput) regress when they *drop*; everything
-// else (losses, errors, latencies, counts) regresses when it *rises*.
+// Direction heuristic for reports without explicit metadata: quality scores
+// (auc / acc / f1 / r2 / precision / recall / score / hit / throughput)
+// regress when they *drop*; everything else (losses, errors, latencies,
+// counts) regresses when it *rises*.
 bool metric_higher_is_better(std::string_view name);
+
+// The direction for `name`: the report's explicit entry when present, the
+// name heuristic otherwise.
+MetricDirection metric_direction(const BenchReportView& report, std::string_view name);
 
 struct BenchDiffOptions {
   // A candidate metric may move this many percent in the bad direction
@@ -41,6 +67,10 @@ struct BenchDiffOptions {
   double tolerance_pct = 5.0;
   // wall_seconds is machine noise across hosts; only diff it on request.
   bool include_wall = false;
+  // Metrics whose name contains any of these substrings are reported but
+  // never gate (status "skipped") — e.g. "--skip seconds" on a shared CI
+  // host where timings are noise but quality metrics must hold.
+  std::vector<std::string> skip;
 };
 
 struct BenchDiffRow {
@@ -50,8 +80,8 @@ struct BenchDiffRow {
   double baseline = 0.0;
   double candidate = 0.0;
   double delta_pct = 0.0;  // signed, relative to the baseline value
-  bool higher_is_better = false;
-  // "ok" | "improved" | "REGRESSED" | "new" | "MISSING"
+  MetricDirection direction = MetricDirection::kLowerIsBetter;
+  // "ok" | "improved" | "REGRESSED" | "new" | "MISSING" | "skipped"
   std::string status;
 };
 
@@ -63,7 +93,8 @@ struct BenchDiffResult {
 // Diff candidate against baseline. Rows follow the baseline's metric order,
 // then candidate-only metrics. A metric present in the baseline but absent
 // from the candidate is a regression (MISSING); a candidate-only metric is
-// informational (new).
+// informational (new). Directions resolve from the baseline's metadata
+// first, then the candidate's, then the name heuristic.
 BenchDiffResult diff_bench_reports(const BenchReportView& baseline,
                                    const BenchReportView& candidate,
                                    const BenchDiffOptions& options = {});
@@ -77,9 +108,65 @@ std::string render_bench_diff(const BenchReportView& baseline,
 
 // CLI driver for tools/cgps_bench_diff:
 //   cgps_bench_diff <baseline.json> <candidate.json>
-//                   [--tolerance-pct N] [--include-wall]
+//                   [--tolerance-pct N] [--include-wall] [--skip SUBSTR]...
 // Appends all output (table or error text) to *out. Returns 0 when no metric
 // regressed, 1 on regression, 2 on bad usage or malformed input.
 int bench_diff_main(int argc, const char* const* argv, std::string& out);
+
+// ---------------------------------------------------------------- trend --
+
+struct BenchTrendOptions {
+  // Drift tolerance for newest-vs-oldest, like BenchDiffOptions.
+  double tolerance_pct = 5.0;
+  // Keep only the newest N reports of the series (0 = all).
+  std::size_t last_n = 0;
+  bool include_wall = false;
+  std::vector<std::string> skip;
+};
+
+struct BenchTrendRow {
+  std::string metric;
+  MetricDirection direction = MetricDirection::kLowerIsBetter;
+  int present = 0;         // reports of the series carrying this metric
+  double first = 0.0;      // oldest value present
+  double last = 0.0;       // value in the newest report carrying it
+  double min = 0.0;
+  double max = 0.0;
+  double delta_pct = 0.0;  // first -> last, relative to first
+  std::string spark;       // ASCII min..max ramp over the series
+  // "ok" | "improved" | "DRIFTED" | "MISSING" | "new" | "skipped"
+  std::string status;
+};
+
+struct BenchTrendResult {
+  std::vector<BenchTrendRow> rows;
+  int drifts = 0;           // DRIFTED rows + MISSING rows
+  std::size_t reports = 0;  // series length after --last trimming
+  std::string bench;
+  std::string first_git;
+  std::string last_git;
+};
+
+// Per-metric drift over a chronological series (oldest first — callers sort
+// file paths lexicographically, which the bench/history/ naming convention
+// (<seq>-<git>.json) makes chronological). A metric is DRIFTED when newest
+// vs oldest moves past the tolerance in its bad direction, MISSING when it
+// appeared earlier but is absent from the newest report, and "new" when only
+// the newest report carries it.
+BenchTrendResult trend_bench_reports(const std::vector<BenchReportView>& series,
+                                     const BenchTrendOptions& options = {});
+
+std::string render_bench_trend(const BenchTrendResult& result,
+                               const BenchTrendOptions& options);
+
+// CLI driver for tools/cgps_bench_trend:
+//   cgps_bench_trend <history-dir | report.json report.json ...>
+//                    [--bench NAME] [--last N] [--tolerance-pct N]
+//                    [--skip SUBSTR]... [--include-wall]
+// A directory argument expands to its *.json entries, sorted by name. All
+// reports must agree on the bench name (--bench filters a mixed directory).
+// Returns 0 when nothing drifted, 1 on drift, 2 on bad usage, malformed
+// input, or fewer than two usable reports.
+int bench_trend_main(int argc, const char* const* argv, std::string& out);
 
 }  // namespace cgps

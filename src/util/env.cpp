@@ -1,20 +1,59 @@
 #include "util/env.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 
+#include "util/logging.hpp"
+
 namespace cgps {
+
+namespace {
+
+// One warning per (variable, value) so a long-lived process that re-reads an
+// env var every call (env_thread_count, env_run_log_max_bytes) does not spam
+// the log, but a *changed* bad value still gets reported.
+void warn_once(const char* name, const char* text, const char* why) {
+  static std::mutex mu;
+  static std::set<std::string> warned;
+  const std::string key = std::string(name) + "=" + text;
+  {
+    const std::scoped_lock lock(mu);
+    if (!warned.insert(key).second) return;
+  }
+  log_warn("ignoring ", name, "=\"", text, "\": ", why);
+}
+
+}  // namespace
+
+std::optional<double> parse_env_double(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) return std::nullopt;
+  return v;
+}
+
+std::optional<long long> parse_env_int(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return std::nullopt;
+  return v;
+}
 
 double bench_scale() {
   static const double scale = [] {
     if (const char* env = std::getenv("CIRCUITGPS_SCALE")) {
-      try {
-        const double v = std::stod(env);
-        if (v > 0) return v;
-      } catch (...) {
-      }
+      const std::optional<double> v = parse_env_double(env);
+      if (v.has_value() && *v > 0) return *v;
+      warn_once("CIRCUITGPS_SCALE", env, "want a positive number; using 1");
     }
     return 1.0;
   }();
@@ -27,11 +66,10 @@ int scaled(int base, int min_value) {
 
 int env_thread_count() {
   if (const char* env = std::getenv("CIRCUITGPS_THREADS")) {
-    try {
-      const int v = std::stoi(env);
-      if (v >= 1) return v;
-    } catch (...) {
-    }
+    const std::optional<long long> v = parse_env_int(env);
+    if (v.has_value() && *v >= 1) return static_cast<int>(std::min<long long>(*v, 1 << 20));
+    warn_once("CIRCUITGPS_THREADS", env,
+              "want a positive integer; using the hardware default");
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
@@ -44,11 +82,11 @@ std::string env_run_log_path() {
 
 std::int64_t env_run_log_max_bytes() {
   if (const char* env = std::getenv("CIRCUITGPS_RUN_LOG_MAX_MB")) {
-    try {
-      const double mb = std::stod(env);
-      if (mb > 0) return static_cast<std::int64_t>(mb * 1024.0 * 1024.0);
-    } catch (...) {
-    }
+    const std::optional<double> mb = parse_env_double(env);
+    if (mb.has_value() && *mb > 0)
+      return static_cast<std::int64_t>(*mb * 1024.0 * 1024.0);
+    warn_once("CIRCUITGPS_RUN_LOG_MAX_MB", env,
+              "want a positive number of MiB; leaving the log unbounded");
   }
   return 0;
 }

@@ -4,9 +4,18 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace cgps {
+
+// Strict numeric parsing shared by every CIRCUITGPS_* reader: the whole
+// string must be one number ("4x", "1.5abc", "" and out-of-range values all
+// yield nullopt). Call sites log one warning per malformed variable value and
+// fall back to their documented default instead of silently accepting a
+// prefix the way std::stod/std::stoi would.
+std::optional<double> parse_env_double(const char* text);
+std::optional<long long> parse_env_int(const char* text);
 
 // Value of CIRCUITGPS_SCALE (default 1.0). Benches multiply dataset sizes
 // and epoch counts by this factor; >1 gives higher-fidelity, slower runs.

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/logging.hpp"
+
 namespace cgps {
 
 std::string json_escape(std::string_view s) {
@@ -413,15 +415,63 @@ JsonlFile::~JsonlFile() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+bool rotate_file(const std::string& path, const std::string& rotated,
+                 std::string* detail, bool allow_rename) {
+  // A failed remove only matters if the stale target then blocks the rename
+  // or copy below; ENOENT (nothing to remove) is the common, harmless case.
+  std::remove(rotated.c_str());
+  if (allow_rename && std::rename(path.c_str(), rotated.c_str()) == 0) return true;
+
+  // rename fails across filesystems (EXDEV) and on blocked targets: fall
+  // back to streaming the bytes over, then truncating the source.
+  std::FILE* src = std::fopen(path.c_str(), "rb");
+  if (src == nullptr) {
+    if (detail) *detail = "cannot reopen " + path + " for copy";
+    return false;
+  }
+  bool copied = false;
+  std::FILE* dst = std::fopen(rotated.c_str(), "wb");
+  if (dst == nullptr) {
+    if (detail) *detail = "cannot create " + rotated;
+  } else {
+    copied = true;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), src)) > 0) {
+      if (std::fwrite(buf, 1, n, dst) != n) {
+        copied = false;
+        break;
+      }
+    }
+    if (std::ferror(src)) copied = false;
+    if (std::fclose(dst) != 0) copied = false;
+    if (!copied && detail) *detail = "short copy into " + rotated;
+  }
+  std::fclose(src);
+  // Truncate the source even when the copy failed: the size cap is the
+  // contract, and the caller is told (via `false`) that the old records
+  // were lost rather than preserved.
+  std::FILE* trunc = std::fopen(path.c_str(), "wb");
+  if (trunc != nullptr) {
+    std::fclose(trunc);
+  } else {
+    copied = false;
+    if (detail && detail->empty()) *detail = "cannot truncate " + path;
+  }
+  return copied;
+}
+
 void JsonlFile::write_line(std::string_view line) {
   if (file_ == nullptr) return;
   const std::scoped_lock lock(mu_);
   const std::int64_t incoming = static_cast<std::int64_t>(line.size()) + 1;
   if (max_bytes_ > 0 && bytes_ > 0 && bytes_ + incoming > max_bytes_) {
     std::fclose(file_);
-    const std::string rotated = path_ + ".1";
-    std::remove(rotated.c_str());
-    std::rename(path_.c_str(), rotated.c_str());
+    std::string detail;
+    if (!rotate_file(path_, path_ + ".1", &detail)) {
+      log_warn("run-log rotation of ", path_, " failed (", detail,
+               "); older records were dropped to hold the size cap");
+    }
     file_ = std::fopen(path_.c_str(), "ab");
     bytes_ = 0;
     if (file_ == nullptr) return;

@@ -84,11 +84,23 @@ struct JsonValue {
 // `error` (if given) on malformed input.
 std::optional<JsonValue> json_parse(std::string_view text, std::string* error = nullptr);
 
+// Move `path` to `rotated` for log rotation: remove any stale `rotated`,
+// then rename; when rename fails (EXDEV across filesystems, or a blocked
+// target) fall back to copy-then-truncate so the source keeps honoring a
+// size cap. Returns false — with a human-readable reason in `detail` — only
+// when the old contents could not be preserved; the source file is truncated
+// even then, because an unbounded log is the worse failure. `allow_rename =
+// false` forces the copy fallback (used by tests to exercise that path).
+bool rotate_file(const std::string& path, const std::string& rotated,
+                 std::string* detail = nullptr, bool allow_rename = true);
+
 // Append-mode JSONL sink: one record per line, flushed per line so partial
 // runs still leave a readable log. Thread-safe per line. With a non-zero
 // `max_bytes`, a write that would push the file past the cap first rotates
-// it to `<path>.1` (replacing any previous rotation) and restarts the file,
-// so long sweeps keep a bounded, always-fresh tail.
+// it to `<path>.1` (replacing any previous rotation, falling back to
+// copy+truncate when rename fails — see rotate_file) and restarts the file,
+// so long sweeps keep a bounded, always-fresh tail. Rotation failures are
+// reported through util/logging, never by growing past the cap.
 class JsonlFile {
  public:
   explicit JsonlFile(std::string path, std::int64_t max_bytes = 0);

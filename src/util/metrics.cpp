@@ -70,7 +70,11 @@ double estimate_quantile(const Histogram::Snapshot& snap, double q) {
     }
     cumulative += in_bucket;
   }
-  return snap.bounds.back();  // rank lies in the open overflow bucket
+  // The rank lies in the open overflow bucket: there is no finite upper edge
+  // to interpolate against, and reporting bounds.back() would silently cap
+  // the quantile at the ladder's top. +inf serializes as JSON null; consumers
+  // use the payload's overflow_count to tell "saturated" from "empty".
+  return std::numeric_limits<double>::infinity();
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -124,6 +128,9 @@ void MetricsRegistry::write_json(JsonWriter& w) const {
     w.end_array();
     w.field("count", snap.count);
     w.field("sum", snap.sum);
+    // Samples past the last bound. Non-zero means the quantiles below are
+    // saturated (+inf, serialized null) — trend tooling must not trust them.
+    w.field("overflow_count", snap.counts.empty() ? 0 : snap.counts.back());
     // Interpolated quantiles (NaN serializes as null when count == 0).
     w.field("p50", estimate_quantile(snap, 0.50));
     w.field("p95", estimate_quantile(snap, 0.95));

@@ -70,8 +70,11 @@ class Histogram {
 // snapshot: the quantile's rank is located in the cumulative bucket counts
 // and the value interpolated linearly inside that bucket. The first bucket's
 // lower edge is min(0, bounds[0]); ranks landing in the open overflow bucket
-// clamp to the last bound. Returns NaN when the snapshot is empty or the
-// histogram has no bounds, and is monotone in q, so p50 <= p95 <= p99.
+// yield +inf — there is no finite edge to interpolate against, and a capped
+// value would be a fake quantile (check the snapshot's last count, exported
+// as `overflow_count` in the JSON payload, to detect saturation). Returns
+// NaN when the snapshot is empty or the histogram has no bounds, and is
+// monotone in q, so p50 <= p95 <= p99.
 double estimate_quantile(const Histogram::Snapshot& snap, double q);
 
 // Registry of named instruments. Lookup is mutex-guarded; returned

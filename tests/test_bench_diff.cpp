@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -97,7 +98,9 @@ TEST(DiffBenchReports, WithinToleranceIsClean) {
 TEST(DiffBenchReports, FlagsLowerIsBetterRegression) {
   const auto a = parse_bench_report(report_json("b", {{"mae", 0.100}}));
   const auto b = parse_bench_report(report_json("b", {{"mae", 0.111}}));
-  const BenchDiffResult result = diff_bench_reports(*a, *b, {.tolerance_pct = 5.0});
+  BenchDiffOptions options;
+  options.tolerance_pct = 5.0;
+  const BenchDiffResult result = diff_bench_reports(*a, *b, options);
   EXPECT_EQ(result.regressions, 1);
   EXPECT_EQ(result.rows[0].status, "REGRESSED");
   EXPECT_NEAR(result.rows[0].delta_pct, 11.0, 0.2);
@@ -106,11 +109,13 @@ TEST(DiffBenchReports, FlagsLowerIsBetterRegression) {
 TEST(DiffBenchReports, FlagsHigherIsBetterRegression) {
   const auto a = parse_bench_report(report_json("b", {{"auc", 0.90}}));
   const auto b = parse_bench_report(report_json("b", {{"auc", 0.80}}));
-  const BenchDiffResult result = diff_bench_reports(*a, *b, {.tolerance_pct = 5.0});
+  BenchDiffOptions options;
+  options.tolerance_pct = 5.0;
+  const BenchDiffResult result = diff_bench_reports(*a, *b, options);
   EXPECT_EQ(result.regressions, 1);
   EXPECT_EQ(result.rows[0].status, "REGRESSED");
   // An *improvement* on a higher-is-better metric is not a regression.
-  const BenchDiffResult gain = diff_bench_reports(*b, *a, {.tolerance_pct = 5.0});
+  const BenchDiffResult gain = diff_bench_reports(*b, *a, options);
   EXPECT_EQ(gain.regressions, 0);
   EXPECT_EQ(gain.rows[0].status, "improved");
 }
@@ -190,6 +195,247 @@ TEST(BenchDiffMain, ExitCodeContract) {
   std::remove(clean.c_str());
   std::remove(worse.c_str());
   std::remove(broken.c_str());
+}
+
+// ------------------------------------------------- direction metadata --
+
+std::string report_json_with_directions(
+    const std::string& bench, const std::vector<std::pair<std::string, double>>& metrics,
+    const std::vector<std::pair<std::string, std::string>>& directions) {
+  std::string out = "{\"schema\":\"cgps-bench-v1\",\"bench\":\"" + bench +
+                    "\",\"git\":\"test\",\"metrics\":{";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + metrics[i].first + "\":" + std::to_string(metrics[i].second);
+  }
+  out += "},\"directions\":{";
+  for (std::size_t i = 0; i < directions.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + directions[i].first + "\":\"" + directions[i].second + "\"";
+  }
+  out += "},\"wall_seconds\":1.0}";
+  return out;
+}
+
+TEST(ParseBenchReport, ReadsDirectionsObject) {
+  const auto view = parse_bench_report(report_json_with_directions(
+      "b", {{"a", 1.0}, {"b", 2.0}, {"c", 3.0}},
+      {{"a", "down"}, {"b", "up"}, {"c", "both"}}));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(metric_direction(*view, "a"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(metric_direction(*view, "b"), MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(metric_direction(*view, "c"), MetricDirection::kTwoSided);
+  // No explicit entry -> heuristic.
+  EXPECT_EQ(metric_direction(*view, "some_auc"), MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(metric_direction(*view, "some_loss"), MetricDirection::kLowerIsBetter);
+}
+
+TEST(ParseBenchReport, RejectsBadDirectionTokens) {
+  std::string error;
+  EXPECT_FALSE(parse_bench_report(report_json_with_directions("b", {{"a", 1.0}},
+                                                              {{"a", "sideways"}}),
+                                  &error)
+                   .has_value());
+  EXPECT_NE(error.find("direction"), std::string::npos) << error;
+  // Non-string direction value.
+  EXPECT_FALSE(parse_bench_report("{\"schema\":\"cgps-bench-v1\",\"bench\":\"b\","
+                                  "\"metrics\":{\"a\":1},\"directions\":{\"a\":3}}",
+                                  &error)
+                   .has_value());
+}
+
+TEST(DiffBenchReports, ExplicitDirectionOverridesNameHeuristic) {
+  // "auc" heuristically regresses when it drops — but an explicit "down"
+  // in the baseline metadata must win, so a *rise* is the regression.
+  const auto a = parse_bench_report(
+      report_json_with_directions("b", {{"auc", 0.50}}, {{"auc", "down"}}));
+  const auto b = parse_bench_report(
+      report_json_with_directions("b", {{"auc", 0.60}}, {{"auc", "down"}}));
+  BenchDiffOptions options;
+  options.tolerance_pct = 5.0;
+  EXPECT_EQ(diff_bench_reports(*a, *b, options).rows[0].status, "REGRESSED");
+  EXPECT_EQ(diff_bench_reports(*b, *a, options).rows[0].status, "improved");
+}
+
+TEST(DiffBenchReports, TwoSidedRegressesOnAnyMove) {
+  const auto base = parse_bench_report(
+      report_json_with_directions("b", {{"runs", 10.0}}, {{"runs", "both"}}));
+  const auto up = parse_bench_report(
+      report_json_with_directions("b", {{"runs", 12.0}}, {{"runs", "both"}}));
+  const auto down = parse_bench_report(
+      report_json_with_directions("b", {{"runs", 8.0}}, {{"runs", "both"}}));
+  BenchDiffOptions options;
+  options.tolerance_pct = 5.0;
+  EXPECT_EQ(diff_bench_reports(*base, *up, options).regressions, 1);
+  EXPECT_EQ(diff_bench_reports(*base, *down, options).regressions, 1);
+  EXPECT_EQ(diff_bench_reports(*base, *base, options).regressions, 0);
+}
+
+TEST(DiffBenchReports, SkipSubstringNeverGates) {
+  const auto a = parse_bench_report(report_json("b", {{"auc", 0.9}, {"build_seconds", 1.0}}));
+  const auto b = parse_bench_report(report_json("b", {{"auc", 0.9}, {"build_seconds", 9.0}}));
+  BenchDiffOptions options;
+  options.tolerance_pct = 5.0;
+  options.skip = {"seconds"};
+  const BenchDiffResult result = diff_bench_reports(*a, *b, options);
+  EXPECT_EQ(result.regressions, 0);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[1].metric, "build_seconds");
+  EXPECT_EQ(result.rows[1].status, "skipped");
+  // A skipped metric that disappears is not a MISSING regression either.
+  const auto gone = parse_bench_report(report_json("b", {{"auc", 0.9}}));
+  EXPECT_EQ(diff_bench_reports(*a, *gone, options).regressions, 0);
+}
+
+// ------------------------------------------------------------- trend --
+
+BenchReportView make_view(const std::string& git,
+                          std::vector<std::pair<std::string, double>> metrics) {
+  BenchReportView v;
+  v.bench = "trendy";
+  v.git = git;
+  v.source = git + ".json";
+  v.metrics = std::move(metrics);
+  v.wall_seconds = 1.0;
+  return v;
+}
+
+TEST(TrendBenchReports, FlatSeriesIsClean) {
+  const std::vector<BenchReportView> series{
+      make_view("r1", {{"auc", 0.9}, {"mae", 0.1}}),
+      make_view("r2", {{"auc", 0.9}, {"mae", 0.1}}),
+      make_view("r3", {{"auc", 0.9}, {"mae", 0.1}}),
+  };
+  const BenchTrendResult result = trend_bench_reports(series);
+  EXPECT_EQ(result.drifts, 0);
+  EXPECT_EQ(result.reports, 3u);
+  EXPECT_EQ(result.bench, "trendy");
+  EXPECT_EQ(result.first_git, "r1");
+  EXPECT_EQ(result.last_git, "r3");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0].status, "ok");
+  EXPECT_EQ(result.rows[0].present, 3);
+  EXPECT_EQ(result.rows[0].spark.size(), 3u);
+}
+
+TEST(TrendBenchReports, DriftAndImprovementFollowDirection) {
+  const std::vector<BenchReportView> series{
+      make_view("r1", {{"auc", 0.90}, {"mae", 0.100}}),
+      make_view("r2", {{"auc", 0.85}, {"mae", 0.097}}),
+      make_view("r3", {{"auc", 0.80}, {"mae", 0.094}}),
+  };
+  BenchTrendOptions options;
+  options.tolerance_pct = 5.0;
+  const BenchTrendResult result = trend_bench_reports(series, options);
+  EXPECT_EQ(result.drifts, 1);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0].metric, "auc");
+  EXPECT_EQ(result.rows[0].status, "DRIFTED");
+  EXPECT_NEAR(result.rows[0].delta_pct, -11.1, 0.1);
+  EXPECT_EQ(result.rows[1].metric, "mae");
+  EXPECT_EQ(result.rows[1].status, "improved");
+}
+
+TEST(TrendBenchReports, MissingAndNewStatuses) {
+  const std::vector<BenchReportView> series{
+      make_view("r1", {{"old_metric", 1.0}, {"auc", 0.9}}),
+      make_view("r2", {{"auc", 0.9}, {"fresh_metric", 2.0}}),
+  };
+  const BenchTrendResult result = trend_bench_reports(series);
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(result.rows[0].metric, "old_metric");
+  EXPECT_EQ(result.rows[0].status, "MISSING");
+  EXPECT_EQ(result.rows[1].status, "ok");
+  EXPECT_EQ(result.rows[2].metric, "fresh_metric");
+  EXPECT_EQ(result.rows[2].status, "new");
+  EXPECT_EQ(result.drifts, 1);  // the MISSING row
+}
+
+TEST(TrendBenchReports, LastNTrimsOldReports) {
+  const std::vector<BenchReportView> series{
+      make_view("r1", {{"mae", 10.0}}),  // would drift vs the newest
+      make_view("r2", {{"mae", 0.1}}),
+      make_view("r3", {{"mae", 0.1}}),
+  };
+  BenchTrendOptions options;
+  options.last_n = 2;
+  const BenchTrendResult result = trend_bench_reports(series, options);
+  EXPECT_EQ(result.reports, 2u);
+  EXPECT_EQ(result.first_git, "r2");
+  EXPECT_EQ(result.drifts, 0);
+  EXPECT_EQ(result.rows[0].status, "ok");
+}
+
+TEST(TrendBenchReports, SkipSubstringNeverDrifts) {
+  const std::vector<BenchReportView> series{
+      make_view("r1", {{"build_seconds", 1.0}}),
+      make_view("r2", {{"build_seconds", 50.0}}),
+  };
+  BenchTrendOptions options;
+  options.skip = {"seconds"};
+  const BenchTrendResult result = trend_bench_reports(series, options);
+  EXPECT_EQ(result.drifts, 0);
+  EXPECT_EQ(result.rows[0].status, "skipped");
+}
+
+int run_trend_cli(const std::vector<std::string>& args, std::string& out) {
+  std::vector<const char*> argv{"cgps_bench_trend"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  return bench_trend_main(static_cast<int>(argv.size()), argv.data(), out);
+}
+
+TEST(BenchTrendMain, ExitCodeContract) {
+  const std::string r1 = write_temp("bt_0001.json", report_json("b", {{"auc", 0.90}}));
+  const std::string r2 = write_temp("bt_0002.json", report_json("b", {{"auc", 0.90}}));
+  const std::string r3 = write_temp("bt_0003.json", report_json("b", {{"auc", 0.70}}));
+
+  std::string out;
+  EXPECT_EQ(run_trend_cli({r1, r2}, out), 0);
+  EXPECT_NE(out.find("0 drift(s)"), std::string::npos) << out;
+
+  out.clear();
+  EXPECT_EQ(run_trend_cli({r1, r2, r3, "--tolerance-pct", "5"}, out), 1);
+  EXPECT_NE(out.find("DRIFTED"), std::string::npos) << out;
+
+  out.clear();
+  EXPECT_EQ(run_trend_cli({r1}, out), 2);  // need >= 2 reports
+  out.clear();
+  EXPECT_EQ(run_trend_cli({}, out), 2);  // usage
+  EXPECT_NE(out.find("usage"), std::string::npos) << out;
+
+  // --last trims the drifting oldest report away.
+  out.clear();
+  EXPECT_EQ(run_trend_cli({r3, r1, r2, "--last", "2"}, out), 0);
+
+  // Mixed bench names are an input error unless --bench filters.
+  const std::string other = write_temp("bt_other.json", report_json("other", {{"auc", 0.9}}));
+  out.clear();
+  EXPECT_EQ(run_trend_cli({r1, r2, other}, out), 2);
+  out.clear();
+  EXPECT_EQ(run_trend_cli({r1, r2, other, "--bench", "b"}, out), 0);
+
+  std::remove(r1.c_str());
+  std::remove(r2.c_str());
+  std::remove(r3.c_str());
+  std::remove(other.c_str());
+}
+
+TEST(BenchTrendMain, DirectoryExpandsSortedJson) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "cgps_trend_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // Written out of order; lexicographic sort must restore chronology.
+  std::ofstream(dir / "0002-bbb.json") << report_json("b", {{"mae", 0.2}});
+  std::ofstream(dir / "0001-aaa.json") << report_json("b", {{"mae", 0.1}});
+  std::ofstream(dir / "0003-ccc.json") << report_json("b", {{"mae", 0.1}});
+  std::ofstream(dir / "notes.txt") << "not a report";  // ignored
+
+  std::string out;
+  EXPECT_EQ(run_trend_cli({dir.string()}, out), 0) << out;
+  EXPECT_NE(out.find("reports: 3"), std::string::npos) << out;
+
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -191,6 +192,60 @@ TEST(JsonlFileTest, RotatesAtSizeCap) {
 
   std::remove(path.c_str());
   std::remove(rotated.c_str());
+}
+
+TEST(RotateFileTest, CopyFallbackPreservesBytesAndTruncatesSource) {
+  const std::string path = ::testing::TempDir() + "cgps_test_rotate_copy.jsonl";
+  const std::string rotated = path + ".1";
+  std::remove(rotated.c_str());
+  {
+    std::ofstream out(path);
+    out << "alpha\nbravo\n";
+  }
+  // allow_rename=false forces the EXDEV-style copy-then-truncate path.
+  std::string detail;
+  ASSERT_TRUE(rotate_file(path, rotated, &detail, /*allow_rename=*/false)) << detail;
+  std::ifstream moved(rotated);
+  std::stringstream buffer;
+  buffer << moved.rdbuf();
+  EXPECT_EQ(buffer.str(), "alpha\nbravo\n");
+  std::ifstream src(path);
+  ASSERT_TRUE(src.good()) << "source must still exist (truncated), not vanish";
+  EXPECT_EQ(src.peek(), std::ifstream::traits_type::eof());
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+}
+
+TEST(RotateFileTest, MissingSourceReportsFailure) {
+  const std::string path = ::testing::TempDir() + "cgps_test_rotate_missing.jsonl";
+  std::remove(path.c_str());
+  std::string detail;
+  EXPECT_FALSE(rotate_file(path, path + ".1", &detail));
+  EXPECT_FALSE(detail.empty());
+}
+
+TEST(RotateFileTest, BlockedTargetFailsButHoldsSizeCap) {
+  // A non-empty directory squatting on `<path>.1` defeats the stale-target
+  // remove, the rename, and the copy fallback. (An *empty* directory would
+  // be cleared by std::remove, which doubles as rmdir.) rotate_file must
+  // report the failure (so the caller can log it) yet still truncate the
+  // source: the size cap is the contract.
+  const std::string path = ::testing::TempDir() + "cgps_test_rotate_blocked.jsonl";
+  const std::string rotated = path + ".1";
+  std::filesystem::remove_all(rotated);
+  ASSERT_TRUE(std::filesystem::create_directory(rotated));
+  { std::ofstream pin(rotated + "/pin"); }
+  {
+    std::ofstream out(path);
+    out << std::string(512, 'z');
+  }
+  std::string detail;
+  EXPECT_FALSE(rotate_file(path, rotated, &detail));
+  EXPECT_NE(detail.find(rotated), std::string::npos) << detail;
+  EXPECT_EQ(std::filesystem::file_size(path), 0u);
+  EXPECT_TRUE(std::filesystem::is_directory(rotated));
+  std::remove(path.c_str());
+  std::filesystem::remove_all(rotated);
 }
 
 TEST(JsonlFileTest, NoCapNeverRotates) {

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -175,6 +176,42 @@ TEST(RunLogTest, SizeCapRotatesLog) {
   EXPECT_LE(tail.size() + prev.size(), 4u);
   for (const JsonValue& r : prev) EXPECT_EQ(r.find("schema")->string, "cgps-train-v1");
   std::remove(rotated.c_str());
+}
+
+TEST(RunLogTest, RotationFailureStillBoundsTheLog) {
+  // A non-empty directory squatting on `<path>.1` makes every rotation
+  // attempt fail (the stale-target remove, the rename, and the copy fallback
+  // alike; an empty directory would be cleared by std::remove). Training
+  // must carry on, the tail file must stay bounded by the cap (older records
+  // dropped, with a warning on stderr), and every surviving record must
+  // still parse.
+  Rng rng(9);
+  const TaskData train = TaskData::for_links(small_dataset(), {}, 48, rng);
+  const TaskData* tasks[] = {&train};
+  const XcNormalizer norm = fit_normalizer(tasks);
+  TrainOptions options;
+  options.epochs = 4;
+  options.batch_size = 16;
+
+  const RunLogEnv env(::testing::TempDir() + "cgps_run_log_rotate_fail.jsonl");
+  const std::string rotated = env.path() + ".1";
+  std::filesystem::remove_all(rotated);
+  ASSERT_TRUE(std::filesystem::create_directory(rotated));
+  { std::ofstream pin(rotated + "/pin"); }
+  ::setenv("CIRCUITGPS_RUN_LOG_MAX_MB", "0.0005", 1);
+  CircuitGps model(tiny_config());
+  train_link_prediction(model, norm, tasks, options);
+  ::unsetenv("CIRCUITGPS_RUN_LOG_MAX_MB");
+
+  EXPECT_TRUE(std::filesystem::is_directory(rotated));
+  const std::vector<JsonValue> tail = read_records(env.path());
+  ASSERT_FALSE(tail.empty());
+  EXPECT_LT(tail.size(), 4u) << "rotation failure must not disable the size cap";
+  for (const JsonValue& r : tail) EXPECT_EQ(r.find("schema")->string, "cgps-train-v1");
+  // ~0.5 KB cap + one fresh record per failed rotation: the tail can never
+  // grow past cap + one record.
+  EXPECT_LT(std::filesystem::file_size(env.path()), 4096u);
+  std::filesystem::remove_all(rotated);
 }
 
 TEST(RunLogTest, TelemetryDoesNotChangeTraining) {

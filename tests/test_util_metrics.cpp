@@ -120,10 +120,78 @@ TEST(EstimateQuantileTest, SpansBucketsByCumulativeRank) {
   EXPECT_DOUBLE_EQ(estimate_quantile(snap, 0.75), 3.0);  // rank 25 of 50 in (2,4]
 }
 
-TEST(EstimateQuantileTest, OverflowClampsToLastBound) {
+TEST(EstimateQuantileTest, OverflowRankIsInfinite) {
+  // The overflow bucket is open-ended: a rank past the finite buckets has no
+  // finite estimate, and clamping it to bounds.back() (the old behavior)
+  // silently under-reports tail latency. All mass in overflow -> every
+  // quantile is +inf.
   Histogram h({1.0, 2.0});
-  for (int i = 0; i < 10; ++i) h.observe(99.0);  // all in the open overflow bucket
-  EXPECT_DOUBLE_EQ(estimate_quantile(h.snapshot(), 0.5), 2.0);
+  for (int i = 0; i < 10; ++i) h.observe(99.0);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_TRUE(std::isinf(estimate_quantile(snap, 0.01)));
+  EXPECT_TRUE(std::isinf(estimate_quantile(snap, 0.5)));
+  EXPECT_TRUE(std::isinf(estimate_quantile(snap, 0.99)));
+  EXPECT_EQ(snap.counts.back(), 10);  // what write_json exports as overflow_count
+}
+
+TEST(EstimateQuantileTest, PartialOverflowSplitsAtFiniteMass) {
+  // 99 observations in [0, 1], one in overflow: ranks up to the finite mass
+  // (q <= 0.99) interpolate normally, anything beyond is +inf.
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 99; ++i) h.observe(0.5);
+  h.observe(1e9);
+  const Histogram::Snapshot snap = h.snapshot();
+  // rank(0.5) = 50 of 99 in [0, 1] -> 50/99.
+  EXPECT_DOUBLE_EQ(estimate_quantile(snap, 0.5), 50.0 / 99.0);
+  // rank(0.99) = 99 = exactly the finite mass -> the bucket's upper edge.
+  EXPECT_DOUBLE_EQ(estimate_quantile(snap, 0.99), 1.0);
+  EXPECT_TRUE(std::isinf(estimate_quantile(snap, 0.999)));
+}
+
+TEST(EstimateQuantileTest, FirstBucketLowerEdgeCoversNegativeBounds) {
+  // The first bucket's lower interpolation edge is min(0, bounds[0]) so
+  // negative-valued histograms do not report quantiles above their data.
+  Histogram h({-1.0, 1.0});
+  for (int i = 0; i < 10; ++i) h.observe(-5.0);  // all in (-inf, -1]
+  // Degenerate first bucket [min(0,-1), -1] = [-1, -1]: every rank maps to -1.
+  EXPECT_DOUBLE_EQ(estimate_quantile(h.snapshot(), 0.5), -1.0);
+  Histogram g({10.0});
+  g.observe(2.0);
+  // Single observation in [0, 10]: rank q interpolates to q * 10.
+  EXPECT_DOUBLE_EQ(estimate_quantile(g.snapshot(), 0.5), 5.0);
+}
+
+TEST(EstimateQuantileTest, PropertyAgainstExactQuantiles) {
+  // Property check: for mass placed exactly on bucket upper edges, the
+  // interpolated estimate at the cumulative ranks reproduces the edge values
+  // exactly, and every estimate is monotone in q and finite below the
+  // overflow mass.
+  const std::vector<double> bounds{1.0, 2.0, 4.0, 8.0};
+  Histogram h(bounds);
+  const int per_bucket = 25;
+  for (double edge : bounds)
+    for (int i = 0; i < per_bucket; ++i) h.observe(edge);
+  h.observe(100.0);  // one overflow observation
+  const Histogram::Snapshot snap = h.snapshot();
+  const double n = static_cast<double>(snap.count);
+  double prev = -std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= 100; ++k) {
+    const double q = 0.01 * k;
+    const double est = estimate_quantile(snap, q);
+    EXPECT_GE(est, prev) << "q=" << q;
+    prev = est;
+    if (q * n <= 4.0 * per_bucket) {
+      EXPECT_TRUE(std::isfinite(est)) << "q=" << q;
+      EXPECT_LE(est, bounds.back()) << "q=" << q;
+    } else {
+      EXPECT_TRUE(std::isinf(est)) << "q=" << q;
+    }
+  }
+  // Cumulative ranks land on the bucket edges (up to q*count rounding).
+  for (std::size_t b = 0; b < bounds.size(); ++b) {
+    const double q = static_cast<double>((b + 1) * per_bucket) / n;
+    EXPECT_NEAR(estimate_quantile(snap, q), bounds[b], 1e-9);
+  }
 }
 
 TEST(EstimateQuantileTest, MonotoneInQ) {
@@ -163,6 +231,11 @@ TEST(MetricsRegistryTest, WriteJsonParses) {
   EXPECT_TRUE(hist->has("count"));
   EXPECT_TRUE(hist->has("sum"));
   EXPECT_EQ(hist->find("counts")->array.size(), hist->find("bounds")->array.size() + 1);
+  // overflow_count mirrors counts.back() so report consumers can tell a
+  // saturated histogram (null tail quantiles) from an empty one.
+  ASSERT_TRUE(hist->has("overflow_count"));
+  EXPECT_DOUBLE_EQ(hist->find("overflow_count")->number,
+                   hist->find("counts")->array.back().number);
   // Interpolated quantiles ride along with every histogram payload.
   for (const char* q : {"p50", "p95", "p99"}) {
     ASSERT_TRUE(hist->has(q)) << q;

@@ -1,0 +1,25 @@
+// cgps_bench_trend: per-metric drift over a chronological series of
+// cgps-bench-v1 reports (one per commit — see the bench/history/ convention
+// in DESIGN.md §8).
+//
+//   cgps_bench_trend <history-dir | report.json report.json ...>
+//                    [--bench NAME] [--last N] [--tolerance-pct N]
+//                    [--skip SUBSTR]... [--include-wall]
+//
+// A directory argument expands to its *.json entries sorted by name; the
+// history convention (<seq>-<git>.json) makes that order chronological.
+// Prints one row per metric (first/last/min/max, an ASCII trend line, and a
+// drift verdict) and exits 0 when nothing drifted beyond tolerance, 1 on
+// drift (including a tracked metric vanishing from the newest report), 2 on
+// bad usage, malformed input, or fewer than two usable reports. All logic
+// lives in util/bench_diff so the tests exercise it in-process.
+#include <cstdio>
+
+#include "util/bench_diff.hpp"
+
+int main(int argc, char** argv) {
+  std::string out;
+  const int code = cgps::bench_trend_main(argc, argv, out);
+  std::fputs(out.c_str(), code == 2 ? stderr : stdout);
+  return code;
+}
