@@ -18,6 +18,7 @@
 #include "train/task_data.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -134,6 +135,18 @@ void BM_DatasetExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DatasetExtraction);
+
+// TraceSpan with CIRCUITGPS_TRACE unset: a histogram lookup at construction
+// plus one clock read and histogram observe at destruction. This is the
+// price every instrumented section pays on an untraced run; DESIGN.md §8
+// budgets it, and the `trace_span.overhead.real_ns` metric tracks it.
+void BM_TraceSpanOffPath(benchmark::State& state) {
+  for (auto _ : state) {
+    TraceSpan span("bench.span_overhead");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_TraceSpanOffPath);
 
 // ------------------------------------------------------- thread sweeps --
 // Arg is the work-pool width (0 = CIRCUITGPS_THREADS / hardware default).
@@ -286,6 +299,11 @@ int main(int argc, char** argv) {
     report.add_metric(cgps::bench::metric_key(row.name) + ".real_ns",
                       to_ns(row.real_time, row.time_unit),
                       cgps::MetricDirection::kLowerIsBetter);
+    // Stable alias for the off-path tracing budget (DESIGN.md §8), so the
+    // series survives any rename of the benchmark itself.
+    if (row.name == "BM_TraceSpanOffPath")
+      report.add_metric("trace_span.overhead.real_ns", to_ns(row.real_time, row.time_unit),
+                        cgps::MetricDirection::kLowerIsBetter);
   }
   report.add_table("google-benchmark runs", table);
   // Run-set size is pinned by the --benchmark_filter the caller passes: a

@@ -6,11 +6,11 @@
 
 namespace cgps {
 
-void SubcktDef::mos(const std::string& name, DeviceKind kind, const std::string& d,
+void SubcktDef::mos(const std::string& device_name, DeviceKind kind, const std::string& d,
                     const std::string& g, const std::string& s, const std::string& b,
                     double width, double length, std::int32_t multiplier) {
   DeviceStmt stmt;
-  stmt.name = name;
+  stmt.name = device_name;
   stmt.kind = kind;
   stmt.model = kind == DeviceKind::kNmos ? "nch" : "pch";
   stmt.nets = {d, g, s, b};
@@ -20,10 +20,10 @@ void SubcktDef::mos(const std::string& name, DeviceKind kind, const std::string&
   devices.push_back(std::move(stmt));
 }
 
-void SubcktDef::res(const std::string& name, const std::string& a, const std::string& b,
+void SubcktDef::res(const std::string& device_name, const std::string& a, const std::string& b,
                     double ohms, double width, double length) {
   DeviceStmt stmt;
-  stmt.name = name;
+  stmt.name = device_name;
   stmt.kind = DeviceKind::kResistor;
   stmt.model = "rppoly";
   stmt.nets = {a, b};
@@ -33,10 +33,10 @@ void SubcktDef::res(const std::string& name, const std::string& a, const std::st
   devices.push_back(std::move(stmt));
 }
 
-void SubcktDef::cap(const std::string& name, const std::string& a, const std::string& b,
+void SubcktDef::cap(const std::string& device_name, const std::string& a, const std::string& b,
                     double farads, double length, std::int32_t fingers) {
   DeviceStmt stmt;
-  stmt.name = name;
+  stmt.name = device_name;
   stmt.kind = DeviceKind::kCapacitor;
   stmt.model = "cmom";
   stmt.nets = {a, b};
@@ -46,9 +46,9 @@ void SubcktDef::cap(const std::string& name, const std::string& a, const std::st
   devices.push_back(std::move(stmt));
 }
 
-void SubcktDef::inst(const std::string& name, const std::string& subckt,
+void SubcktDef::inst(const std::string& inst_name, const std::string& subckt,
                      std::vector<std::string> nets) {
-  instances.push_back(InstanceStmt{name, std::move(nets), subckt});
+  instances.push_back(InstanceStmt{inst_name, std::move(nets), subckt});
 }
 
 void Design::add_subckt(SubcktDef def) {

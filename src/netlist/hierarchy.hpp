@@ -41,14 +41,14 @@ struct SubcktDef {
   std::vector<InstanceStmt> instances;
 
   // Builder helpers used by the design generators.
-  void mos(const std::string& name, DeviceKind kind, const std::string& d,
+  void mos(const std::string& device_name, DeviceKind kind, const std::string& d,
            const std::string& g, const std::string& s, const std::string& b, double width,
            double length, std::int32_t multiplier = 1);
-  void res(const std::string& name, const std::string& a, const std::string& b, double ohms,
+  void res(const std::string& device_name, const std::string& a, const std::string& b, double ohms,
            double width = 0.0, double length = 0.0);
-  void cap(const std::string& name, const std::string& a, const std::string& b, double farads,
+  void cap(const std::string& device_name, const std::string& a, const std::string& b, double farads,
            double length = 0.0, std::int32_t fingers = 1);
-  void inst(const std::string& name, const std::string& subckt,
+  void inst(const std::string& inst_name, const std::string& subckt,
             std::vector<std::string> nets);
 };
 

@@ -383,9 +383,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const bool track = grad_enabled_for({&a, &b});
   Tensor out = Tensor::make(
       m, n, track, {a.ptr(), b.ptr()}, [pa = a.ptr(), pb = b.ptr()](Node& node) {
-        const std::int64_t m = pa->rows;
-        const std::int64_t k = pa->cols;
-        const std::int64_t n = pb->cols;
+        const std::int64_t rows = pa->rows;
+        const std::int64_t inner = pa->cols;
+        const std::int64_t cols = pb->cols;
         const float* dc = node.grad.data();
         if (pa->requires_grad) {
           // dA[i, p] = sum_j dC[i, j] * B[p, j]: each thread owns dA rows.
@@ -395,18 +395,18 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
           // per-element accumulation order matches the naive loop.
           float* da = pa->grad.data();
           const float* bv = pb->value.data();
-          par::parallel_for(0, m, par::grain_for(k * n), [&](std::int64_t i0, std::int64_t i1) {
+          par::parallel_for(0, rows, par::grain_for(inner * cols), [&](std::int64_t i0, std::int64_t i1) {
             for (std::int64_t i = i0; i < i1; ++i) {
-              const float* dci = dc + i * n;
-              float* dai = da + i * k;
+              const float* dci = dc + i * cols;
+              float* dai = da + i * inner;
               std::int64_t p = 0;
-              for (; p + 4 <= k; p += 4) {
-                const float* b0 = bv + p * n;
-                const float* b1 = b0 + n;
-                const float* b2 = b1 + n;
-                const float* b3 = b2 + n;
+              for (; p + 4 <= inner; p += 4) {
+                const float* b0 = bv + p * cols;
+                const float* b1 = b0 + cols;
+                const float* b2 = b1 + cols;
+                const float* b3 = b2 + cols;
                 float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-                for (std::int64_t j = 0; j < n; ++j) {
+                for (std::int64_t j = 0; j < cols; ++j) {
                   const float d = dci[j];
                   acc0 += d * b0[j];
                   acc1 += d * b1[j];
@@ -418,10 +418,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                 dai[p + 2] += acc2;
                 dai[p + 3] += acc3;
               }
-              for (; p < k; ++p) {
-                const float* bp = bv + p * n;
+              for (; p < inner; ++p) {
+                const float* bp = bv + p * cols;
                 float acc = 0.0f;
-                for (std::int64_t j = 0; j < n; ++j) acc += dci[j] * bp[j];
+                for (std::int64_t j = 0; j < cols; ++j) acc += dci[j] * bp[j];
                 dai[p] += acc;
               }
             }
@@ -433,15 +433,15 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
           // the serial axpy order.
           float* db = pb->grad.data();
           const float* av = pa->value.data();
-          par::parallel_for(0, k, par::grain_for(m * n), [&](std::int64_t p0, std::int64_t p1) {
-            for (std::int64_t i = 0; i < m; ++i) {
-              const float* dci = dc + i * n;
-              const float* ai = av + i * k;
+          par::parallel_for(0, inner, par::grain_for(rows * cols), [&](std::int64_t p0, std::int64_t p1) {
+            for (std::int64_t i = 0; i < rows; ++i) {
+              const float* dci = dc + i * cols;
+              const float* ai = av + i * inner;
               for (std::int64_t p = p0; p < p1; ++p) {
                 const float aip = ai[p];
                 if (aip == 0.0f) continue;
-                float* dbp = db + p * n;
-                for (std::int64_t j = 0; j < n; ++j) dbp[j] += aip * dci[j];
+                float* dbp = db + p * cols;
+                for (std::int64_t j = 0; j < cols; ++j) dbp[j] += aip * dci[j];
               }
             }
           });
@@ -472,11 +472,11 @@ Tensor transpose(const Tensor& x) {
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(n, m, track, {x.ptr()}, [px = x.ptr()](Node& node) {
     if (!px->requires_grad) return;
-    const std::int64_t m = px->rows;
-    const std::int64_t n = px->cols;
-    par::parallel_for(0, m, par::grain_for(n), [&](std::int64_t i0, std::int64_t i1) {
+    const std::int64_t rows = px->rows;
+    const std::int64_t cols = px->cols;
+    par::parallel_for(0, rows, par::grain_for(cols), [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t i = i0; i < i1; ++i)
-        for (std::int64_t j = 0; j < n; ++j) px->grad[i * n + j] += node.grad[j * m + i];
+        for (std::int64_t j = 0; j < cols; ++j) px->grad[i * cols + j] += node.grad[j * rows + i];
     });
   });
   const float* xv = x.data().data();
@@ -504,15 +504,15 @@ Tensor concat_cols(std::span<const Tensor> parts) {
     track = track || grad_enabled_for({&t});
   }
   Tensor out = Tensor::make(m, total, track, parents, [parents](Node& node) {
-    const std::int64_t m = node.rows;
-    const std::int64_t total = node.cols;
+    const std::int64_t rows = node.rows;
+    const std::int64_t total_cols = node.cols;
     std::int64_t offset = 0;
     for (const auto& p : parents) {
       const std::int64_t c = p->cols;
       if (p->requires_grad) {
-        for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t i = 0; i < rows; ++i)
           for (std::int64_t j = 0; j < c; ++j)
-            p->grad[i * c + j] += node.grad[i * total + offset + j];
+            p->grad[i * c + j] += node.grad[i * total_cols + offset + j];
       }
       offset += c;
     }
@@ -543,12 +543,12 @@ Tensor concat_rows(std::span<const Tensor> parts) {
     track = track || grad_enabled_for({&t});
   }
   Tensor out = Tensor::make(total, c, track, parents, [parents](Node& node) {
-    const std::int64_t c = node.cols;
+    const std::int64_t cols = node.cols;
     std::int64_t offset = 0;
     for (const auto& p : parents) {
       const std::int64_t m = p->rows;
       if (p->requires_grad) {
-        for (std::int64_t i = 0; i < m * c; ++i) p->grad[i] += node.grad[offset * c + i];
+        for (std::int64_t i = 0; i < m * cols; ++i) p->grad[i] += node.grad[offset * cols + i];
       }
       offset += m;
     }
@@ -570,9 +570,9 @@ Tensor slice_rows(const Tensor& x, std::int64_t start, std::int64_t len) {
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(len, c, track, {x.ptr()}, [px = x.ptr(), start](Node& node) {
     if (!px->requires_grad) return;
-    const std::int64_t c = node.cols;
-    for (std::int64_t i = 0; i < node.rows * c; ++i)
-      px->grad[start * c + i] += node.grad[i];
+    const std::int64_t cols = node.cols;
+    for (std::int64_t i = 0; i < node.rows * cols; ++i)
+      px->grad[start * cols + i] += node.grad[i];
   });
   auto xv = x.data();
   std::copy(xv.begin() + start * c, xv.begin() + (start + len) * c, out.data().begin());
@@ -591,25 +591,25 @@ Tensor gather_rows(const Tensor& x, const std::vector<std::int32_t>& idx) {
       static_cast<std::int64_t>(idx.size()), c, track, {x.ptr()},
       [px = x.ptr(), idx](Node& node) {
         if (!px->requires_grad) return;
-        const std::int64_t c = node.cols;
+        const std::int64_t cols = node.cols;
         const auto count = static_cast<std::int64_t>(idx.size());
-        if (count * c <= kScatterSerialCutoff || par::max_threads() == 1) {
+        if (count * cols <= kScatterSerialCutoff || par::max_threads() == 1) {
           for (std::int64_t i = 0; i < count; ++i) {
-            float* g = px->grad.data() + static_cast<std::int64_t>(idx[i]) * c;
-            const float* d = node.grad.data() + i * c;
-            for (std::int64_t j = 0; j < c; ++j) g[j] += d[j];
+            float* g = px->grad.data() + static_cast<std::int64_t>(idx[i]) * cols;
+            const float* d = node.grad.data() + i * cols;
+            for (std::int64_t j = 0; j < cols; ++j) g[j] += d[j];
           }
           return;
         }
         // Group output rows by target so each thread owns disjoint grad
         // rows; sources stay in ascending order (bit-identical to serial).
         const RowGroups groups = group_rows(idx, px->rows);
-        par::parallel_for(0, px->rows, par::grain_for(c), [&](std::int64_t r0, std::int64_t r1) {
+        par::parallel_for(0, px->rows, par::grain_for(cols), [&](std::int64_t r0, std::int64_t r1) {
           for (std::int64_t r = r0; r < r1; ++r) {
-            float* g = px->grad.data() + r * c;
+            float* g = px->grad.data() + r * cols;
             for (std::int64_t s = groups.ptr[r]; s < groups.ptr[r + 1]; ++s) {
-              const float* d = node.grad.data() + static_cast<std::int64_t>(groups.pos[s]) * c;
-              for (std::int64_t j = 0; j < c; ++j) g[j] += d[j];
+              const float* d = node.grad.data() + static_cast<std::int64_t>(groups.pos[s]) * cols;
+              for (std::int64_t j = 0; j < cols; ++j) g[j] += d[j];
             }
           }
         });
@@ -638,15 +638,15 @@ Tensor scatter_add_rows(const Tensor& x, const std::vector<std::int32_t>& idx,
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(out_rows, c, track, {x.ptr()}, [px = x.ptr(), idx](Node& node) {
     if (!px->requires_grad) return;
-    const std::int64_t c = node.cols;
+    const std::int64_t cols = node.cols;
     // Each source row's grad is written exactly once: row-parallel over i.
-    par::parallel_for(0, static_cast<std::int64_t>(idx.size()), par::grain_for(c),
+    par::parallel_for(0, static_cast<std::int64_t>(idx.size()), par::grain_for(cols),
                       [&](std::int64_t i0, std::int64_t i1) {
                         for (std::int64_t i = i0; i < i1; ++i) {
                           const float* d =
-                              node.grad.data() + static_cast<std::int64_t>(idx[i]) * c;
-                          float* g = px->grad.data() + i * c;
-                          for (std::int64_t j = 0; j < c; ++j) g[j] += d[j];
+                              node.grad.data() + static_cast<std::int64_t>(idx[i]) * cols;
+                          float* g = px->grad.data() + i * cols;
+                          for (std::int64_t j = 0; j < cols; ++j) g[j] += d[j];
                         }
                       });
   });
@@ -696,15 +696,15 @@ Tensor segment_mean(const Tensor& x, const std::vector<std::int32_t>& seg,
   Tensor out = Tensor::make(
       n_segments, c, track, {x.ptr()}, [px = x.ptr(), seg, inv_count](Node& node) {
         if (!px->requires_grad) return;
-        const std::int64_t c = node.cols;
-        par::parallel_for(0, static_cast<std::int64_t>(seg.size()), par::grain_for(c),
+        const std::int64_t cols = node.cols;
+        par::parallel_for(0, static_cast<std::int64_t>(seg.size()), par::grain_for(cols),
                           [&](std::int64_t i0, std::int64_t i1) {
                             for (std::int64_t i = i0; i < i1; ++i) {
                               const float w = inv_count[static_cast<std::size_t>(seg[i])];
                               const float* d =
-                                  node.grad.data() + static_cast<std::int64_t>(seg[i]) * c;
-                              float* g = px->grad.data() + i * c;
-                              for (std::int64_t j = 0; j < c; ++j) g[j] += w * d[j];
+                                  node.grad.data() + static_cast<std::int64_t>(seg[i]) * cols;
+                              float* g = px->grad.data() + i * cols;
+                              for (std::int64_t j = 0; j < cols; ++j) g[j] += w * d[j];
                             }
                           });
       });
@@ -765,12 +765,12 @@ Tensor row_sum(const Tensor& x) {
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(m, 1, track, {x.ptr()}, [px = x.ptr()](Node& node) {
     if (!px->requires_grad) return;
-    const std::int64_t c = px->cols;
-    par::parallel_for(0, px->rows, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+    const std::int64_t cols = px->cols;
+    par::parallel_for(0, px->rows, par::grain_for(cols), [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t i = i0; i < i1; ++i) {
         const float dy = node.grad[i];
-        float* g = px->grad.data() + i * c;
-        for (std::int64_t j = 0; j < c; ++j) g[j] += dy;
+        float* g = px->grad.data() + i * cols;
+        for (std::int64_t j = 0; j < cols; ++j) g[j] += dy;
       }
     });
   });
@@ -794,15 +794,15 @@ Tensor softmax_rows(const Tensor& x) {
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(m, c, track, {x.ptr()}, [px = x.ptr()](Node& node) {
     if (!px->requires_grad) return;
-    const std::int64_t c = node.cols;
-    par::parallel_for(0, node.rows, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+    const std::int64_t cols = node.cols;
+    par::parallel_for(0, node.rows, par::grain_for(cols), [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t i = i0; i < i1; ++i) {
-        const float* s = node.value.data() + i * c;
-        const float* dy = node.grad.data() + i * c;
+        const float* s = node.value.data() + i * cols;
+        const float* dy = node.grad.data() + i * cols;
         float dot = 0.0f;
-        for (std::int64_t j = 0; j < c; ++j) dot += dy[j] * s[j];
-        float* g = px->grad.data() + i * c;
-        for (std::int64_t j = 0; j < c; ++j) g[j] += s[j] * (dy[j] - dot);
+        for (std::int64_t j = 0; j < cols; ++j) dot += dy[j] * s[j];
+        float* g = px->grad.data() + i * cols;
+        for (std::int64_t j = 0; j < cols; ++j) g[j] += s[j] * (dy[j] - dot);
       }
     });
   });
@@ -906,16 +906,16 @@ Tensor batchnorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   Tensor out = Tensor::make(
       m, c, track, {x.ptr(), gamma.ptr(), beta.ptr()},
       [px = x.ptr(), pg = gamma.ptr(), pb = beta.ptr(), xhat, invstd, training](Node& node) {
-        const std::int64_t m = node.rows;
-        const std::int64_t c = node.cols;
+        const std::int64_t rows = node.rows;
+        const std::int64_t cols = node.cols;
         // dgamma / dbeta: column-parallel, i-ascending per column.
-        par::parallel_for(0, c, par::grain_for(2 * m), [&](std::int64_t j0, std::int64_t j1) {
+        par::parallel_for(0, cols, par::grain_for(2 * rows), [&](std::int64_t j0, std::int64_t j1) {
           for (std::int64_t j = j0; j < j1; ++j) {
             float dg = 0.0f;
             float db = 0.0f;
-            for (std::int64_t i = 0; i < m; ++i) {
-              dg += node.grad[i * c + j] * xhat[i * c + j];
-              db += node.grad[i * c + j];
+            for (std::int64_t i = 0; i < rows; ++i) {
+              dg += node.grad[i * cols + j] * xhat[i * cols + j];
+              db += node.grad[i * cols + j];
             }
             if (pg->requires_grad) pg->grad[j] += dg;
             if (pb->requires_grad) pb->grad[j] += db;
@@ -924,29 +924,29 @@ Tensor batchnorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         if (!px->requires_grad) return;
         if (!training) {
           // Running stats treated as constants.
-          par::parallel_for(0, m, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
+          par::parallel_for(0, rows, par::grain_for(cols), [&](std::int64_t i0, std::int64_t i1) {
             for (std::int64_t i = i0; i < i1; ++i)
-              for (std::int64_t j = 0; j < c; ++j)
-                px->grad[i * c + j] += node.grad[i * c + j] * pg->value[j] * invstd[j];
+              for (std::int64_t j = 0; j < cols; ++j)
+                px->grad[i * cols + j] += node.grad[i * cols + j] * pg->value[j] * invstd[j];
           });
           return;
         }
         // Full backward through batch statistics; per-column reductions are
         // independent, so columns partition cleanly.
-        const float inv_m = 1.0f / static_cast<float>(m);
-        par::parallel_for(0, c, par::grain_for(4 * m), [&](std::int64_t j0, std::int64_t j1) {
+        const float inv_m = 1.0f / static_cast<float>(rows);
+        par::parallel_for(0, cols, par::grain_for(4 * rows), [&](std::int64_t j0, std::int64_t j1) {
           for (std::int64_t j = j0; j < j1; ++j) {
             float sum_dxhat = 0.0f;
             float sum_dxhat_xhat = 0.0f;
-            for (std::int64_t i = 0; i < m; ++i) {
-              const float dxhat = node.grad[i * c + j] * pg->value[j];
+            for (std::int64_t i = 0; i < rows; ++i) {
+              const float dxhat = node.grad[i * cols + j] * pg->value[j];
               sum_dxhat += dxhat;
-              sum_dxhat_xhat += dxhat * xhat[i * c + j];
+              sum_dxhat_xhat += dxhat * xhat[i * cols + j];
             }
-            for (std::int64_t i = 0; i < m; ++i) {
-              const float dxhat = node.grad[i * c + j] * pg->value[j];
-              px->grad[i * c + j] += invstd[j] * (dxhat - inv_m * sum_dxhat -
-                                                  xhat[i * c + j] * inv_m * sum_dxhat_xhat);
+            for (std::int64_t i = 0; i < rows; ++i) {
+              const float dxhat = node.grad[i * cols + j] * pg->value[j];
+              px->grad[i * cols + j] += invstd[j] * (dxhat - inv_m * sum_dxhat -
+                                                  xhat[i * cols + j] * inv_m * sum_dxhat_xhat);
             }
           }
         });
@@ -1086,15 +1086,15 @@ Tensor softmax_cross_entropy(const Tensor& logits, const std::vector<std::int32_
                             [pl = logits.ptr(), probs, labels, inv_m](Node& node) {
                               if (!pl->requires_grad) return;
                               const float dy = node.grad[0];
-                              const std::int64_t k = pl->cols;
+                              const std::int64_t cols = pl->cols;
                               par::parallel_for(
-                                  0, pl->rows, par::grain_for(k),
+                                  0, pl->rows, par::grain_for(cols),
                                   [&](std::int64_t i0, std::int64_t i1) {
                                     for (std::int64_t i = i0; i < i1; ++i) {
-                                      for (std::int64_t j = 0; j < k; ++j) {
-                                        float g = probs[i * k + j];
+                                      for (std::int64_t j = 0; j < cols; ++j) {
+                                        float g = probs[i * cols + j];
                                         if (j == labels[i]) g -= 1.0f;
-                                        pl->grad[i * k + j] += dy * inv_m * g;
+                                        pl->grad[i * cols + j] += dy * inv_m * g;
                                       }
                                     }
                                   });

@@ -96,4 +96,19 @@ std::string env_bench_dir() {
   return env != nullptr && *env != '\0' ? std::string(env) : std::string(".");
 }
 
+std::string env_trace_path() {
+  const char* env = std::getenv("CIRCUITGPS_TRACE");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+bool env_trace_enabled() {
+  const char* env = std::getenv("CIRCUITGPS_TRACE");
+  return env != nullptr && *env != '\0';
+}
+
+std::string env_log_level_name() {
+  const char* env = std::getenv("CGPS_LOG_LEVEL");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 }  // namespace cgps

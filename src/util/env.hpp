@@ -45,4 +45,19 @@ std::int64_t env_run_log_max_bytes();
 // reports; "." when unset. Read fresh on every call.
 std::string env_bench_dir();
 
+// Value of CIRCUITGPS_TRACE: path of the cgps-trace-v1 span stream
+// (DESIGN.md §8), or "" when unset. Read fresh on every call so tests can
+// retarget the stream between spans.
+std::string env_trace_path();
+
+// True when CIRCUITGPS_TRACE is set to a non-empty value. Allocation-free:
+// this sits on the TraceSpan destructor path, which must stay cheap when
+// streaming is off.
+bool env_trace_enabled();
+
+// Raw value of CGPS_LOG_LEVEL ("" when unset). util/logging owns the
+// parse (and the one-shot warning for unknown names) because translating
+// to LogLevel from here would invert the env -> logging dependency.
+std::string env_log_level_name();
+
 }  // namespace cgps

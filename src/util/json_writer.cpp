@@ -344,14 +344,14 @@ class Parser {
           out += '\t';
           break;
         case 'u': {
-          std::uint32_t cp;
+          std::uint32_t cp = 0;
           if (!parse_hex4(cp)) return false;
           if (cp >= 0xD800 && cp <= 0xDBFF) {
             // High surrogate: must be followed by \uDC00..\uDFFF.
             if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
               return fail("unpaired surrogate");
             pos_ += 2;
-            std::uint32_t lo;
+            std::uint32_t lo = 0;
             if (!parse_hex4(lo)) return false;
             if (lo < 0xDC00 || lo > 0xDFFF) return fail("bad low surrogate");
             cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);

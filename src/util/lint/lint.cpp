@@ -1,0 +1,562 @@
+#include "util/lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+namespace cgps::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// One string/char literal found by the lexer. `start` is the opening quote's
+// byte offset in the file, `end` the closing quote's; `value` is the raw
+// content between them (escapes unprocessed — the rules only substring-match).
+struct Literal {
+  std::size_t start = 0;
+  std::size_t end = 0;
+  int line = 0;
+  std::string value;
+};
+
+struct LexResult {
+  std::string stripped;
+  std::vector<Literal> literals;
+};
+
+// Single pass that blanks comment and literal contents (offset-preserving)
+// while collecting the literals. Quotes themselves survive in the stripped
+// text so call-shape checks can still see where a literal argument starts.
+LexResult lex(std::string_view text) {
+  LexResult r;
+  r.stripped.assign(text.begin(), text.end());
+  std::string& s = r.stripped;
+  const std::size_t n = text.size();
+  int line = 1;
+  std::size_t i = 0;
+  const auto blank = [&](std::size_t j) {
+    if (s[j] != '\n') s[j] = ' ';
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') blank(i++);
+    } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      blank(i);
+      blank(i + 1);
+      i += 2;
+      while (i < n && !(text[i] == '*' && i + 1 < n && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        blank(i++);
+      }
+      if (i < n) {
+        blank(i);
+        blank(i + 1);
+        i += 2;
+      }
+    } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
+               (i == 0 || !is_ident(text[i - 1]))) {
+      // Raw string literal R"delim( ... )delim".
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && text[p] != '(' && text[p] != '\n') delim += text[p++];
+      const std::string close = ")" + delim + "\"";
+      const std::size_t body = p < n ? p + 1 : n;
+      std::size_t end = text.find(close, body);
+      if (end == std::string_view::npos) end = n;
+      Literal lit;
+      lit.start = i + 1;  // the opening quote
+      lit.line = line;
+      lit.value.assign(text.substr(body, end - body));
+      const std::size_t stop = std::min(end + close.size(), n);
+      lit.end = stop > 0 ? stop - 1 : 0;
+      for (std::size_t j = i + 2; j < std::min(end + close.size() - 1, n); ++j) {
+        if (text[j] == '\n')
+          ++line;
+        else
+          blank(j);
+      }
+      r.literals.push_back(std::move(lit));
+      i = stop;
+    } else if (c == '"' || (c == '\'' && (i == 0 || !is_ident(text[i - 1])))) {
+      const char quote = c;
+      Literal lit;
+      lit.start = i;
+      lit.line = line;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote && text[j] != '\n') {
+        if (text[j] == '\\' && j + 1 < n && text[j + 1] != '\n') {
+          lit.value += text[j];
+          lit.value += text[j + 1];
+          blank(j);
+          blank(j + 1);
+          j += 2;
+        } else {
+          lit.value += text[j];
+          blank(j++);
+        }
+      }
+      lit.end = j < n ? j : n - 1;
+      if (quote == '"') r.literals.push_back(std::move(lit));
+      i = j < n ? j + 1 : n;
+    } else {
+      ++i;
+    }
+  }
+  return r;
+}
+
+std::string trim_copy(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+// Byte offset -> 1-based line number lookup table.
+std::vector<std::size_t> line_starts(std::string_view text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (text[i] == '\n') starts.push_back(i + 1);
+  return starts;
+}
+
+int line_of(const std::vector<std::size_t>& starts, std::size_t offset) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<int>(it - starts.begin());
+}
+
+std::string line_text(std::string_view text, const std::vector<std::size_t>& starts,
+                      int line) {
+  const std::size_t b = starts[static_cast<std::size_t>(line - 1)];
+  const std::size_t e = text.find('\n', b);
+  return trim_copy(text.substr(b, e == std::string_view::npos ? e : e - b));
+}
+
+// Offsets of `token` in `text` with identifier boundaries on both sides.
+std::vector<std::size_t> token_offsets(std::string_view text, std::string_view token) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident(text[pos - 1]);
+    const std::size_t after = pos + token.size();
+    const bool right_ok = after >= text.size() || !is_ident(text[after]);
+    if (left_ok && right_ok) out.push_back(pos);
+    pos = after;
+  }
+  return out;
+}
+
+std::size_t skip_ws(std::string_view text, std::size_t i) {
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i])))
+    ++i;
+  return i;
+}
+
+struct FileUnit {
+  std::string rel;       // path relative to the root, '/'-separated
+  std::string raw;
+  LexResult lexed;
+  std::vector<std::size_t> starts;
+  bool is_header = false;
+  bool is_test = false;
+};
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+void add_finding(std::vector<Finding>& out, const FileUnit& f, int line,
+                 std::string rule, std::string message) {
+  Finding v;
+  v.file = f.rel;
+  v.line = line;
+  v.rule = std::move(rule);
+  v.message = std::move(message);
+  if (line > 0) v.excerpt = line_text(f.raw, f.starts, line);
+  out.push_back(std::move(v));
+}
+
+// --- rule: getenv-outside-env -------------------------------------------
+void check_getenv(const FileUnit& f, std::vector<Finding>& out) {
+  if (f.rel == "src/util/env.cpp") return;
+  for (const std::size_t pos : token_offsets(f.lexed.stripped, "getenv")) {
+    add_finding(out, f, line_of(f.starts, pos), "getenv-outside-env",
+                "environment access must go through util/env (strict parsing, "
+                "warn-once); src/util/env.cpp is the only allowed getenv site");
+  }
+}
+
+// --- rule: naked-new ----------------------------------------------------
+void check_naked_new(const FileUnit& f, std::vector<Finding>& out) {
+  if (f.is_test) return;
+  const std::string_view s = f.lexed.stripped;
+  for (const std::size_t pos : token_offsets(s, "new")) {
+    const std::size_t next = skip_ws(s, pos + 3);
+    if (next >= s.size() || (!is_ident(s[next]) && s[next] != '(')) continue;
+    add_finding(out, f, line_of(f.starts, pos), "naked-new",
+                "owning allocations use std::make_unique/containers; naked new "
+                "needs an allowlist justification");
+  }
+  for (const std::size_t pos : token_offsets(s, "delete")) {
+    // `= delete` (deleted functions) is not a deallocation.
+    std::size_t prev = pos;
+    while (prev > 0 && std::isspace(static_cast<unsigned char>(s[prev - 1]))) --prev;
+    if (prev > 0 && s[prev - 1] == '=') continue;
+    add_finding(out, f, line_of(f.starts, pos), "naked-new",
+                "manual delete is banned in non-test code; use RAII owners");
+  }
+}
+
+// --- rule: header hygiene -----------------------------------------------
+void check_headers(const FileUnit& f, std::vector<Finding>& out) {
+  if (!f.is_header) return;
+  if (f.raw.find("#pragma once") == std::string::npos)
+    add_finding(out, f, 0, "header-pragma-once", "header is missing #pragma once");
+  std::size_t pos = 0;
+  const std::string_view s = f.lexed.stripped;
+  while ((pos = s.find("using namespace", pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
+    if (left_ok)
+      add_finding(out, f, line_of(f.starts, pos), "header-using-namespace",
+                  "`using namespace` in a header leaks into every includer");
+    pos += 15;
+  }
+}
+
+// --- rule: metric-key-format --------------------------------------------
+// Literal names handed to the metrics registry or TraceSpan must follow the
+// dotted-key convention. Computed names (any non-literal first argument, or
+// a literal spliced with +) are skipped — the histogram registry prefixes
+// "trace." itself and per-layer span names are built at runtime.
+void check_metric_keys(const FileUnit& f, std::vector<Finding>& out) {
+  const std::string_view s = f.lexed.stripped;
+  const auto literal_at = [&](std::size_t offset) -> const Literal* {
+    for (const Literal& lit : f.lexed.literals)
+      if (lit.start == offset) return &lit;
+    return nullptr;
+  };
+  for (const std::string_view token :
+       {std::string_view("metric_counter"), std::string_view("metric_gauge"),
+        std::string_view("metric_histogram"), std::string_view("TraceSpan")}) {
+    for (const std::size_t pos : token_offsets(s, token)) {
+      std::size_t i = skip_ws(s, pos + token.size());
+      // Allow one identifier between the type and the paren: `TraceSpan span(`.
+      if (i < s.size() && is_ident(s[i])) {
+        while (i < s.size() && is_ident(s[i])) ++i;
+        i = skip_ws(s, i);
+      }
+      if (i >= s.size() || s[i] != '(') continue;
+      i = skip_ws(s, i + 1);
+      const Literal* lit = i < s.size() && s[i] == '"' ? literal_at(i) : nullptr;
+      if (lit == nullptr) continue;
+      const std::size_t after = skip_ws(s, lit->end + 1);
+      if (after < s.size() && s[after] != ',' && s[after] != ')') continue;
+      if (!is_dotted_metric_key(lit->value))
+        add_finding(out, f, lit->line, "metric-key-format",
+                    "instrument name \"" + lit->value +
+                        "\" must be a dotted lowercase key like "
+                        "\"sampling.extract\" (DESIGN.md §8)");
+    }
+  }
+}
+
+// --- rule: env-var table cross-check ------------------------------------
+struct EnvRef {
+  std::string file;
+  int line = 0;
+};
+
+void collect_env_refs(const FileUnit& f, std::map<std::string, EnvRef>& refs) {
+  for (const Literal& lit : f.lexed.literals) {
+    const std::string_view v = lit.value;
+    for (const std::string_view prefix :
+         {std::string_view("CIRCUITGPS_"), std::string_view("CGPS_")}) {
+      std::size_t pos = 0;
+      while ((pos = v.find(prefix, pos)) != std::string_view::npos) {
+        const bool left_ok = pos == 0 || !(std::isupper(static_cast<unsigned char>(
+                                               v[pos - 1])) ||
+                                           v[pos - 1] == '_' ||
+                                           std::isdigit(static_cast<unsigned char>(
+                                               v[pos - 1])));
+        std::size_t end = pos + prefix.size();
+        while (end < v.size() &&
+               (std::isupper(static_cast<unsigned char>(v[end])) ||
+                std::isdigit(static_cast<unsigned char>(v[end])) || v[end] == '_'))
+          ++end;
+        if (left_ok && end > pos + prefix.size()) {
+          std::string name(v.substr(pos, end - pos));
+          while (!name.empty() && name.back() == '_') name.pop_back();
+          refs.emplace(std::move(name), EnvRef{f.rel, lit.line});
+        }
+        pos = end;
+      }
+    }
+  }
+}
+
+// Table rows look like `| \`NAME\` | default | meaning |`; only rows whose
+// name carries an env prefix participate in the cross-check.
+std::map<std::string, int> documented_env_vars(std::string_view readme) {
+  std::map<std::string, int> out;
+  int line = 0;
+  std::size_t pos = 0;
+  while (pos <= readme.size()) {
+    ++line;
+    const std::size_t eol = readme.find('\n', pos);
+    std::string_view row = readme.substr(pos, eol == std::string_view::npos
+                                                  ? std::string_view::npos
+                                                  : eol - pos);
+    const std::string text = trim_copy(row);
+    if (text.size() > 3 && text[0] == '|') {
+      const std::size_t tick = text.find('`');
+      const std::size_t close = tick == std::string::npos
+                                    ? std::string::npos
+                                    : text.find('`', tick + 1);
+      if (tick != std::string::npos && close != std::string::npos &&
+          text.find_first_not_of("| ") == tick) {
+        const std::string name = text.substr(tick + 1, close - tick - 1);
+        if (name.rfind("CIRCUITGPS_", 0) == 0 || name.rfind("CGPS_", 0) == 0)
+          out.emplace(name, line);
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_dotted_metric_key(std::string_view name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool saw_dot = false;
+  char prev = '.';
+  for (const char c : name) {
+    if (c == '.') {
+      if (prev == '.') return false;
+      saw_dot = true;
+    } else if (!(std::islower(static_cast<unsigned char>(c)) ||
+                 std::isdigit(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+    prev = c;
+  }
+  return saw_dot;
+}
+
+std::string strip_comments_and_strings(std::string_view text) {
+  return lex(text).stripped;
+}
+
+std::vector<AllowlistEntry> parse_allowlist(std::string_view text, std::string* error) {
+  std::vector<AllowlistEntry> out;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = trim_copy(
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos));
+    if (!line.empty() && line[0] != '#') {
+      std::istringstream ss(line);
+      AllowlistEntry entry;
+      entry.line_no = line_no;
+      ss >> entry.rule >> entry.path_suffix;
+      if (entry.path_suffix.empty()) {
+        if (error != nullptr && error->empty())
+          *error = "allowlist line " + std::to_string(line_no) +
+                   ": want `<rule> <path-suffix> [line substring]`";
+      } else {
+        std::string rest;
+        std::getline(ss, rest);
+        entry.needle = trim_copy(rest);
+        out.push_back(std::move(entry));
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return out;
+}
+
+LintReport run_lint(const LintOptions& options) {
+  LintReport report;
+  const fs::path root(options.root);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    report.error = "not a directory: " + options.root;
+    return report;
+  }
+
+  std::vector<AllowlistEntry> allow;
+  if (!options.allowlist_path.empty()) {
+    std::string text;
+    if (!read_file(options.allowlist_path, text)) {
+      report.error = "cannot read allowlist: " + options.allowlist_path;
+      return report;
+    }
+    allow = parse_allowlist(text, &report.error);
+    if (!report.error.empty()) return report;
+  }
+
+  // Deterministic file order: collect, then sort by relative path.
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
+    const fs::path sub = root / dir;
+    if (!fs::is_directory(sub, ec)) continue;
+    for (auto it = fs::recursive_directory_iterator(sub, ec);
+         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h")
+        files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::map<std::string, EnvRef> env_refs;
+  for (const fs::path& path : files) {
+    FileUnit f;
+    f.rel = fs::relative(path, root, ec).generic_string();
+    if (ec) f.rel = path.generic_string();
+    if (!read_file(path, f.raw)) {
+      report.error = "cannot read " + f.rel;
+      return report;
+    }
+    f.lexed = lex(f.raw);
+    f.starts = line_starts(f.raw);
+    const std::string ext = path.extension().string();
+    f.is_header = ext == ".hpp" || ext == ".h";
+    f.is_test = f.rel.rfind("tests/", 0) == 0;
+
+    check_getenv(f, report.findings);
+    check_naked_new(f, report.findings);
+    check_headers(f, report.findings);
+    check_metric_keys(f, report.findings);
+    // Tests are exempt: their literals name hypothetical variables (the
+    // lint fixtures themselves, strict-parsing probes) that would pollute
+    // the documented-vs-referenced cross-check both ways.
+    if (!f.is_test) collect_env_refs(f, env_refs);
+  }
+
+  std::string readme;
+  read_file(root / "README.md", readme);  // missing file = empty table
+  const std::map<std::string, int> documented = documented_env_vars(readme);
+  for (const auto& [name, ref] : env_refs) {
+    if (documented.count(name) != 0) continue;
+    Finding v;
+    v.file = ref.file;
+    v.line = ref.line;
+    v.rule = "env-var-undocumented";
+    v.message = name + " is read in code but missing from the README.md "
+                       "environment-variable table";
+    report.findings.push_back(std::move(v));
+  }
+  for (const auto& [name, line] : documented) {
+    if (env_refs.count(name) != 0) continue;
+    Finding v;
+    v.file = "README.md";
+    v.line = line;
+    v.rule = "env-var-unreferenced";
+    v.message = name + " is documented in the README.md table but no code "
+                       "references it";
+    report.findings.push_back(std::move(v));
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+            });
+
+  for (Finding& v : report.findings) {
+    for (AllowlistEntry& entry : allow) {
+      if (entry.rule != v.rule) continue;
+      if (v.file.size() < entry.path_suffix.size() ||
+          v.file.compare(v.file.size() - entry.path_suffix.size(),
+                         entry.path_suffix.size(), entry.path_suffix) != 0)
+        continue;
+      if (!entry.needle.empty() && v.excerpt.find(entry.needle) == std::string::npos &&
+          v.message.find(entry.needle) == std::string::npos)
+        continue;
+      v.allowlisted = true;
+      ++entry.uses;
+      break;
+    }
+    if (!v.allowlisted) ++report.violations;
+  }
+  for (const AllowlistEntry& entry : allow) {
+    if (entry.uses == 0) {
+      report.stale.push_back(entry);
+      ++report.violations;
+    }
+  }
+  return report;
+}
+
+int lint_main(int argc, const char* const* argv, std::string& out) {
+  std::string root;
+  std::string allowlist;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-' && root.empty()) {
+      root = arg;
+    } else {
+      out += "usage: cgps_lint <repo-root> [--allowlist FILE]\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    out += "usage: cgps_lint <repo-root> [--allowlist FILE]\n";
+    return 2;
+  }
+
+  const LintReport report = run_lint({root, allowlist});
+  if (!report.error.empty()) {
+    out += "cgps_lint: " + report.error + "\n";
+    return 2;
+  }
+  int shown = 0;
+  int suppressed = 0;
+  for (const Finding& v : report.findings) {
+    if (v.allowlisted) {
+      ++suppressed;
+      continue;
+    }
+    ++shown;
+    out += v.file + ":" + std::to_string(v.line) + " " + v.rule + " " + v.message + "\n";
+    if (!v.excerpt.empty()) out += "    > " + v.excerpt + "\n";
+  }
+  for (const AllowlistEntry& entry : report.stale) {
+    out += allowlist + ":" + std::to_string(entry.line_no) +
+           " stale-allowlist entry `" + entry.rule + " " + entry.path_suffix +
+           "` matched nothing; delete it\n";
+  }
+  out += "cgps_lint: " + std::to_string(report.violations) + " violation(s), " +
+         std::to_string(suppressed) + " allowlisted\n";
+  return report.violations > 0 ? 1 : 0;
+}
+
+}  // namespace cgps::lint

@@ -1,20 +1,27 @@
 #include "util/logging.hpp"
 
-#include <cstdlib>
 #include <iostream>
+
+#include "util/env.hpp"
 
 namespace cgps {
 
 namespace {
 
+// Strict CGPS_LOG_LEVEL parse (util/env semantics): an unknown name is
+// reported once and falls back to the default, never silently accepted.
+// The warning goes through log_message directly — log_warn would re-enter
+// log_level() while its magic static is still initializing.
 LogLevel initial_level() {
-  if (const char* env = std::getenv("CGPS_LOG_LEVEL")) {
-    const std::string v = env;
+  const std::string v = env_log_level_name();
+  if (!v.empty()) {
     if (v == "debug") return LogLevel::kDebug;
     if (v == "info") return LogLevel::kInfo;
     if (v == "warn") return LogLevel::kWarn;
     if (v == "error") return LogLevel::kError;
     if (v == "off") return LogLevel::kOff;
+    log_message(LogLevel::kWarn, "ignoring CGPS_LOG_LEVEL=\"" + v +
+                                     "\": want debug|info|warn|error|off; using warn");
   }
   return LogLevel::kWarn;
 }

@@ -3,11 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "util/env.hpp"
 #include "util/json_writer.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
@@ -62,8 +62,7 @@ void write_header(JsonlFile& file) {
 // Returns the open sink for the current CIRCUITGPS_TRACE value, or nullptr
 // when tracing is off (or the path cannot be opened).
 JsonlFile* sink() {
-  const char* env = std::getenv("CIRCUITGPS_TRACE");
-  const std::string_view path = env != nullptr ? std::string_view(env) : std::string_view();
+  const std::string path = env_trace_path();
   Sink& s = sink_state();
   const std::scoped_lock lock(s.mu);
   if (path.empty()) {
@@ -72,7 +71,7 @@ JsonlFile* sink() {
     return nullptr;
   }
   if (s.path != path) {
-    s.path = std::string(path);
+    s.path = path;
     s.file = std::make_unique<JsonlFile>(s.path);
     if (!s.file->ok()) {
       log_warn("CIRCUITGPS_TRACE: cannot open ", s.path, "; span streaming disabled");
@@ -108,10 +107,7 @@ thread_local std::vector<const std::string*> t_stack;
 
 }  // namespace
 
-bool stream_enabled() {
-  const char* env = std::getenv("CIRCUITGPS_TRACE");
-  return env != nullptr && *env != '\0';
-}
+bool stream_enabled() { return env_trace_enabled(); }
 
 std::int64_t now_us() {
   using Clock = std::chrono::steady_clock;

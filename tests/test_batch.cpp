@@ -107,8 +107,9 @@ TEST(MakeBatch, PinRolesRaw) {
     EXPECT_GE(role, 0);
     EXPECT_LT(role, 6);
     if (batch.node_type[static_cast<std::size_t>(i)] !=
-        static_cast<std::int32_t>(NodeType::kPin))
+        static_cast<std::int32_t>(NodeType::kPin)) {
       EXPECT_EQ(role, 0);
+    }
   }
 }
 

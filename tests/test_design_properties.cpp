@@ -147,8 +147,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(gen::DatasetId::kSsram, gen::DatasetId::kUltra8t,
                       gen::DatasetId::kSandwichRam, gen::DatasetId::kDigitalClkGen,
                       gen::DatasetId::kTimingControl, gen::DatasetId::kArray128x32),
-    [](const auto& info) {
-      std::string name = gen::dataset_name(info.param);
+    [](const auto& suite_info) {
+      std::string name = gen::dataset_name(suite_info.param);
       for (char& c : name)
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       return name;

@@ -90,7 +90,7 @@ TEST(Env, ScaledAppliesFactorAndFloor) {
 TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch watch;
   volatile double sink = 0;
-  for (int i = 0; i < 2000000; ++i) sink += i;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i;
   const double t1 = watch.seconds();
   EXPECT_GT(t1, 0.0);
   EXPECT_EQ(watch.milliseconds() >= t1 * 1e3, true);

@@ -51,15 +51,18 @@ TEST(Extraction, CapsWithinPaperWindow) {
 TEST(Extraction, NoSelfCoupling) {
   const Fixture f = extract_design(gen::DatasetId::kTimingControl);
   for (const CouplingLink& link : f.extraction.links) {
-    if (link.kind != CouplingKind::kPinToNet) EXPECT_NE(link.a, link.b);
+    if (link.kind != CouplingKind::kPinToNet) {
+      EXPECT_NE(link.a, link.b);
+    }
   }
 }
 
 TEST(Extraction, CanonicalOrderingForSymmetricKinds) {
   const Fixture f = extract_design(gen::DatasetId::kTimingControl);
   for (const CouplingLink& link : f.extraction.links) {
-    if (link.kind == CouplingKind::kPinToPin || link.kind == CouplingKind::kNetToNet)
+    if (link.kind == CouplingKind::kPinToPin || link.kind == CouplingKind::kNetToNet) {
       EXPECT_LT(link.a, link.b);
+    }
   }
 }
 
@@ -76,7 +79,9 @@ TEST(Extraction, NoDuplicateLinks) {
 TEST(Extraction, GroundCapsPositiveForConnectedNets) {
   const Fixture f = extract_design(gen::DatasetId::kTimingControl);
   for (std::size_t n = 0; n < f.extraction.net_ground_cap.size(); ++n) {
-    if (f.placement.net_route[n].n_pins > 0) EXPECT_GT(f.extraction.net_ground_cap[n], 0.0);
+    if (f.placement.net_route[n].n_pins > 0) {
+      EXPECT_GT(f.extraction.net_ground_cap[n], 0.0);
+    }
   }
   for (double c : f.extraction.pin_ground_cap) EXPECT_GT(c, 0.0);
 }

@@ -92,7 +92,9 @@ TEST(LinkSamples, NegativesNeverCollideWithPositives) {
     }
   }
   for (const LinkSample& s : samples) {
-    if (s.label < 0.5f) EXPECT_FALSE(positives.contains({s.node_a, s.node_b}));
+    if (s.label < 0.5f) {
+      EXPECT_FALSE(positives.contains({s.node_a, s.node_b}));
+    }
   }
 }
 

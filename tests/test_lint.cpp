@@ -1,0 +1,270 @@
+// Fixture-tree tests for util/lint: each test seeds a throwaway repo root
+// with targeted violations and asserts the rule ids, locations, allowlist
+// behaviour, and the cgps_lint 0/1/2 exit contract.
+#include "util/lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cgps::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LintFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("cgps_lint_" +
+             std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& text) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+
+  LintReport lint(const std::string& allowlist_rel = "") {
+    LintOptions options;
+    options.root = root_.string();
+    if (!allowlist_rel.empty()) options.allowlist_path = (root_ / allowlist_rel).string();
+    return run_lint(options);
+  }
+
+  static std::vector<std::string> rules(const LintReport& report, bool allowlisted) {
+    std::vector<std::string> out;
+    for (const Finding& f : report.findings)
+      if (f.allowlisted == allowlisted) out.push_back(f.rule);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(LintFixture, CleanTreeHasNoFindings) {
+  write("README.md", "| `CIRCUITGPS_USED` | unset | doc |\n");
+  write("src/util/env.cpp", "#include <cstdlib>\nchar* v = std::getenv(\"CIRCUITGPS_USED\");\n");
+  write("src/ok.hpp", "#pragma once\nnamespace x { int f(); }\n");
+  const LintReport report = lint();
+  EXPECT_TRUE(report.error.empty());
+  EXPECT_EQ(report.violations, 0);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST_F(LintFixture, RogueGetenvFlaggedWithLocation) {
+  write("README.md", "");
+  write("src/util/env.cpp", "#include <cstdlib>\nchar* a = std::getenv(\"X\");\n");
+  write("src/rogue.cpp", "#include <cstdlib>\n\nchar* b = std::getenv(\"X\");\n");
+  const LintReport report = lint();
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].rule, "getenv-outside-env");
+  EXPECT_EQ(report.findings[0].file, "src/rogue.cpp");
+  EXPECT_EQ(report.findings[0].line, 3);
+  EXPECT_EQ(report.violations, 1);
+}
+
+TEST_F(LintFixture, GetenvInCommentOrStringIgnored) {
+  write("README.md", "");
+  write("src/clean.cpp",
+        "// callers must not use std::getenv here\n"
+        "const char* kDoc = \"std::getenv is banned\";\n"
+        "/* getenv getenv */\n");
+  EXPECT_EQ(lint().violations, 0);
+}
+
+TEST_F(LintFixture, UndocumentedEnvVarCrossCheck) {
+  write("README.md",
+        "| `CIRCUITGPS_DOCUMENTED` | unset | documented but unused |\n"
+        "| `CIRCUITGPS_USED` | unset | documented and used |\n");
+  write("src/uses.cpp",
+        "const char* a = \"CIRCUITGPS_USED\";\n"
+        "const char* b = \"CIRCUITGPS_MYSTERY\";\n"
+        "// CIRCUITGPS_COMMENTED never counts: comments are stripped\n");
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"env-var-undocumented", "env-var-unreferenced"}));
+  for (const Finding& f : report.findings) {
+    if (f.rule == "env-var-undocumented") {
+      EXPECT_EQ(f.file, "src/uses.cpp");
+      EXPECT_EQ(f.line, 2);
+      EXPECT_NE(f.message.find("CIRCUITGPS_MYSTERY"), std::string::npos);
+    } else {
+      EXPECT_EQ(f.file, "README.md");
+      EXPECT_EQ(f.line, 1);
+      EXPECT_NE(f.message.find("CIRCUITGPS_DOCUMENTED"), std::string::npos);
+    }
+  }
+}
+
+TEST_F(LintFixture, MetricKeyConvention) {
+  write("README.md", "");
+  write("src/metrics_use.cpp",
+        "void f() {\n"
+        "  metric_counter(\"sampling.ok_key\").add(1);\n"
+        "  metric_gauge(\"BadKey\").set(1.0);\n"
+        "  metric_histogram(\"trace.\" + name, bounds);\n"  // computed: skipped
+        "  TraceSpan span(\"Sampling.Extract\");\n"
+        "  TraceSpan dynamic(span_names[i]);\n"  // computed: skipped
+        "}\n");
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"metric-key-format", "metric-key-format"}));
+  EXPECT_EQ(report.findings[0].line, 3);
+  EXPECT_EQ(report.findings[1].line, 5);
+}
+
+TEST_F(LintFixture, HeaderHygiene) {
+  write("README.md", "");
+  write("src/bad.hpp",
+        "#include <string>\n"
+        "using namespace std;\n"
+        "inline int f() { return 1; }\n");
+  write("src/good.hpp", "#pragma once\nnamespace y { void g(); }\n");
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got,
+            (std::vector<std::string>{"header-pragma-once", "header-using-namespace"}));
+  // `using namespace` inside a .cpp is fine.
+  write("src/impl.cpp", "using namespace std;\n");
+  EXPECT_EQ(lint().violations, 2);
+}
+
+TEST_F(LintFixture, NakedNewInNonTestCodeOnly) {
+  write("README.md", "");
+  write("src/owner.cpp",
+        "void f() {\n"
+        "  int* p = new int(3);\n"
+        "  delete p;\n"
+        "  auto q = std::make_unique<int>(4);\n"
+        "  int x_new = 1; (void)x_new;\n"
+        "}\n"
+        "struct NoCopy { NoCopy(const NoCopy&) = delete; };\n");
+  write("tests/test_owner.cpp", "void g() { int* p = new int(5); delete p; }\n");
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"naked-new", "naked-new"}));
+  EXPECT_EQ(report.findings[0].line, 2);
+  EXPECT_EQ(report.findings[1].line, 3);
+}
+
+TEST_F(LintFixture, AllowlistSuppressesAndStaleEntriesFlagged) {
+  write("README.md", "");
+  write("src/owner.cpp", "int* p = new int(3);\n");
+  write("allow.txt",
+        "# comment\n"
+        "naked-new src/owner.cpp new int(3)\n");
+  LintReport report = lint("allow.txt");
+  EXPECT_EQ(report.violations, 0);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_TRUE(report.findings[0].allowlisted);
+
+  // A non-matching needle leaves the finding live.
+  write("allow.txt", "naked-new src/owner.cpp new Sink()\n");
+  report = lint("allow.txt");
+  EXPECT_EQ(report.violations, 2);  // live finding + stale entry
+  ASSERT_EQ(report.stale.size(), 1u);
+  EXPECT_EQ(report.stale[0].line_no, 1);
+}
+
+TEST_F(LintFixture, CliExitContract) {
+  write("README.md", "");
+  write("src/clean.cpp", "int f() { return 0; }\n");
+  const std::string root = root_.string();
+
+  std::string out;
+  const char* clean_argv[] = {"cgps_lint", root.c_str()};
+  EXPECT_EQ(lint_main(2, clean_argv, out), 0);
+  EXPECT_NE(out.find("0 violation(s)"), std::string::npos);
+
+  write("src/rogue.cpp", "char* v = std::getenv(\"X\");\n");
+  out.clear();
+  EXPECT_EQ(lint_main(2, clean_argv, out), 1);
+  EXPECT_NE(out.find("src/rogue.cpp:1 getenv-outside-env"), std::string::npos);
+
+  out.clear();
+  const char* bad_argv[] = {"cgps_lint"};
+  EXPECT_EQ(lint_main(1, bad_argv, out), 2);
+  const char* bad_root[] = {"cgps_lint", "/nonexistent/cgps"};
+  EXPECT_EQ(lint_main(2, bad_root, out), 2);
+  const std::string missing_allow = (root_ / "missing.txt").string();
+  const char* bad_allow[] = {"cgps_lint", root.c_str(), "--allowlist",
+                             missing_allow.c_str()};
+  EXPECT_EQ(lint_main(4, bad_allow, out), 2);
+}
+
+TEST(LintHelpers, DottedMetricKey) {
+  EXPECT_TRUE(is_dotted_metric_key("pool.width"));
+  EXPECT_TRUE(is_dotted_metric_key("trace.model.gps0.fwd"));
+  EXPECT_TRUE(is_dotted_metric_key("sampling.subgraphs_extracted"));
+  EXPECT_FALSE(is_dotted_metric_key("runs"));           // no dot
+  EXPECT_FALSE(is_dotted_metric_key("Pool.width"));     // uppercase
+  EXPECT_FALSE(is_dotted_metric_key("pool..width"));    // empty token
+  EXPECT_FALSE(is_dotted_metric_key(".pool.width"));
+  EXPECT_FALSE(is_dotted_metric_key("pool.width."));
+  EXPECT_FALSE(is_dotted_metric_key("pool.wid th"));
+  EXPECT_FALSE(is_dotted_metric_key(""));
+}
+
+TEST(LintHelpers, StripPreservesOffsetsAndLines) {
+  const std::string text =
+      "int a; // new int\n"
+      "const char* s = \"delete me\";\n"
+      "/* using namespace */ int b;\n";
+  const std::string stripped = strip_comments_and_strings(text);
+  ASSERT_EQ(stripped.size(), text.size());
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 3);
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_EQ(stripped.find("delete"), std::string::npos);
+  EXPECT_EQ(stripped.find("using namespace"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+  // Quotes survive so call-shape checks can find literal arguments.
+  EXPECT_NE(stripped.find('"'), std::string::npos);
+}
+
+TEST(LintHelpers, StripHandlesRawStringsAndEscapes) {
+  const std::string text =
+      "auto j = R\"({\"new\": 1})\";\n"
+      "auto e = \"escaped \\\" delete\";\n"
+      "char c = '\\'';\n"
+      "int n = 1'000'000;\n";
+  const std::string stripped = strip_comments_and_strings(text);
+  ASSERT_EQ(stripped.size(), text.size());
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_EQ(stripped.find("delete"), std::string::npos);
+  EXPECT_NE(stripped.find("int n = 1'000'000;"), std::string::npos);
+}
+
+TEST(LintHelpers, ParseAllowlist) {
+  std::string error;
+  const auto entries = parse_allowlist(
+      "# header comment\n"
+      "\n"
+      "naked-new src/util/trace.cpp new Sink()\n"
+      "getenv-outside-env src/legacy.cpp\n",
+      &error);
+  EXPECT_TRUE(error.empty());
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].rule, "naked-new");
+  EXPECT_EQ(entries[0].path_suffix, "src/util/trace.cpp");
+  EXPECT_EQ(entries[0].needle, "new Sink()");
+  EXPECT_EQ(entries[0].line_no, 3);
+  EXPECT_EQ(entries[1].needle, "");
+
+  parse_allowlist("just-a-rule\n", &error);
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cgps::lint

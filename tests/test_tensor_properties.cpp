@@ -124,9 +124,9 @@ TEST_P(TensorProperty, MeanAllIsSumOverCount) {
 INSTANTIATE_TEST_SUITE_P(Shapes, TensorProperty,
                          ::testing::Values(Shape{1, 1}, Shape{1, 7}, Shape{5, 1}, Shape{4, 4},
                                            Shape{9, 3}, Shape{16, 11}),
-                         [](const auto& info) {
-                           return std::to_string(info.param.rows) + "x" +
-                                  std::to_string(info.param.cols);
+                         [](const auto& suite_info) {
+                           return std::to_string(suite_info.param.rows) + "x" +
+                                  std::to_string(suite_info.param.cols);
                          });
 
 }  // namespace

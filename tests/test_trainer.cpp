@@ -51,7 +51,9 @@ TEST(TaskDataTest, LinkTaskAlignment) {
   EXPECT_EQ(data.subgraphs.size(), data.labels.size());
   EXPECT_EQ(data.subgraphs.size(), data.targets.size());
   for (std::size_t i = 0; i < data.labels.size(); ++i) {
-    if (data.labels[i] < 0.5f) EXPECT_EQ(data.targets[i], 0.0f);
+    if (data.labels[i] < 0.5f) {
+      EXPECT_EQ(data.targets[i], 0.0f);
+    }
   }
 }
 
