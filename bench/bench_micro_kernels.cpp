@@ -5,6 +5,9 @@
 
 #include "common.hpp"
 
+#include "exec/arena.hpp"
+#include "exec/backend.hpp"
+#include "exec/runner.hpp"
 #include "gen/designs.hpp"
 #include "gps/batch.hpp"
 #include "graph/links.hpp"
@@ -13,7 +16,9 @@
 #include "netlist/hierarchy.hpp"
 #include "nn/attention.hpp"
 #include "nn/gated_gcn.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/optim.hpp"
 #include "train/dataset.hpp"
 #include "train/task_data.hpp"
 #include "util/parallel.hpp"
@@ -126,6 +131,204 @@ void BM_Attention(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Attention)->Arg(0)->Arg(1);  // 0 = softmax Transformer, 1 = Performer
+
+// ---------------------------------------------------------------- exec ---
+// Plan-executor benches (DESIGN.md §10): fused kernels vs their unfused op
+// sequences, arena binding vs per-buffer heap allocation, and whole-model
+// planned vs eager training steps. Keys are exported as exec.*.real_ns.
+
+void BM_ExecLinearReluUnfused(benchmark::State& state) {
+  const std::int64_t m = 256, k = 48, n = 48;
+  Rng rng(11);
+  std::vector<float> x(static_cast<std::size_t>(m * k)), w(static_cast<std::size_t>(k * n)),
+      b(static_cast<std::size_t>(n)), mm(static_cast<std::size_t>(m * n)),
+      out(static_cast<std::size_t>(m * n));
+  for (float& v : x) v = rng.normal();
+  for (float& v : w) v = rng.normal();
+  for (float& v : b) v = rng.normal();
+  const exec::KernelBackend& backend = exec::select_backend();
+  for (auto _ : state) {
+    backend.matmul_fwd(x.data(), w.data(), mm.data(), m, k, n);
+    kern::add_rowvec_fwd(mm.data(), b.data(), out.data(), m, n);
+    par::parallel_for(0, m * n, par::grain_for(1), [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) out[static_cast<std::size_t>(i)] =
+          kern::relu1(out[static_cast<std::size_t>(i)]);
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ExecLinearReluUnfused);
+
+void BM_ExecLinearReluFused(benchmark::State& state) {
+  const std::int64_t m = 256, k = 48, n = 48;
+  Rng rng(11);
+  std::vector<float> x(static_cast<std::size_t>(m * k)), w(static_cast<std::size_t>(k * n)),
+      b(static_cast<std::size_t>(n)), out(static_cast<std::size_t>(m * n));
+  for (float& v : x) v = rng.normal();
+  for (float& v : w) v = rng.normal();
+  for (float& v : b) v = rng.normal();
+  const exec::KernelBackend& backend = exec::select_backend();
+  for (auto _ : state) {
+    backend.linear_relu_fwd(x.data(), w.data(), b.data(), out.data(), m, k, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ExecLinearReluFused);
+
+void BM_ExecGateChainUnfused(benchmark::State& state) {
+  const std::int64_t count = 4096 * 48;
+  Rng rng(12);
+  std::vector<float> e_hat(static_cast<std::size_t>(count)), lm(static_cast<std::size_t>(count)),
+      eta(static_cast<std::size_t>(count)), msg(static_cast<std::size_t>(count));
+  for (float& v : e_hat) v = rng.normal();
+  for (float& v : lm) v = rng.normal();
+  for (auto _ : state) {
+    par::parallel_for(0, count, par::grain_for(1), [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i)
+        eta[static_cast<std::size_t>(i)] = kern::sigmoid1(e_hat[static_cast<std::size_t>(i)]);
+    });
+    par::parallel_for(0, count, par::grain_for(1), [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i)
+        msg[static_cast<std::size_t>(i)] =
+            kern::mul1(eta[static_cast<std::size_t>(i)], lm[static_cast<std::size_t>(i)]);
+    });
+    benchmark::DoNotOptimize(msg.data());
+  }
+}
+BENCHMARK(BM_ExecGateChainUnfused);
+
+void BM_ExecGateChainFused(benchmark::State& state) {
+  const std::int64_t count = 4096 * 48;
+  Rng rng(12);
+  std::vector<float> e_hat(static_cast<std::size_t>(count)), lm(static_cast<std::size_t>(count)),
+      eta(static_cast<std::size_t>(count)), msg(static_cast<std::size_t>(count));
+  for (float& v : e_hat) v = rng.normal();
+  for (float& v : lm) v = rng.normal();
+  const exec::KernelBackend& backend = exec::select_backend();
+  for (auto _ : state) {
+    backend.gate_chain_fwd(e_hat.data(), lm.data(), eta.data(), msg.data(), count);
+    benchmark::DoNotOptimize(msg.data());
+  }
+}
+BENCHMARK(BM_ExecGateChainFused);
+
+// Plan-shaped buffer set: ~200 tensors with staggered liveness.
+std::vector<exec::ArenaRequest> arena_requests() {
+  std::vector<exec::ArenaRequest> reqs;
+  for (int i = 0; i < 200; ++i)
+    reqs.push_back({256 * 48, i, i + 8});
+  return reqs;
+}
+
+void BM_ExecArenaBind(benchmark::State& state) {
+  exec::Arena arena;
+  const std::vector<exec::ArenaRequest> reqs = arena_requests();
+  arena.bind(reqs);  // warm: slab reaches steady state
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena.bind(reqs).data());
+  }
+}
+BENCHMARK(BM_ExecArenaBind);
+
+void BM_ExecMallocBind(benchmark::State& state) {
+  const std::vector<exec::ArenaRequest> reqs = arena_requests();
+  for (auto _ : state) {
+    // What the eager path does per batch: one zero-filled allocation per
+    // tensor, freed at the end of the step.
+    std::vector<std::vector<float>> buffers;
+    buffers.reserve(reqs.size());
+    for (const exec::ArenaRequest& r : reqs)
+      buffers.emplace_back(static_cast<std::size_t>(r.floats), 0.0f);
+    benchmark::DoNotOptimize(buffers.data());
+  }
+}
+BENCHMARK(BM_ExecMallocBind);
+
+struct ExecModelFixture {
+  GpsConfig config;
+  std::unique_ptr<CircuitGps> eager_model;
+  std::unique_ptr<CircuitGps> planned_model;
+  std::unique_ptr<exec::PlanRunner> runner;
+  SubgraphBatch batch;
+  std::vector<float> values;
+
+  ExecModelFixture() {
+    GraphFixture& f = fixture();
+    Rng rng(13);
+    std::vector<Subgraph> subgraphs;
+    SubgraphOptions options;
+    options.max_nodes_per_anchor = 96;
+    for (std::size_t i = 0; i < 8 && i < f.samples.size(); ++i)
+      subgraphs.push_back(extract_enclosing_subgraph(f.graph.graph, f.samples[i].node_a,
+                                                     f.samples[i].node_b, options));
+    XcNormalizer normalizer;
+    normalizer.fit(f.graph.xc);
+    std::vector<const Subgraph*> refs;
+    for (const Subgraph& sg : subgraphs) refs.push_back(&sg);
+    BatchOptions batch_options;
+    batch_options.pe = config.pe;
+    batch = make_batch(refs, f.graph.xc, normalizer, batch_options);
+    for (std::int64_t g = 0; g < batch.num_graphs(); ++g)
+      values.push_back(static_cast<float>(g % 2));
+    eager_model = std::make_unique<CircuitGps>(config);
+    planned_model = std::make_unique<CircuitGps>(config);
+    runner = std::make_unique<exec::PlanRunner>(*planned_model);
+  }
+};
+
+ExecModelFixture& exec_fixture() {
+  static ExecModelFixture f;
+  return f;
+}
+
+void BM_ExecEagerForward(benchmark::State& state) {
+  ExecModelFixture& f = exec_fixture();
+  f.eager_model->set_training(false);
+  InferenceGuard guard;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(f.eager_model->forward(f.batch).data().data());
+}
+BENCHMARK(BM_ExecEagerForward);
+
+void BM_ExecPlannedForward(benchmark::State& state) {
+  ExecModelFixture& f = exec_fixture();
+  f.planned_model->set_training(false);
+  for (auto _ : state) {
+    std::int64_t rows = 0;
+    benchmark::DoNotOptimize(f.runner->predict(f.batch, &rows));
+  }
+}
+BENCHMARK(BM_ExecPlannedForward);
+
+void BM_ExecEagerTrainStep(benchmark::State& state) {
+  ExecModelFixture& f = exec_fixture();
+  CircuitGps& model = *f.eager_model;
+  model.set_training(true);
+  Adam optimizer(model.trainable_parameters(), 2e-3f);
+  for (auto _ : state) {
+    Tensor out = model.forward(f.batch);
+    Tensor target = Tensor::from_vector(std::vector<float>(f.values), out.rows(), 1);
+    Tensor loss = ops::bce_with_logits(out, target);
+    optimizer.zero_grad();
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_ExecEagerTrainStep);
+
+void BM_ExecPlannedTrainStep(benchmark::State& state) {
+  ExecModelFixture& f = exec_fixture();
+  CircuitGps& model = *f.planned_model;
+  model.set_training(true);
+  Adam optimizer(model.trainable_parameters(), 2e-3f);
+  for (auto _ : state) {
+    const float loss = f.runner->forward_loss(f.batch, f.values, 0.0f, /*link=*/true);
+    optimizer.zero_grad();
+    f.runner->backward();
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_ExecPlannedTrainStep);
 
 void BM_DatasetExtraction(benchmark::State& state) {
   const Netlist netlist = flatten(gen::timing_control());
@@ -304,6 +507,25 @@ int main(int argc, char** argv) {
     if (row.name == "BM_TraceSpanOffPath")
       report.add_metric("trace_span.overhead.real_ns", to_ns(row.real_time, row.time_unit),
                         cgps::MetricDirection::kLowerIsBetter);
+    // Stable aliases for the plan executor (DESIGN.md §10): fused vs unfused
+    // kernel pairs, arena vs heap binding, and whole-model planned vs eager.
+    static const std::pair<const char*, const char*> kExecAliases[] = {
+        {"BM_ExecLinearReluUnfused", "exec.linear_relu.unfused.real_ns"},
+        {"BM_ExecLinearReluFused", "exec.linear_relu.fused.real_ns"},
+        {"BM_ExecGateChainUnfused", "exec.gate_chain.unfused.real_ns"},
+        {"BM_ExecGateChainFused", "exec.gate_chain.fused.real_ns"},
+        {"BM_ExecArenaBind", "exec.bind.arena.real_ns"},
+        {"BM_ExecMallocBind", "exec.bind.malloc.real_ns"},
+        {"BM_ExecEagerForward", "exec.forward.eager.real_ns"},
+        {"BM_ExecPlannedForward", "exec.forward.planned.real_ns"},
+        {"BM_ExecEagerTrainStep", "exec.train_step.eager.real_ns"},
+        {"BM_ExecPlannedTrainStep", "exec.train_step.planned.real_ns"},
+    };
+    for (const auto& [bench, key] : kExecAliases) {
+      if (row.name == bench)
+        report.add_metric(key, to_ns(row.real_time, row.time_unit),
+                          cgps::MetricDirection::kLowerIsBetter);
+    }
   }
   report.add_table("google-benchmark runs", table);
   // Run-set size is pinned by the --benchmark_filter the caller passes: a

@@ -1,0 +1,118 @@
+#include "exec/arena.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace cgps::exec {
+
+namespace {
+
+// 64-byte alignment in float units: cache-line-friendly and enough for any
+// current or future SIMD backend (AVX-512 loads included).
+constexpr std::int64_t kAlignFloats = 16;
+
+std::int64_t round_up(std::int64_t floats) {
+  return (floats + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+struct FreeBlock {
+  std::int64_t offset = 0;
+  std::int64_t size = 0;
+};
+
+// Insert a freed block into the offset-sorted free list, coalescing with
+// adjacent neighbours so long-lived fragmentation cannot build up.
+void release(std::vector<FreeBlock>& free_list, std::int64_t offset, std::int64_t size) {
+  auto it = std::lower_bound(
+      free_list.begin(), free_list.end(), offset,
+      [](const FreeBlock& b, std::int64_t off) { return b.offset < off; });
+  // Merge with the successor.
+  if (it != free_list.end() && offset + size == it->offset) {
+    it->offset = offset;
+    it->size += size;
+    if (it != free_list.begin()) {
+      auto prev = std::prev(it);
+      if (prev->offset + prev->size == it->offset) {
+        prev->size += it->size;
+        free_list.erase(it);
+      }
+    }
+    return;
+  }
+  // Merge with the predecessor.
+  if (it != free_list.begin()) {
+    auto prev = std::prev(it);
+    if (prev->offset + prev->size == offset) {
+      prev->size += size;
+      return;
+    }
+  }
+  free_list.insert(it, FreeBlock{offset, size});
+}
+
+}  // namespace
+
+std::vector<std::int64_t> Arena::bind(const std::vector<ArenaRequest>& requests) {
+  std::vector<std::int64_t> offsets(requests.size(), 0);
+
+  // Process in ascending def order (stable on request index so equal-def
+  // placement is deterministic).
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return requests[a].def < requests[b].def;
+  });
+
+  struct Live {
+    int last = 0;
+    std::int64_t offset = 0;
+    std::int64_t size = 0;
+    bool operator>(const Live& o) const { return last > o.last; }
+  };
+  std::priority_queue<Live, std::vector<Live>, std::greater<Live>> expiring;
+  std::vector<FreeBlock> free_list;
+  std::int64_t high_water = 0;
+
+  for (const std::size_t i : order) {
+    const ArenaRequest& req = requests[i];
+    if (req.floats <= 0) continue;
+    // Expire everything whose lifetime ended strictly before this def.
+    while (!expiring.empty() && expiring.top().last < req.def) {
+      const Live done = expiring.top();
+      expiring.pop();
+      release(free_list, done.offset, done.size);
+    }
+    const std::int64_t need = round_up(req.floats);
+    std::int64_t offset = -1;
+    // First fit.
+    for (auto it = free_list.begin(); it != free_list.end(); ++it) {
+      if (it->size < need) continue;
+      offset = it->offset;
+      it->offset += need;
+      it->size -= need;
+      if (it->size == 0) free_list.erase(it);
+      break;
+    }
+    if (offset < 0) {
+      // Extend the slab; absorb a trailing free block touching the high-water
+      // mark so extension does not strand it.
+      if (!free_list.empty() &&
+          free_list.back().offset + free_list.back().size == high_water) {
+        offset = free_list.back().offset;
+        free_list.pop_back();
+      } else {
+        offset = high_water;
+      }
+      high_water = offset + need;
+    }
+    offsets[i] = offset;
+    expiring.push(Live{std::max(req.last, req.def), offset, need});
+  }
+
+  bound_floats_ = high_water;
+  if (high_water > static_cast<std::int64_t>(slab_.size()))
+    slab_.resize(static_cast<std::size_t>(high_water));  // monotone growth
+  return offsets;
+}
+
+}  // namespace cgps::exec

@@ -1,0 +1,29 @@
+#include "exec/backend.hpp"
+
+#include "util/env.hpp"
+#include "util/logging.hpp"
+
+namespace cgps::exec {
+
+const KernelBackend& select_backend() {
+  switch (env_backend()) {
+    case BackendKind::kScalar:
+      return scalar_backend();
+    case BackendKind::kAvx2: {
+      if (const KernelBackend* b = avx2_backend()) return *b;
+      static const bool warned = [] {
+        log_warn("CIRCUITGPS_BACKEND=avx2 requested but this build/CPU lacks "
+                 "AVX2+FMA; using the scalar backend");
+        return true;
+      }();
+      (void)warned;
+      return scalar_backend();
+    }
+    case BackendKind::kAuto:
+      break;
+  }
+  if (const KernelBackend* b = avx2_backend()) return *b;
+  return scalar_backend();
+}
+
+}  // namespace cgps::exec

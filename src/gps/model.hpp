@@ -37,6 +37,12 @@ class GpsLayer final : public nn::Module {
   };
   State forward(const State& in, const SubgraphBatch& batch, Rng& rng);
 
+  // Plan-recorder access (src/exec/gps_program.cpp): the attention modules
+  // hold per-head state (frozen Performer features) not reachable through
+  // named_parameters().
+  const nn::MultiheadSelfAttention* softmax_attn() const { return attn_softmax_.get(); }
+  const nn::PerformerAttention* performer() const { return attn_performer_.get(); }
+
  private:
   std::unique_ptr<nn::GatedGcn> mpnn_;
   std::unique_ptr<nn::GineLayer> gine_;
@@ -60,6 +66,9 @@ class CircuitGps final : public nn::Module {
 
   const GpsConfig& config() const { return config_; }
   Rng& rng() { return rng_; }
+
+  // Plan-recorder access (src/exec/gps_program.cpp).
+  const GpsLayer& layer(int l) const { return *layers_[static_cast<std::size_t>(l)]; }
 
   // Head-only fine-tuning support (paper §III-E, strategy 1): freeze the
   // encoders and GPS layers, keep the task head trainable.

@@ -25,6 +25,7 @@ class MultiheadSelfAttention final : public Module {
   Tensor forward(const Tensor& x, const std::vector<std::int64_t>& graph_ptr) const;
 
   std::int64_t num_heads() const { return static_cast<std::int64_t>(q_.size()); }
+  std::int64_t head_dim() const { return head_dim_; }
 
  private:
   std::vector<std::unique_ptr<Linear>> q_, k_, v_;  // per-head (dim, head_dim)
@@ -39,6 +40,13 @@ class PerformerAttention final : public Module {
                      Rng& rng);
 
   Tensor forward(const Tensor& x, const std::vector<std::int64_t>& graph_ptr) const;
+
+  std::int64_t num_heads() const { return static_cast<std::int64_t>(q_.size()); }
+  std::int64_t head_dim() const { return head_dim_; }
+  std::int64_t num_features() const { return num_features_; }
+  // FAVOR+ random projection of head h (frozen, unregistered — the plan
+  // recorder needs it alongside the named q/k/v weights).
+  const Tensor& omega(std::int64_t h) const { return omega_[static_cast<std::size_t>(h)]; }
 
  private:
   std::vector<std::unique_ptr<Linear>> q_, k_, v_;

@@ -4,17 +4,22 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/kernels.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 // Parallelization strategy (see util/parallel.hpp for the pool contract):
-// every parallel loop in this file partitions *disjoint output elements*
-// (rows of the result, rows of one grad buffer, or flat index ranges) and
-// keeps the per-element accumulation order of the serial code. Indexed
-// accumulations (scatter/segment/gather-backward) are regrouped by output
-// row first — a stable counting sort, so contributions still land in
-// ascending source order. Results are therefore bit-identical at every
-// CIRCUITGPS_THREADS setting, including 1.
+// every parallel loop partitions *disjoint output elements* (rows of the
+// result, rows of one grad buffer, or flat index ranges) and keeps the
+// per-element accumulation order of the serial code. Indexed accumulations
+// (scatter/segment/gather-backward) are regrouped by output row first — a
+// stable counting sort, so contributions still land in ascending source
+// order. Results are therefore bit-identical at every CIRCUITGPS_THREADS
+// setting, including 1.
+//
+// The nontrivial loops live in tensor/kernels.hpp (cgps::kern) and are
+// shared with the planned executor (src/exec/), so eager and planned modes
+// run the same machine code over the same buffers.
 
 namespace cgps::ops {
 
@@ -22,31 +27,6 @@ namespace {
 
 using detail::Node;
 using NodePtr = std::shared_ptr<detail::Node>;
-
-// Stable CSR grouping of row indices: for each output row r, pos[ptr[r])..
-// pos[ptr[r+1]) lists the source rows i with idx[i] == r in ascending order.
-struct RowGroups {
-  std::vector<std::int64_t> ptr;
-  std::vector<std::int32_t> pos;
-};
-
-RowGroups group_rows(const std::vector<std::int32_t>& idx, std::int64_t n_rows) {
-  RowGroups g;
-  g.ptr.assign(static_cast<std::size_t>(n_rows) + 1, 0);
-  for (std::int32_t r : idx) ++g.ptr[static_cast<std::size_t>(r) + 1];
-  for (std::int64_t r = 0; r < n_rows; ++r) g.ptr[r + 1] += g.ptr[r];
-  g.pos.resize(idx.size());
-  std::vector<std::int64_t> cursor(g.ptr.begin(), g.ptr.end() - 1);
-  for (std::size_t i = 0; i < idx.size(); ++i)
-    g.pos[static_cast<std::size_t>(cursor[static_cast<std::size_t>(idx[i])]++)] =
-        static_cast<std::int32_t>(i);
-  return g;
-}
-
-// Indexed row accumulation dst[idx[i], :] += w_i * src[i, :] is a data race
-// under row-of-src partitioning; below this many scalar ops we also skip the
-// grouping pass and use the direct serial loop (bit-identical either way).
-constexpr std::int64_t kScatterSerialCutoff = 1 << 13;
 
 [[noreturn]] void shape_error(const char* op, const Tensor& a, const Tensor& b) {
   std::ostringstream os;
@@ -124,37 +104,33 @@ void check_rowvec(const char* op, const Tensor& x, const Tensor& row) {
 
 Tensor add(const Tensor& a, const Tensor& b) {
   return elementwise_binary(
-      "add", a, b, [](float x, float y) { return x + y; },
-      [](float, float, float, float dy, float& da, float& db) {
-        da = dy;
-        db = dy;
+      "add", a, b, [](float x, float y) { return kern::add1(x, y); },
+      [](float x, float y, float, float dy, float& da, float& db) {
+        kern::add1_bwd(x, y, dy, da, db);
       });
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   return elementwise_binary(
-      "sub", a, b, [](float x, float y) { return x - y; },
-      [](float, float, float, float dy, float& da, float& db) {
-        da = dy;
-        db = -dy;
+      "sub", a, b, [](float x, float y) { return kern::sub1(x, y); },
+      [](float x, float y, float, float dy, float& da, float& db) {
+        kern::sub1_bwd(x, y, dy, da, db);
       });
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   return elementwise_binary(
-      "mul", a, b, [](float x, float y) { return x * y; },
+      "mul", a, b, [](float x, float y) { return kern::mul1(x, y); },
       [](float x, float y, float, float dy, float& da, float& db) {
-        da = dy * y;
-        db = dy * x;
+        kern::mul1_bwd(x, y, dy, da, db);
       });
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
   return elementwise_binary(
-      "div", a, b, [](float x, float y) { return x / y; },
+      "div", a, b, [](float x, float y) { return kern::div1(x, y); },
       [](float x, float y, float, float dy, float& da, float& db) {
-        da = dy / y;
-        db = -dy * x / (y * y);
+        kern::div1_bwd(x, y, dy, da, db);
       });
 }
 
@@ -167,28 +143,11 @@ Tensor add_rowvec(const Tensor& x, const Tensor& row) {
       x.rows(), x.cols(), track, {x.ptr(), row.ptr()}, [px = x.ptr(), pr = row.ptr()](Node& n) {
         const std::int64_t m = n.rows;
         const std::int64_t c = n.cols;
-        if (px->requires_grad) {
-          par::parallel_for(0, m * c, par::grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
-            for (std::int64_t i = lo; i < hi; ++i) px->grad[i] += n.grad[i];
-          });
-        }
-        if (pr->requires_grad) {
-          // Column-parallel: each chunk owns grad columns, scanning rows in
-          // ascending order exactly like the serial accumulation.
-          par::parallel_for(0, c, par::grain_for(m), [&](std::int64_t j0, std::int64_t j1) {
-            for (std::int64_t i = 0; i < m; ++i)
-              for (std::int64_t j = j0; j < j1; ++j) pr->grad[j] += n.grad[i * c + j];
-          });
-        }
+        if (px->requires_grad) kern::add_rowvec_bwd_dx(n.grad.data(), px->grad.data(), m * c);
+        if (pr->requires_grad) kern::add_rowvec_bwd_db(n.grad.data(), pr->grad.data(), m, c);
       });
-  const float* xv = x.data().data();
-  const float* rv = row.data().data();
-  float* ov = out.data().data();
-  const std::int64_t c = x.cols();
-  par::parallel_for(0, x.rows(), par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i)
-      for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = xv[i * c + j] + rv[j];
-  });
+  kern::add_rowvec_fwd(x.data().data(), row.data().data(), out.data().data(), x.rows(),
+                       x.cols());
   return out;
 }
 
@@ -276,10 +235,9 @@ Tensor add_colvec(const Tensor& x, const Tensor& col) {
 
 Tensor sub_colvec(const Tensor& x, const Tensor& col) {
   return colvec_broadcast(
-      "sub_colvec", x, col, [](float a, float b) { return a - b; },
-      [](float, float, float dy, float& dx, float& dc) {
-        dx = dy;
-        dc = -dy;
+      "sub_colvec", x, col, [](float a, float b) { return kern::sub_colvec1(a, b); },
+      [](float a, float b, float dy, float& dx, float& dc) {
+        kern::sub_colvec1_bwd(a, b, dy, dx, dc);
       });
 }
 
@@ -294,10 +252,9 @@ Tensor mul_colvec(const Tensor& x, const Tensor& col) {
 
 Tensor div_colvec(const Tensor& x, const Tensor& col) {
   return colvec_broadcast(
-      "div_colvec", x, col, [](float a, float b) { return a / b; },
+      "div_colvec", x, col, [](float a, float b) { return kern::div_colvec1(a, b); },
       [](float a, float b, float dy, float& dx, float& dc) {
-        dx = dy / b;
-        dc = -dy * a / (b * b);
+        kern::div_colvec1_bwd(a, b, dy, dx, dc);
       });
 }
 
@@ -322,18 +279,13 @@ Tensor neg(const Tensor& x) {
 
 Tensor relu(const Tensor& x) {
   return elementwise_unary(
-      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      x, [](float v) { return kern::relu1(v); },
       [](float v, float, float dy) { return v > 0.0f ? dy : 0.0f; });
 }
 
 Tensor sigmoid(const Tensor& x) {
   return elementwise_unary(
-      x,
-      [](float v) {
-        // Numerically stable logistic.
-        return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
-                         : std::exp(v) / (1.0f + std::exp(v));
-      },
+      x, [](float v) { return kern::sigmoid1(v); },
       [](float, float y, float dy) { return dy * y * (1.0f - y); });
 }
 
@@ -387,82 +339,12 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         const std::int64_t inner = pa->cols;
         const std::int64_t cols = pb->cols;
         const float* dc = node.grad.data();
-        if (pa->requires_grad) {
-          // dA[i, p] = sum_j dC[i, j] * B[p, j]: each thread owns dA rows.
-          // Four B rows are blocked per pass so the dC row is loaded once
-          // per four dot products and the FMA chains are independent; each
-          // dot still runs j-ascending over one contiguous B row, so the
-          // per-element accumulation order matches the naive loop.
-          float* da = pa->grad.data();
-          const float* bv = pb->value.data();
-          par::parallel_for(0, rows, par::grain_for(inner * cols), [&](std::int64_t i0, std::int64_t i1) {
-            for (std::int64_t i = i0; i < i1; ++i) {
-              const float* dci = dc + i * cols;
-              float* dai = da + i * inner;
-              std::int64_t p = 0;
-              for (; p + 4 <= inner; p += 4) {
-                const float* b0 = bv + p * cols;
-                const float* b1 = b0 + cols;
-                const float* b2 = b1 + cols;
-                const float* b3 = b2 + cols;
-                float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-                for (std::int64_t j = 0; j < cols; ++j) {
-                  const float d = dci[j];
-                  acc0 += d * b0[j];
-                  acc1 += d * b1[j];
-                  acc2 += d * b2[j];
-                  acc3 += d * b3[j];
-                }
-                dai[p] += acc0;
-                dai[p + 1] += acc1;
-                dai[p + 2] += acc2;
-                dai[p + 3] += acc3;
-              }
-              for (; p < inner; ++p) {
-                const float* bp = bv + p * cols;
-                float acc = 0.0f;
-                for (std::int64_t j = 0; j < cols; ++j) acc += dci[j] * bp[j];
-                dai[p] += acc;
-              }
-            }
-          });
-        }
-        if (pb->requires_grad) {
-          // dB[p, j] = sum_i A[i, p] * dC[i, j]: each thread owns dB rows
-          // [p0, p1); per (p, j) the sum still runs i-ascending, matching
-          // the serial axpy order.
-          float* db = pb->grad.data();
-          const float* av = pa->value.data();
-          par::parallel_for(0, inner, par::grain_for(rows * cols), [&](std::int64_t p0, std::int64_t p1) {
-            for (std::int64_t i = 0; i < rows; ++i) {
-              const float* dci = dc + i * cols;
-              const float* ai = av + i * inner;
-              for (std::int64_t p = p0; p < p1; ++p) {
-                const float aip = ai[p];
-                if (aip == 0.0f) continue;
-                float* dbp = db + p * cols;
-                for (std::int64_t j = 0; j < cols; ++j) dbp[j] += aip * dci[j];
-              }
-            }
-          });
-        }
+        if (pa->requires_grad)
+          kern::matmul_da(dc, pb->value.data(), pa->grad.data(), rows, inner, cols);
+        if (pb->requires_grad)
+          kern::matmul_db(dc, pa->value.data(), pb->grad.data(), rows, inner, cols);
       });
-  // Forward: ikj loop order for contiguous access; threads own output rows.
-  const float* av = a.data().data();
-  const float* bv = b.data().data();
-  float* ov = out.data().data();
-  par::parallel_for(0, m, par::grain_for(k * n), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      float* oi = ov + i * n;
-      const float* ai = av + i * k;
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float aip = ai[p];
-        if (aip == 0.0f) continue;
-        const float* bp = bv + p * n;
-        for (std::int64_t j = 0; j < n; ++j) oi[j] += aip * bp[j];
-      }
-    }
-  });
+  kern::matmul_fwd(a.data().data(), b.data().data(), out.data().data(), m, k, n);
   return out;
 }
 
@@ -472,19 +354,9 @@ Tensor transpose(const Tensor& x) {
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(n, m, track, {x.ptr()}, [px = x.ptr()](Node& node) {
     if (!px->requires_grad) return;
-    const std::int64_t rows = px->rows;
-    const std::int64_t cols = px->cols;
-    par::parallel_for(0, rows, par::grain_for(cols), [&](std::int64_t i0, std::int64_t i1) {
-      for (std::int64_t i = i0; i < i1; ++i)
-        for (std::int64_t j = 0; j < cols; ++j) px->grad[i * cols + j] += node.grad[j * rows + i];
-    });
+    kern::transpose_bwd(node.grad.data(), px->grad.data(), px->rows, px->cols);
   });
-  const float* xv = x.data().data();
-  float* ov = out.data().data();
-  par::parallel_for(0, n, par::grain_for(m), [&](std::int64_t j0, std::int64_t j1) {
-    for (std::int64_t j = j0; j < j1; ++j)
-      for (std::int64_t i = 0; i < m; ++i) ov[j * m + i] = xv[i * n + j];
-  });
+  kern::transpose_fwd(x.data().data(), out.data().data(), m, n);
   return out;
 }
 
@@ -509,21 +381,17 @@ Tensor concat_cols(std::span<const Tensor> parts) {
     std::int64_t offset = 0;
     for (const auto& p : parents) {
       const std::int64_t c = p->cols;
-      if (p->requires_grad) {
-        for (std::int64_t i = 0; i < rows; ++i)
-          for (std::int64_t j = 0; j < c; ++j)
-            p->grad[i * c + j] += node.grad[i * total_cols + offset + j];
-      }
+      if (p->requires_grad)
+        kern::concat_cols_bwd_part(node.grad.data(), p->grad.data(), rows, c, total_cols,
+                                   offset);
       offset += c;
     }
   });
-  auto ov = out.data();
+  float* ov = out.data().data();
   std::int64_t offset = 0;
   for (const Tensor& t : parts) {
     const std::int64_t c = t.cols();
-    auto tv = t.data();
-    for (std::int64_t i = 0; i < m; ++i)
-      for (std::int64_t j = 0; j < c; ++j) ov[i * total + offset + j] = tv[i * c + j];
+    kern::concat_cols_fwd_part(t.data().data(), ov, m, c, total, offset);
     offset += c;
   }
   return out;
@@ -591,38 +459,11 @@ Tensor gather_rows(const Tensor& x, const std::vector<std::int32_t>& idx) {
       static_cast<std::int64_t>(idx.size()), c, track, {x.ptr()},
       [px = x.ptr(), idx](Node& node) {
         if (!px->requires_grad) return;
-        const std::int64_t cols = node.cols;
-        const auto count = static_cast<std::int64_t>(idx.size());
-        if (count * cols <= kScatterSerialCutoff || par::max_threads() == 1) {
-          for (std::int64_t i = 0; i < count; ++i) {
-            float* g = px->grad.data() + static_cast<std::int64_t>(idx[i]) * cols;
-            const float* d = node.grad.data() + i * cols;
-            for (std::int64_t j = 0; j < cols; ++j) g[j] += d[j];
-          }
-          return;
-        }
-        // Group output rows by target so each thread owns disjoint grad
-        // rows; sources stay in ascending order (bit-identical to serial).
-        const RowGroups groups = group_rows(idx, px->rows);
-        par::parallel_for(0, px->rows, par::grain_for(cols), [&](std::int64_t r0, std::int64_t r1) {
-          for (std::int64_t r = r0; r < r1; ++r) {
-            float* g = px->grad.data() + r * cols;
-            for (std::int64_t s = groups.ptr[r]; s < groups.ptr[r + 1]; ++s) {
-              const float* d = node.grad.data() + static_cast<std::int64_t>(groups.pos[s]) * cols;
-              for (std::int64_t j = 0; j < cols; ++j) g[j] += d[j];
-            }
-          }
-        });
+        kern::gather_bwd(node.grad.data(), idx.data(), static_cast<std::int64_t>(idx.size()),
+                         node.cols, px->rows, px->grad.data());
       });
-  const float* xv = x.data().data();
-  float* ov = out.data().data();
-  par::parallel_for(0, static_cast<std::int64_t>(idx.size()), par::grain_for(c),
-                    [&](std::int64_t i0, std::int64_t i1) {
-                      for (std::int64_t i = i0; i < i1; ++i) {
-                        const float* src = xv + static_cast<std::int64_t>(idx[i]) * c;
-                        std::copy(src, src + c, ov + i * c);
-                      }
-                    });
+  kern::gather_fwd(x.data().data(), idx.data(), static_cast<std::int64_t>(idx.size()), c,
+                   out.data().data());
   return out;
 }
 
@@ -638,39 +479,11 @@ Tensor scatter_add_rows(const Tensor& x, const std::vector<std::int32_t>& idx,
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(out_rows, c, track, {x.ptr()}, [px = x.ptr(), idx](Node& node) {
     if (!px->requires_grad) return;
-    const std::int64_t cols = node.cols;
-    // Each source row's grad is written exactly once: row-parallel over i.
-    par::parallel_for(0, static_cast<std::int64_t>(idx.size()), par::grain_for(cols),
-                      [&](std::int64_t i0, std::int64_t i1) {
-                        for (std::int64_t i = i0; i < i1; ++i) {
-                          const float* d =
-                              node.grad.data() + static_cast<std::int64_t>(idx[i]) * cols;
-                          float* g = px->grad.data() + i * cols;
-                          for (std::int64_t j = 0; j < cols; ++j) g[j] += d[j];
-                        }
-                      });
+    kern::scatter_add_bwd(node.grad.data(), idx.data(), static_cast<std::int64_t>(idx.size()),
+                          node.cols, px->grad.data());
   });
-  const float* xv = x.data().data();
-  float* ov = out.data().data();
-  const auto count = static_cast<std::int64_t>(idx.size());
-  if (count * c <= kScatterSerialCutoff || par::max_threads() == 1) {
-    for (std::int64_t i = 0; i < count; ++i) {
-      float* dst = ov + static_cast<std::int64_t>(idx[i]) * c;
-      const float* src = xv + i * c;
-      for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
-    }
-  } else {
-    const RowGroups groups = group_rows(idx, out_rows);
-    par::parallel_for(0, out_rows, par::grain_for(c), [&](std::int64_t r0, std::int64_t r1) {
-      for (std::int64_t r = r0; r < r1; ++r) {
-        float* dst = ov + r * c;
-        for (std::int64_t s = groups.ptr[r]; s < groups.ptr[r + 1]; ++s) {
-          const float* src = xv + static_cast<std::int64_t>(groups.pos[s]) * c;
-          for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
-        }
-      }
-    });
-  }
+  kern::scatter_add_fwd(x.data().data(), idx.data(), static_cast<std::int64_t>(idx.size()), c,
+                        out_rows, out.data().data());
   return out;
 }
 
@@ -683,54 +496,25 @@ Tensor segment_mean(const Tensor& x, const std::vector<std::int32_t>& seg,
                     std::int64_t n_segments) {
   if (static_cast<std::int64_t>(seg.size()) != x.rows())
     throw std::invalid_argument("segment_mean: seg size != rows");
-  std::vector<float> inv_count(static_cast<std::size_t>(n_segments), 0.0f);
   for (std::int32_t s : seg) {
     if (s < 0 || s >= n_segments)
       throw std::invalid_argument("segment_mean: segment id out of range");
-    inv_count[static_cast<std::size_t>(s)] += 1.0f;
   }
-  for (float& v : inv_count) v = v > 0.0f ? 1.0f / v : 0.0f;
+  std::vector<float> inv_count(static_cast<std::size_t>(n_segments));
+  kern::segment_inv_count(seg.data(), static_cast<std::int64_t>(seg.size()), n_segments,
+                          inv_count.data());
 
   const std::int64_t c = x.cols();
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(
       n_segments, c, track, {x.ptr()}, [px = x.ptr(), seg, inv_count](Node& node) {
         if (!px->requires_grad) return;
-        const std::int64_t cols = node.cols;
-        par::parallel_for(0, static_cast<std::int64_t>(seg.size()), par::grain_for(cols),
-                          [&](std::int64_t i0, std::int64_t i1) {
-                            for (std::int64_t i = i0; i < i1; ++i) {
-                              const float w = inv_count[static_cast<std::size_t>(seg[i])];
-                              const float* d =
-                                  node.grad.data() + static_cast<std::int64_t>(seg[i]) * cols;
-                              float* g = px->grad.data() + i * cols;
-                              for (std::int64_t j = 0; j < cols; ++j) g[j] += w * d[j];
-                            }
-                          });
+        kern::segment_mean_bwd(node.grad.data(), seg.data(),
+                               static_cast<std::int64_t>(seg.size()), node.cols,
+                               inv_count.data(), px->grad.data());
       });
-  const float* xv = x.data().data();
-  float* ov = out.data().data();
-  const auto count = static_cast<std::int64_t>(seg.size());
-  if (count * c <= kScatterSerialCutoff || par::max_threads() == 1) {
-    for (std::int64_t i = 0; i < count; ++i) {
-      const float w = inv_count[static_cast<std::size_t>(seg[i])];
-      float* dst = ov + static_cast<std::int64_t>(seg[i]) * c;
-      const float* src = xv + i * c;
-      for (std::int64_t j = 0; j < c; ++j) dst[j] += w * src[j];
-    }
-  } else {
-    const RowGroups groups = group_rows(seg, n_segments);
-    par::parallel_for(0, n_segments, par::grain_for(c), [&](std::int64_t r0, std::int64_t r1) {
-      for (std::int64_t r = r0; r < r1; ++r) {
-        const float w = inv_count[static_cast<std::size_t>(r)];
-        float* dst = ov + r * c;
-        for (std::int64_t s = groups.ptr[r]; s < groups.ptr[r + 1]; ++s) {
-          const float* src = xv + static_cast<std::int64_t>(groups.pos[s]) * c;
-          for (std::int64_t j = 0; j < c; ++j) dst[j] += w * src[j];
-        }
-      }
-    });
-  }
+  kern::segment_mean_fwd(x.data().data(), seg.data(), static_cast<std::int64_t>(seg.size()), c,
+                         n_segments, inv_count.data(), out.data().data());
   return out;
 }
 
@@ -740,17 +524,9 @@ Tensor sum_all(const Tensor& x) {
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(1, 1, track, {x.ptr()}, [px = x.ptr()](Node& node) {
     if (!px->requires_grad) return;
-    const float dy = node.grad[0];
-    const auto count = static_cast<std::int64_t>(px->grad.size());
-    par::parallel_for(0, count, par::grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
-      for (std::int64_t i = lo; i < hi; ++i) px->grad[i] += dy;
-    });
+    kern::sum_all_bwd(node.grad[0], px->grad.data(), static_cast<std::int64_t>(px->grad.size()));
   });
-  // Forward reduction stays serial: a single left-to-right sum is the
-  // cheapest way to keep the scalar bit-identical at every thread count.
-  float acc = 0.0f;
-  for (float v : x.data()) acc += v;
-  out.data()[0] = acc;
+  out.data()[0] = kern::sum_all_fwd(x.data().data(), x.numel());
   return out;
 }
 
@@ -765,24 +541,9 @@ Tensor row_sum(const Tensor& x) {
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(m, 1, track, {x.ptr()}, [px = x.ptr()](Node& node) {
     if (!px->requires_grad) return;
-    const std::int64_t cols = px->cols;
-    par::parallel_for(0, px->rows, par::grain_for(cols), [&](std::int64_t i0, std::int64_t i1) {
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float dy = node.grad[i];
-        float* g = px->grad.data() + i * cols;
-        for (std::int64_t j = 0; j < cols; ++j) g[j] += dy;
-      }
-    });
+    kern::row_sum_bwd(node.grad.data(), px->grad.data(), px->rows, px->cols);
   });
-  const float* xv = x.data().data();
-  float* ov = out.data().data();
-  par::parallel_for(0, m, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      float acc = 0.0f;
-      for (std::int64_t j = 0; j < c; ++j) acc += xv[i * c + j];
-      ov[i] = acc;
-    }
-  });
+  kern::row_sum_fwd(x.data().data(), out.data().data(), m, c);
   return out;
 }
 
@@ -794,35 +555,10 @@ Tensor softmax_rows(const Tensor& x) {
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(m, c, track, {x.ptr()}, [px = x.ptr()](Node& node) {
     if (!px->requires_grad) return;
-    const std::int64_t cols = node.cols;
-    par::parallel_for(0, node.rows, par::grain_for(cols), [&](std::int64_t i0, std::int64_t i1) {
-      for (std::int64_t i = i0; i < i1; ++i) {
-        const float* s = node.value.data() + i * cols;
-        const float* dy = node.grad.data() + i * cols;
-        float dot = 0.0f;
-        for (std::int64_t j = 0; j < cols; ++j) dot += dy[j] * s[j];
-        float* g = px->grad.data() + i * cols;
-        for (std::int64_t j = 0; j < cols; ++j) g[j] += s[j] * (dy[j] - dot);
-      }
-    });
+    kern::softmax_bwd(node.value.data(), node.grad.data(), px->grad.data(), node.rows,
+                      node.cols);
   });
-  const float* xv = x.data().data();
-  float* ov = out.data().data();
-  par::parallel_for(0, m, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* row = xv + i * c;
-      float mx = row[0];
-      for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-      float sum = 0.0f;
-      float* o = ov + i * c;
-      for (std::int64_t j = 0; j < c; ++j) {
-        o[j] = std::exp(row[j] - mx);
-        sum += o[j];
-      }
-      const float inv = 1.0f / sum;
-      for (std::int64_t j = 0; j < c; ++j) o[j] *= inv;
-    }
-  });
+  kern::softmax_fwd(x.data().data(), out.data().data(), m, c);
   return out;
 }
 
@@ -831,24 +567,17 @@ Tensor softmax_rows(const Tensor& x) {
 Tensor dropout(const Tensor& x, float p, Rng& rng) {
   if (p <= 0.0f) return x;
   if (p >= 1.0f) throw std::invalid_argument("dropout: p must be < 1");
-  const float keep_scale = 1.0f / (1.0f - p);
   std::vector<float> mask(x.data().size());
-  for (float& m : mask) m = rng.bernoulli(p) ? 0.0f : keep_scale;
+  kern::dropout_mask(rng, p, mask.data(), static_cast<std::int64_t>(mask.size()));
 
   const bool track = grad_enabled_for({&x});
   Tensor out = Tensor::make(x.rows(), x.cols(), track, {x.ptr()}, [px = x.ptr(), mask](Node& node) {
     if (!px->requires_grad) return;
-    const auto count = static_cast<std::int64_t>(node.grad.size());
-    par::parallel_for(0, count, par::grain_for(1), [&](std::int64_t lo, std::int64_t hi) {
-      for (std::int64_t i = lo; i < hi; ++i) px->grad[i] += node.grad[i] * mask[i];
-    });
+    kern::dropout_bwd(node.grad.data(), mask.data(), px->grad.data(),
+                      static_cast<std::int64_t>(node.grad.size()));
   });
-  const float* xv = x.data().data();
-  float* ov = out.data().data();
-  par::parallel_for(0, static_cast<std::int64_t>(mask.size()), par::grain_for(1),
-                    [&](std::int64_t lo, std::int64_t hi) {
-                      for (std::int64_t i = lo; i < hi; ++i) ov[i] = xv[i] * mask[i];
-                    });
+  kern::dropout_fwd(x.data().data(), mask.data(), out.data().data(),
+                    static_cast<std::int64_t>(mask.size()));
   return out;
 }
 
@@ -866,41 +595,17 @@ Tensor batchnorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   std::vector<float> mean(c), invstd(c);
   auto xv = x.data();
   if (training) {
-    std::vector<float> var(c, 0.0f);
-    const float inv_m = 1.0f / static_cast<float>(m);
-    // Per-column statistics: chunks own disjoint columns and scan rows in
-    // ascending order, matching the serial accumulation per column.
-    par::parallel_for(0, c, par::grain_for(2 * m), [&](std::int64_t j0, std::int64_t j1) {
-      for (std::int64_t j = j0; j < j1; ++j) mean[j] = 0.0f;
-      for (std::int64_t i = 0; i < m; ++i)
-        for (std::int64_t j = j0; j < j1; ++j) mean[j] += xv[i * c + j];
-      for (std::int64_t j = j0; j < j1; ++j) mean[j] *= inv_m;
-      for (std::int64_t i = 0; i < m; ++i)
-        for (std::int64_t j = j0; j < j1; ++j) {
-          const float d = xv[i * c + j] - mean[j];
-          var[j] += d * d;
-        }
-    });
-    for (std::int64_t j = 0; j < c; ++j) {
-      var[j] *= inv_m;
-      invstd[j] = 1.0f / std::sqrt(var[j] + eps);
-      running_mean[j] = (1.0f - momentum) * running_mean[j] + momentum * mean[j];
-      running_var[j] = (1.0f - momentum) * running_var[j] + momentum * var[j];
-    }
+    std::vector<float> var(c);
+    kern::bn_stats_train(xv.data(), m, c, mean.data(), var.data(), invstd.data(),
+                         running_mean.data(), running_var.data(), momentum, eps);
   } else {
-    for (std::int64_t j = 0; j < c; ++j) {
-      mean[j] = running_mean[j];
-      invstd[j] = 1.0f / std::sqrt(running_var[j] + eps);
-    }
+    kern::bn_stats_eval(running_mean.data(), running_var.data(), c, eps, mean.data(),
+                        invstd.data());
   }
 
   // xhat saved for backward.
   std::vector<float> xhat(static_cast<std::size_t>(m * c));
-  par::parallel_for(0, m, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i)
-      for (std::int64_t j = 0; j < c; ++j)
-        xhat[i * c + j] = (xv[i * c + j] - mean[j]) * invstd[j];
-  });
+  kern::bn_xhat(xv.data(), mean.data(), invstd.data(), xhat.data(), m, c);
 
   const bool track = grad_enabled_for({&x, &gamma, &beta});
   Tensor out = Tensor::make(
@@ -908,56 +613,20 @@ Tensor batchnorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       [px = x.ptr(), pg = gamma.ptr(), pb = beta.ptr(), xhat, invstd, training](Node& node) {
         const std::int64_t rows = node.rows;
         const std::int64_t cols = node.cols;
-        // dgamma / dbeta: column-parallel, i-ascending per column.
-        par::parallel_for(0, cols, par::grain_for(2 * rows), [&](std::int64_t j0, std::int64_t j1) {
-          for (std::int64_t j = j0; j < j1; ++j) {
-            float dg = 0.0f;
-            float db = 0.0f;
-            for (std::int64_t i = 0; i < rows; ++i) {
-              dg += node.grad[i * cols + j] * xhat[i * cols + j];
-              db += node.grad[i * cols + j];
-            }
-            if (pg->requires_grad) pg->grad[j] += dg;
-            if (pb->requires_grad) pb->grad[j] += db;
-          }
-        });
+        kern::bn_bwd_params(node.grad.data(), xhat.data(), rows, cols,
+                            pg->requires_grad ? pg->grad.data() : nullptr,
+                            pb->requires_grad ? pb->grad.data() : nullptr);
         if (!px->requires_grad) return;
         if (!training) {
-          // Running stats treated as constants.
-          par::parallel_for(0, rows, par::grain_for(cols), [&](std::int64_t i0, std::int64_t i1) {
-            for (std::int64_t i = i0; i < i1; ++i)
-              for (std::int64_t j = 0; j < cols; ++j)
-                px->grad[i * cols + j] += node.grad[i * cols + j] * pg->value[j] * invstd[j];
-          });
+          kern::bn_bwd_dx_eval(node.grad.data(), pg->value.data(), invstd.data(),
+                               px->grad.data(), rows, cols);
           return;
         }
-        // Full backward through batch statistics; per-column reductions are
-        // independent, so columns partition cleanly.
-        const float inv_m = 1.0f / static_cast<float>(rows);
-        par::parallel_for(0, cols, par::grain_for(4 * rows), [&](std::int64_t j0, std::int64_t j1) {
-          for (std::int64_t j = j0; j < j1; ++j) {
-            float sum_dxhat = 0.0f;
-            float sum_dxhat_xhat = 0.0f;
-            for (std::int64_t i = 0; i < rows; ++i) {
-              const float dxhat = node.grad[i * cols + j] * pg->value[j];
-              sum_dxhat += dxhat;
-              sum_dxhat_xhat += dxhat * xhat[i * cols + j];
-            }
-            for (std::int64_t i = 0; i < rows; ++i) {
-              const float dxhat = node.grad[i * cols + j] * pg->value[j];
-              px->grad[i * cols + j] += invstd[j] * (dxhat - inv_m * sum_dxhat -
-                                                  xhat[i * cols + j] * inv_m * sum_dxhat_xhat);
-            }
-          }
-        });
+        kern::bn_bwd_dx_train(node.grad.data(), pg->value.data(), invstd.data(), xhat.data(),
+                              px->grad.data(), rows, cols);
       });
-  const float* gv = gamma.data().data();
-  const float* bv = beta.data().data();
-  float* ov = out.data().data();
-  par::parallel_for(0, m, par::grain_for(c), [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i)
-      for (std::int64_t j = 0; j < c; ++j) ov[i * c + j] = gv[j] * xhat[i * c + j] + bv[j];
-  });
+  kern::bn_fwd_out(gamma.data().data(), beta.data().data(), xhat.data(), out.data().data(), m,
+                   c);
   return out;
 }
 
@@ -966,60 +635,30 @@ Tensor batchnorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 Tensor bce_with_logits(const Tensor& logits, const Tensor& targets) {
   check_same_shape("bce_with_logits", logits, targets);
   const std::int64_t n = logits.numel();
-  const float inv_n = 1.0f / static_cast<float>(n);
   const bool track = grad_enabled_for({&logits});
   Tensor out = Tensor::make(
       1, 1, track, {logits.ptr(), targets.ptr()},
-      [pl = logits.ptr(), pt = targets.ptr(), inv_n](Node& node) {
+      [pl = logits.ptr(), pt = targets.ptr()](Node& node) {
         if (!pl->requires_grad) return;
-        const float dy = node.grad[0];
-        const std::int64_t total = static_cast<std::int64_t>(pl->value.size());
-        par::parallel_for(0, total, par::grain_for(4), [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i) {
-            const float z = pl->value[i];
-            const float s = z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
-                                      : std::exp(z) / (1.0f + std::exp(z));
-            pl->grad[i] += dy * inv_n * (s - pt->value[i]);
-          }
-        });
+        kern::bce_bwd(pl->value.data(), pt->value.data(), node.grad[0],
+                      static_cast<std::int64_t>(pl->value.size()), pl->grad.data());
       });
-  float loss = 0.0f;
-  auto lv = logits.data();
-  auto tv = targets.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float z = lv[i];
-    const float y = tv[i];
-    // max(z,0) - z*y + log(1 + exp(-|z|))
-    loss += std::max(z, 0.0f) - z * y + std::log1p(std::exp(-std::fabs(z)));
-  }
-  out.data()[0] = loss * inv_n;
+  out.data()[0] = kern::bce_fwd(logits.data().data(), targets.data().data(), n);
   return out;
 }
 
 Tensor mse_loss(const Tensor& pred, const Tensor& target) {
   check_same_shape("mse_loss", pred, target);
   const std::int64_t n = pred.numel();
-  const float inv_n = 1.0f / static_cast<float>(n);
   const bool track = grad_enabled_for({&pred});
   Tensor out = Tensor::make(
       1, 1, track, {pred.ptr(), target.ptr()},
-      [pp = pred.ptr(), pt = target.ptr(), inv_n](Node& node) {
+      [pp = pred.ptr(), pt = target.ptr()](Node& node) {
         if (!pp->requires_grad) return;
-        const float dy = node.grad[0];
-        const std::int64_t total = static_cast<std::int64_t>(pp->value.size());
-        par::parallel_for(0, total, par::grain_for(1), [&](std::int64_t i0, std::int64_t i1) {
-          for (std::int64_t i = i0; i < i1; ++i)
-            pp->grad[i] += dy * inv_n * 2.0f * (pp->value[i] - pt->value[i]);
-        });
+        kern::mse_bwd(pp->value.data(), pt->value.data(), node.grad[0],
+                      static_cast<std::int64_t>(pp->value.size()), pp->grad.data());
       });
-  float loss = 0.0f;
-  auto pv = pred.data();
-  auto tv = target.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float d = pv[i] - tv[i];
-    loss += d * d;
-  }
-  out.data()[0] = loss * inv_n;
+  out.data()[0] = kern::mse_fwd(pred.data().data(), target.data().data(), n);
   return out;
 }
 

@@ -6,6 +6,9 @@
 #include <memory>
 #include <numeric>
 
+#include "exec/gps_program.hpp"
+#include "exec/runner.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/optim.hpp"
 #include "tensor/ops.hpp"
 #include "util/env.hpp"
@@ -122,6 +125,13 @@ struct ModelSnapshot {
 std::vector<float> run_inference(CircuitGps& model, const XcNormalizer& normalizer,
                                  const TaskData& test, int batch_size, bool link_task);
 
+// Whether this process should run the model through the compiled-plan
+// executor (CIRCUITGPS_EXEC=planned, DESIGN.md §10) for this config.
+// Unsupported configs fall back to eager silently — outputs are equivalent.
+bool use_planned_exec(const CircuitGps& model) {
+  return env_exec_mode() == ExecMode::kPlanned && exec::program_supported(model.config());
+}
+
 double validation_score(CircuitGps& model, const XcNormalizer& normalizer,
                         const TaskData& validation, bool link_task) {
   const std::vector<float> out = run_inference(model, normalizer, validation, 64, link_task);
@@ -151,6 +161,8 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
   const bool early_stopping = validation != nullptr && options.early_stop_patience > 0;
 
   model.set_training(true);
+  const bool planned = use_planned_exec(model);
+  exec::PlanRunner runner(model);
   const std::unique_ptr<JsonlFile> run_log = open_run_log();
   const std::string run_id = trace::make_run_id();
   Stopwatch timer;
@@ -183,30 +195,40 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
                           link_task, normalizer, batch_options);
       }
       Tensor loss;
+      float planned_loss = 0.0f;
       {
         ScopedTimer st(t_fwd);
         const TraceSpan span("train.forward");
-        Tensor out = model.forward(mb.batch);
-        Tensor target = Tensor::from_vector(std::move(mb.values),
-                                            out.rows(), 1);
-        if (link_task) {
-          loss = ops::bce_with_logits(out, target);
-        } else if (options.target_weight_alpha > 0.0f) {
-          std::vector<float> weights(static_cast<std::size_t>(out.rows()));
-          for (std::int64_t i = 0; i < out.rows(); ++i)
-            weights[static_cast<std::size_t>(i)] =
-                1.0f + options.target_weight_alpha * target.at(i, 0);
-          Tensor w = Tensor::from_vector(std::move(weights), out.rows(), 1);
-          loss = ops::mean_all(ops::mul(w, ops::square(ops::sub(out, target))));
+        if (planned) {
+          planned_loss = runner.forward_loss(mb.batch, mb.values,
+                                             options.target_weight_alpha, link_task);
         } else {
-          loss = ops::mse_loss(out, target);
+          Tensor out = model.forward(mb.batch);
+          Tensor target = Tensor::from_vector(std::move(mb.values),
+                                              out.rows(), 1);
+          if (link_task) {
+            loss = ops::bce_with_logits(out, target);
+          } else if (options.target_weight_alpha > 0.0f) {
+            std::vector<float> weights(static_cast<std::size_t>(out.rows()));
+            for (std::int64_t i = 0; i < out.rows(); ++i)
+              weights[static_cast<std::size_t>(i)] =
+                  1.0f + options.target_weight_alpha * target.at(i, 0);
+            Tensor w = Tensor::from_vector(std::move(weights), out.rows(), 1);
+            loss = ops::mean_all(ops::mul(w, ops::square(ops::sub(out, target))));
+          } else {
+            loss = ops::mse_loss(out, target);
+          }
         }
       }
       {
         ScopedTimer st(t_bwd);
         const TraceSpan span("train.backward");
         optimizer.zero_grad();
-        loss.backward();
+        if (planned) {
+          runner.backward();
+        } else {
+          loss.backward();
+        }
       }
       {
         ScopedTimer st(t_opt);
@@ -214,7 +236,7 @@ TrainStats run_training(CircuitGps& model, const XcNormalizer& normalizer,
         optimizer.clip_grad_norm(options.grad_clip);
         optimizer.step();
       }
-      loss_sum += loss.item();
+      loss_sum += planned ? planned_loss : loss.item();
       ++batches;
       samples += static_cast<std::int64_t>(ref.end - ref.begin);
     }
@@ -308,6 +330,16 @@ std::vector<float> run_inference(CircuitGps& model, const XcNormalizer& normaliz
 
   std::vector<float> scores;
   scores.reserve(n);
+  if (use_planned_exec(model)) {
+    exec::PlanRunner runner(model);
+    for (const SubgraphBatch& batch : prepared) {
+      std::int64_t rows = 0;
+      const float* out = runner.predict(batch, &rows);
+      for (std::int64_t i = 0; i < rows; ++i)
+        scores.push_back(link_task ? kern::sigmoid1(out[i]) : std::clamp(out[i], 0.0f, 1.0f));
+    }
+    return scores;
+  }
   for (const SubgraphBatch& batch : prepared) {
     Tensor out = model.forward(batch);
     if (link_task) out = ops::sigmoid(out);

@@ -106,6 +106,27 @@ bool env_trace_enabled() {
   return env != nullptr && *env != '\0';
 }
 
+ExecMode env_exec_mode() {
+  if (const char* env = std::getenv("CIRCUITGPS_EXEC")) {
+    const std::string v(env);
+    if (v == "planned") return ExecMode::kPlanned;
+    if (v == "eager" || v.empty()) return ExecMode::kEager;
+    warn_once("CIRCUITGPS_EXEC", env, "want eager|planned; using eager");
+  }
+  return ExecMode::kEager;
+}
+
+BackendKind env_backend() {
+  if (const char* env = std::getenv("CIRCUITGPS_BACKEND")) {
+    const std::string v(env);
+    if (v == "scalar") return BackendKind::kScalar;
+    if (v == "avx2") return BackendKind::kAvx2;
+    if (v == "auto" || v.empty()) return BackendKind::kAuto;
+    warn_once("CIRCUITGPS_BACKEND", env, "want scalar|avx2|auto; using auto");
+  }
+  return BackendKind::kAuto;
+}
+
 std::string env_log_level_name() {
   const char* env = std::getenv("CGPS_LOG_LEVEL");
   return env != nullptr ? std::string(env) : std::string();

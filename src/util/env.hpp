@@ -55,6 +55,22 @@ std::string env_trace_path();
 // streaming is off.
 bool env_trace_enabled();
 
+// Execution engine selected by CIRCUITGPS_EXEC. kEager (default) runs the
+// per-op autograd tape; kPlanned routes supported models through the
+// compiled plan executor in src/exec/ (eager remains the oracle and the
+// fallback for unsupported configs). Read fresh on every call so tests can
+// flip modes between runs.
+enum class ExecMode { kEager, kPlanned };
+ExecMode env_exec_mode();
+
+// Kernel backend selected by CIRCUITGPS_BACKEND for the planned executor.
+// kAuto (default) picks the fastest backend the CPU supports at runtime;
+// kScalar forces the bit-exact reference kernels (what the determinism
+// tests pin); kAvx2 forces the AVX2/FMA kernels and falls back to scalar
+// with a warning when the CPU lacks them. Read fresh on every call.
+enum class BackendKind { kAuto, kScalar, kAvx2 };
+BackendKind env_backend();
+
 // Raw value of CGPS_LOG_LEVEL ("" when unset). util/logging owns the
 // parse (and the one-shot warning for unknown names) because translating
 // to LogLevel from here would invert the env -> logging dependency.

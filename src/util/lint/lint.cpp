@@ -227,6 +227,31 @@ void check_naked_new(const FileUnit& f, std::vector<Finding>& out) {
   }
 }
 
+// --- rule: exec-kernel-alloc ----------------------------------------------
+// Kernel backend TUs (src/exec/backend_*.cpp) execute inside the plan
+// executor's hot path: every buffer they touch was carved from the arena at
+// bind time, so the whole TU must stay allocation-free — no heap calls and
+// no owning containers (DESIGN.md §10). `new`/`delete` are already covered
+// by naked-new; this rule catches the indirect allocators.
+void check_exec_alloc(const FileUnit& f, std::vector<Finding>& out) {
+  if (f.rel.rfind("src/exec/backend_", 0) != 0) return;
+  for (const std::string_view token :
+       {std::string_view("malloc"), std::string_view("calloc"), std::string_view("realloc"),
+        std::string_view("free"), std::string_view("push_back"),
+        std::string_view("emplace_back"), std::string_view("resize"),
+        std::string_view("reserve"), std::string_view("make_unique"),
+        std::string_view("make_shared"), std::string_view("vector"),
+        std::string_view("string"), std::string_view("deque"), std::string_view("map"),
+        std::string_view("unordered_map")}) {
+    for (const std::size_t pos : token_offsets(f.lexed.stripped, token)) {
+      add_finding(out, f, line_of(f.starts, pos), "exec-kernel-alloc",
+                  "kernel backends are arena-only: `" + std::string(token) +
+                      "` allocates or owns storage on the executor hot path "
+                      "(kernels take caller-carved pointers)");
+    }
+  }
+}
+
 // --- rule: header hygiene -----------------------------------------------
 void check_headers(const FileUnit& f, std::vector<Finding>& out) {
   if (!f.is_header) return;
@@ -452,6 +477,7 @@ LintReport run_lint(const LintOptions& options) {
 
     check_getenv(f, report.findings);
     check_naked_new(f, report.findings);
+    check_exec_alloc(f, report.findings);
     check_headers(f, report.findings);
     check_metric_keys(f, report.findings);
     // Tests are exempt: their literals name hypothetical variables (the

@@ -158,6 +158,30 @@ TEST_F(LintFixture, NakedNewInNonTestCodeOnly) {
   EXPECT_EQ(report.findings[1].line, 3);
 }
 
+TEST_F(LintFixture, ExecKernelAllocScopedToBackendTus) {
+  write("README.md", "");
+  write("src/exec/backend_scalar.cpp",
+        "#include <cstdlib>\n"
+        "void f(float* out) {\n"
+        "  float* p = (float*)malloc(8);\n"    // line 3
+        "  scratch.resize(64);\n"              // line 4
+        "  names.push_back(1);\n"              // line 5
+        "  // a vector mentioned in a comment is fine\n"
+        "  const char* s = \"std::vector\";\n"  // literal: fine
+        "}\n");
+  // Same tokens outside src/exec/backend_*: not this rule's business.
+  write("src/exec/executor_helper.cpp", "void g(S& s) { s.buf.resize(4); }\n");
+  write("src/other.cpp", "void h(S& s) { s.v.push_back(2); }\n");
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"exec-kernel-alloc", "exec-kernel-alloc",
+                                           "exec-kernel-alloc"}));
+  EXPECT_EQ(report.findings[0].file, "src/exec/backend_scalar.cpp");
+  EXPECT_EQ(report.findings[0].line, 3);
+  EXPECT_EQ(report.findings[1].line, 4);
+  EXPECT_EQ(report.findings[2].line, 5);
+}
+
 TEST_F(LintFixture, AllowlistSuppressesAndStaleEntriesFlagged) {
   write("README.md", "");
   write("src/owner.cpp", "int* p = new int(3);\n");

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "train/trainer.hpp"
+#include "util/env.hpp"
 #include "util/json_writer.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
@@ -170,12 +171,24 @@ TEST(TraceStreamTest, CoversTrainingHotPaths) {
       EXPECT_TRUE(ev.has("dur")) << name;
     }
   }
-  // Acceptance: sampling, batch assembly, and per-layer fwd/bwd all appear.
-  for (const char* required :
-       {"sampling.for_links", "sampling.extract", "sampling.dspd", "batch.assemble",
-        "train.epoch", "train.forward", "train.backward", "model.gps0.fwd",
-        "model.gps1.fwd", "model.gps0.bwd", "model.gps1.bwd"}) {
-    EXPECT_TRUE(names.count(required)) << "span missing from stream: " << required;
+  // Acceptance: sampling, batch assembly, and the model hot path all appear.
+  // Eager execution emits per-layer fwd/bwd spans; the planned executor
+  // (CIRCUITGPS_EXEC=planned) runs the whole model as one compiled plan and
+  // emits exec.* spans instead.
+  std::vector<const char*> required = {"sampling.for_links", "sampling.extract",
+                                       "sampling.dspd",      "batch.assemble",
+                                       "train.epoch",        "train.forward",
+                                       "train.backward"};
+  if (env_exec_mode() == ExecMode::kPlanned) {
+    for (const char* s : {"exec.plan_build", "exec.run_fwd", "exec.run_bwd"})
+      required.push_back(s);
+  } else {
+    for (const char* s : {"model.gps0.fwd", "model.gps1.fwd", "model.gps0.bwd",
+                          "model.gps1.bwd"})
+      required.push_back(s);
+  }
+  for (const char* span : required) {
+    EXPECT_TRUE(names.count(span)) << "span missing from stream: " << span;
   }
   for (const auto& [name, b] : balance) EXPECT_EQ(b, 0) << "unbalanced B/E for " << name;
 }
