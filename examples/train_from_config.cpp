@@ -49,10 +49,11 @@ int main(int argc, char** argv) {
               test_ds.name.c_str(), m.accuracy, m.f1, m.auc);
 
   // Persist the trained meta-learner as a self-describing bundle: the file
-  // carries its own architecture config, so a later session can fine-tune it
-  // without this config file.
+  // carries its own architecture config and the fitted X_C normalizer, so a
+  // later session (or cgps_serve) can use it without this config file and
+  // with training-time feature scaling.
   const char* bundle_path = "meta_learner.cgps";
-  save_model_bundle(model, bundle_path);
+  save_model_bundle(model, bundle_path, &normalizer);
   const auto reloaded = load_model_bundle(bundle_path);
   const BinaryMetrics again = evaluate_link_prediction(*reloaded, normalizer, test);
   std::printf("bundle round trip -> %s (AUC unchanged: %.3f)\n", bundle_path, again.auc);

@@ -42,6 +42,13 @@ void XcNormalizer::fit_rows(const std::vector<std::array<float, kXcDim>>& all,
   }
 }
 
+void XcNormalizer::restore(const std::array<float, kXcDim>& min,
+                           const std::array<float, kXcDim>& max) {
+  min_ = min;
+  max_ = max;
+  fitted_ = true;
+}
+
 std::array<float, kXcDim> XcNormalizer::apply(const std::array<float, kXcDim>& row) const {
   std::array<float, kXcDim> out{};
   for (std::size_t j = 0; j < kXcDim; ++j) {

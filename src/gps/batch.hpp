@@ -25,6 +25,9 @@ class XcNormalizer {
   void fit_rows(const std::vector<std::array<float, kXcDim>>& all,
                 const std::vector<std::int32_t>& nodes);
   std::array<float, kXcDim> apply(const std::array<float, kXcDim>& row) const;
+  // Reinstate previously fitted bounds (model-bundle v2 round trip): after
+  // restore the normalizer reports fitted() and applies exactly these bounds.
+  void restore(const std::array<float, kXcDim>& min, const std::array<float, kXcDim>& max);
   bool fitted() const { return fitted_; }
 
   const std::array<float, kXcDim>& min() const { return min_; }

@@ -1,9 +1,6 @@
 #include "graph/subgraph.hpp"
 
-#include <queue>
 #include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "util/trace.hpp"
 
@@ -11,22 +8,66 @@ namespace cgps {
 
 namespace {
 
+// Per-thread extraction scratch. Extraction runs in tight loops (training
+// batch assembly, the serve batching thread, par:: workers) where per-call
+// hash maps and queues dominate the cost for small subgraphs; epoch-stamped
+// flat arrays over the host graph make every membership probe one array
+// load and make the whole call allocation-free after warmup. Visit and
+// insertion order are identical to the hash-map formulation, so extraction
+// output is bit-for-bit unchanged.
+struct ExtractScratch {
+  std::vector<std::int32_t> node_stamp;   // epoch when node entered the subgraph
+  std::vector<std::int32_t> node_local;   // local id, valid when stamp current
+  std::vector<std::int32_t> bfs_stamp;    // epoch when node was seen by this BFS
+  std::vector<std::int32_t> bfs_depth;    // depth, valid when bfs_stamp current
+  std::vector<std::int64_t> edge_stamp;   // epoch when edge id was induced
+  std::vector<std::int32_t> queue;        // BFS FIFO (index-walked)
+  std::vector<std::vector<std::int32_t>> local_adj;  // induced adjacency
+  std::int32_t epoch = 0;       // node/edge membership epoch
+  std::int32_t bfs_epoch = 0;   // per-anchor BFS epoch
+
+  void prepare(std::int64_t num_nodes, std::int64_t num_edges) {
+    if (static_cast<std::int64_t>(node_stamp.size()) < num_nodes) {
+      node_stamp.assign(static_cast<std::size_t>(num_nodes), 0);
+      node_local.resize(static_cast<std::size_t>(num_nodes));
+      bfs_stamp.assign(static_cast<std::size_t>(num_nodes), 0);
+      bfs_depth.resize(static_cast<std::size_t>(num_nodes));
+      epoch = 0;
+      bfs_epoch = 0;
+    }
+    if (static_cast<std::int64_t>(edge_stamp.size()) < num_edges)
+      edge_stamp.assign(static_cast<std::size_t>(num_edges), 0);
+    if (epoch == INT32_MAX) {
+      std::fill(node_stamp.begin(), node_stamp.end(), 0);
+      std::fill(edge_stamp.begin(), edge_stamp.end(), 0);
+      epoch = 0;
+    }
+    if (bfs_epoch >= INT32_MAX - 2) {
+      std::fill(bfs_stamp.begin(), bfs_stamp.end(), 0);
+      bfs_epoch = 0;
+    }
+    ++epoch;
+    queue.clear();
+  }
+};
+
+thread_local ExtractScratch tl_scratch;
+
 // Local BFS over the induced subgraph to fill DSPD distances.
 void local_bfs(const std::vector<std::vector<std::int32_t>>& adj, std::int32_t start,
-               std::vector<std::int32_t>& dist) {
+               std::vector<std::int32_t>& dist, std::vector<std::int32_t>& queue) {
   std::fill(dist.begin(), dist.end(), kDspdMax);
-  std::queue<std::int32_t> queue;
+  queue.clear();
   dist[static_cast<std::size_t>(start)] = 0;
-  queue.push(start);
-  while (!queue.empty()) {
-    const std::int32_t v = queue.front();
-    queue.pop();
+  queue.push_back(start);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::int32_t v = queue[head];
     const std::int32_t dv = dist[static_cast<std::size_t>(v)];
     if (dv >= kDspdMax) continue;
     for (std::int32_t u : adj[static_cast<std::size_t>(v)]) {
       if (dist[static_cast<std::size_t>(u)] > dv + 1) {
         dist[static_cast<std::size_t>(u)] = dv + 1;
-        queue.push(u);
+        queue.push_back(u);
       }
     }
   }
@@ -45,15 +86,20 @@ Subgraph extract_enclosing_subgraph(const HeteroGraph& graph, std::int32_t m, st
   if (n >= graph.num_nodes())
     throw std::invalid_argument("extract_enclosing_subgraph: bad anchor n");
 
+  ExtractScratch& scratch = tl_scratch;
+  scratch.prepare(graph.num_nodes(), graph.num_edges());
+  const std::int32_t epoch = scratch.epoch;
+
   Subgraph sg;
-  std::unordered_map<std::int32_t, std::int32_t> local;  // orig -> local id
   auto add_node = [&](std::int32_t orig) -> std::int32_t {
-    auto [it, inserted] = local.emplace(orig, static_cast<std::int32_t>(sg.orig_nodes.size()));
-    if (inserted) {
+    const auto o = static_cast<std::size_t>(orig);
+    if (scratch.node_stamp[o] != epoch) {
+      scratch.node_stamp[o] = epoch;
+      scratch.node_local[o] = static_cast<std::int32_t>(sg.orig_nodes.size());
       sg.orig_nodes.push_back(orig);
       sg.node_type.push_back(static_cast<std::int8_t>(graph.node_type(orig)));
     }
-    return it->second;
+    return scratch.node_local[o];
   };
 
   add_node(m);
@@ -62,23 +108,26 @@ Subgraph extract_enclosing_subgraph(const HeteroGraph& graph, std::int32_t m, st
 
   // Capped BFS from each anchor up to `hops`.
   auto bfs_collect = [&](std::int32_t anchor) {
-    std::int64_t budget = options.max_nodes_per_anchor;
-    std::unordered_map<std::int32_t, std::int32_t> depth;
-    std::queue<std::int32_t> queue;
-    depth.emplace(anchor, 0);
-    queue.push(anchor);
-    while (!queue.empty()) {
-      const std::int32_t v = queue.front();
-      queue.pop();
-      const std::int32_t dv = depth.at(v);
+    const std::int64_t budget = options.max_nodes_per_anchor;
+    const std::int32_t bfs_epoch = ++scratch.bfs_epoch;
+    std::int64_t visited = 1;
+    scratch.queue.clear();
+    scratch.bfs_stamp[static_cast<std::size_t>(anchor)] = bfs_epoch;
+    scratch.bfs_depth[static_cast<std::size_t>(anchor)] = 0;
+    scratch.queue.push_back(anchor);
+    for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
+      const std::int32_t v = scratch.queue[head];
+      const std::int32_t dv = scratch.bfs_depth[static_cast<std::size_t>(v)];
       if (dv >= options.hops) continue;
       for (std::int64_t k = 0; k < graph.degree(v); ++k) {
         const std::int32_t u = graph.neighbor(v, k).node;
-        if (depth.contains(u)) continue;
-        if (budget >= 0 && static_cast<std::int64_t>(depth.size()) >= budget) return;
-        depth.emplace(u, dv + 1);
+        if (scratch.bfs_stamp[static_cast<std::size_t>(u)] == bfs_epoch) continue;
+        if (budget >= 0 && visited >= budget) return;
+        scratch.bfs_stamp[static_cast<std::size_t>(u)] = bfs_epoch;
+        scratch.bfs_depth[static_cast<std::size_t>(u)] = dv + 1;
+        ++visited;
         add_node(u);
-        queue.push(u);
+        scratch.queue.push_back(u);
       }
     }
   };
@@ -89,18 +138,19 @@ Subgraph extract_enclosing_subgraph(const HeteroGraph& graph, std::int32_t m, st
   // original edge id, expanded to both directions. The direct anchor-anchor
   // edge is dropped: when the target link was injected into the graph
   // (SEAL-style), keeping it would leak the label being predicted.
-  std::unordered_set<std::int64_t> seen_edges;
   const std::size_t n_local = sg.orig_nodes.size();
-  std::vector<std::vector<std::int32_t>> local_adj(n_local);
+  if (scratch.local_adj.size() < n_local) scratch.local_adj.resize(n_local);
+  for (std::size_t i = 0; i < n_local; ++i) scratch.local_adj[i].clear();
+  std::vector<std::vector<std::int32_t>>& local_adj = scratch.local_adj;
   for (std::size_t lv = 0; lv < n_local; ++lv) {
     const std::int32_t v = sg.orig_nodes[lv];
     for (std::int64_t k = 0; k < graph.degree(v); ++k) {
       const auto [u, edge_id] = graph.neighbor(v, k);
       if (link_task && ((v == m && u == n) || (v == n && u == m))) continue;
-      const auto it = local.find(u);
-      if (it == local.end()) continue;
-      if (!seen_edges.insert(edge_id).second) continue;
-      const auto lu = static_cast<std::int32_t>(it->second);
+      if (scratch.node_stamp[static_cast<std::size_t>(u)] != epoch) continue;
+      if (scratch.edge_stamp[static_cast<std::size_t>(edge_id)] == epoch) continue;
+      scratch.edge_stamp[static_cast<std::size_t>(edge_id)] = epoch;
+      const std::int32_t lu = scratch.node_local[static_cast<std::size_t>(u)];
       const auto lv32 = static_cast<std::int32_t>(lv);
       const std::int8_t type = graph.edge_type(edge_id);
       sg.edges.src.push_back(lv32);
@@ -118,9 +168,9 @@ Subgraph extract_enclosing_subgraph(const HeteroGraph& graph, std::int32_t m, st
   const TraceSpan dspd_span("sampling.dspd");
   sg.dist0.resize(n_local);
   sg.dist1.resize(n_local);
-  local_bfs(local_adj, 0, sg.dist0);
+  local_bfs(local_adj, 0, sg.dist0, scratch.queue);
   if (link_task) {
-    local_bfs(local_adj, sg.second_anchor, sg.dist1);
+    local_bfs(local_adj, sg.second_anchor, sg.dist1, scratch.queue);
   } else {
     sg.dist1 = sg.dist0;  // paper §IV-D: D0 = D1 for node tasks
   }

@@ -1,0 +1,54 @@
+// Minimal blocking client for the cgps_serve wire protocol. One TCP
+// connection, synchronous call() for scripting plus split send()/recv() for
+// pipelined load generation (bench_serve_load keeps many requests in flight
+// and matches responses by id). Not thread-safe: callers wanting concurrency
+// open one ServeClient per thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+namespace cgps::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Connect to host:port (host is a dotted-quad, e.g. "127.0.0.1").
+  // False on resolve/connect failure — error logged.
+  bool connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  // Fire-and-forget send; pair with recv() to collect responses in whatever
+  // order the server finishes them. False = connection is dead.
+  bool send(const Request& request);
+  std::optional<Response> recv();
+
+  // Batched send for pipelined load generation: enqueue() stages frames in a
+  // local buffer, flush() pushes them in one write(2). Mixing enqueue() with
+  // send() is fine — send() is simply enqueue()+flush().
+  void enqueue(const Request& request);
+  bool flush();
+
+  // Synchronous request/response. nullopt on any transport failure.
+  std::optional<Response> call(const Request& request);
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> out_buf_;
+  // Inbound stream buffer: one read(2) may deliver many pipelined response
+  // frames; recv() slices them out without further syscalls.
+  std::vector<std::uint8_t> in_buf_;
+  std::size_t in_pos_ = 0;
+};
+
+}  // namespace cgps::serve

@@ -1,0 +1,328 @@
+#include "serve/core.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/gps_program.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+#include "train/dataset.hpp"
+#include "train/trainer.hpp"
+#include "util/env.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+#include "util/trace.hpp"
+
+namespace cgps::serve {
+
+namespace {
+
+// 1-2-5 ladder, 100 µs .. 20 s, in seconds: the serve.latency histogram the
+// p50/p95/p99 SLO quantiles are interpolated from (DESIGN.md §8).
+std::vector<double> latency_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-4; decade < 20.0; decade *= 10.0)
+    for (const double step : {1.0, 2.0, 5.0}) bounds.push_back(decade * step);
+  return bounds;
+}
+
+std::vector<double> batch_size_bounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+Histogram& latency_histogram() {
+  static Histogram& h = metric_histogram("serve.latency", latency_bounds());
+  return h;
+}
+
+Histogram& batch_size_histogram() {
+  static Histogram& h = metric_histogram("serve.batch_size", batch_size_bounds());
+  return h;
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kTimeout: return "timeout";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kBadDesign: return "bad_design";
+    case Status::kBadNode: return "bad_node";
+    case Status::kShutdown: return "shutdown";
+    case Status::kError: return "error";
+  }
+  return "?";
+}
+
+const char* task_kind_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::kLink: return "link";
+    case TaskKind::kEdgeCap: return "edge_cap";
+    case TaskKind::kNodeCap: return "node_cap";
+    case TaskKind::kInfo: return "info";
+  }
+  return "?";
+}
+
+ServeCore::ServeCore(CircuitGps& model, XcNormalizer normalizer,
+                     std::vector<ServedDesign> designs, ServeOptions options)
+    : model_(model),
+      normalizer_(std::move(normalizer)),
+      designs_(std::move(designs)),
+      options_(options),
+      batch_options_(batch_options_for(model.config())) {
+  options_.max_batch = std::max(1, options_.max_batch);
+  options_.queue_cap = std::max(1, options_.queue_cap);
+  if (options_.default_deadline_us <= 0) options_.default_deadline_us = 100000;
+  model_.set_training(false);
+  planned_ = env_exec_mode() == ExecMode::kPlanned && exec::program_supported(model.config());
+  if (planned_) runner_ = std::make_unique<exec::PlanRunner>(model_);
+  // Touch the instruments once so reports include them even before traffic.
+  latency_histogram();
+  batch_size_histogram();
+  metric_gauge("serve.queue_depth").set(0.0);
+}
+
+ServeCore::~ServeCore() { stop(); }
+
+void ServeCore::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void ServeCore::stop() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    worker.swap(thread_);
+  }
+  cv_.notify_all();
+  if (worker.joinable()) worker.join();
+  // Without a batching thread the queue may still hold accepted work
+  // (submit-before-start in tests); drain it here so "accepted implies
+  // answered" holds on every path.
+  while (run_cycle() > 0) {
+  }
+}
+
+void ServeCore::set_cycle_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  cycle_hook_ = std::move(hook);
+}
+
+bool ServeCore::submit(const Request& request, ResponseCallback done) {
+  Pending p;
+  p.request = request;
+  p.done = std::move(done);
+  p.arrival_us = trace::now_us();
+  const std::int64_t budget =
+      request.deadline_us > 0 ? request.deadline_us : options_.default_deadline_us;
+  p.deadline_us = p.arrival_us + budget;
+
+  metric_counter("serve.requests").add(1);
+  if (request.design >= designs_.size()) {
+    reply(p, Status::kBadDesign, 0.0f, 0.0);
+    return true;
+  }
+  const ServedDesign& design = designs_[request.design];
+  if (request.task == TaskKind::kInfo) {
+    // Metadata probe: answered at admission, never queued.
+    reply(p, Status::kOk, static_cast<float>(design.graph.num_nodes()),
+          static_cast<double>(designs_.size()));
+    return true;
+  }
+  const std::int32_t n = static_cast<std::int32_t>(design.graph.num_nodes());
+  const bool needs_b = request.task == TaskKind::kLink || request.task == TaskKind::kEdgeCap;
+  if (request.node_a < 0 || request.node_a >= n ||
+      (needs_b && (request.node_b < 0 || request.node_b >= n))) {
+    reply(p, Status::kBadNode, 0.0f, 0.0);
+    return true;
+  }
+
+  // Admission decision under the lock, rejection callback outside it: the
+  // callback must never run while the queue mutex is held.
+  Status rejected = Status::kOk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      rejected = Status::kShutdown;
+    } else if (queue_.size() >= static_cast<std::size_t>(options_.queue_cap)) {
+      rejected = Status::kOverloaded;
+    } else {
+      queue_.push_back(std::move(p));
+      metric_gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+    }
+  }
+  if (rejected != Status::kOk) {
+    if (rejected == Status::kOverloaded) metric_counter("serve.rejected").add(1);
+    reply(p, rejected, 0.0f, 0.0);
+    return false;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+Response ServeCore::predict(const Request& request) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  Response out;
+  submit(request, [&](const Response& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    out = r;
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return out;
+}
+
+int ServeCore::run_cycle() {
+  std::vector<Pending> taken;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t k =
+        std::min(queue_.size(), static_cast<std::size_t>(options_.max_batch));
+    taken.assign(std::make_move_iterator(queue_.begin()),
+                 std::make_move_iterator(queue_.begin() + static_cast<std::ptrdiff_t>(k)));
+    queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(k));
+    metric_gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+  }
+  return serve_some(taken);
+}
+
+void ServeCore::loop() {
+  for (;;) {
+    std::vector<Pending> taken;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping_ && drained
+      const std::size_t k =
+          std::min(queue_.size(), static_cast<std::size_t>(options_.max_batch));
+      taken.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.begin() + static_cast<std::ptrdiff_t>(k)));
+      queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(k));
+      metric_gauge("serve.queue_depth").set(static_cast<double>(queue_.size()));
+    }
+    serve_some(taken);
+  }
+}
+
+// Shed expired requests, then serve the survivors grouped by design (one
+// coalesced forward per design — make_batch normalizes X_C rows of exactly
+// one source graph). Returns the number of requests answered.
+int ServeCore::serve_some(std::vector<Pending>& taken) {
+  if (taken.empty()) return 0;
+  const std::int64_t now = trace::now_us();
+  std::vector<Pending*> live;
+  live.reserve(taken.size());
+  for (Pending& p : taken) {
+    if (p.deadline_us < now) {
+      metric_counter("serve.timeouts").add(1);
+      reply(p, Status::kTimeout, 0.0f, 0.0);
+    } else {
+      live.push_back(&p);
+    }
+  }
+  // Group by design, preserving arrival order within each group.
+  for (std::size_t d = 0; d < designs_.size() && !live.empty(); ++d) {
+    std::vector<Pending*> group;
+    std::vector<Pending*> rest;
+    for (Pending* p : live) {
+      (p->request.design == d ? group : rest).push_back(p);
+    }
+    if (!group.empty()) process_group(group);
+    live.swap(rest);
+  }
+  // Batch boundary: let the transport flush everything this cycle replied.
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = cycle_hook_;
+  }
+  if (hook) hook();
+  return static_cast<int>(taken.size());
+}
+
+void ServeCore::process_group(std::vector<Pending*>& group) {
+  const TraceSpan span("serve.batch");
+  const ServedDesign& design = designs_[group.front()->request.design];
+  const std::size_t k = group.size();
+  batch_size_histogram().observe(static_cast<double>(k));
+  metric_counter("serve.batches").add(1);
+
+  // Enclosing-subgraph extraction + DSPD for every request in the group,
+  // fanned out on the shared work pool (requests are independent).
+  std::vector<Subgraph> subgraphs(k);
+  {
+    const TraceSpan extract_span("serve.extract");
+    par::parallel_for(0, static_cast<std::int64_t>(k), 1,
+                      [&](std::int64_t b0, std::int64_t b1) {
+                        for (std::int64_t i = b0; i < b1; ++i) {
+                          const Request& r = group[static_cast<std::size_t>(i)]->request;
+                          const std::int32_t b =
+                              r.task == TaskKind::kNodeCap ? -1 : r.node_b;
+                          subgraphs[static_cast<std::size_t>(i)] = extract_enclosing_subgraph(
+                              design.graph, r.node_a, b, options_.subgraph);
+                        }
+                      });
+  }
+
+  std::vector<const Subgraph*> refs(k);
+  for (std::size_t i = 0; i < k; ++i) refs[i] = &subgraphs[i];
+  SubgraphBatch batch;
+  {
+    const TraceSpan assemble_span("serve.assemble");
+    batch = make_batch(refs, design.xc, normalizer_, batch_options_);
+  }
+
+  // One fused forward for the whole group. Mirrors train/trainer.cpp
+  // run_inference: planned executor when enabled+supported, eager otherwise.
+  const TraceSpan forward_span("serve.forward");
+  InferenceGuard guard;
+  std::vector<float> raw(k, 0.0f);
+  if (planned_) {
+    std::int64_t rows = 0;
+    const float* out = runner_->predict(batch, &rows);
+    for (std::size_t i = 0; i < k && i < static_cast<std::size_t>(rows); ++i)
+      raw[i] = out[i];
+  } else {
+    const Tensor out = model_.forward(batch);
+    for (std::size_t i = 0; i < k && i < out.data().size(); ++i) raw[i] = out.data()[i];
+  }
+
+  for (std::size_t i = 0; i < k; ++i) {
+    Pending& p = *group[i];
+    if (p.request.task == TaskKind::kLink) {
+      reply(p, Status::kOk, kern::sigmoid1(raw[i]), 0.0);
+    } else {
+      const float norm_cap = std::clamp(raw[i], 0.0f, 1.0f);
+      reply(p, Status::kOk, norm_cap, denormalize_cap(norm_cap));
+    }
+  }
+}
+
+void ServeCore::reply(Pending& p, Status status, float value, double cap_farads) {
+  Response r;
+  r.id = p.request.id;
+  r.status = status;
+  r.value = value;
+  r.cap_farads = cap_farads;
+  finish(p, r);
+}
+
+void ServeCore::finish(Pending& p, const Response& r) {
+  Response out = r;
+  out.server_us = trace::now_us() - p.arrival_us;
+  if (out.status == Status::kOk) metric_counter("serve.ok").add(1);
+  latency_histogram().observe(static_cast<double>(out.server_us) * 1e-6);
+  if (p.done) p.done(out);
+}
+
+}  // namespace cgps::serve

@@ -1,0 +1,68 @@
+// Wire framing for cgps_serve (DESIGN.md §11): every message is one
+// length-prefixed frame — a little-endian u32 payload length followed by the
+// payload — so a reader never needs lookahead. Payloads are fixed-layout
+// little-endian records with a magic + version prologue; encode/decode are
+// pure byte-vector transforms (no sockets) so the framing is unit-testable
+// and fuzzable without I/O.
+//
+//   request payload  (31 bytes): "CGRQ" u8:ver u64:id u16:design u8:task
+//                                i32:node_a i32:node_b i64:deadline_us
+//   response payload (34 bytes): "CGRS" u8:ver u64:id u8:status f32:value
+//                                f64:cap_farads i64:server_us
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+namespace cgps::serve {
+
+inline constexpr std::uint32_t kRequestMagic = 0x51524743;   // "CGRQ"
+inline constexpr std::uint32_t kResponseMagic = 0x53524743;  // "CGRS"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+// Upper bound a reader accepts for the length prefix; anything larger is a
+// corrupt or hostile stream (our payloads are tens of bytes).
+inline constexpr std::uint32_t kMaxFrameBytes = 4096;
+
+// Payload encoders (no length prefix).
+std::vector<std::uint8_t> encode_request(const Request& request);
+std::vector<std::uint8_t> encode_response(const Response& response);
+
+// Payload decoders: nullopt on short buffers, bad magic, bad version, or
+// out-of-range enum codes. Trailing bytes are tolerated (forward compat).
+std::optional<Request> decode_request(const std::vector<std::uint8_t>& payload);
+std::optional<Response> decode_response(const std::vector<std::uint8_t>& payload);
+
+// Prepend the u32 length prefix.
+std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload);
+
+// Blocking frame I/O over a connected socket/pipe fd. read_frame returns
+// false on EOF, error, or an oversized/undersized length prefix; write_frame
+// returns false when the peer went away. Both retry on EINTR and partial
+// transfers.
+bool read_frame(int fd, std::vector<std::uint8_t>& payload);
+bool write_frame(int fd, const std::vector<std::uint8_t>& payload);
+
+// Non-blocking frame scan over an in-memory stream buffer: when `buffer`
+// holds a complete frame starting at `pos`, copies its payload out, advances
+// `pos` past it and returns kFrame. kNeedMore = the prefix or payload is
+// still partial (read more bytes and retry); kCorrupt = the length prefix is
+// 0 or exceeds kMaxFrameBytes (the stream can no longer be trusted). The
+// pipelined server/client paths parse batches of frames from one big read()
+// through this instead of paying two syscalls per frame.
+enum class FrameScan { kFrame, kNeedMore, kCorrupt };
+FrameScan scan_frame(const std::vector<std::uint8_t>& buffer, std::size_t& pos,
+                     std::vector<std::uint8_t>& payload);
+
+// Append the framed message to an in-memory write buffer (pair with one
+// write_all-style flush for a whole batch of responses).
+void append_frame(std::vector<std::uint8_t>& buffer,
+                  const std::vector<std::uint8_t>& payload);
+
+// write(2) the whole buffer (EINTR/partial-retry); false when the peer went
+// away. Exposed for the buffered server/client write paths.
+bool write_all_bytes(int fd, const std::uint8_t* data, std::size_t n);
+
+}  // namespace cgps::serve

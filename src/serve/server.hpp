@@ -1,0 +1,69 @@
+// TCP front end of cgps_serve (DESIGN.md §11): a loopback listener accepting
+// length-prefixed request frames (serve/protocol.hpp), one reader thread per
+// connection, responses written back under a per-connection mutex from
+// whichever thread finishes the request (admission for rejects, the batching
+// thread for served work). Requests on one connection are pipelined — the
+// client needn't wait for a response before sending the next frame; responses
+// carry the request id, so ordering is the client's concern.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/core.hpp"
+
+namespace cgps::serve {
+
+class ServeServer {
+ public:
+  // Binds 127.0.0.1:`port`; port 0 asks the kernel for an ephemeral port
+  // (tests / parallel CI), readable via port() after start().
+  ServeServer(ServeCore& core, int port);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  // Bind + listen + spawn the accept thread. False on bind/listen failure
+  // (port in use, no permission) — error already logged.
+  bool start();
+
+  // Stop accepting, shut every live connection, join all threads. The core
+  // is NOT stopped — callers own its drain (tools/cgps_serve stops the
+  // server first, then drains the core, so accepted work still completes).
+  void stop();
+
+  int port() const { return port_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+    // Responses accumulate here (under write_mu) and go out in one write(2)
+    // at each batch boundary (ServeCore cycle hook) — the syscall-per-
+    // response cost is what would otherwise cap pipelined throughput.
+    std::vector<std::uint8_t> out_buf;
+  };
+
+  void accept_loop();
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  static void flush_connection(Connection& conn);
+  void flush_all();
+
+  ServeCore& core_;
+  int requested_port_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace cgps::serve

@@ -8,26 +8,60 @@
 namespace cgps {
 
 namespace {
-constexpr std::uint32_t kBundleMagic = 0x43474D42;  // "CGMB"
-}
+constexpr std::uint32_t kBundleMagicV1 = 0x43474D42;  // "CGMB"
+constexpr std::uint32_t kBundleMagicV2 = 0x324D4743;  // "CGM2"
+constexpr std::uint32_t kBundleVersion = 2;
+}  // namespace
 
-void save_model_bundle(const CircuitGps& model, const std::string& path) {
+void save_model_bundle(const CircuitGps& model, const std::string& path,
+                       const XcNormalizer* normalizer) {
   BinaryWriter writer(path);
-  writer.write_u32(kBundleMagic);
+  writer.write_u32(kBundleMagicV2);
+  writer.write_u32(kBundleVersion);
   ExperimentConfig wrapper;
   wrapper.gps = model.config();
   writer.write_string(to_config_text(wrapper));
+  const bool has_normalizer = normalizer != nullptr && normalizer->fitted();
+  writer.write_u32(has_normalizer ? 1u : 0u);
+  if (has_normalizer) {
+    for (float v : normalizer->min()) writer.write_f32(v);
+    for (float v : normalizer->max()) writer.write_f32(v);
+  }
   nn::save_checkpoint(model, writer);
 }
 
-std::unique_ptr<CircuitGps> load_model_bundle(const std::string& path) {
+ModelBundle load_model_bundle_full(const std::string& path) {
   BinaryReader reader(path);
-  if (reader.read_u32() != kBundleMagic)
+  const std::uint32_t magic = reader.read_u32();
+  ModelBundle bundle;
+  std::string config_text;
+  if (magic == kBundleMagicV1) {
+    // Legacy bundle: no version field, no normalizer record.
+    config_text = reader.read_string();
+  } else if (magic == kBundleMagicV2) {
+    const std::uint32_t version = reader.read_u32();
+    if (version != kBundleVersion)
+      throw std::runtime_error("load_model_bundle: unsupported bundle version " +
+                               std::to_string(version) + " in " + path);
+    config_text = reader.read_string();
+    if (reader.read_u32() != 0) {
+      std::array<float, kXcDim> min{};
+      std::array<float, kXcDim> max{};
+      for (float& v : min) v = reader.read_f32();
+      for (float& v : max) v = reader.read_f32();
+      bundle.normalizer.restore(min, max);
+    }
+  } else {
     throw std::runtime_error("load_model_bundle: bad magic in " + path);
-  const ExperimentConfig config = parse_experiment_config(reader.read_string());
-  auto model = std::make_unique<CircuitGps>(config.gps);
-  nn::load_checkpoint(*model, reader);
-  return model;
+  }
+  const ExperimentConfig config = parse_experiment_config(config_text);
+  bundle.model = std::make_unique<CircuitGps>(config.gps);
+  nn::load_checkpoint(*bundle.model, reader);
+  return bundle;
+}
+
+std::unique_ptr<CircuitGps> load_model_bundle(const std::string& path) {
+  return load_model_bundle_full(path).model;
 }
 
 }  // namespace cgps

@@ -252,6 +252,29 @@ void check_exec_alloc(const FileUnit& f, std::vector<Finding>& out) {
   }
 }
 
+// --- rule: no-cout-outside-tools ------------------------------------------
+// Library code (src/) must not write to stdout: user-facing text belongs to
+// the CLIs (tools/, bench/, examples/) and diagnostics go through
+// util/logging, which writes to stderr. A stray std::cout in a library TU
+// corrupts machine-read stdout (bench JSON captures, piped tool output).
+// Only the qualified name is flagged — a local identifier `cout` is legal.
+void check_cout(const FileUnit& f, std::vector<Finding>& out) {
+  if (f.rel.rfind("src/", 0) != 0) return;
+  const std::string_view s = f.lexed.stripped;
+  for (const std::size_t pos : token_offsets(s, "cout")) {
+    std::size_t p = pos;
+    while (p > 0 && std::isspace(static_cast<unsigned char>(s[p - 1]))) --p;
+    if (p < 2 || s[p - 1] != ':' || s[p - 2] != ':') continue;
+    p -= 2;
+    while (p > 0 && std::isspace(static_cast<unsigned char>(s[p - 1]))) --p;
+    if (p < 3 || s.compare(p - 3, 3, "std") != 0) continue;
+    if (p > 3 && is_ident(s[p - 4])) continue;
+    add_finding(out, f, line_of(f.starts, pos), "no-cout-outside-tools",
+                "library code must not write to stdout; use util/logging "
+                "(stderr) or move the print into a tools//bench CLI");
+  }
+}
+
 // --- rule: header hygiene -----------------------------------------------
 void check_headers(const FileUnit& f, std::vector<Finding>& out) {
   if (!f.is_header) return;
@@ -478,6 +501,7 @@ LintReport run_lint(const LintOptions& options) {
     check_getenv(f, report.findings);
     check_naked_new(f, report.findings);
     check_exec_alloc(f, report.findings);
+    check_cout(f, report.findings);
     check_headers(f, report.findings);
     check_metric_keys(f, report.findings);
     // Tests are exempt: their literals name hypothetical variables (the
@@ -508,6 +532,34 @@ LintReport run_lint(const LintOptions& options) {
     v.message = name + " is documented in the README.md table but no code "
                        "references it";
     report.findings.push_back(std::move(v));
+  }
+
+  // The operator guide, when present, must stay in lockstep with the code
+  // the same way the README table does: its env-var table is the contract
+  // operators configure daemons from, so a missing or dead row is a bug.
+  std::string ops;
+  if (read_file(root / "docs" / "OPERATIONS.md", ops)) {
+    const std::map<std::string, int> ops_documented = documented_env_vars(ops);
+    for (const auto& [name, ref] : env_refs) {
+      if (ops_documented.count(name) != 0) continue;
+      Finding v;
+      v.file = ref.file;
+      v.line = ref.line;
+      v.rule = "env-var-undocumented";
+      v.message = name + " is read in code but missing from the "
+                         "docs/OPERATIONS.md environment-variable table";
+      report.findings.push_back(std::move(v));
+    }
+    for (const auto& [name, line] : ops_documented) {
+      if (env_refs.count(name) != 0) continue;
+      Finding v;
+      v.file = "docs/OPERATIONS.md";
+      v.line = line;
+      v.rule = "env-var-unreferenced";
+      v.message = name + " is documented in the docs/OPERATIONS.md table but "
+                         "no code references it";
+      report.findings.push_back(std::move(v));
+    }
   }
 
   std::sort(report.findings.begin(), report.findings.end(),

@@ -17,7 +17,14 @@
 //   header-pragma-once      header without #pragma once
 //   header-using-namespace  `using namespace` at any scope in a header
 //   naked-new               naked new/delete in non-test code
+//   no-cout-outside-tools   qualified std::cout in library code (src/);
+//                           stdout belongs to the CLIs, diagnostics to
+//                           util/logging (stderr)
 //   stale-allowlist         allowlist entry that matched nothing
+//
+// When docs/OPERATIONS.md exists, the env-var cross-check additionally
+// requires its environment-variable table to stay in lockstep with the
+// code, exactly like the README table.
 #pragma once
 
 #include <string>

@@ -158,6 +158,60 @@ TEST_F(LintFixture, NakedNewInNonTestCodeOnly) {
   EXPECT_EQ(report.findings[1].line, 3);
 }
 
+TEST_F(LintFixture, CoutBannedInLibraryCodeOnly) {
+  write("README.md", "");
+  write("src/chatty.cpp",
+        "#include <iostream>\n"
+        "void f() {\n"
+        "  std::cout << \"hi\";\n"
+        "  std :: cout << \"spaced qualification still counts\";\n"
+        "  int cout = 3; (void)cout;\n"         // local identifier is legal
+        "  // std::cout in a comment never counts\n"
+        "  mystd::cout << 1;\n"                 // different namespace
+        "}\n");
+  write("tools/cli.cpp", "#include <iostream>\nvoid g() { std::cout << \"ok\"; }\n");
+  write("bench/bench_x.cpp", "#include <iostream>\nvoid h() { std::cout << 1; }\n");
+  write("tests/test_x.cpp", "#include <iostream>\nvoid t() { std::cout << 1; }\n");
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"no-cout-outside-tools",
+                                           "no-cout-outside-tools"}));
+  ASSERT_EQ(report.findings.size(), 2u);
+  EXPECT_EQ(report.findings[0].file, "src/chatty.cpp");
+  EXPECT_EQ(report.findings[0].line, 3);
+  EXPECT_EQ(report.findings[1].line, 4);
+}
+
+TEST_F(LintFixture, OperationsGuideJoinsEnvCrossCheck) {
+  write("README.md",
+        "| `CIRCUITGPS_USED` | unset | in both tables |\n"
+        "| `CIRCUITGPS_README_ONLY` | unset | missing from the ops guide |\n");
+  write("src/uses.cpp",
+        "const char* a = \"CIRCUITGPS_USED\";\n"
+        "const char* b = \"CIRCUITGPS_README_ONLY\";\n");
+  // Without docs/OPERATIONS.md the tree is clean (the guide is optional).
+  EXPECT_EQ(lint().violations, 0);
+  // With it, every code-referenced var must appear there, and dead rows are
+  // flagged with the guide as the location.
+  write("docs/OPERATIONS.md",
+        "| `CIRCUITGPS_USED` | unset | doc |\n"
+        "| `CIRCUITGPS_OPS_ONLY` | unset | dead row |\n");
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"env-var-undocumented", "env-var-unreferenced"}));
+  for (const Finding& f : report.findings) {
+    if (f.rule == "env-var-undocumented") {
+      EXPECT_EQ(f.file, "src/uses.cpp");
+      EXPECT_NE(f.message.find("CIRCUITGPS_README_ONLY"), std::string::npos);
+      EXPECT_NE(f.message.find("OPERATIONS.md"), std::string::npos);
+    } else {
+      EXPECT_EQ(f.file, "docs/OPERATIONS.md");
+      EXPECT_EQ(f.line, 2);
+      EXPECT_NE(f.message.find("CIRCUITGPS_OPS_ONLY"), std::string::npos);
+    }
+  }
+}
+
 TEST_F(LintFixture, ExecKernelAllocScopedToBackendTus) {
   write("README.md", "");
   write("src/exec/backend_scalar.cpp",

@@ -10,7 +10,9 @@
 #include "layout/placer.hpp"
 #include "netlist/hierarchy.hpp"
 #include "tensor/ops.hpp"
+#include "train/config_io.hpp"
 #include "train/trainer.hpp"
+#include "util/serialize.hpp"
 
 namespace cgps {
 namespace {
@@ -88,6 +90,58 @@ TEST(ModelBundle, LoadedModelProducesIdenticalOutputs) {
   Tensor ya = original.forward(batch);
   Tensor yb = loaded->forward(batch);
   for (std::size_t i = 0; i < ya.data().size(); ++i) EXPECT_EQ(ya.data()[i], yb.data()[i]);
+  std::filesystem::remove(path);
+}
+
+TEST(ModelBundle, V2RoundTripsNormalizerBounds) {
+  CircuitGps model(odd_config());
+  XcNormalizer norm;
+  std::vector<std::array<float, kXcDim>> rows(2);
+  for (std::size_t j = 0; j < kXcDim; ++j) {
+    rows[0][j] = -1.0f - static_cast<float>(j);
+    rows[1][j] = 2.0f + static_cast<float>(j);
+  }
+  norm.fit(rows);
+
+  const std::string path = temp_path("cgps_bundle_v2.bin");
+  save_model_bundle(model, path, &norm);
+  const ModelBundle bundle = load_model_bundle_full(path);
+  ASSERT_TRUE(bundle.normalizer.fitted());
+  for (std::size_t j = 0; j < kXcDim; ++j) {
+    EXPECT_EQ(bundle.normalizer.min()[j], norm.min()[j]);
+    EXPECT_EQ(bundle.normalizer.max()[j], norm.max()[j]);
+  }
+  EXPECT_EQ(bundle.model->num_parameters(), model.num_parameters());
+  std::filesystem::remove(path);
+}
+
+TEST(ModelBundle, SavedWithoutNormalizerLoadsUnfitted) {
+  CircuitGps model(odd_config());
+  const std::string path = temp_path("cgps_bundle_nonorm.bin");
+  save_model_bundle(model, path);  // no normalizer recorded
+  const ModelBundle bundle = load_model_bundle_full(path);
+  EXPECT_FALSE(bundle.normalizer.fitted());
+  EXPECT_NE(bundle.model, nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(ModelBundle, ReadsLegacyV1Format) {
+  // Hand-write a v1 bundle ("CGMB" + config text + checkpoint, no version
+  // or normalizer fields) and check the loader still accepts it.
+  CircuitGps model(odd_config());
+  const std::string path = temp_path("cgps_bundle_v1.bin");
+  {
+    BinaryWriter writer(path);
+    writer.write_u32(0x43474D42u);  // "CGMB"
+    ExperimentConfig wrapper;
+    wrapper.gps = model.config();
+    writer.write_string(to_config_text(wrapper));
+    nn::save_checkpoint(model, writer);
+  }
+  const ModelBundle bundle = load_model_bundle_full(path);
+  EXPECT_FALSE(bundle.normalizer.fitted());
+  EXPECT_EQ(bundle.model->config().hidden, 24);
+  EXPECT_EQ(bundle.model->num_parameters(), model.num_parameters());
   std::filesystem::remove(path);
 }
 

@@ -1,0 +1,328 @@
+#include "serve/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "gen/designs.hpp"
+#include "graph/circuit_graph.hpp"
+#include "netlist/hierarchy.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+
+namespace cgps {
+namespace {
+
+using serve::Request;
+using serve::Response;
+using serve::ServeOptions;
+using serve::Status;
+using serve::TaskKind;
+
+GpsConfig small_config() {
+  GpsConfig c;
+  c.hidden = 16;
+  c.layers = 1;
+  c.heads = 2;
+  c.performer_features = 8;
+  c.head_hidden = 16;
+  c.seed = 11;
+  return c;
+}
+
+// Shared serving fixture: one generated design, one model. The coalescing
+// contract is only bit-exact on the scalar backend, and the CI matrix runs
+// the suite under CIRCUITGPS_BACKEND=avx2, so pin the backend before the
+// first forward.
+struct ServeFixture {
+  ServeFixture() {
+    ::setenv("CIRCUITGPS_BACKEND", "scalar", /*overwrite=*/1);
+    const Netlist netlist = flatten(gen::make_design(gen::DatasetId::kTimingControl));
+    CircuitGraph cg = build_circuit_graph(netlist);
+    normalizer.fit(cg.xc);
+    design.name = "timing_control";
+    design.graph = std::move(cg.graph);
+    design.xc = std::move(cg.xc);
+    model = std::make_unique<CircuitGps>(small_config());
+  }
+
+  ServeOptions options() const {
+    ServeOptions o;
+    o.max_batch = 16;
+    o.queue_cap = 64;
+    o.default_deadline_us = 60'000'000;
+    o.subgraph.max_nodes_per_anchor = 32;
+    return o;
+  }
+
+  Request link_request(std::uint64_t id, std::int32_t a, std::int32_t b) const {
+    Request r;
+    r.id = id;
+    r.task = TaskKind::kLink;
+    r.node_a = a;
+    r.node_b = b;
+    return r;
+  }
+
+  serve::ServedDesign design;
+  XcNormalizer normalizer;
+  std::unique_ptr<CircuitGps> model;
+};
+
+ServeFixture& fixture() {
+  static ServeFixture f;
+  return f;
+}
+
+TEST(ServeCore, CoalescedMatchesSoloBitwise) {
+  ServeFixture& f = fixture();
+  const std::int32_t n = static_cast<std::int32_t>(f.design.graph.num_nodes());
+  std::vector<Request> requests;
+  for (std::int32_t i = 0; i < 12; ++i) {
+    Request r = f.link_request(static_cast<std::uint64_t>(i + 1), i % n, (i * 7 + 3) % n);
+    if (i % 3 == 2) r.task = TaskKind::kEdgeCap;
+    if (i % 4 == 3) {
+      r.task = TaskKind::kNodeCap;
+      r.node_b = -1;
+    }
+    requests.push_back(r);
+  }
+
+  // One run_cycle serves all 12 as a single coalesced batch.
+  std::vector<Response> coalesced(requests.size());
+  {
+    serve::ServeCore core(*f.model, f.normalizer, {f.design}, f.options());
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      core.submit(requests[i], [&coalesced, i](const Response& r) { coalesced[i] = r; });
+    EXPECT_EQ(core.run_cycle(), static_cast<int>(requests.size()));
+  }
+
+  // Solo oracle: each request alone through its own cycle.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    serve::ServeCore core(*f.model, f.normalizer, {f.design}, f.options());
+    Response solo;
+    core.submit(requests[i], [&solo](const Response& r) { solo = r; });
+    EXPECT_EQ(core.run_cycle(), 1);
+    ASSERT_EQ(coalesced[i].status, Status::kOk) << "request " << i;
+    ASSERT_EQ(solo.status, Status::kOk) << "request " << i;
+    // Bitwise: == on float, no tolerance.
+    EXPECT_EQ(coalesced[i].value, solo.value) << "request " << i;
+    EXPECT_EQ(coalesced[i].cap_farads, solo.cap_farads) << "request " << i;
+  }
+}
+
+TEST(ServeCore, ExpiredDeadlineIsShedAsTimeout) {
+  ServeFixture& f = fixture();
+  serve::ServeCore core(*f.model, f.normalizer, {f.design}, f.options());
+  Request r = f.link_request(1, 0, 1);
+  r.deadline_us = 1;  // 1 µs budget: expired by the time the cycle runs
+  Response out;
+  core.submit(r, [&out](const Response& resp) { out = resp; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(core.run_cycle(), 1);  // shed requests still count as answered
+  EXPECT_EQ(out.status, Status::kTimeout);
+}
+
+TEST(ServeCore, FullQueueRejectsWithOverloaded) {
+  ServeFixture& f = fixture();
+  ServeOptions opts = f.options();
+  opts.queue_cap = 2;
+  serve::ServeCore core(*f.model, f.normalizer, {f.design}, opts);
+  std::vector<Status> seen;
+  auto record = [&seen](const Response& r) { seen.push_back(r.status); };
+  EXPECT_TRUE(core.submit(f.link_request(1, 0, 1), record));
+  EXPECT_TRUE(core.submit(f.link_request(2, 1, 2), record));
+  // Queue full: rejected inline, from the calling thread.
+  EXPECT_FALSE(core.submit(f.link_request(3, 2, 3), record));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], Status::kOverloaded);
+  while (core.run_cycle() > 0) {
+  }
+}
+
+TEST(ServeCore, StopDrainsAcceptedWorkThenRefuses) {
+  ServeFixture& f = fixture();
+  serve::ServeCore core(*f.model, f.normalizer, {f.design}, f.options());
+  core.start();
+  std::atomic<int> answered{0};
+  for (int i = 0; i < 8; ++i) {
+    core.submit(f.link_request(static_cast<std::uint64_t>(i + 1), i, i + 1),
+                [&answered](const Response& r) {
+                  if (r.status == Status::kOk) answered.fetch_add(1);
+                });
+  }
+  core.stop();  // must not return before every accepted request is answered
+  EXPECT_EQ(answered.load(), 8);
+  Response post;
+  EXPECT_FALSE(core.submit(f.link_request(99, 0, 1),
+                           [&post](const Response& r) { post = r; }));
+  EXPECT_EQ(post.status, Status::kShutdown);
+}
+
+TEST(ServeCore, BadDesignAndBadNodeAnsweredInline) {
+  ServeFixture& f = fixture();
+  serve::ServeCore core(*f.model, f.normalizer, {f.design}, f.options());
+  Request r = f.link_request(1, 0, 1);
+  r.design = 7;
+  Response out;
+  EXPECT_TRUE(core.submit(r, [&out](const Response& resp) { out = resp; }));
+  EXPECT_EQ(out.status, Status::kBadDesign);
+
+  Request bad_node = f.link_request(2, -1, 1);
+  EXPECT_TRUE(core.submit(bad_node, [&out](const Response& resp) { out = resp; }));
+  EXPECT_EQ(out.status, Status::kBadNode);
+
+  Request big = f.link_request(3, 0, static_cast<std::int32_t>(f.design.graph.num_nodes()));
+  EXPECT_TRUE(core.submit(big, [&out](const Response& resp) { out = resp; }));
+  EXPECT_EQ(out.status, Status::kBadNode);
+}
+
+TEST(ServeServer, SocketRoundTripOnEphemeralPort) {
+  ServeFixture& f = fixture();
+  serve::ServeCore core(*f.model, f.normalizer, {f.design}, f.options());
+  core.start();
+  serve::ServeServer server(core, /*port=*/0);
+  ASSERT_TRUE(server.start());
+  ASSERT_GT(server.port(), 0);
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+  // Metadata probe.
+  Request info;
+  info.id = 41;
+  info.task = TaskKind::kInfo;
+  const auto probe = client.call(info);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(probe->id, 41u);
+  EXPECT_EQ(probe->status, Status::kOk);
+  EXPECT_EQ(static_cast<std::int64_t>(probe->value), f.design.graph.num_nodes());
+
+  // Pipelined burst through the buffered client path: enqueue all, one
+  // flush, collect responses by id.
+  const int burst = 10;
+  for (int i = 0; i < burst; ++i)
+    client.enqueue(f.link_request(static_cast<std::uint64_t>(100 + i), i, i + 2));
+  ASSERT_TRUE(client.flush());
+  std::uint64_t id_sum = 0;
+  for (int i = 0; i < burst; ++i) {
+    const auto response = client.recv();
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, Status::kOk);
+    id_sum += response->id;
+  }
+  EXPECT_EQ(id_sum, static_cast<std::uint64_t>(burst) * 100 +
+                        static_cast<std::uint64_t>(burst - 1) * burst / 2);
+
+  // Bad design surfaces through the wire with its id intact.
+  Request bad = f.link_request(7, 0, 1);
+  bad.design = 3;
+  const auto bad_response = client.call(bad);
+  ASSERT_TRUE(bad_response.has_value());
+  EXPECT_EQ(bad_response->id, 7u);
+  EXPECT_EQ(bad_response->status, Status::kBadDesign);
+
+  client.close();
+  server.stop();
+  core.stop();
+}
+
+TEST(ServeProtocol, RequestAndResponseRoundTrip) {
+  Request r;
+  r.id = 0xDEADBEEFull;
+  r.design = 2;
+  r.task = TaskKind::kEdgeCap;
+  r.node_a = 123;
+  r.node_b = -1;
+  r.deadline_us = 987654;
+  const auto decoded = serve::decode_request(serve::encode_request(r));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, r.id);
+  EXPECT_EQ(decoded->design, r.design);
+  EXPECT_EQ(decoded->task, r.task);
+  EXPECT_EQ(decoded->node_a, r.node_a);
+  EXPECT_EQ(decoded->node_b, r.node_b);
+  EXPECT_EQ(decoded->deadline_us, r.deadline_us);
+
+  Response resp;
+  resp.id = 77;
+  resp.status = Status::kTimeout;
+  resp.value = 0.25f;
+  resp.cap_farads = 1.5e-15;
+  resp.server_us = 4242;
+  const auto decoded_resp = serve::decode_response(serve::encode_response(resp));
+  ASSERT_TRUE(decoded_resp.has_value());
+  EXPECT_EQ(decoded_resp->id, resp.id);
+  EXPECT_EQ(decoded_resp->status, resp.status);
+  EXPECT_EQ(decoded_resp->value, resp.value);
+  EXPECT_EQ(decoded_resp->cap_farads, resp.cap_farads);
+  EXPECT_EQ(decoded_resp->server_us, resp.server_us);
+}
+
+TEST(ServeProtocol, MalformedPayloadsAreRejected) {
+  Request r;
+  r.id = 1;
+  std::vector<std::uint8_t> payload = serve::encode_request(r);
+  // Truncation at every prefix length must fail cleanly, never read past end.
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::vector<std::uint8_t> trunc(payload.begin(),
+                                          payload.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(serve::decode_request(trunc).has_value()) << "cut=" << cut;
+  }
+  // Wrong magic.
+  payload[0] ^= 0xFF;
+  EXPECT_FALSE(serve::decode_request(payload).has_value());
+  payload[0] ^= 0xFF;
+  // A request payload is not a response payload.
+  EXPECT_FALSE(serve::decode_response(payload).has_value());
+  // Out-of-range task code.
+  std::vector<std::uint8_t> bad_task = serve::encode_request(r);
+  bad_task[4 + 1 + 8 + 2] = 0x7F;  // magic+ver+id+design -> task byte
+  EXPECT_FALSE(serve::decode_request(bad_task).has_value());
+}
+
+TEST(ServeProtocol, ScanFrameHandlesSplitAndCorruptStreams) {
+  const std::vector<std::uint8_t> a = serve::encode_request(Request{});
+  Response resp;
+  resp.status = Status::kOk;
+  const std::vector<std::uint8_t> b = serve::encode_response(resp);
+
+  std::vector<std::uint8_t> stream;
+  serve::append_frame(stream, a);
+  serve::append_frame(stream, b);
+
+  // Feed byte by byte: kNeedMore until each frame completes, in order.
+  std::vector<std::uint8_t> fed;
+  std::size_t pos = 0;
+  std::vector<std::uint8_t> payload;
+  int frames = 0;
+  for (const std::uint8_t byte : stream) {
+    fed.push_back(byte);
+    const serve::FrameScan scan = serve::scan_frame(fed, pos, payload);
+    if (scan == serve::FrameScan::kFrame) {
+      ++frames;
+      EXPECT_EQ(payload, frames == 1 ? a : b);
+    } else {
+      EXPECT_EQ(scan, serve::FrameScan::kNeedMore);
+    }
+  }
+  EXPECT_EQ(frames, 2);
+  EXPECT_EQ(pos, fed.size());
+
+  // Oversized length prefix is corrupt, not a huge allocation.
+  std::vector<std::uint8_t> evil(4, 0xFF);
+  std::size_t evil_pos = 0;
+  EXPECT_EQ(serve::scan_frame(evil, evil_pos, payload), serve::FrameScan::kCorrupt);
+  // Zero-length frames are invalid too.
+  std::vector<std::uint8_t> zero(4, 0x00);
+  std::size_t zero_pos = 0;
+  EXPECT_EQ(serve::scan_frame(zero, zero_pos, payload), serve::FrameScan::kCorrupt);
+}
+
+}  // namespace
+}  // namespace cgps
