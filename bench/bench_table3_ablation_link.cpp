@@ -44,6 +44,16 @@ int main() {
     table.add_row({mpnn_kind_name(row.mpnn), attn_kind_name(row.attn), fmt(m.accuracy),
                    fmt(m.f1), fmt(m.auc), fmt(seconds, 1),
                    std::to_string(model.num_parameters())});
+    // One key per grid cell (<mpnn>_<attn>): quality + param count gate at
+    // the pinned scale, wall-clock is informational (--skip seconds).
+    const std::string key = metric_key(std::string(mpnn_kind_name(row.mpnn)) + " " +
+                                       attn_kind_name(row.attn));
+    report.add_metric(key + ".acc", m.accuracy, MetricDirection::kHigherIsBetter);
+    report.add_metric(key + ".f1", m.f1, MetricDirection::kHigherIsBetter);
+    report.add_metric(key + ".auc", m.auc, MetricDirection::kHigherIsBetter);
+    report.add_metric(key + ".params", static_cast<double>(model.num_parameters()),
+                      MetricDirection::kTwoSided);
+    report.add_metric(key + ".train_seconds", seconds, MetricDirection::kLowerIsBetter);
     std::fprintf(stderr, "[bench] %s+%s done (%.1fs)\n", mpnn_kind_name(row.mpnn),
                  attn_kind_name(row.attn), seconds);
   }

@@ -53,28 +53,54 @@ int main() {
     header.push_back("R2");
   }
   TextTable table(header);
-  auto add_baseline_row = [&](const char* name, FullGraphBaseline& model) {
+  // Stable metric keys per method × design (<method>.<design>.mae|rmse|r2)
+  // plus per-method means, matching the Table VI gate's key scheme.
+  auto add_method_metrics = [&](const std::string& method,
+                                const std::vector<RegressionMetrics>& per_design) {
+    double mae = 0, rmse = 0, r2 = 0;
+    for (std::size_t i = 0; i < per_design.size(); ++i) {
+      const std::string key = method + "." + metric_key(test_sets[i].name);
+      report.add_metric(key + ".mae", per_design[i].mae, MetricDirection::kLowerIsBetter);
+      report.add_metric(key + ".rmse", per_design[i].rmse, MetricDirection::kLowerIsBetter);
+      report.add_metric(key + ".r2", per_design[i].r2, MetricDirection::kHigherIsBetter);
+      mae += per_design[i].mae;
+      rmse += per_design[i].rmse;
+      r2 += per_design[i].r2;
+    }
+    const double n = per_design.empty() ? 1.0 : static_cast<double>(per_design.size());
+    report.add_metric(method + ".mean_mae", mae / n, MetricDirection::kLowerIsBetter);
+    report.add_metric(method + ".mean_rmse", rmse / n, MetricDirection::kLowerIsBetter);
+    report.add_metric(method + ".mean_r2", r2 / n, MetricDirection::kHigherIsBetter);
+  };
+  auto add_baseline_row = [&](const char* name, const std::string& method,
+                              FullGraphBaseline& model) {
     std::vector<std::string> row{name};
+    std::vector<RegressionMetrics> per_design;
     for (const CircuitDataset& ds : test_sets) {
       const RegressionMetrics m = evaluate_baseline_node(model, ds, base_norm);
+      per_design.push_back(m);
       row.push_back(fmt(m.mae, 3));
       row.push_back(fmt(m.rmse, 3));
       row.push_back(fmt(m.r2, 3));
     }
     table.add_row(row);
+    add_method_metrics(method, per_design);
   };
-  add_baseline_row("ParaGraph", paragraph);
-  add_baseline_row("DLPL-Cap", dlpl);
+  add_baseline_row("ParaGraph", "paragraph", paragraph);
+  add_baseline_row("DLPL-Cap", "dlpl_cap", dlpl);
 
   std::vector<std::string> gps_row{"CircuitGPS"};
+  std::vector<RegressionMetrics> gps_per_design;
   for (const CircuitDataset& ds : test_sets) {
     const TaskData test = TaskData::for_nodes(ds, sg_options, sizes().node_test, rng);
     const RegressionMetrics m = evaluate_regression(gps_model, gps_norm, test);
+    gps_per_design.push_back(m);
     gps_row.push_back(fmt(m.mae, 3));
     gps_row.push_back(fmt(m.rmse, 3));
     gps_row.push_back(fmt(m.r2, 3));
   }
   table.add_row(gps_row);
+  add_method_metrics("circuitgps", gps_per_design);
 
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Paper shape: CircuitGPS best on all three designs; DLPL-Cap's\n"

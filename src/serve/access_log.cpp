@@ -1,0 +1,86 @@
+#include "serve/access_log.hpp"
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "util/env.hpp"
+#include "util/json_writer.hpp"
+#include "util/logging.hpp"
+
+namespace cgps::serve {
+
+namespace {
+
+// Record sink guarded by one mutex, mirroring the trace sink: reopened
+// whenever CIRCUITGPS_SERVE_ACCESS_LOG changes between calls (tests retarget
+// it), dropped when it is unset. A path that fails to open is remembered so
+// the warning fires once per path.
+struct Sink {
+  std::mutex mu;
+  std::string path;  // path the current file (or failure) corresponds to
+  std::unique_ptr<JsonlFile> file;
+};
+
+Sink& sink_state() {
+  static Sink* s = new Sink();  // never destroyed (requests drain at exit)
+  return *s;
+}
+
+JsonlFile* sink() {
+  const std::string path = env_serve_access_log_path();
+  Sink& s = sink_state();
+  if (path.empty()) {
+    s.file.reset();
+    s.path.clear();
+    return nullptr;
+  }
+  if (s.path != path) {
+    s.path = path;
+    s.file = std::make_unique<JsonlFile>(s.path, env_run_log_max_bytes());
+    if (!s.file->ok()) {
+      log_warn("CIRCUITGPS_SERVE_ACCESS_LOG: cannot open ", s.path,
+               "; access logging disabled");
+      s.file.reset();
+    }
+  }
+  return s.file.get();
+}
+
+}  // namespace
+
+bool access_log_enabled() { return !env_serve_access_log_path().empty(); }
+
+void log_access(const AccessRecord& record) {
+  const double slow_ms = env_serve_slow_ms();
+  if (slow_ms > 0.0 && static_cast<double>(record.total_us) > slow_ms * 1000.0) {
+    log_warn("slow request: trace_id=", record.trace_id, " task=",
+             task_kind_name(record.task), " status=", status_name(record.status),
+             " design=", record.design, " total_us=", record.total_us,
+             " queue_us=", record.queue_us, " batch=", record.batch_id, "/",
+             record.batch_size);
+  }
+  if (!access_log_enabled()) return;
+  Sink& s = sink_state();
+  const std::scoped_lock lock(s.mu);
+  JsonlFile* file = sink();
+  if (file == nullptr) return;
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "cgps-serve-access-v1");
+  w.field("trace_id", record.trace_id);
+  w.field("id", record.wire_id);
+  w.field("status", status_name(record.status));
+  w.field("task", task_kind_name(record.task));
+  w.field("design", static_cast<std::int64_t>(record.design));
+  w.field("queue_us", record.queue_us);
+  w.field("extract_us", record.extract_us);
+  w.field("forward_us", record.forward_us);
+  w.field("total_us", record.total_us);
+  w.field("batch", record.batch_id);
+  w.field("batch_size", record.batch_size);
+  w.end_object();
+  file->write_line(w.str());
+}
+
+}  // namespace cgps::serve

@@ -1,0 +1,41 @@
+// Per-request access log of the serving core (DESIGN.md §11): one
+// cgps-serve-access-v1 JSONL record per answered request, appended to
+// CIRCUITGPS_SERVE_ACCESS_LOG and rotated under the CIRCUITGPS_RUN_LOG_MAX_MB
+// cap (the run-log machinery in util/json_writer). Every record carries the
+// monotonic trace id assigned at admission plus the batch id it was coalesced
+// into, so a slow request can be tied back to the exact batch's
+// serve.batch/extract/forward spans. Requests slower than
+// CIRCUITGPS_SERVE_SLOW_MS are additionally logged at warn level — that path
+// works even with the access log unset. Write-only observer: records are
+// emitted after the response values are final, so logging cannot perturb
+// results (the scalar-backend bit-identity contract of serve/core.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "serve/serve.hpp"
+
+namespace cgps::serve {
+
+struct AccessRecord {
+  std::uint64_t trace_id = 0;  // monotonic per-core admission id
+  std::uint64_t wire_id = 0;   // client-chosen request id (echoed on the wire)
+  Status status = Status::kOk;
+  TaskKind task = TaskKind::kLink;
+  std::uint16_t design = 0;
+  std::int64_t queue_us = 0;    // admission -> dequeue (0 for inline answers)
+  std::int64_t extract_us = 0;  // batch-level subgraph extraction wall time
+  std::int64_t forward_us = 0;  // batch-level fused forward wall time
+  std::int64_t total_us = 0;    // admission -> reply (the wire's server_us)
+  std::int64_t batch_id = 0;    // 0 = answered inline, never batched
+  int batch_size = 0;
+};
+
+// True when CIRCUITGPS_SERVE_ACCESS_LOG names a path (read fresh per call).
+bool access_log_enabled();
+
+// Append one record (when enabled) and emit the slow-request warning (when
+// the threshold is set and exceeded). Thread-safe; call once per request.
+void log_access(const AccessRecord& record);
+
+}  // namespace cgps::serve

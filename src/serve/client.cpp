@@ -74,7 +74,9 @@ std::optional<Response> ServeClient::recv() {
   if (fd_ < 0) return std::nullopt;
   std::vector<std::uint8_t> payload;
   for (;;) {
-    const FrameScan scan = scan_frame(in_buf_, in_pos_, payload);
+    // The client side is liberal about frame size (stats frames carry the
+    // whole registry as JSON); the server keeps the tight request-sized cap.
+    const FrameScan scan = scan_frame(in_buf_, in_pos_, payload, kMaxStatsFrameBytes);
     if (scan == FrameScan::kFrame) {
       // Compact lazily: only once the parsed prefix dominates the buffer.
       if (in_pos_ > 4096 && in_pos_ * 2 > in_buf_.size()) {
@@ -101,6 +103,37 @@ std::optional<Response> ServeClient::recv() {
 std::optional<Response> ServeClient::call(const Request& request) {
   if (!send(request)) return std::nullopt;
   return recv();
+}
+
+std::optional<std::string> ServeClient::fetch_stats() {
+  Request probe;
+  probe.task = TaskKind::kStats;
+  if (!send(probe)) return std::nullopt;
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    const FrameScan scan = scan_frame(in_buf_, in_pos_, payload, kMaxStatsFrameBytes);
+    if (scan == FrameScan::kFrame) {
+      const std::optional<StatsResponse> stats = decode_stats_response(payload);
+      if (stats.has_value()) return stats->json;
+      // A stray regular response (pipelining misuse) is skipped; anything
+      // else is an untrustworthy stream.
+      if (decode_response(payload).has_value()) continue;
+      close();
+      return std::nullopt;
+    }
+    if (scan == FrameScan::kCorrupt) {
+      close();
+      return std::nullopt;
+    }
+    std::uint8_t chunk[64 * 1024];
+    const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      close();
+      return std::nullopt;
+    }
+    in_buf_.insert(in_buf_.end(), chunk, chunk + got);
+  }
 }
 
 }  // namespace cgps::serve

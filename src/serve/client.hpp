@@ -42,6 +42,13 @@ class ServeClient {
   // Synchronous request/response. nullopt on any transport failure.
   std::optional<Response> call(const Request& request);
 
+  // Typed kStats round-trip (protocol v2): sends a stats probe and returns
+  // the server's cgps-serve-stats-v1 JSON document. Issue it only when no
+  // other requests are in flight on this connection — any regular response
+  // frame arriving before the stats frame is consumed and dropped. nullopt
+  // on transport failure or an unparseable frame.
+  std::optional<std::string> fetch_stats();
+
  private:
   int fd_ = -1;
   std::vector<std::uint8_t> out_buf_;

@@ -4,11 +4,14 @@
 #include <cmath>
 
 #include "exec/gps_program.hpp"
+#include "serve/access_log.hpp"
+#include "serve/protocol.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "train/dataset.hpp"
 #include "train/trainer.hpp"
 #include "util/env.hpp"
+#include "util/json_writer.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/trace.hpp"
@@ -61,6 +64,7 @@ const char* task_kind_name(TaskKind k) {
     case TaskKind::kEdgeCap: return "edge_cap";
     case TaskKind::kNodeCap: return "node_cap";
     case TaskKind::kInfo: return "info";
+    case TaskKind::kStats: return "stats";
   }
   return "?";
 }
@@ -71,13 +75,15 @@ ServeCore::ServeCore(CircuitGps& model, XcNormalizer normalizer,
       normalizer_(std::move(normalizer)),
       designs_(std::move(designs)),
       options_(options),
-      batch_options_(batch_options_for(model.config())) {
+      batch_options_(batch_options_for(model.config())),
+      window_latency_(latency_bounds()) {
   options_.max_batch = std::max(1, options_.max_batch);
   options_.queue_cap = std::max(1, options_.queue_cap);
   if (options_.default_deadline_us <= 0) options_.default_deadline_us = 100000;
   model_.set_training(false);
   planned_ = env_exec_mode() == ExecMode::kPlanned && exec::program_supported(model.config());
   if (planned_) runner_ = std::make_unique<exec::PlanRunner>(model_);
+  start_us_ = trace::now_us();
   // Touch the instruments once so reports include them even before traffic.
   latency_histogram();
   batch_size_histogram();
@@ -119,6 +125,7 @@ bool ServeCore::submit(const Request& request, ResponseCallback done) {
   p.request = request;
   p.done = std::move(done);
   p.arrival_us = trace::now_us();
+  p.trace_id = next_trace_id_.fetch_add(1, std::memory_order_relaxed);
   const std::int64_t budget =
       request.deadline_us > 0 ? request.deadline_us : options_.default_deadline_us;
   p.deadline_us = p.arrival_us + budget;
@@ -133,6 +140,14 @@ bool ServeCore::submit(const Request& request, ResponseCallback done) {
     // Metadata probe: answered at admission, never queued.
     reply(p, Status::kOk, static_cast<float>(design.graph.num_nodes()),
           static_cast<double>(designs_.size()));
+    return true;
+  }
+  if (request.task == TaskKind::kStats) {
+    // The fixed-layout response cannot carry the snapshot; transport front
+    // ends answer kStats with the JSON stats frame before admission
+    // (serve/server.cpp), and in-process callers use stats_json() directly.
+    // A kStats that still reaches submit() gets an empty inline OK.
+    reply(p, Status::kOk, 0.0f, static_cast<double>(designs_.size()));
     return true;
   }
   const std::int32_t n = static_cast<std::int32_t>(design.graph.num_nodes());
@@ -223,8 +238,10 @@ int ServeCore::serve_some(std::vector<Pending>& taken) {
   std::vector<Pending*> live;
   live.reserve(taken.size());
   for (Pending& p : taken) {
+    p.queue_us = now - p.arrival_us;
     if (p.deadline_us < now) {
       metric_counter("serve.timeouts").add(1);
+      window_shed_.add(now / 1000000);
       reply(p, Status::kTimeout, 0.0f, 0.0);
     } else {
       live.push_back(&p);
@@ -256,10 +273,16 @@ void ServeCore::process_group(std::vector<Pending*>& group) {
   const std::size_t k = group.size();
   batch_size_histogram().observe(static_cast<double>(k));
   metric_counter("serve.batches").add(1);
+  const std::int64_t batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+  for (Pending* p : group) {
+    p->batch_id = batch_id;
+    p->batch_size = static_cast<int>(k);
+  }
 
   // Enclosing-subgraph extraction + DSPD for every request in the group,
   // fanned out on the shared work pool (requests are independent).
   std::vector<Subgraph> subgraphs(k);
+  const std::int64_t extract_start = trace::now_us();
   {
     const TraceSpan extract_span("serve.extract");
     par::parallel_for(0, static_cast<std::int64_t>(k), 1,
@@ -273,6 +296,8 @@ void ServeCore::process_group(std::vector<Pending*>& group) {
                         }
                       });
   }
+  const std::int64_t extract_us = trace::now_us() - extract_start;
+  for (Pending* p : group) p->extract_us = extract_us;
 
   std::vector<const Subgraph*> refs(k);
   for (std::size_t i = 0; i < k; ++i) refs[i] = &subgraphs[i];
@@ -284,6 +309,7 @@ void ServeCore::process_group(std::vector<Pending*>& group) {
 
   // One fused forward for the whole group. Mirrors train/trainer.cpp
   // run_inference: planned executor when enabled+supported, eager otherwise.
+  const std::int64_t forward_start = trace::now_us();
   const TraceSpan forward_span("serve.forward");
   InferenceGuard guard;
   std::vector<float> raw(k, 0.0f);
@@ -296,6 +322,8 @@ void ServeCore::process_group(std::vector<Pending*>& group) {
     const Tensor out = model_.forward(batch);
     for (std::size_t i = 0; i < k && i < out.data().size(); ++i) raw[i] = out.data()[i];
   }
+  const std::int64_t forward_us = trace::now_us() - forward_start;
+  for (Pending* p : group) p->forward_us = forward_us;
 
   for (std::size_t i = 0; i < k; ++i) {
     Pending& p = *group[i];
@@ -319,10 +347,99 @@ void ServeCore::reply(Pending& p, Status status, float value, double cap_farads)
 
 void ServeCore::finish(Pending& p, const Response& r) {
   Response out = r;
-  out.server_us = trace::now_us() - p.arrival_us;
+  const std::int64_t now = trace::now_us();
+  out.server_us = now - p.arrival_us;
   if (out.status == Status::kOk) metric_counter("serve.ok").add(1);
-  latency_histogram().observe(static_cast<double>(out.server_us) * 1e-6);
+  const double latency_s = static_cast<double>(out.server_us) * 1e-6;
+  latency_histogram().observe(latency_s);
+  const std::int64_t now_s = now / 1000000;
+  window_done_.add(now_s);
+  if (out.status == Status::kOk) window_ok_.add(now_s);
+  if (out.status == Status::kOverloaded) window_rejected_.add(now_s);
+  window_latency_.observe(now_s, latency_s);
+  AccessRecord rec;
+  rec.trace_id = p.trace_id;
+  rec.wire_id = p.request.id;
+  rec.status = out.status;
+  rec.task = p.request.task;
+  rec.design = p.request.design;
+  rec.queue_us = p.queue_us;
+  rec.extract_us = p.extract_us;
+  rec.forward_us = p.forward_us;
+  rec.total_us = out.server_us;
+  rec.batch_id = p.batch_id;
+  rec.batch_size = p.batch_size;
+  log_access(rec);
   if (p.done) p.done(out);
+}
+
+namespace {
+
+// One window block of the stats document: throughput and tail latency over
+// the last `window_s` seconds. Rates are per second; shed/reject rates are
+// fractions of the window's answered requests.
+void write_window(JsonWriter& w, const char* key, int window_s, std::int64_t now_s,
+                  const RollingCounter& done, const RollingCounter& ok,
+                  const RollingCounter& shed, const RollingCounter& rejected,
+                  const RollingHistogram& latency) {
+  const std::int64_t n_done = done.sum_window(now_s, window_s);
+  const std::int64_t n_ok = ok.sum_window(now_s, window_s);
+  const std::int64_t n_shed = shed.sum_window(now_s, window_s);
+  const std::int64_t n_rejected = rejected.sum_window(now_s, window_s);
+  const Histogram::Snapshot snap = latency.merged(now_s, window_s);
+  const double denom = n_done > 0 ? static_cast<double>(n_done) : 1.0;
+  w.key(key).begin_object();
+  w.field("window_s", window_s);
+  w.field("done", n_done);
+  w.field("ok", n_ok);
+  w.field("shed", n_shed);
+  w.field("rejected", n_rejected);
+  w.field("qps", static_cast<double>(n_done) / window_s);
+  w.field("ok_qps", static_cast<double>(n_ok) / window_s);
+  w.field("shed_rate", static_cast<double>(n_shed) / denom);
+  w.field("reject_rate", static_cast<double>(n_rejected) / denom);
+  w.field("p50_s", estimate_quantile(snap, 0.50));
+  w.field("p95_s", estimate_quantile(snap, 0.95));
+  w.field("p99_s", estimate_quantile(snap, 0.99));
+  w.end_object();
+}
+
+}  // namespace
+
+std::string ServeCore::stats_json() const {
+  const std::int64_t now = trace::now_us();
+  const std::int64_t now_s = now / 1000000;
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "cgps-serve-stats-v1");
+  w.field("proto_version", static_cast<std::int64_t>(kProtocolVersion));
+  w.field("uptime_s", static_cast<double>(now - start_us_) * 1e-6);
+  w.field("build", identity_.build);
+  w.field("checkpoint", identity_.checkpoint);
+  w.field("executor", planned_ ? "planned" : "eager");
+  w.field("max_batch", options_.max_batch);
+  w.field("queue_cap", options_.queue_cap);
+  w.field("default_deadline_ms", static_cast<double>(options_.default_deadline_us) * 1e-3);
+  w.field("rss_bytes", current_rss_bytes());
+  w.key("designs").begin_array();
+  for (const ServedDesign& d : designs_) {
+    w.begin_object();
+    w.field("name", d.name);
+    w.field("nodes", d.graph.num_nodes());
+    w.field("edges", d.graph.num_edges());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("windows").begin_object();
+  write_window(w, "10s", 10, now_s, window_done_, window_ok_, window_shed_,
+               window_rejected_, window_latency_);
+  write_window(w, "60s", 60, now_s, window_done_, window_ok_, window_shed_,
+               window_rejected_, window_latency_);
+  w.end_object();
+  w.key("registry");
+  MetricsRegistry::instance().write_json(w);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace cgps::serve

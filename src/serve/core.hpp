@@ -19,11 +19,13 @@
 //     already-accepted request is answered before stop() returns.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,6 +34,7 @@
 #include "gps/model.hpp"
 #include "graph/subgraph.hpp"
 #include "serve/serve.hpp"
+#include "util/metrics.hpp"
 
 namespace cgps::serve {
 
@@ -40,6 +43,13 @@ struct ServeOptions {
   int queue_cap = 1024;     // admission-queue bound (beyond: kOverloaded)
   std::int64_t default_deadline_us = 100000;  // 100 ms
   SubgraphOptions subgraph{};                 // extraction options
+};
+
+// What the daemon is serving, stamped into every stats snapshot so an
+// operator polling a fleet can tell builds and checkpoints apart.
+struct ServeIdentity {
+  std::string checkpoint;  // checkpoint path, or "demo" for synthetic weights
+  std::string build;       // git describe stamp of the serving binary
 };
 
 // Reply sink; invoked exactly once per submitted request, either inline from
@@ -92,6 +102,16 @@ class ServeCore {
   // (CIRCUITGPS_EXEC=planned and the model config is supported).
   bool planned() const { return planned_; }
 
+  // Stamp the snapshot identity (checkpoint path, build tag). Call before
+  // start(); the strings are read unguarded by stats_json().
+  void set_identity(ServeIdentity identity) { identity_ = std::move(identity); }
+
+  // One cgps-serve-stats-v1 JSON document: uptime + identity, per-design
+  // resident info, last-10s/last-60s windows (QPS, shed/reject rates,
+  // p50/p95/p99) and the full metrics registry with lifetime quantiles.
+  // Read-only over atomics — safe from any thread, never perturbs serving.
+  std::string stats_json() const;
+
   // Invoked once after every batching cycle, from the thread that served it,
   // after all of the cycle's response callbacks have fired. The TCP front
   // end registers its write-buffer flush here so one batch of responses
@@ -105,6 +125,14 @@ class ServeCore {
     ResponseCallback done;
     std::int64_t arrival_us = 0;   // trace::now_us() at admission
     std::int64_t deadline_us = 0;  // absolute, trace::now_us() scale
+    // Observability trail threaded through admission -> dequeue -> batch:
+    // the access-log record is assembled from these in finish().
+    std::uint64_t trace_id = 0;    // monotonic admission id
+    std::int64_t queue_us = 0;     // admission -> dequeue
+    std::int64_t extract_us = 0;   // its batch's extraction wall time
+    std::int64_t forward_us = 0;   // its batch's fused-forward wall time
+    std::int64_t batch_id = 0;     // 0 = answered inline
+    int batch_size = 0;
   };
 
   void loop();
@@ -123,6 +151,18 @@ class ServeCore {
 
   mutable std::mutex hook_mu_;
   std::function<void()> cycle_hook_;
+
+  ServeIdentity identity_;
+  std::int64_t start_us_ = 0;  // trace::now_us() at construction (uptime)
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  std::atomic<std::int64_t> next_batch_id_{1};
+  // One-second epoch rings behind the stats snapshot's last-10s/last-60s
+  // windows (lifetime instruments live in the global registry).
+  RollingCounter window_done_;      // responses of any status
+  RollingCounter window_ok_;
+  RollingCounter window_shed_;      // kTimeout (deadline shed at dequeue)
+  RollingCounter window_rejected_;  // kOverloaded (admission backpressure)
+  RollingHistogram window_latency_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -14,14 +14,15 @@
 
 namespace cgps::serve {
 
-// What a request asks the model for. kInfo is answered synchronously at
-// admission (design/node-count discovery for remote load generators); the
-// other kinds ride the batching loop.
+// What a request asks the model for. kInfo and kStats are answered
+// synchronously at admission (design discovery / live introspection — they
+// never enter the batch queue); the other kinds ride the batching loop.
 enum class TaskKind : std::uint8_t {
   kLink = 0,     // P(coupling exists) for (node_a, node_b), sigmoid of the logit
   kEdgeCap = 1,  // normalized coupling capacitance for (node_a, node_b)
   kNodeCap = 2,  // normalized ground capacitance for node_a (node_b ignored)
   kInfo = 3,     // design metadata probe; never enters the queue
+  kStats = 4,    // JSON stats snapshot (protocol v2); never enters the queue
 };
 
 enum class Status : std::uint8_t {

@@ -69,6 +69,8 @@ bool ServeServer::start() {
   socklen_t len = sizeof(bound);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
     port_ = static_cast<int>(ntohs(bound.sin_port));
+  // Touch the gauge so stats snapshots report 0 before the first accept.
+  metric_gauge("serve.active_connections").set(static_cast<double>(active_conns_.load()));
   // One write(2) per connection per batching cycle instead of one per
   // response: responses buffer in Connection::out_buf until this fires.
   core_.set_cycle_hook([this] { flush_all(); });
@@ -138,6 +140,8 @@ void ServeServer::accept_loop() {
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     metric_counter("serve.connections").add(1);
+    metric_gauge("serve.active_connections")
+        .set(static_cast<double>(active_conns_.fetch_add(1, std::memory_order_relaxed) + 1));
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.push_back(conn);
     readers_.emplace_back([this, conn] { reader_loop(conn); });
@@ -179,6 +183,19 @@ void ServeServer::reader_loop(const std::shared_ptr<Connection>& conn) {
         protocol_error = true;
         break;
       }
+      if (request->task == TaskKind::kStats) {
+        // Live introspection: answered inline with the JSON stats frame,
+        // never admitted to the batch queue (mirrors kInfo). Assembly reads
+        // only atomics, so polling cannot perturb in-flight batches.
+        metric_counter("serve.stats_requests").add(1);
+        const std::string stats = core_.stats_json();
+        {
+          std::lock_guard<std::mutex> lock(conn->write_mu);
+          append_frame(conn->out_buf, encode_stats_response(request->id, stats));
+        }
+        submitted = true;  // inline flush below, like other admission replies
+        continue;
+      }
       // The callback may fire on this thread (inline rejections/kInfo) or on
       // the batching thread (served requests); the connection outlives both
       // via shared_ptr and the out_buf is serialized by write_mu. Served
@@ -198,6 +215,8 @@ void ServeServer::reader_loop(const std::shared_ptr<Connection>& conn) {
   }
   flush_connection(*conn);
   if (conn->open.exchange(false)) ::shutdown(conn->fd, SHUT_RDWR);
+  metric_gauge("serve.active_connections")
+      .set(static_cast<double>(active_conns_.fetch_sub(1, std::memory_order_relaxed) - 1));
 }
 
 }  // namespace cgps::serve

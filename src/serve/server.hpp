@@ -59,6 +59,10 @@ class ServeServer {
   int requested_port_;
   int port_ = 0;
   int listen_fd_ = -1;
+  // Live connection count behind the serve.active_connections gauge:
+  // incremented at accept, decremented when the reader thread exits (the
+  // serve.connections counter stays lifetime-monotonic).
+  std::atomic<int> active_conns_{0};
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::mutex conns_mu_;

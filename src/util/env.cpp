@@ -156,6 +156,21 @@ int env_serve_deadline_ms() {
   return serve_int_env("CIRCUITGPS_SERVE_DEADLINE_MS", 100, 1, 3600000);
 }
 
+std::string env_serve_access_log_path() {
+  const char* env = std::getenv("CIRCUITGPS_SERVE_ACCESS_LOG");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+double env_serve_slow_ms() {
+  if (const char* env = std::getenv("CIRCUITGPS_SERVE_SLOW_MS")) {
+    const std::optional<double> ms = parse_env_double(env);
+    if (ms.has_value() && *ms > 0) return *ms;
+    warn_once("CIRCUITGPS_SERVE_SLOW_MS", env,
+              "want a positive number of milliseconds; slow-request warnings off");
+  }
+  return 0.0;
+}
+
 std::string env_log_level_name() {
   const char* env = std::getenv("CGPS_LOG_LEVEL");
   return env != nullptr ? std::string(env) : std::string();

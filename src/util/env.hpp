@@ -87,6 +87,19 @@ int env_serve_queue_cap();
 // still queued past their deadline are shed with status `timeout`.
 int env_serve_deadline_ms();
 
+// Value of CIRCUITGPS_SERVE_ACCESS_LOG: path of the per-request
+// cgps-serve-access-v1 JSONL access log emitted by the serving core
+// (DESIGN.md §11), or "" when unset (logging off). Read fresh on every call
+// so tests and long-lived daemons can retarget it; the file honors the
+// CIRCUITGPS_RUN_LOG_MAX_MB rotation cap.
+std::string env_serve_access_log_path();
+
+// Slow-request threshold in milliseconds from CIRCUITGPS_SERVE_SLOW_MS
+// (fractional values allowed, so tests can trip it cheaply). Requests whose
+// total latency exceeds it are additionally logged at warn level. 0 when
+// unset or invalid = slow-request warnings off.
+double env_serve_slow_ms();
+
 // Raw value of CGPS_LOG_LEVEL ("" when unset). util/logging owns the
 // parse (and the one-shot warning for unknown names) because translating
 // to LogLevel from here would invert the env -> logging dependency.

@@ -291,12 +291,14 @@ void check_headers(const FileUnit& f, std::vector<Finding>& out) {
   }
 }
 
-// --- rule: metric-key-format --------------------------------------------
-// Literal names handed to the metrics registry or TraceSpan must follow the
-// dotted-key convention. Computed names (any non-literal first argument, or
-// a literal spliced with +) are skipped — the histogram registry prefixes
-// "trace." itself and per-layer span names are built at runtime.
-void check_metric_keys(const FileUnit& f, std::vector<Finding>& out) {
+// --- rules: metric-key-format / metric-key-registry ---------------------
+// Shared extraction: every literal name handed to the metrics registry or
+// TraceSpan as the whole first argument. Computed names (any non-literal
+// first argument, or a literal spliced with +) are skipped — the histogram
+// registry prefixes "trace." itself and per-layer span names are built at
+// runtime.
+template <typename Fn>
+void for_each_instrument_literal(const FileUnit& f, Fn&& fn) {
   const std::string_view s = f.lexed.stripped;
   const auto literal_at = [&](std::size_t offset) -> const Literal* {
     for (const Literal& lit : f.lexed.literals)
@@ -319,22 +321,53 @@ void check_metric_keys(const FileUnit& f, std::vector<Finding>& out) {
       if (lit == nullptr) continue;
       const std::size_t after = skip_ws(s, lit->end + 1);
       if (after < s.size() && s[after] != ',' && s[after] != ')') continue;
-      if (!is_dotted_metric_key(lit->value))
-        add_finding(out, f, lit->line, "metric-key-format",
-                    "instrument name \"" + lit->value +
-                        "\" must be a dotted lowercase key like "
-                        "\"sampling.extract\" (DESIGN.md §8)");
+      fn(*lit);
     }
   }
 }
 
-// --- rule: env-var table cross-check ------------------------------------
-struct EnvRef {
+void check_metric_keys(const FileUnit& f, std::vector<Finding>& out) {
+  for_each_instrument_literal(f, [&](const Literal& lit) {
+    if (!is_dotted_metric_key(lit.value))
+      add_finding(out, f, lit.line, "metric-key-format",
+                  "instrument name \"" + lit.value +
+                      "\" must be a dotted lowercase key like "
+                      "\"sampling.extract\" (DESIGN.md §8)");
+  });
+}
+
+// First code location that referenced a name, for cross-check findings.
+struct SourceRef {
   std::string file;
   int line = 0;
 };
 
-void collect_env_refs(const FileUnit& f, std::map<std::string, EnvRef>& refs) {
+void collect_metric_keys(const FileUnit& f, std::map<std::string, SourceRef>& refs) {
+  for_each_instrument_literal(f, [&](const Literal& lit) {
+    refs.emplace(lit.value, SourceRef{f.rel, lit.line});
+  });
+}
+
+// Manifest rows: one key per line, `#` comments and blank lines skipped.
+std::map<std::string, int> parse_key_manifest(std::string_view text) {
+  std::map<std::string, int> out;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = trim_copy(
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos));
+    if (!line.empty() && line[0] != '#') out.emplace(line, line_no);
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return out;
+}
+
+// --- rule: env-var table cross-check ------------------------------------
+void collect_env_refs(const FileUnit& f, std::map<std::string, SourceRef>& refs) {
   for (const Literal& lit : f.lexed.literals) {
     const std::string_view v = lit.value;
     for (const std::string_view prefix :
@@ -354,7 +387,7 @@ void collect_env_refs(const FileUnit& f, std::map<std::string, EnvRef>& refs) {
         if (left_ok && end > pos + prefix.size()) {
           std::string name(v.substr(pos, end - pos));
           while (!name.empty() && name.back() == '_') name.pop_back();
-          refs.emplace(std::move(name), EnvRef{f.rel, lit.line});
+          refs.emplace(std::move(name), SourceRef{f.rel, lit.line});
         }
         pos = end;
       }
@@ -483,7 +516,8 @@ LintReport run_lint(const LintOptions& options) {
   }
   std::sort(files.begin(), files.end());
 
-  std::map<std::string, EnvRef> env_refs;
+  std::map<std::string, SourceRef> env_refs;
+  std::map<std::string, SourceRef> metric_refs;
   for (const fs::path& path : files) {
     FileUnit f;
     f.rel = fs::relative(path, root, ec).generic_string();
@@ -504,10 +538,44 @@ LintReport run_lint(const LintOptions& options) {
     check_cout(f, report.findings);
     check_headers(f, report.findings);
     check_metric_keys(f, report.findings);
-    // Tests are exempt: their literals name hypothetical variables (the
-    // lint fixtures themselves, strict-parsing probes) that would pollute
-    // the documented-vs-referenced cross-check both ways.
-    if (!f.is_test) collect_env_refs(f, env_refs);
+    // Tests are exempt: their literals name hypothetical variables and
+    // throwaway instruments (the lint fixtures themselves, strict-parsing
+    // probes) that would pollute the cross-checks both ways.
+    if (!f.is_test) {
+      collect_env_refs(f, env_refs);
+      collect_metric_keys(f, metric_refs);
+    }
+  }
+
+  // --- rule: metric-key-registry ----------------------------------------
+  // When tools/cgps_metric_keys.txt exists, every literal instrument/span
+  // name in non-test code must appear in it (and every manifest row must be
+  // registered somewhere), so the stats payload schema cannot drift without
+  // a reviewed manifest diff. Absent manifest = rule off (fixture trees).
+  std::string manifest_text;
+  if (read_file(root / "tools" / "cgps_metric_keys.txt", manifest_text)) {
+    const std::map<std::string, int> manifest = parse_key_manifest(manifest_text);
+    for (const auto& [name, ref] : metric_refs) {
+      if (manifest.count(name) != 0) continue;
+      Finding v;
+      v.file = ref.file;
+      v.line = ref.line;
+      v.rule = "metric-key-registry";
+      v.message = "instrument name \"" + name + "\" is registered in code but "
+                  "missing from tools/cgps_metric_keys.txt; add a row (the "
+                  "manifest is the reviewed schema of the stats payload)";
+      report.findings.push_back(std::move(v));
+    }
+    for (const auto& [name, line] : manifest) {
+      if (metric_refs.count(name) != 0) continue;
+      Finding v;
+      v.file = "tools/cgps_metric_keys.txt";
+      v.line = line;
+      v.rule = "metric-key-registry";
+      v.message = "\"" + name + "\" is listed in the key manifest but no "
+                  "non-test code registers it; delete the row";
+      report.findings.push_back(std::move(v));
+    }
   }
 
   std::string readme;

@@ -14,6 +14,10 @@
 //   metric-key-format       literal metric_counter/gauge/histogram or
 //                           TraceSpan name that is not a dotted lowercase
 //                           key (DESIGN.md §8)
+//   metric-key-registry     literal instrument/span name in non-test code
+//                           missing from the tools/cgps_metric_keys.txt
+//                           manifest, or a manifest row no code registers;
+//                           skipped when the manifest file is absent
 //   header-pragma-once      header without #pragma once
 //   header-using-namespace  `using namespace` at any scope in a header
 //   naked-new               naked new/delete in non-test code

@@ -77,6 +77,86 @@ double estimate_quantile(const Histogram::Snapshot& snap, double q) {
   return std::numeric_limits<double>::infinity();
 }
 
+RollingCounter::RollingCounter(int slots)
+    : slots_(static_cast<std::size_t>(std::max(2, slots))) {}
+
+RollingCounter::Slot& RollingCounter::turn_over(std::int64_t now_s) {
+  Slot& slot = slots_[static_cast<std::size_t>(now_s) % slots_.size()];
+  if (slot.epoch.load(std::memory_order_acquire) != now_s) {
+    const std::scoped_lock lock(turnover_mu_);
+    if (slot.epoch.load(std::memory_order_relaxed) != now_s) {
+      slot.value.store(0, std::memory_order_relaxed);
+      slot.epoch.store(now_s, std::memory_order_release);
+    }
+  }
+  return slot;
+}
+
+void RollingCounter::add(std::int64_t now_s, std::int64_t delta) {
+  turn_over(now_s).value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::int64_t RollingCounter::sum_window(std::int64_t now_s, int window_s) const {
+  const int w = std::clamp(window_s, 0, static_cast<int>(slots_.size()));
+  std::int64_t total = 0;
+  for (int back = 0; back < w; ++back) {
+    const std::int64_t epoch = now_s - back;
+    if (epoch < 0) break;
+    const Slot& slot = slots_[static_cast<std::size_t>(epoch) % slots_.size()];
+    if (slot.epoch.load(std::memory_order_acquire) == epoch)
+      total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+RollingHistogram::RollingHistogram(std::vector<double> bounds, int slots)
+    : bounds_(std::move(bounds)), slots_(static_cast<std::size_t>(std::max(2, slots))) {
+  std::sort(bounds_.begin(), bounds_.end());
+  for (Slot& slot : slots_)
+    slot.counts = std::vector<std::atomic<std::int64_t>>(bounds_.size() + 1);
+}
+
+RollingHistogram::Slot& RollingHistogram::turn_over(std::int64_t now_s) {
+  Slot& slot = slots_[static_cast<std::size_t>(now_s) % slots_.size()];
+  if (slot.epoch.load(std::memory_order_acquire) != now_s) {
+    const std::scoped_lock lock(turnover_mu_);
+    if (slot.epoch.load(std::memory_order_relaxed) != now_s) {
+      for (auto& c : slot.counts) c.store(0, std::memory_order_relaxed);
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.sum.store(0.0, std::memory_order_relaxed);
+      slot.epoch.store(now_s, std::memory_order_release);
+    }
+  }
+  return slot;
+}
+
+void RollingHistogram::observe(std::int64_t now_s, double v) {
+  Slot& slot = turn_over(now_s);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  slot.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  slot.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(slot.sum, v);
+}
+
+Histogram::Snapshot RollingHistogram::merged(std::int64_t now_s, int window_s) const {
+  Histogram::Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  const int w = std::clamp(window_s, 0, static_cast<int>(slots_.size()));
+  for (int back = 0; back < w; ++back) {
+    const std::int64_t epoch = now_s - back;
+    if (epoch < 0) break;
+    const Slot& slot = slots_[static_cast<std::size_t>(epoch) % slots_.size()];
+    if (slot.epoch.load(std::memory_order_acquire) != epoch) continue;
+    for (std::size_t i = 0; i < snap.counts.size(); ++i)
+      snap.counts[i] += slot.counts[i].load(std::memory_order_relaxed);
+    snap.count += slot.count.load(std::memory_order_relaxed);
+    snap.sum += slot.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
   return *registry;

@@ -77,6 +77,62 @@ class Histogram {
 // monotone in q, so p50 <= p95 <= p99.
 double estimate_quantile(const Histogram::Snapshot& snap, double q);
 
+// Windowed counter: a ring of one-second epoch slots so a snapshot can
+// report "the last W seconds" instead of process-lifetime totals (which can
+// never show a regression after a long warm run). The caller supplies the
+// epoch (seconds on any monotonic clock, e.g. trace::now_us() / 1000000);
+// tests drive synthetic epochs. The hot path is one relaxed atomic add — the
+// mutex is only taken when a slot turns over to a new second. A writer that
+// stalls for longer than the ring (slots seconds) between the epoch check
+// and its add may credit a later epoch; acceptable for telemetry.
+class RollingCounter {
+ public:
+  explicit RollingCounter(int slots = 64);
+
+  void add(std::int64_t now_s, std::int64_t delta = 1);
+
+  // Sum over the last `window_s` seconds: epochs (now_s - window_s, now_s].
+  // The current (partial) second is included. window_s is clamped to the
+  // ring size — older epochs may already have been reclaimed.
+  std::int64_t sum_window(std::int64_t now_s, int window_s) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> epoch{-1};
+    std::atomic<std::int64_t> value{0};
+  };
+  Slot& turn_over(std::int64_t now_s);
+  mutable std::mutex turnover_mu_;
+  std::vector<Slot> slots_;
+};
+
+// Windowed histogram: same one-second epoch ring as RollingCounter, holding
+// per-slot bucket counts. merged() folds the live slots of the window into a
+// regular Histogram::Snapshot so estimate_quantile() yields windowed
+// p50/p95/p99 with the exact machinery the lifetime histograms use.
+class RollingHistogram {
+ public:
+  explicit RollingHistogram(std::vector<double> bounds, int slots = 64);
+
+  void observe(std::int64_t now_s, double v);
+
+  Histogram::Snapshot merged(std::int64_t now_s, int window_s) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> epoch{-1};
+    std::vector<std::atomic<std::int64_t>> counts;  // bounds.size() + 1
+    std::atomic<std::int64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  Slot& turn_over(std::int64_t now_s);
+  std::vector<double> bounds_;
+  mutable std::mutex turnover_mu_;
+  std::vector<Slot> slots_;
+};
+
 // Registry of named instruments. Lookup is mutex-guarded; returned
 // references stay valid for the process lifetime (instruments are never
 // deleted). Re-registering a name returns the existing instrument.

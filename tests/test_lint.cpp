@@ -124,6 +124,42 @@ TEST_F(LintFixture, MetricKeyConvention) {
   EXPECT_EQ(report.findings[1].line, 5);
 }
 
+TEST_F(LintFixture, MetricKeyRegistryCrossCheck) {
+  write("README.md", "");
+  write("src/metrics_use.cpp",
+        "void f() {\n"
+        "  metric_counter(\"serve.ok_key\").add(1);\n"
+        "  metric_counter(\"serve.mystery\").add(1);\n"
+        "  metric_histogram(\"trace.\" + name, bounds);\n"  // computed: skipped
+        "  TraceSpan span(\"sampling.extract\");\n"
+        "}\n");
+  write("tests/test_probe.cpp",
+        "void t() { metric_counter(\"test.only_key\").add(1); }\n");
+  // No manifest: the rule is off and the tree is clean.
+  EXPECT_EQ(lint().violations, 0);
+  // With a manifest, unlisted code keys and dead rows are both findings;
+  // test-only instruments stay out of the cross-check.
+  write("tools/cgps_metric_keys.txt",
+        "# instrument manifest\n"
+        "serve.ok_key\n"
+        "sampling.extract\n"
+        "serve.retired_key\n");
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got,
+            (std::vector<std::string>{"metric-key-registry", "metric-key-registry"}));
+  for (const Finding& f : report.findings) {
+    if (f.file == "src/metrics_use.cpp") {
+      EXPECT_EQ(f.line, 3);
+      EXPECT_NE(f.message.find("serve.mystery"), std::string::npos);
+    } else {
+      EXPECT_EQ(f.file, "tools/cgps_metric_keys.txt");
+      EXPECT_EQ(f.line, 4);
+      EXPECT_NE(f.message.find("serve.retired_key"), std::string::npos);
+    }
+  }
+}
+
 TEST_F(LintFixture, HeaderHygiene) {
   write("README.md", "");
   write("src/bad.hpp",

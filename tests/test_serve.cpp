@@ -1,9 +1,18 @@
 #include "serve/core.hpp"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <thread>
 
 #include "gen/designs.hpp"
@@ -14,6 +23,7 @@
 #include "serve/server.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
+#include "util/json_writer.hpp"
 
 namespace cgps {
 namespace {
@@ -230,6 +240,249 @@ TEST(ServeServer, SocketRoundTripOnEphemeralPort) {
   client.close();
   server.stop();
   core.stop();
+}
+
+// kStats over a real socket: the snapshot must carry the full
+// cgps-serve-stats-v1 surface, with finite windowed quantiles once requests
+// have been served, and the connection must keep answering normal requests
+// after a stats fetch.
+TEST(ServeServer, StatsRoundTripOverSocket) {
+  ServeFixture& f = fixture();
+  serve::ServeCore core(*f.model, f.normalizer, {f.design}, f.options());
+  serve::ServeIdentity identity;
+  identity.checkpoint = "test-ckpt";
+  identity.build = "test-build";
+  core.set_identity(identity);
+  core.start();
+  serve::ServeServer server(core, /*port=*/0);
+  ASSERT_TRUE(server.start());
+
+  serve::ServeClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  const int burst = 8;
+  for (int i = 0; i < burst; ++i) {
+    const auto r = client.call(f.link_request(static_cast<std::uint64_t>(i + 1), i, i + 2));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->status, Status::kOk);
+  }
+
+  const std::optional<std::string> stats = client.fetch_stats();
+  ASSERT_TRUE(stats.has_value());
+  std::string error;
+  const std::optional<JsonValue> parsed = json_parse(*stats, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  const auto str_field = [&](const std::vector<std::string>& path) {
+    const JsonValue* v = parsed->find(path[0]);
+    for (std::size_t i = 1; v != nullptr && i < path.size(); ++i) v = v->find(path[i]);
+    return v != nullptr && v->type == JsonValue::Type::kString ? v->string
+                                                               : std::string("<missing>");
+  };
+  const auto num_field = [&](const std::vector<std::string>& path) {
+    const JsonValue* v = parsed->find(path[0]);
+    for (std::size_t i = 1; v != nullptr && i < path.size(); ++i) v = v->find(path[i]);
+    return v != nullptr && v->type == JsonValue::Type::kNumber
+               ? v->number
+               : std::numeric_limits<double>::quiet_NaN();
+  };
+
+  EXPECT_EQ(str_field({"schema"}), "cgps-serve-stats-v1");
+  EXPECT_EQ(num_field({"proto_version"}), serve::kProtocolVersion);
+  EXPECT_EQ(str_field({"checkpoint"}), "test-ckpt");
+  EXPECT_EQ(str_field({"build"}), "test-build");
+  EXPECT_GE(num_field({"uptime_s"}), 0.0);
+  EXPECT_GT(num_field({"rss_bytes"}), 0.0);
+
+  const JsonValue* designs = parsed->find("designs");
+  ASSERT_NE(designs, nullptr);
+  ASSERT_EQ(designs->array.size(), 1u);
+  EXPECT_EQ(designs->array[0].find("name")->string, "timing_control");
+  EXPECT_EQ(static_cast<std::int64_t>(designs->array[0].find("nodes")->number),
+            f.design.graph.num_nodes());
+
+  // The burst landed within the last 10 seconds: the window must have mass
+  // and finite interpolated quantiles.
+  EXPECT_GE(num_field({"windows", "10s", "done"}), static_cast<double>(burst));
+  EXPECT_GT(num_field({"windows", "10s", "qps"}), 0.0);
+  EXPECT_TRUE(std::isfinite(num_field({"windows", "10s", "p50_s"})));
+  EXPECT_TRUE(std::isfinite(num_field({"windows", "10s", "p95_s"})));
+  EXPECT_TRUE(std::isfinite(num_field({"windows", "10s", "p99_s"})));
+  EXPECT_EQ(num_field({"windows", "10s", "window_s"}), 10.0);
+  EXPECT_EQ(num_field({"windows", "60s", "window_s"}), 60.0);
+
+  // Registry mirror: lifetime counters and the live-connection gauge.
+  EXPECT_GE(num_field({"registry", "counters", "serve.requests"}),
+            static_cast<double>(burst));
+  EXPECT_GE(num_field({"registry", "counters", "serve.stats_requests"}), 1.0);
+  EXPECT_EQ(num_field({"registry", "gauges", "serve.active_connections"}), 1.0);
+
+  // The same connection still serves ordinary requests after a stats fetch.
+  const auto after = client.call(f.link_request(99, 0, 1));
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->status, Status::kOk);
+
+  client.close();
+  server.stop();
+  core.stop();
+}
+
+// Corrupt or truncated frames carrying (or pretending to carry) a kStats
+// request must be answered with kError and a dropped connection, exactly
+// like any other protocol violation — the stream offset is untrustworthy.
+TEST(ServeServer, CorruptStatsFramesGetErrorAndClose) {
+  ServeFixture& f = fixture();
+  serve::ServeCore core(*f.model, f.normalizer, {f.design}, f.options());
+  core.start();
+  serve::ServeServer server(core, /*port=*/0);
+  ASSERT_TRUE(server.start());
+
+  const auto raw_connect = [&]() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  };
+  const auto expect_error_then_eof = [&](int fd) {
+    std::vector<std::uint8_t> buf;
+    std::uint8_t chunk[4096];
+    for (;;) {
+      const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+      if (got <= 0) break;  // server closed after flushing the error
+      buf.insert(buf.end(), chunk, chunk + got);
+    }
+    std::size_t pos = 0;
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(serve::scan_frame(buf, pos, payload), serve::FrameScan::kFrame);
+    const auto response = serve::decode_response(payload);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, Status::kError);
+    EXPECT_EQ(pos, buf.size());  // nothing after the error frame
+    ::close(fd);
+  };
+
+  {
+    // Truncated kStats request: length prefix honest, payload cut short.
+    Request r;
+    r.id = 5;
+    r.task = TaskKind::kStats;
+    std::vector<std::uint8_t> payload = serve::encode_request(r);
+    payload.resize(payload.size() / 2);
+    std::vector<std::uint8_t> framed;
+    serve::append_frame(framed, payload);
+    const int fd = raw_connect();
+    ASSERT_TRUE(serve::write_all_bytes(fd, framed.data(), framed.size()));
+    expect_error_then_eof(fd);
+  }
+  {
+    // Oversized length prefix: corrupt before any payload arrives.
+    const std::uint8_t evil[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    const int fd = raw_connect();
+    ASSERT_TRUE(serve::write_all_bytes(fd, evil, sizeof(evil)));
+    expect_error_then_eof(fd);
+  }
+
+  server.stop();
+  core.stop();
+}
+
+// Access log: every finished request appends one cgps-serve-access-v1 JSONL
+// record, and the file rotates through the CIRCUITGPS_RUN_LOG_MAX_MB cap
+// like the training run log.
+TEST(ServeCore, AccessLogWritesSchemaRecordsAndRotates) {
+  ServeFixture& f = fixture();
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "cgps_access_test.jsonl").string();
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  ::setenv("CIRCUITGPS_SERVE_ACCESS_LOG", path.c_str(), /*overwrite=*/1);
+  ::setenv("CIRCUITGPS_RUN_LOG_MAX_MB", "0.001", /*overwrite=*/1);  // ~1 KiB cap
+
+  const int total = 24;
+  {
+    serve::ServeCore core(*f.model, f.normalizer, {f.design}, f.options());
+    int done = 0;
+    for (int i = 0; i < total; ++i)
+      core.submit(f.link_request(static_cast<std::uint64_t>(i + 1), i % 8, (i + 3) % 8),
+                  [&done](const Response&) { ++done; });
+    while (done < total) ASSERT_GT(core.run_cycle(), 0);
+  }
+  ::unsetenv("CIRCUITGPS_SERVE_ACCESS_LOG");
+  ::unsetenv("CIRCUITGPS_RUN_LOG_MAX_MB");
+
+  // ~190 bytes/record * 24 records >> 1 KiB: the cap must have rotated.
+  EXPECT_TRUE(std::filesystem::exists(path + ".1"));
+  int records = 0;
+  for (const std::string& file : {path, path + ".1"}) {
+    std::ifstream in(file);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      ++records;
+      std::string error;
+      const std::optional<JsonValue> v = json_parse(line, &error);
+      ASSERT_TRUE(v.has_value()) << file << ": " << error;
+      EXPECT_EQ(v->find("schema")->string, "cgps-serve-access-v1");
+      EXPECT_EQ(v->find("status")->string, "ok");
+      EXPECT_EQ(v->find("task")->string, "link");
+      EXPECT_GE(v->find("trace_id")->number, 1.0);
+      EXPECT_GE(v->find("queue_us")->number, 0.0);
+      EXPECT_GE(v->find("total_us")->number, 0.0);
+      EXPECT_GE(v->find("batch")->number, 1.0);
+      EXPECT_GE(v->find("batch_size")->number, 1.0);
+      EXPECT_EQ(v->find("design")->number, 0.0);
+    }
+  }
+  EXPECT_GT(records, 0);
+  EXPECT_LE(records, total);  // rotation may drop the oldest records
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+TEST(ServeProtocol, StatsResponseRoundTripAndVersionBounds) {
+  const std::string json = "{\"schema\":\"cgps-serve-stats-v1\"}";
+  std::vector<std::uint8_t> payload = serve::encode_stats_response(0xABCDull, json);
+  const auto decoded = serve::decode_stats_response(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, 0xABCDull);
+  EXPECT_EQ(decoded->json, json);
+
+  // Truncation at every prefix of the prologue fails cleanly; so does a
+  // prologue with no JSON body.
+  for (std::size_t cut = 0; cut <= 13; ++cut) {
+    const std::vector<std::uint8_t> trunc(payload.begin(),
+                                          payload.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(serve::decode_stats_response(trunc).has_value()) << "cut=" << cut;
+  }
+
+  // Version handshake: every layout version this build knows is accepted,
+  // the next one is rejected rather than misread. The version byte follows
+  // the 4-byte magic.
+  for (std::uint8_t v = serve::kMinProtocolVersion; v <= serve::kProtocolVersion; ++v) {
+    payload[4] = v;
+    EXPECT_TRUE(serve::decode_stats_response(payload).has_value()) << "v=" << int(v);
+  }
+  payload[4] = serve::kProtocolVersion + 1;
+  EXPECT_FALSE(serve::decode_stats_response(payload).has_value());
+  payload[4] = serve::kProtocolVersion;
+
+  // A stats payload is not a response payload and vice versa.
+  EXPECT_FALSE(serve::decode_response(payload).has_value());
+  Response resp;
+  EXPECT_FALSE(serve::decode_stats_response(serve::encode_response(resp)).has_value());
+
+  // Requests and responses stamp v1 (their layout is unchanged) but must
+  // accept a v2 stamp from newer peers.
+  Request r;
+  std::vector<std::uint8_t> req = serve::encode_request(r);
+  EXPECT_EQ(req[4], serve::kMinProtocolVersion);
+  req[4] = serve::kProtocolVersion;
+  EXPECT_TRUE(serve::decode_request(req).has_value());
+  req[4] = serve::kProtocolVersion + 1;
+  EXPECT_FALSE(serve::decode_request(req).has_value());
 }
 
 TEST(ServeProtocol, RequestAndResponseRoundTrip) {

@@ -95,6 +95,68 @@ TEST(MetricsRegistryTest, CountsAreExactUnderParallelFor) {
   EXPECT_EQ(bucket_total, kN);
 }
 
+TEST(RollingCounterTest, WindowSumIncludesOnlyLiveEpochs) {
+  RollingCounter c(/*slots=*/8);
+  c.add(100, 5);
+  c.add(101, 3);
+  c.add(105, 2);
+  EXPECT_EQ(c.sum_window(105, 1), 2);   // epoch 105 only
+  EXPECT_EQ(c.sum_window(105, 5), 5);   // (100, 105] -> 101 + 105
+  EXPECT_EQ(c.sum_window(105, 6), 10);  // (99, 105] -> all three
+  EXPECT_EQ(c.sum_window(120, 8), 0);   // everything aged out
+  // A window wider than the ring clamps to the ring.
+  EXPECT_EQ(c.sum_window(105, 1000), 10);
+  // Writing into a reused slot retires the epoch that lived there: 113 maps
+  // to 105's slot in an 8-ring, so 105's count must be gone afterwards.
+  c.add(113, 7);
+  EXPECT_EQ(c.sum_window(113, 1), 7);
+  EXPECT_EQ(c.sum_window(105, 1), 0);
+}
+
+TEST(RollingCounterTest, ExactUnderParallelFor) {
+  RollingCounter c(/*slots=*/64);
+  constexpr std::int64_t kN = 100000;
+  par::parallel_for(0, kN, 64, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) c.add(1000 + (i % 3), 1);
+  });
+  EXPECT_EQ(c.sum_window(1002, 3), kN);
+}
+
+TEST(RollingHistogramTest, MergedWindowExpiresAndMerges) {
+  RollingHistogram h({1.0, 10.0}, /*slots=*/8);
+  h.observe(50, 0.5);
+  h.observe(51, 5.0);
+  h.observe(51, 20.0);
+  Histogram::Snapshot snap = h.merged(51, 2);
+  EXPECT_EQ(snap.count, 3);
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], 1);
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_DOUBLE_EQ(snap.sum, 25.5);
+  // Quantiles interpolate over the merged mass like any snapshot.
+  EXPECT_TRUE(std::isfinite(estimate_quantile(snap, 0.5)));
+  // Narrower window drops epoch 50.
+  EXPECT_EQ(h.merged(51, 1).count, 2);
+  // A later now_s with no matching epochs sees an empty window.
+  EXPECT_EQ(h.merged(60, 8).count, 0);
+  EXPECT_TRUE(std::isnan(estimate_quantile(h.merged(60, 8), 0.5)));
+}
+
+TEST(RollingHistogramTest, CountsExactUnderParallelFor) {
+  RollingHistogram h({0.5}, /*slots=*/64);
+  constexpr std::int64_t kN = 50000;
+  par::parallel_for(0, kN, 64, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i)
+      h.observe(2000 + (i % 2), i % 2 == 0 ? 0.0 : 1.0);
+  });
+  const Histogram::Snapshot snap = h.merged(2001, 2);
+  EXPECT_EQ(snap.count, kN);
+  ASSERT_EQ(snap.counts.size(), 2u);
+  EXPECT_EQ(snap.counts[0], kN / 2);
+  EXPECT_EQ(snap.counts[1], kN / 2);
+}
+
 TEST(EstimateQuantileTest, EmptySnapshotIsNaN) {
   const Histogram h({1.0, 2.0});
   EXPECT_TRUE(std::isnan(estimate_quantile(h.snapshot(), 0.5)));

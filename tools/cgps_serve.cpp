@@ -14,10 +14,16 @@
 //
 // --demo serves a small randomly initialized model (CI smoke / protocol
 // debugging without a trained checkpoint). Flag defaults come from the
-// CIRCUITGPS_SERVE_* environment variables (see docs/OPERATIONS.md).
+// CIRCUITGPS_SERVE_* environment variables (see docs/OPERATIONS.md); set
+// CIRCUITGPS_SERVE_ACCESS_LOG / CIRCUITGPS_SERVE_SLOW_MS for the per-request
+// access log, and poll live stats with cgps_top (kStats over the wire).
 // SIGINT/SIGTERM drain the admission queue before exiting: every accepted
 // request is answered, late submissions are rejected with status `shutdown`.
 #include <unistd.h>
+
+#ifndef CGPS_GIT_DESCRIBE
+#define CGPS_GIT_DESCRIBE "unknown"
+#endif
 
 #include <csignal>
 #include <cstring>
@@ -205,6 +211,11 @@ int main(int argc, char** argv) {
   options.queue_cap = args.queue_cap;
   options.default_deadline_us = static_cast<std::int64_t>(args.deadline_ms) * 1000;
   serve::ServeCore core(*bundle.model, bundle.normalizer, std::move(designs), options);
+  // Stamp what the kStats snapshot reports as this daemon's identity.
+  serve::ServeIdentity identity;
+  identity.checkpoint = args.demo ? "demo" : args.checkpoint;
+  identity.build = CGPS_GIT_DESCRIBE;
+  core.set_identity(std::move(identity));
   core.start();
 
   serve::ServeServer server(core, args.port);
