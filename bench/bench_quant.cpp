@@ -1,0 +1,179 @@
+// bench_quant — int8 weight quantization: forward speedup, memory ratio, and
+// accuracy deltas vs fp32 (DESIGN.md §8, ROADMAP int8 inference item).
+//
+// Accuracy sections force CIRCUITGPS_EXEC=planned + CIRCUITGPS_BACKEND=scalar
+// so fp32 and int8 evaluations are bit-deterministic and the deltas can gate
+// exactly (the int8 kernels are bitwise identical across backends by
+// construction; forcing scalar also pins the fp32 reference). The kernel
+// timing section uses the auto-selected backend — its keys carry _ms/speedup
+// suffixes and are skipped by the gate.
+#include <cstdlib>
+
+#include "common.hpp"
+#include "exec/backend.hpp"
+#include "exec/quant.hpp"
+
+using namespace cgps;
+using namespace cgps::bench;
+
+namespace {
+
+// Wall-time one variant of the linear forward: median-free simple best-of-N
+// (benches gate on the speedup ratio only, and even that is skipped).
+template <typename F>
+double time_best_ms(int iters, F&& body) {
+  double best = 1e300;
+  for (int it = 0; it < iters; ++it) {
+    Stopwatch timer;
+    body();
+    best = std::min(best, timer.seconds() * 1e3);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  // Pin the deterministic configuration before any model/executor exists.
+  setenv("CIRCUITGPS_EXEC", "planned", 1);
+  setenv("CIRCUITGPS_BACKEND", "scalar", 1);
+  unsetenv("CIRCUITGPS_QUANT");
+
+  print_header("Quantization: int8 weights vs fp32");
+  BenchReport report("quant");
+  fill_common_config(report);
+
+  const CircuitDataset train_ds = load_dataset(gen::DatasetId::kSsram);
+  const CircuitDataset test_ds = load_dataset(gen::DatasetId::kTimingControl);
+
+  Rng rng(11);
+  const SubgraphOptions sg_options = bench_subgraph_options();
+
+  TextTable table({"Task", "Metric", "fp32", "int8", "delta"});
+
+  // ---- Link prediction: acc/auc delta (zero-shot on an unseen design) ----
+  CircuitGps link_model(bench_gps_config());
+  {
+    TaskData train = TaskData::for_links(train_ds, sg_options, sizes().train_links, rng);
+    const TaskData* train_ptr = &train;
+    const XcNormalizer norm =
+        fit_normalizer(std::span<const TaskData* const>(&train_ptr, 1));
+    std::fprintf(stderr, "[bench] training link model...\n");
+    train_link_prediction(link_model, norm,
+                          std::span<const TaskData* const>(&train_ptr, 1),
+                          bench_train_options());
+    const TaskData test = TaskData::for_links(test_ds, sg_options, sizes().test_links, rng);
+
+    const BinaryMetrics fp32 = evaluate_link_prediction(link_model, norm, test);
+    setenv("CIRCUITGPS_QUANT", "int8", 1);
+    const BinaryMetrics int8 = evaluate_link_prediction(link_model, norm, test);
+    unsetenv("CIRCUITGPS_QUANT");
+
+    report.add_metric("quant.link.fp32_acc", fp32.accuracy, MetricDirection::kHigherIsBetter);
+    report.add_metric("quant.link.fp32_auc", fp32.auc, MetricDirection::kHigherIsBetter);
+    report.add_metric("quant.link.int8_acc", int8.accuracy, MetricDirection::kHigherIsBetter);
+    report.add_metric("quant.link.int8_auc", int8.auc, MetricDirection::kHigherIsBetter);
+    // Deltas are the gated contract: deterministic, and any drift means the
+    // quantized forward changed.
+    report.add_metric("quant.link.acc_delta", int8.accuracy - fp32.accuracy,
+                      MetricDirection::kTwoSided);
+    report.add_metric("quant.link.auc_delta", int8.auc - fp32.auc, MetricDirection::kTwoSided);
+    table.add_row({"link", "acc", fmt(fp32.accuracy, 4), fmt(int8.accuracy, 4),
+                   fmt(int8.accuracy - fp32.accuracy, 4)});
+    table.add_row({"link", "auc", fmt(fp32.auc, 4), fmt(int8.auc, 4),
+                   fmt(int8.auc - fp32.auc, 4)});
+  }
+
+  // ---- Edge regression: mae/r2 delta --------------------------------------
+  {
+    CircuitGps reg_model(bench_gps_config());
+    TaskData train =
+        TaskData::for_edge_regression(train_ds, sg_options, sizes().reg_train, rng);
+    const TaskData* train_ptr = &train;
+    const XcNormalizer norm =
+        fit_normalizer(std::span<const TaskData* const>(&train_ptr, 1));
+    std::fprintf(stderr, "[bench] training regression model...\n");
+    train_regression(reg_model, norm, std::span<const TaskData* const>(&train_ptr, 1),
+                     bench_train_options());
+    const TaskData test =
+        TaskData::for_edge_regression(test_ds, sg_options, sizes().reg_test, rng);
+
+    const RegressionMetrics fp32 = evaluate_regression(reg_model, norm, test);
+    setenv("CIRCUITGPS_QUANT", "int8", 1);
+    const RegressionMetrics int8 = evaluate_regression(reg_model, norm, test);
+    unsetenv("CIRCUITGPS_QUANT");
+
+    report.add_metric("quant.reg.fp32_mae", fp32.mae, MetricDirection::kLowerIsBetter);
+    report.add_metric("quant.reg.fp32_r2", fp32.r2, MetricDirection::kHigherIsBetter);
+    report.add_metric("quant.reg.int8_mae", int8.mae, MetricDirection::kLowerIsBetter);
+    report.add_metric("quant.reg.int8_r2", int8.r2, MetricDirection::kHigherIsBetter);
+    report.add_metric("quant.reg.mae_delta", int8.mae - fp32.mae, MetricDirection::kTwoSided);
+    report.add_metric("quant.reg.r2_delta", int8.r2 - fp32.r2, MetricDirection::kTwoSided);
+    table.add_row({"edge_reg", "mae", fmt(fp32.mae, 4), fmt(int8.mae, 4),
+                   fmt(int8.mae - fp32.mae, 4)});
+    table.add_row({"edge_reg", "r2", fmt(fp32.r2, 4), fmt(int8.r2, 4),
+                   fmt(int8.r2 - fp32.r2, 4)});
+  }
+
+  // ---- Weight memory: quantized vs fp32 resident bytes --------------------
+  const exec::QuantStore store = exec::quantize_model(link_model);
+  const double fp32_bytes = static_cast<double>(store.total_fp32_bytes());
+  const double int8_bytes = static_cast<double>(store.total_bytes());
+  const double mem_ratio = int8_bytes > 0 ? fp32_bytes / int8_bytes : 0.0;
+  report.add_metric("quant.weight_tensors", static_cast<double>(store.entries.size()),
+                    MetricDirection::kTwoSided);
+  report.add_metric("quant.weight_fp32_bytes", fp32_bytes, MetricDirection::kTwoSided);
+  report.add_metric("quant.weight_int8_bytes", int8_bytes, MetricDirection::kTwoSided);
+  report.add_metric("quant.mem_ratio", mem_ratio, MetricDirection::kHigherIsBetter);
+  table.add_row({"memory", "weight bytes", fmt(fp32_bytes, 0), fmt(int8_bytes, 0),
+                 fmt(mem_ratio, 2) + "x"});
+
+  // ---- Kernel micro-benchmark: fused linear forward, fp32 vs int8 ---------
+  // Auto backend (AVX2 where available): this is the production speedup; the
+  // int8 side pays for its run-time activation quantization inside the timed
+  // region, as the executor does.
+  setenv("CIRCUITGPS_BACKEND", "auto", 1);
+  const exec::KernelBackend& backend = exec::select_backend();
+  report.set_config("timing_backend", backend.name());
+  const std::int64_t m = 512, k = 256, n = 256;
+  Rng wrng(21);
+  std::vector<float> x(static_cast<std::size_t>(m * k));
+  std::vector<float> w(static_cast<std::size_t>(k * n));
+  std::vector<float> bias(static_cast<std::size_t>(n));
+  std::vector<float> out(static_cast<std::size_t>(m * n));
+  for (float& v : x) v = static_cast<float>(wrng.uniform(-1.0, 1.0));
+  for (float& v : w) v = static_cast<float>(wrng.uniform(-1.0, 1.0));
+  for (float& v : bias) v = static_cast<float>(wrng.uniform(-1.0, 1.0));
+
+  const exec::QuantizedTensor wq = exec::quantize_linear_weight(w.data(), k, n);
+  std::vector<std::int8_t> xq(static_cast<std::size_t>(m * k));
+  std::vector<float> sx(static_cast<std::size_t>(m));
+
+  const int iters = 30;
+  const double fp32_ms = time_best_ms(iters, [&] {
+    backend.linear_fwd(x.data(), w.data(), bias.data(), out.data(), m, k, n);
+  });
+  const double int8_ms = time_best_ms(iters, [&] {
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* row = x.data() + i * k;
+      const float s = exec::q8_row_scale(row, k);
+      sx[static_cast<std::size_t>(i)] = s;
+      exec::q8_quantize_row(row, k, s, xq.data() + i * k);
+    }
+    backend.linear_fwd_q8(xq.data(), sx.data(), wq.q.data(), wq.scales.data(), bias.data(),
+                          out.data(), m, k, n);
+  });
+  const double speedup = int8_ms > 0 ? fp32_ms / int8_ms : 0.0;
+  report.add_metric("quant.fp32_linear_ms", fp32_ms, MetricDirection::kLowerIsBetter);
+  report.add_metric("quant.int8_linear_ms", int8_ms, MetricDirection::kLowerIsBetter);
+  report.add_metric("quant.forward_speedup", speedup, MetricDirection::kHigherIsBetter);
+  table.add_row({"kernel 512x256x256", "linear ms", fmt(fp32_ms, 3), fmt(int8_ms, 3),
+                 fmt(speedup, 2) + "x"});
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: ~4x weight-memory reduction, >=1.5x fused-linear\n"
+              "speedup on SIMD backends, accuracy deltas within a few 1e-3.\n");
+  report.add_table("Quantization: int8 vs fp32", table);
+  report.write();
+  return 0;
+}

@@ -50,6 +50,7 @@ struct Builder {
     d.cols = t.cols();
     d.requires_grad = t.requires_grad();
     d.param = t;
+    d.param_name = name;
     const int id = push(std::move(d));
     param_node_.emplace(name, id);
     return id;
@@ -286,6 +287,26 @@ struct Builder {
       if (training_ && p > 0.0f) xm = dropout(xm, p);
       sum = batchnorm(P + "bn_mpnn", binary(Op::kAdd, x, xm));
       e_out = batchnorm(P + "bn_edge", binary(Op::kAdd, e, e_hat));
+    } else if (cfg.mpnn == MpnnKind::kGine) {
+      // nn::Gine::forward, emitted unconditionally. The eager E == 0
+      // early-return differs from this emission only by adding an exact
+      // all-zero aggregation (0-row gather/scatter), same as GatedGCN above.
+      // The eager (1,1)->(N,1) broadcast of 1+eps goes through a literal
+      // ones-column matmul; the ones column is emitted as add_scalar over
+      // zeros with requires_grad false, so it never enters the tape replay
+      // (eager's Tensor::full leaf does not either).
+      const int self_scale = add_scalar(param(P + "mpnn.eps"), 1.0f);
+      const int ones = add_scalar(zeros(RowsSym::kN, 1), 1.0f);
+      const int colv = matmul(ones, self_scale);
+      const int scaled_self = binary(Op::kMulColvec, x, colv);
+      const int xs = gather(x, SrcKind::kEdgeSrc, RowsSym::kE);
+      const int messages = unary(Op::kRelu, binary(Op::kAdd, xs, e));
+      const int agg = scatter_add(messages, SrcKind::kEdgeDst, RowsSym::kE, RowsSym::kN);
+      // Gine's internal Mlp is constructed with dropout 0 (nn/gine.cpp); the
+      // layer-level dropout below is GpsLayer's own.
+      int xm = mlp(P + "mpnn.mlp", binary(Op::kAdd, scaled_self, agg), 2, 0.0f);
+      if (training_ && p > 0.0f) xm = dropout(xm, p);
+      sum = batchnorm(P + "bn_mpnn", binary(Op::kAdd, x, xm));
     }
     if (cfg.attn != AttnKind::kNone) {
       int xa = linear(P + "attn.out", mega(P + "attn", x, l));
@@ -345,7 +366,8 @@ struct Builder {
 }  // namespace
 
 bool program_supported(const GpsConfig& config) {
-  return config.mpnn != MpnnKind::kGine;
+  (void)config;
+  return true;  // every GpsConfig — including the GINE ablation — is covered
 }
 
 Program build_program(const CircuitGps& model, bool training, LossKind loss) {

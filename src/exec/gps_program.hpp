@@ -9,8 +9,9 @@
 
 namespace cgps::exec {
 
-// Whether the planned executor covers this configuration. Unsupported
-// configs (currently the GINE extension) fall back to eager execution.
+// Whether the planned executor covers this configuration. Currently every
+// config is supported (GINE included); the hook stays so callers keep their
+// eager fallback if coverage ever regresses.
 bool program_supported(const GpsConfig& config);
 
 // Record the forward program of `model`, ending in `loss` (LossKind::kNone

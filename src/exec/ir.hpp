@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -35,6 +36,7 @@ enum class Op : std::uint8_t {
   kSub,
   kMul,
   kDiv,
+  kMulColvec,  // out[i,j] = x[i,j] * col[i]  (col is (rows,1))
   kScale,
   kAddScalar,
   kRelu,
@@ -121,6 +123,7 @@ struct NodeDef {
   float eps = 1e-5f;
 
   Tensor param;  // kParam: the model tensor (shared autograd node)
+  std::string param_name;  // kParam: registration name; keys the quant store
   std::vector<float>* running_mean = nullptr;  // kBatchNorm buffers
   std::vector<float>* running_var = nullptr;
 

@@ -63,6 +63,7 @@ void bwd_value_reads(const Program& prog, const Step& step, std::vector<int>& ou
     case Op::kMatmul:
     case Op::kMul:
     case Op::kDiv:
+    case Op::kMulColvec:
     case Op::kBce:
     case Op::kMse:
       out.push_back(own_inputs(step.n0)[0]);

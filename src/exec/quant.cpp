@@ -1,0 +1,114 @@
+#include "exec/quant.hpp"
+
+#include <cmath>
+
+#include "exec/gps_program.hpp"
+#include "exec/plan.hpp"
+#include "gps/model.hpp"
+#include "util/metrics.hpp"
+
+namespace cgps::exec {
+
+float q8_row_scale(const float* x, std::int64_t n) {
+  float maxabs = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > maxabs) maxabs = a;
+  }
+  return maxabs / 127.0f;
+}
+
+void q8_quantize_row(const float* x, std::int64_t n, float scale, std::int8_t* q) {
+  if (scale == 0.0f) {
+    for (std::int64_t i = 0; i < n; ++i) q[i] = 0;
+    return;
+  }
+  const float inv = 1.0f / scale;
+  for (std::int64_t i = 0; i < n; ++i) {
+    float r = std::nearbyint(x[i] * inv);
+    if (r > 127.0f) r = 127.0f;
+    if (r < -127.0f) r = -127.0f;
+    q[i] = static_cast<std::int8_t>(r);
+  }
+}
+
+void q8_dequantize_row(const std::int8_t* q, std::int64_t n, float scale, float* out) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = scale * static_cast<float>(q[i]);
+}
+
+QuantizedTensor quantize_linear_weight(const float* w, std::int64_t k, std::int64_t n) {
+  QuantizedTensor t;
+  t.layout = QuantLayout::kLinearT;
+  t.rows = k;
+  t.cols = n;
+  t.scales.resize(static_cast<std::size_t>(n));
+  t.q.resize(static_cast<std::size_t>(k * n));
+  // Column j of W becomes output row j of the transposed store: gather it
+  // into contiguous form, scale, quantize.
+  std::vector<float> col(static_cast<std::size_t>(k));
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t i = 0; i < k; ++i) col[static_cast<std::size_t>(i)] = w[i * n + j];
+    const float s = q8_row_scale(col.data(), k);
+    t.scales[static_cast<std::size_t>(j)] = s;
+    q8_quantize_row(col.data(), k, s, t.q.data() + j * k);
+  }
+  return t;
+}
+
+QuantizedTensor quantize_rows(const float* x, std::int64_t rows, std::int64_t cols) {
+  QuantizedTensor t;
+  t.layout = QuantLayout::kRows;
+  t.rows = rows;
+  t.cols = cols;
+  t.scales.resize(static_cast<std::size_t>(rows));
+  t.q.resize(static_cast<std::size_t>(rows * cols));
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const float* row = x + i * cols;
+    const float s = q8_row_scale(row, cols);
+    t.scales[static_cast<std::size_t>(i)] = s;
+    q8_quantize_row(row, cols, s, t.q.data() + i * cols);
+  }
+  return t;
+}
+
+std::int64_t QuantStore::total_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& [name, t] : entries) sum += t.bytes();
+  return sum;
+}
+
+std::int64_t QuantStore::total_fp32_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& [name, t] : entries) sum += t.fp32_bytes();
+  return sum;
+}
+
+QuantStore quantize_model(const CircuitGps& model) {
+  // Compile the inference program and quantize exactly what its quantized
+  // forward consumes. The fusion pass turns every biased Linear into a
+  // kLinear/kLinearRelu step in inference programs (no backward schedule to
+  // veto fusion), so walking fused steps plus kGather covers all of them.
+  const Plan plan = compile(build_program(model, /*training=*/false, LossKind::kNone));
+  QuantStore store;
+  for (const Step& st : plan.fwd) {
+    if (st.op == Op::kLinear || st.op == Op::kLinearRelu) {
+      const int mm = st.op == Op::kLinear ? st.n1 : st.n2;
+      const NodeDef& d = plan.prog.nodes[static_cast<std::size_t>(mm)];
+      const NodeDef& w = plan.prog.nodes[static_cast<std::size_t>(d.inputs[1])];
+      if (w.op != Op::kParam || store.entries.count(w.param_name) != 0) continue;
+      store.entries.emplace(w.param_name,
+                            quantize_linear_weight(w.param.data().data(), w.fixed_rows, w.cols));
+    } else if (st.op == Op::kGather) {
+      const NodeDef& d = plan.prog.nodes[static_cast<std::size_t>(st.n0)];
+      const NodeDef& x = plan.prog.nodes[static_cast<std::size_t>(d.inputs[0])];
+      if (x.op != Op::kParam || store.entries.count(x.param_name) != 0) continue;
+      store.entries.emplace(x.param_name,
+                            quantize_rows(x.param.data().data(), x.fixed_rows, x.cols));
+    }
+  }
+  metric_gauge("quant.bytes").set(static_cast<double>(store.total_bytes()));
+  metric_gauge("quant.fp32_bytes").set(static_cast<double>(store.total_fp32_bytes()));
+  return store;
+}
+
+}  // namespace cgps::exec

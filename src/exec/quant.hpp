@@ -1,0 +1,111 @@
+// Symmetric per-row int8 weight quantization for the planned executor's
+// inference path (ROADMAP item 1, in the style of llama.cpp's block-quantized
+// vec_dot matmuls, simplified to one fp32 scale per row).
+//
+// Format: a row of k floats becomes k int8 codes plus one fp32 scale
+//   scale = maxabs(row) / 127          (0 for an all-zero row)
+//   q[i]  = clamp(nearbyint(x[i] / scale), -127, 127)
+// and dequantizes as x~[i] = scale * q[i]. Rounding is round-to-nearest-even
+// (std::nearbyint under the default FP environment), saturation is symmetric
+// at ±127 so negation is exact.
+//
+// Two layouts cover the model:
+//   * kLinearT — a Linear weight W(k,n) stored *transposed* as n output rows
+//     of k codes with per-output-row scales, so the quantized forward is one
+//     contiguous int8 dot product per output element (exact int32
+//     accumulation; the fp32 combine happens once per element in
+//     q8_combine). Activations are quantized per row at run time by the
+//     executor with the same helpers.
+//   * kRows — an Embedding table stored row-major with per-table-row scales;
+//     the forward gathers and dequantizes rows directly.
+//
+// Training and backward never see quantized weights: quantization is applied
+// at plan-build time to inference programs only (runner.cpp refuses to build
+// a backward schedule under CIRCUITGPS_QUANT=int8).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cgps {
+class CircuitGps;
+}  // namespace cgps
+
+namespace cgps::exec {
+
+// Largest inner dimension the int8 kernels accept: every dot product must
+// accumulate exactly in int32, and k * 127 * 127 < 2^31 bounds k.
+inline constexpr std::int64_t kQ8MaxK =
+    (std::int64_t{1} << 31) / (127 * 127) - 1;
+
+// The one fp32 combine expression shared by every int8 kernel. Both backends
+// (and the tests) must call exactly this, so scalar and AVX2 int8 results are
+// bitwise identical: the dot product `acc` is exact integer math, and this
+// is the only floating-point arithmetic per output element. The volatile
+// intermediate forces the product to round before the add — without it, TUs
+// built with -mfma contract `p*a + b` into one fused rounding and diverge
+// from TUs built without (caught by test_backend_fuzz).
+inline float q8_combine(float sx, float sw, std::int32_t acc, float bias) {
+  volatile float prod = (sx * sw) * static_cast<float>(acc);
+  return prod + bias;
+}
+
+// Per-row scale: maxabs / 127, or 0 for an all-zero (or empty) row.
+float q8_row_scale(const float* x, std::int64_t n);
+
+// Quantize one row with a precomputed scale. scale == 0 writes all zeros.
+void q8_quantize_row(const float* x, std::int64_t n, float scale, std::int8_t* q);
+
+// Dequantize one row: out[i] = scale * q[i].
+void q8_dequantize_row(const std::int8_t* q, std::int64_t n, float scale, float* out);
+
+enum class QuantLayout : std::uint8_t {
+  kLinearT,  // transposed Linear weight: cols() rows of rows() codes
+  kRows,     // row-major table: rows() rows of cols() codes
+};
+
+// One quantized parameter. rows/cols are the *logical fp32* shape of the
+// original tensor; the storage layout depends on `layout`:
+//   kLinearT: q[j*rows + i] = code of W[i,j], scales[j] per output column j
+//   kRows:    q[i*cols + j] = code of X[i,j], scales[i] per row i
+struct QuantizedTensor {
+  QuantLayout layout = QuantLayout::kRows;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<float> scales;
+  std::vector<std::int8_t> q;
+
+  // Resident bytes of the quantized form (codes + scales).
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(q.size()) +
+           static_cast<std::int64_t>(scales.size()) * 4;
+  }
+  // Resident bytes of the fp32 original, for the memory-ratio metric.
+  std::int64_t fp32_bytes() const { return rows * cols * 4; }
+};
+
+// Quantize a Linear weight W(k,n) into kLinearT layout.
+QuantizedTensor quantize_linear_weight(const float* w, std::int64_t k, std::int64_t n);
+
+// Quantize a row-major table (Embedding weight) into kRows layout.
+QuantizedTensor quantize_rows(const float* x, std::int64_t rows, std::int64_t cols);
+
+// Every quantized parameter of one model, keyed by registration name (the
+// same names NodeDef::param_name carries, e.g. "gps0.mpnn.mlp.linear0.w").
+struct QuantStore {
+  std::map<std::string, QuantizedTensor> entries;
+
+  std::int64_t total_bytes() const;
+  std::int64_t total_fp32_bytes() const;
+};
+
+// Post-training quantization of `model`: records its inference program,
+// compiles it, and quantizes exactly the weights the quantized forward will
+// consume — Linear weights feeding fused kLinear/kLinearRelu steps (kLinearT)
+// and Embedding tables feeding kGather steps (kRows). Biases and every other
+// parameter stay fp32.
+QuantStore quantize_model(const CircuitGps& model);
+
+}  // namespace cgps::exec

@@ -43,6 +43,27 @@ Histogram& batch_size_histogram() {
   return h;
 }
 
+// Resident bytes of one served design: node/edge tables, both CSR adjacency
+// directions, and the raw X_C feature rows. Computed from the graph's public
+// counts (exact for the vectors' payloads; allocator overhead excluded).
+std::int64_t design_resident_bytes(const ServedDesign& d) {
+  const std::int64_t n = d.graph.num_nodes();
+  const std::int64_t e = d.graph.num_edges();
+  const std::int64_t node_tables = n * 1;                       // NodeType
+  const std::int64_t edge_tables = e * (4 + 4 + 1);             // a, b, type
+  const std::int64_t adjacency = (n + 1) * 8 + 2 * e * (4 + 8); // ptr, node, edge
+  const std::int64_t features =
+      static_cast<std::int64_t>(d.xc.size()) * kXcDim * 4;
+  return node_tables + edge_tables + adjacency + features;
+}
+
+// fp32 resident bytes of the model's parameters.
+std::int64_t model_fp32_bytes(const CircuitGps& model) {
+  std::int64_t total = 0;
+  for (const auto& [name, p] : model.named_parameters()) total += p.numel() * 4;
+  return total;
+}
+
 }  // namespace
 
 const char* status_name(Status s) {
@@ -88,9 +109,16 @@ ServeCore::ServeCore(CircuitGps& model, XcNormalizer normalizer,
   latency_histogram();
   batch_size_histogram();
   metric_gauge("serve.queue_depth").set(0.0);
+  std::int64_t resident = 0;
+  for (const ServedDesign& d : designs_) resident += design_resident_bytes(d);
+  metric_gauge("serve.resident_bytes").set(static_cast<double>(resident));
 }
 
 ServeCore::~ServeCore() { stop(); }
+
+void ServeCore::set_prequantized(exec::QuantStore store) {
+  if (quantized()) runner_->set_prequantized(std::move(store));
+}
 
 void ServeCore::start() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -417,6 +445,12 @@ std::string ServeCore::stats_json() const {
   w.field("build", identity_.build);
   w.field("checkpoint", identity_.checkpoint);
   w.field("executor", planned_ ? "planned" : "eager");
+  w.field("quant", quantized() ? "int8" : "off");
+  w.field("model_fp32_bytes", model_fp32_bytes(model_));
+  // Quantized weight bytes resident alongside fp32 (0 until the first
+  // quantized forward builds the store, or a v3 bundle pre-loads it).
+  const exec::QuantStore* store = runner_ != nullptr ? runner_->quant_store() : nullptr;
+  w.field("model_quant_bytes", store != nullptr ? store->total_bytes() : std::int64_t{0});
   w.field("max_batch", options_.max_batch);
   w.field("queue_cap", options_.queue_cap);
   w.field("default_deadline_ms", static_cast<double>(options_.default_deadline_us) * 1e-3);
@@ -427,6 +461,7 @@ std::string ServeCore::stats_json() const {
     w.field("name", d.name);
     w.field("nodes", d.graph.num_nodes());
     w.field("edges", d.graph.num_edges());
+    w.field("resident_bytes", design_resident_bytes(d));
     w.end_object();
   }
   w.end_array();

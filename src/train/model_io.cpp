@@ -1,6 +1,7 @@
 #include "train/model_io.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "train/config_io.hpp"
 #include "util/serialize.hpp"
@@ -10,14 +11,17 @@ namespace cgps {
 namespace {
 constexpr std::uint32_t kBundleMagicV1 = 0x43474D42;  // "CGMB"
 constexpr std::uint32_t kBundleMagicV2 = 0x324D4743;  // "CGM2"
-constexpr std::uint32_t kBundleVersion = 2;
+constexpr std::uint32_t kBundleMagicV3 = 0x334D4743;  // "CGM3"
+constexpr std::uint32_t kBundleVersionV2 = 2;
+constexpr std::uint32_t kBundleVersionV3 = 3;
 }  // namespace
 
 void save_model_bundle(const CircuitGps& model, const std::string& path,
-                       const XcNormalizer* normalizer) {
+                       const XcNormalizer* normalizer, const exec::QuantStore* quant) {
+  const bool has_quant = quant != nullptr && !quant->entries.empty();
   BinaryWriter writer(path);
-  writer.write_u32(kBundleMagicV2);
-  writer.write_u32(kBundleVersion);
+  writer.write_u32(has_quant ? kBundleMagicV3 : kBundleMagicV2);
+  writer.write_u32(has_quant ? kBundleVersionV3 : kBundleVersionV2);
   ExperimentConfig wrapper;
   wrapper.gps = model.config();
   writer.write_string(to_config_text(wrapper));
@@ -27,6 +31,19 @@ void save_model_bundle(const CircuitGps& model, const std::string& path,
     for (float v : normalizer->min()) writer.write_f32(v);
     for (float v : normalizer->max()) writer.write_f32(v);
   }
+  if (has_quant) {
+    writer.write_u64(quant->entries.size());
+    for (const auto& [name, qt] : quant->entries) {
+      writer.write_string(name);
+      writer.write_u32(static_cast<std::uint32_t>(qt.layout));
+      writer.write_u64(static_cast<std::uint64_t>(qt.rows));
+      writer.write_u64(static_cast<std::uint64_t>(qt.cols));
+      writer.write_f32_vector(qt.scales);
+      writer.write_i8_vector(qt.q);
+    }
+  }
+  // fp32 weights always follow, quantized or not: a v3 bundle still trains
+  // and serves at full precision when CIRCUITGPS_QUANT is off.
   nn::save_checkpoint(model, writer);
 }
 
@@ -38,9 +55,11 @@ ModelBundle load_model_bundle_full(const std::string& path) {
   if (magic == kBundleMagicV1) {
     // Legacy bundle: no version field, no normalizer record.
     config_text = reader.read_string();
-  } else if (magic == kBundleMagicV2) {
+  } else if (magic == kBundleMagicV2 || magic == kBundleMagicV3) {
     const std::uint32_t version = reader.read_u32();
-    if (version != kBundleVersion)
+    const std::uint32_t expected =
+        magic == kBundleMagicV3 ? kBundleVersionV3 : kBundleVersionV2;
+    if (version != expected)
       throw std::runtime_error("load_model_bundle: unsupported bundle version " +
                                std::to_string(version) + " in " + path);
     config_text = reader.read_string();
@@ -50,6 +69,22 @@ ModelBundle load_model_bundle_full(const std::string& path) {
       for (float& v : min) v = reader.read_f32();
       for (float& v : max) v = reader.read_f32();
       bundle.normalizer.restore(min, max);
+    }
+    if (magic == kBundleMagicV3) {
+      const std::uint64_t count = reader.read_u64();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::string name = reader.read_string();
+        exec::QuantizedTensor qt;
+        const std::uint32_t layout = reader.read_u32();
+        if (layout > static_cast<std::uint32_t>(exec::QuantLayout::kRows))
+          throw std::runtime_error("load_model_bundle: bad quant layout in " + path);
+        qt.layout = static_cast<exec::QuantLayout>(layout);
+        qt.rows = static_cast<std::int64_t>(reader.read_u64());
+        qt.cols = static_cast<std::int64_t>(reader.read_u64());
+        qt.scales = reader.read_f32_vector();
+        qt.q = reader.read_i8_vector();
+        bundle.quant.entries.emplace(name, std::move(qt));
+      }
     }
   } else {
     throw std::runtime_error("load_model_bundle: bad magic in " + path);

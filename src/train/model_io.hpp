@@ -3,17 +3,23 @@
 // reloaded (e.g. for later fine-tuning on a new design, or by cgps_serve)
 // without out-of-band knowledge of its hyperparameters.
 //
-// Two on-disk formats coexist:
+// Three on-disk formats coexist:
 //   v1 ("CGMB"): config text + weights. Loads with an unfitted normalizer.
 //   v2 ("CGM2"): adds a format version and the fitted XcNormalizer bounds,
 //                so inference normalizes X_C exactly as training did instead
 //                of refitting on whatever graphs happen to be served.
-// save_model_bundle always writes v2; load_model_bundle reads both.
+//   v3 ("CGM3"): adds an optional int8 quantization section (per-entry name,
+//                layout, shape, fp32 scales, int8 codes) ahead of the fp32
+//                weights, so CIRCUITGPS_QUANT=int8 serving loads the exact
+//                codes the bundle was validated with instead of re-quantizing.
+// save_model_bundle writes v2, or v3 when given a non-empty QuantStore;
+// load_model_bundle reads all three.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "exec/quant.hpp"
 #include "gps/batch.hpp"
 #include "gps/model.hpp"
 
@@ -22,14 +28,20 @@ namespace cgps {
 // A loaded bundle. `normalizer.fitted()` is false for v1 files and for v2
 // files saved without one — callers must then fit their own (and should warn:
 // predictions will not match the training-time feature scaling).
+// `quant.entries` is empty unless the file is v3 with a quantization section;
+// quantized serving of older bundles falls back to quantize-on-load.
 struct ModelBundle {
   std::unique_ptr<CircuitGps> model;
   XcNormalizer normalizer;
+  exec::QuantStore quant;
 };
 
 // `normalizer` may be null or unfitted; the bundle records its absence.
+// `quant` with at least one entry upgrades the file to v3 and embeds the
+// pre-quantized weights; null or empty keeps the v2 format byte-identical.
 void save_model_bundle(const CircuitGps& model, const std::string& path,
-                       const XcNormalizer* normalizer = nullptr);
+                       const XcNormalizer* normalizer = nullptr,
+                       const exec::QuantStore* quant = nullptr);
 
 // Reconstructs the model from the embedded config and loads the weights.
 // Throws std::runtime_error on magic/format mismatch.

@@ -71,6 +71,15 @@ ExecMode env_exec_mode();
 enum class BackendKind { kAuto, kScalar, kAvx2 };
 BackendKind env_backend();
 
+// Weight quantization mode selected by CIRCUITGPS_QUANT for the planned
+// executor's inference path. kOff (default) keeps every forward on fp32
+// weights; kInt8 swaps kLinear/kLinearRelu/kGather forwards onto symmetric
+// per-row int8 weights with fp32 accumulation (src/exec/quant). Training and
+// backward stay fp32 — a quantized PlanRunner refuses to build a backward
+// schedule. Read fresh on every call so tests can flip modes between runs.
+enum class QuantMode { kOff, kInt8 };
+QuantMode env_quant_mode();
+
 // cgps_serve daemon defaults (DESIGN.md §11). Each CLI flag on the tool
 // overrides the matching variable; the variable overrides the built-in
 // default. All are read fresh on every call so tests can retarget them.

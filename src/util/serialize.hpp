@@ -22,6 +22,7 @@ class BinaryWriter {
   void write_string(const std::string& s);
   void write_f32_vector(const std::vector<float>& v);
   void write_i64_vector(const std::vector<std::int64_t>& v);
+  void write_i8_vector(const std::vector<std::int8_t>& v);
 
  private:
   void write_raw(const void* data, std::size_t n);
@@ -39,6 +40,7 @@ class BinaryReader {
   std::string read_string();
   std::vector<float> read_f32_vector();
   std::vector<std::int64_t> read_i64_vector();
+  std::vector<std::int8_t> read_i8_vector();
 
  private:
   void read_raw(void* data, std::size_t n);

@@ -1,0 +1,147 @@
+// Backend fuzz sweep (scalar vs AVX2) over odd/prime shapes, including
+// zero-row batches and sizes that straddle every vector-width boundary. The
+// fp32 kernels may re-associate within one output element, so they are held
+// to a relative tolerance; the int8 kernels share their one fp32 combine
+// (q8_combine) and must match bitwise.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "exec/backend.hpp"
+#include "util/rng.hpp"
+
+namespace cgps {
+namespace {
+
+// Odd, prime, and width-straddling dims. 8/16 float lanes and 32 int8 lanes
+// all hit partial-tail paths somewhere in this set.
+const std::vector<std::int64_t> kDims = {1, 2, 3, 5, 7, 8, 9, 13, 16, 17, 31, 32, 33, 64, 67};
+const std::vector<std::int64_t> kBatchRows = {0, 1, 2, 3, 5, 7, 13, 17, 31, 33};
+
+std::vector<float> random_floats(std::size_t n, Rng& rng, double lo = -2.0, double hi = 2.0) {
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform(lo, hi));
+  return v;
+}
+
+std::vector<std::int8_t> random_codes(std::size_t n, Rng& rng) {
+  std::vector<std::int8_t> v(n);
+  for (std::int8_t& x : v) x = static_cast<std::int8_t>(rng.uniform_int(255) - 127);
+  return v;
+}
+
+void expect_rel_close(const std::vector<float>& a, const std::vector<float>& b, float rel,
+                      const char* what, std::int64_t m, std::int64_t k, std::int64_t n) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float tol = rel * (1.0f + std::max(std::fabs(a[i]), std::fabs(b[i])));
+    ASSERT_NEAR(a[i], b[i], tol)
+        << what << " m=" << m << " k=" << k << " n=" << n << " at " << i;
+  }
+}
+
+void expect_bitwise(const std::vector<float>& a, const std::vector<float>& b, const char* what,
+                    std::int64_t m, std::int64_t k, std::int64_t n) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(a[i]), std::bit_cast<std::uint32_t>(b[i]))
+        << what << " m=" << m << " k=" << k << " n=" << n << " at " << i << ": " << a[i]
+        << " vs " << b[i];
+}
+
+TEST(BackendFuzz, Fp32KernelsAgreeWithinTolerance) {
+  const exec::KernelBackend* avx2 = exec::avx2_backend();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 not available";
+  const exec::KernelBackend& scalar = exec::scalar_backend();
+  Rng rng(2024);
+  for (const std::int64_t m : kBatchRows) {
+    for (const std::int64_t k : kDims) {
+      for (const std::int64_t n : kDims) {
+        // Keep the sweep cheap: sample the cube rather than exhausting it,
+        // but always keep the zero-row and size-1 edges.
+        if (m > 1 && k > 1 && n > 1 && rng.uniform() > 0.25) continue;
+        const auto a = random_floats(static_cast<std::size_t>(m * k), rng);
+        const auto b = random_floats(static_cast<std::size_t>(k * n), rng);
+        const auto bias = random_floats(static_cast<std::size_t>(n), rng);
+        std::vector<float> o_scalar(static_cast<std::size_t>(m * n));
+        std::vector<float> o_avx2(static_cast<std::size_t>(m * n));
+
+        scalar.matmul_fwd(a.data(), b.data(), o_scalar.data(), m, k, n);
+        avx2->matmul_fwd(a.data(), b.data(), o_avx2.data(), m, k, n);
+        expect_rel_close(o_scalar, o_avx2, 1e-5f, "matmul_fwd", m, k, n);
+
+        scalar.linear_fwd(a.data(), b.data(), bias.data(), o_scalar.data(), m, k, n);
+        avx2->linear_fwd(a.data(), b.data(), bias.data(), o_avx2.data(), m, k, n);
+        expect_rel_close(o_scalar, o_avx2, 1e-5f, "linear_fwd", m, k, n);
+
+        scalar.linear_relu_fwd(a.data(), b.data(), bias.data(), o_scalar.data(), m, k, n);
+        avx2->linear_relu_fwd(a.data(), b.data(), bias.data(), o_avx2.data(), m, k, n);
+        expect_rel_close(o_scalar, o_avx2, 1e-5f, "linear_relu_fwd", m, k, n);
+      }
+    }
+  }
+}
+
+TEST(BackendFuzz, Int8KernelsAreBitwiseIdentical) {
+  const exec::KernelBackend* avx2 = exec::avx2_backend();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 not available";
+  const exec::KernelBackend& scalar = exec::scalar_backend();
+  Rng rng(4048);
+  for (const std::int64_t m : kBatchRows) {
+    for (const std::int64_t k : kDims) {
+      for (const std::int64_t n : kDims) {
+        if (m > 1 && k > 1 && n > 1 && rng.uniform() > 0.25) continue;
+        const auto xq = random_codes(static_cast<std::size_t>(m * k), rng);
+        const auto wq = random_codes(static_cast<std::size_t>(n * k), rng);
+        const auto sx = random_floats(static_cast<std::size_t>(m), rng, 0.001, 0.1);
+        const auto sw = random_floats(static_cast<std::size_t>(n), rng, 0.001, 0.1);
+        const auto bias = random_floats(static_cast<std::size_t>(n), rng);
+        std::vector<float> o_scalar(static_cast<std::size_t>(m * n));
+        std::vector<float> o_avx2(static_cast<std::size_t>(m * n));
+
+        scalar.linear_fwd_q8(xq.data(), sx.data(), wq.data(), sw.data(), bias.data(),
+                             o_scalar.data(), m, k, n);
+        avx2->linear_fwd_q8(xq.data(), sx.data(), wq.data(), sw.data(), bias.data(),
+                            o_avx2.data(), m, k, n);
+        expect_bitwise(o_scalar, o_avx2, "linear_fwd_q8", m, k, n);
+
+        scalar.linear_relu_fwd_q8(xq.data(), sx.data(), wq.data(), sw.data(), bias.data(),
+                                  o_scalar.data(), m, k, n);
+        avx2->linear_relu_fwd_q8(xq.data(), sx.data(), wq.data(), sw.data(), bias.data(),
+                                 o_avx2.data(), m, k, n);
+        expect_bitwise(o_scalar, o_avx2, "linear_relu_fwd_q8", m, k, n);
+      }
+    }
+  }
+}
+
+// Saturated codes at the kernels' extreme values: ±127 codes with the
+// largest scales must still accumulate exactly (k*127*127 < 2^31 holds for
+// every k here) and match bitwise across backends.
+TEST(BackendFuzz, Int8SaturatedInputsStayExact) {
+  const exec::KernelBackend* avx2 = exec::avx2_backend();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 not available";
+  const exec::KernelBackend& scalar = exec::scalar_backend();
+  const std::int64_t m = 3, k = 257, n = 5;
+  std::vector<std::int8_t> xq(static_cast<std::size_t>(m * k));
+  std::vector<std::int8_t> wq(static_cast<std::size_t>(n * k));
+  for (std::size_t i = 0; i < xq.size(); ++i) xq[i] = (i % 2 == 0) ? 127 : -127;
+  for (std::size_t i = 0; i < wq.size(); ++i) wq[i] = (i % 3 == 0) ? -127 : 127;
+  const std::vector<float> sx(static_cast<std::size_t>(m), 1.0f);
+  const std::vector<float> sw(static_cast<std::size_t>(n), 1.0f);
+  const std::vector<float> bias(static_cast<std::size_t>(n), 0.5f);
+  std::vector<float> o_scalar(static_cast<std::size_t>(m * n));
+  std::vector<float> o_avx2(static_cast<std::size_t>(m * n));
+  scalar.linear_fwd_q8(xq.data(), sx.data(), wq.data(), sw.data(), bias.data(), o_scalar.data(),
+                       m, k, n);
+  avx2->linear_fwd_q8(xq.data(), sx.data(), wq.data(), sw.data(), bias.data(), o_avx2.data(), m,
+                      k, n);
+  expect_bitwise(o_scalar, o_avx2, "linear_fwd_q8 saturated", m, k, n);
+  for (const float v : o_scalar) ASSERT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace cgps

@@ -131,6 +131,13 @@ std::vector<ConfigCase> config_grid() {
     cases.push_back({"mpnn_none", c});
   }
   {
+    // Regression: GINE used to be rejected by program_supported, so planned
+    // mode silently fell back to eager for the ablation path.
+    GpsConfig c = small_config();
+    c.mpnn = MpnnKind::kGine;
+    cases.push_back({"gine", c});
+  }
+  {
     GpsConfig c = small_config();
     c.anchor_readout = true;
     cases.push_back({"anchor_readout", c});
@@ -176,10 +183,12 @@ INSTANTIATE_TEST_SUITE_P(Threads, ExecEquivalence, ::testing::Values(1, 2));
 // Loss + gradient equivalence for every loss kind (training mode, dropout on
 // so the planned path must consume the model RNG in the exact eager order).
 
-void run_grad_case(bool link_task, float alpha, float dropout) {
+void run_grad_case(bool link_task, float alpha, float dropout,
+                   MpnnKind mpnn = MpnnKind::kGatedGcn) {
   const ScopedEnv backend("CIRCUITGPS_BACKEND", "scalar");
   GpsConfig config = small_config();
   config.dropout = dropout;
+  config.mpnn = mpnn;
   const Fixture& f = fixture();
   const SubgraphBatch batch = f.batch(config);
 
@@ -229,6 +238,13 @@ TEST(ExecGradEquivalence, MseLoss) { run_grad_case(/*link=*/false, 0.0f, 0.0f); 
 TEST(ExecGradEquivalence, WeightedMseLoss) { run_grad_case(/*link=*/false, 0.5f, 0.0f); }
 TEST(ExecGradEquivalence, BceWithDropout) { run_grad_case(/*link=*/true, 0.0f, 0.1f); }
 TEST(ExecGradEquivalence, MseWithDropout) { run_grad_case(/*link=*/false, 0.0f, 0.1f); }
+// GINE gradients, including the eps colvec-broadcast backward.
+TEST(ExecGradEquivalence, GineBce) {
+  run_grad_case(/*link=*/true, 0.0f, 0.0f, MpnnKind::kGine);
+}
+TEST(ExecGradEquivalence, GineBceWithDropout) {
+  run_grad_case(/*link=*/true, 0.0f, 0.1f, MpnnKind::kGine);
+}
 
 // ---------------------------------------------------------------------------
 // Whole training trajectories: N optimizer steps with dropout must leave both

@@ -229,11 +229,18 @@ TEST(ExecExecutor, ArenaBytesStableAcrossRebinds) {
   EXPECT_EQ(exec.arena_bytes(), bytes) << "same batch, same carve";
 }
 
-TEST(ExecPlan, GineFallsBackToEager) {
+TEST(ExecPlan, GineIsSupported) {
+  // Regression: program_supported used to reject GINE, silently dropping the
+  // ablation path to eager under CIRCUITGPS_EXEC=planned.
   GpsConfig config = small_config();
   config.mpnn = MpnnKind::kGine;
-  EXPECT_FALSE(exec::program_supported(config));
+  EXPECT_TRUE(exec::program_supported(config));
   EXPECT_TRUE(exec::program_supported(small_config()));
+  // The recorded GINE program carries the colvec broadcast of (1 + eps) and
+  // compiles a backward schedule without throwing.
+  const exec::Plan plan = compiled_plan(config, /*training=*/true, exec::LossKind::kBce);
+  EXPECT_GT(count_steps(plan.fwd, exec::Op::kMulColvec), 0);
+  EXPECT_GT(plan.bwd.size(), 0u);
 }
 
 }  // namespace

@@ -326,6 +326,51 @@ TEST(ServeServer, StatsRoundTripOverSocket) {
   core.stop();
 }
 
+// Regression probe: a fresh daemon with zero completed requests must still
+// serialize a valid JSON snapshot — empty-window quantiles are JSON null
+// (the writer's encoding of NaN), rates are 0, and no bare NaN/Inf token
+// leaks into the document (bare tokens would break every JSON consumer).
+TEST(ServeCore, FreshDaemonStatsAreValidJsonWithoutNanInf) {
+  ServeFixture& f = fixture();
+  serve::ServeCore core(*f.model, f.normalizer, {f.design}, f.options());
+  const std::string stats = core.stats_json();
+
+  EXPECT_EQ(stats.find("nan"), std::string::npos);
+  EXPECT_EQ(stats.find("NaN"), std::string::npos);
+  EXPECT_EQ(stats.find("inf"), std::string::npos);
+  EXPECT_EQ(stats.find("Infinity"), std::string::npos);
+
+  std::string error;
+  const std::optional<JsonValue> parsed = json_parse(stats, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+
+  const JsonValue* w10 = parsed->find("windows");
+  ASSERT_NE(w10, nullptr);
+  w10 = w10->find("10s");
+  ASSERT_NE(w10, nullptr);
+  EXPECT_EQ(w10->find("done")->number, 0.0);
+  EXPECT_EQ(w10->find("qps")->number, 0.0);
+  EXPECT_EQ(w10->find("shed_rate")->number, 0.0);
+  EXPECT_EQ(w10->find("reject_rate")->number, 0.0);
+  // Empty-window quantiles serialize as null, never as a number.
+  EXPECT_EQ(w10->find("p50_s")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(w10->find("p99_s")->type, JsonValue::Type::kNull);
+
+  // Resident-memory fields introduced with the quantized serving path. The
+  // quant mode tracks the ambient CIRCUITGPS_QUANT (the quant CI leg runs
+  // this test with int8 forced on); either way a daemon that has served no
+  // traffic has not built a quant store yet, so the byte gauge reads 0.
+  const JsonValue* designs = parsed->find("designs");
+  ASSERT_NE(designs, nullptr);
+  ASSERT_EQ(designs->array.size(), 1u);
+  EXPECT_GT(designs->array[0].find("resident_bytes")->number, 0.0);
+  EXPECT_GT(parsed->find("model_fp32_bytes")->number, 0.0);
+  EXPECT_EQ(parsed->find("model_quant_bytes")->number, 0.0);
+  const std::string& quant = parsed->find("quant")->string;
+  EXPECT_TRUE(quant == "off" || quant == "int8") << quant;
+  EXPECT_EQ(quant == "int8", core.quantized());
+}
+
 // Corrupt or truncated frames carrying (or pretending to carry) a kStats
 // request must be answered with kError and a dropped connection, exactly
 // like any other protocol violation — the stream offset is untrustworthy.

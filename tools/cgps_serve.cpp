@@ -211,6 +211,11 @@ int main(int argc, char** argv) {
   options.queue_cap = args.queue_cap;
   options.default_deadline_us = static_cast<std::int64_t>(args.deadline_ms) * 1000;
   serve::ServeCore core(*bundle.model, bundle.normalizer, std::move(designs), options);
+  if (core.quantized() && !bundle.quant.entries.empty()) {
+    log_info("cgps_serve: using pre-quantized int8 weights from the v3 bundle (",
+             bundle.quant.entries.size(), " tensors)");
+    core.set_prequantized(std::move(bundle.quant));
+  }
   // Stamp what the kStats snapshot reports as this daemon's identity.
   serve::ServeIdentity identity;
   identity.checkpoint = args.demo ? "demo" : args.checkpoint;

@@ -135,6 +135,10 @@ std::string fmt_ms(double seconds) {
   return std::isfinite(seconds) ? fmt_num(seconds * 1e3, 2) : "-";
 }
 
+std::string fmt_mib(double bytes) {
+  return std::isfinite(bytes) ? fmt_num(bytes / (1024.0 * 1024.0), 1) + " MiB" : "-";
+}
+
 // One row of the windows table from a "10s"/"60s" block.
 std::vector<std::string> window_row(const char* label, const cgps::JsonValue& w) {
   auto pct = [&](const char* key) {
@@ -167,19 +171,35 @@ std::string sparkline(const cgps::JsonValue& counts) {
 }
 
 void render(const Args& args, const cgps::JsonValue& s) {
+  // Pre-v3 daemons have no "quant" field; only decorate when it is live.
+  std::string executor = str_at(s, {"executor"});
+  if (str_at(s, {"quant"}) == "int8") executor += "+int8";
   std::printf("cgps_top — %s:%d   up %ss   build %s   checkpoint %s   "
               "executor %s   proto v%d\n",
               args.host.c_str(), args.port, fmt_num(num_at(s, {"uptime_s"}), 0).c_str(),
               str_at(s, {"build"}).c_str(), str_at(s, {"checkpoint"}).c_str(),
-              str_at(s, {"executor"}).c_str(),
+              executor.c_str(),
               static_cast<int>(num_at(s, {"proto_version"})));
 
   const cgps::JsonValue* designs = s.find("designs");
   if (designs != nullptr) {
     std::printf("designs:");
-    for (const cgps::JsonValue& d : designs->array)
-      std::printf(" %s (%.0f nodes, %.0f edges)", str_at(d, {"name"}).c_str(),
+    for (const cgps::JsonValue& d : designs->array) {
+      std::printf(" %s (%.0f nodes, %.0f edges", str_at(d, {"name"}).c_str(),
                   num_at(d, {"nodes"}), num_at(d, {"edges"}));
+      const double resident = num_at(d, {"resident_bytes"});
+      if (std::isfinite(resident)) std::printf(", %s", fmt_mib(resident).c_str());
+      std::printf(")");
+    }
+    std::printf("\n");
+  }
+  const double rss = num_at(s, {"rss_bytes"});
+  const double fp32 = num_at(s, {"model_fp32_bytes"});
+  if (std::isfinite(rss) || std::isfinite(fp32)) {
+    std::printf("memory: rss %s   model fp32 %s", fmt_mib(rss).c_str(),
+                fmt_mib(fp32).c_str());
+    const double q = num_at(s, {"model_quant_bytes"});
+    if (std::isfinite(q) && q > 0.0) std::printf("   int8 %s", fmt_mib(q).c_str());
     std::printf("\n");
   }
 
