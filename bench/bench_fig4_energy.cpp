@@ -2,12 +2,11 @@
 // capacitance vs CircuitGPS predictions, per test design, with the mean
 // absolute percentage error (paper reports 14.5% across the test cases).
 #include "common.hpp"
+#include "spice/energy.hpp"
+#include "train/dataset.hpp"
 
 #include <cmath>
-
 #include <unordered_set>
-
-#include "spice/energy.hpp"
 
 using namespace cgps;
 using namespace cgps::bench;
@@ -118,15 +117,15 @@ int main() {
     const CircuitDataset ds = load_dataset(id);
     Rng victim_rng(31 + static_cast<std::uint64_t>(id));
     const std::vector<std::int32_t> victims =
-        pick_victim_nets(ds, scaled(25), 2, victim_rng);
+        pick_victim_nets(ds.graph, ds.extraction, scaled(25), 2, victim_rng);
 
     std::vector<double> truth_caps;
     for (const CouplingLink& link : ds.extraction.links) truth_caps.push_back(link.cap);
     const std::vector<double> pred_caps =
         predicted_link_caps(ds, model, normalizer, victims, sg_options);
 
-    const auto truth = switching_energy(ds, truth_caps, victims);
-    const auto pred = switching_energy(ds, pred_caps, victims);
+    const auto truth = switching_energy(ds.graph, ds.extraction, truth_caps, victims);
+    const auto pred = switching_energy(ds.graph, ds.extraction, pred_caps, victims);
     std::vector<double> et, ep;
     double total_t = 0, total_p = 0;
     for (std::size_t i = 0; i < truth.size(); ++i) {

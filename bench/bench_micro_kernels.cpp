@@ -1,10 +1,7 @@
 // Kernel micro-benchmarks (google-benchmark): the hot operations behind
 // training — matmul, GatedGCN forward, attention variants, subgraph
 // sampling, and the positional encodings of Table II.
-#include <benchmark/benchmark.h>
-
 #include "common.hpp"
-
 #include "exec/arena.hpp"
 #include "exec/backend.hpp"
 #include "exec/runner.hpp"
@@ -24,6 +21,8 @@
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/trace.hpp"
+
+#include <benchmark/benchmark.h>
 
 namespace {
 

@@ -7,11 +7,11 @@
 // construction; forcing scalar also pins the fp32 reference). The kernel
 // timing section uses the auto-selected backend — its keys carry _ms/speedup
 // suffixes and are skipped by the gate.
-#include <cstdlib>
-
 #include "common.hpp"
 #include "exec/backend.hpp"
 #include "exec/quant.hpp"
+
+#include <cstdlib>
 
 using namespace cgps;
 using namespace cgps::bench;

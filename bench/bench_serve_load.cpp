@@ -19,13 +19,6 @@
 // running cgps_serve daemon through src/serve/client and prints the same
 // latency summary without writing a report — the CI serve-smoke step uses
 // this against the --demo daemon.
-#include <algorithm>
-#include <chrono>
-#include <condition_variable>
-#include <cstdlib>
-#include <mutex>
-#include <thread>
-
 #include "common.hpp"
 #include "gen/designs.hpp"
 #include "netlist/hierarchy.hpp"
@@ -35,6 +28,13 @@
 #include "tensor/kernels.hpp"
 #include "train/model_io.hpp"
 #include "util/rng.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
 
 namespace cgps::bench {
 namespace {

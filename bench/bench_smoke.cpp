@@ -5,15 +5,14 @@
 // `bench_smoke_json`; exits nonzero on any schema violation, so the JSON
 // contract is enforced by the tier-1 suite. Runs in well under a second.
 #include "common.hpp"
-
-#include <algorithm>
-#include <fstream>
-#include <sstream>
-
 #include "gen/designs.hpp"
 #include "graph/circuit_graph.hpp"
 #include "graph/subgraph.hpp"
 #include "netlist/hierarchy.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
 
 using namespace cgps;
 using namespace cgps::bench;

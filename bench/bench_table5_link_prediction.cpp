@@ -1,10 +1,10 @@
 // Table V — Accuracy comparison on link prediction (zero-shot): ParaGraph,
 // DLPL-Cap, CircuitGPS; trained on the three training designs, evaluated on
 // the three unseen test designs.
+#include "common.hpp"
+
 #include <cstdlib>
 #include <cstring>
-
-#include "common.hpp"
 
 using namespace cgps;
 using namespace cgps::bench;

@@ -2,10 +2,10 @@
 // ParaGraph, DLPL-Cap, CircuitGPS trained from scratch, and the two
 // fine-tuned variants (head-only, all-parameter) initialized from a
 // link-prediction meta-learner.
+#include "common.hpp"
+
 #include <cstdlib>
 #include <cstring>
-
-#include "common.hpp"
 
 using namespace cgps;
 using namespace cgps::bench;

@@ -5,14 +5,6 @@
 // CIRCUITGPS_SCALE (see DESIGN.md §7).
 #pragma once
 
-#include <cctype>
-#include <cstdio>
-#include <fstream>
-#include <string>
-#include <string_view>
-#include <utility>
-#include <vector>
-
 #include "baselines/baseline_trainer.hpp"
 #include "train/dataset_cache.hpp"
 #include "train/trainer.hpp"
@@ -24,6 +16,14 @@
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 // Set per-target by bench/CMakeLists.txt from `git describe` at configure
 // time; "unknown" outside a git checkout.

@@ -3,9 +3,9 @@
 //   and all-parameter) -> compare against training from scratch.
 //
 //   ./cap_regression_finetune
-#include <cstdio>
-
 #include "train/trainer.hpp"
+
+#include <cstdio>
 
 using namespace cgps;
 

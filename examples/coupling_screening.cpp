@@ -5,10 +5,10 @@
 // test design are used (zero-shot transfer, the paper's headline property).
 //
 //   ./coupling_screening
-#include <cstdio>
-
 #include "train/trainer.hpp"
 #include "util/timer.hpp"
+
+#include <cstdio>
 
 using namespace cgps;
 

@@ -6,12 +6,11 @@
 // the per-victim energy MAPE.
 //
 //   ./energy_validation
-#include <cstdio>
-
-#include <unordered_map>
-
 #include "spice/energy.hpp"
 #include "train/trainer.hpp"
+
+#include <cstdio>
+#include <unordered_map>
 
 using namespace cgps;
 
@@ -72,7 +71,7 @@ int main() {
     }
     // Cap prediction cost: subsample victims first, predict only their links.
     Rng victim_rng(17);
-    const std::vector<std::int32_t> victims = pick_victim_nets(test_ds, 40, 2, victim_rng);
+    const std::vector<std::int32_t> victims = pick_victim_nets(test_ds.graph, test_ds.extraction, 40, 2, victim_rng);
     std::printf("simulating %zu victim nets on %s...\n", victims.size(), test_ds.name.c_str());
 
     // Predict caps for every link (default to ground truth for links not
@@ -115,8 +114,8 @@ int main() {
     // Simulate both ways.
     std::vector<double> true_caps;
     for (const CouplingLink& link : test_ds.extraction.links) true_caps.push_back(link.cap);
-    const auto truth = switching_energy(test_ds, true_caps, victims);
-    const auto pred = switching_energy(test_ds, predicted_caps, victims);
+    const auto truth = switching_energy(test_ds.graph, test_ds.extraction, true_caps, victims);
+    const auto pred = switching_energy(test_ds.graph, test_ds.extraction, predicted_caps, victims);
 
     std::vector<double> e_truth, e_pred;
     double total_truth = 0, total_pred = 0;

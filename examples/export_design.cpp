@@ -7,14 +7,15 @@
 // fed back into the pipeline or consumed by external tools.
 //
 //   ./export_design [ssram|ultra8t|sandwich|clkgen|timing|array] [outdir]
+#include "netlist/spice.hpp"
+#include "parasitics/spf.hpp"
+#include "train/dataset.hpp"
+#include "util/strings.hpp"
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
-
-#include "netlist/spice.hpp"
-#include "train/dataset.hpp"
-#include "util/strings.hpp"
 
 using namespace cgps;
 

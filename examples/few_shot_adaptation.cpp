@@ -8,11 +8,11 @@
 // from far fewer shots.
 //
 //   ./few_shot_adaptation
-#include <cstdio>
-
 #include "train/trainer.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+
+#include <cstdio>
 
 using namespace cgps;
 

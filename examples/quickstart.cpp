@@ -5,13 +5,13 @@
 // pair, DSPD-encodes it, and runs one CircuitGPS forward pass.
 //
 //   ./quickstart
-#include <cstdio>
-
 #include "gps/model.hpp"
 #include "graph/circuit_graph.hpp"
 #include "graph/subgraph.hpp"
 #include "netlist/netlist.hpp"
 #include "tensor/ops.hpp"
+
+#include <cstdio>
 
 using namespace cgps;
 

@@ -5,11 +5,11 @@
 //
 // Without an argument, a built-in default configuration is used and printed,
 // so the example is runnable standalone.
-#include <cstdio>
-
 #include "train/config_io.hpp"
 #include "train/model_io.hpp"
 #include "train/trainer.hpp"
+
+#include <cstdio>
 
 using namespace cgps;
 

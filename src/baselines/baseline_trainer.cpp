@@ -1,11 +1,7 @@
 #include "baselines/baseline_trainer.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
-
-#include "tensor/optim.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/optim.hpp"
 #include "util/env.hpp"
 #include "util/json_writer.hpp"
 #include "util/logging.hpp"
@@ -13,6 +9,10 @@
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
 
 namespace cgps {
 
@@ -100,7 +100,7 @@ double run_baseline_training(FullGraphBaseline& model,
 
   // Precompute the full edge lists (constant across epochs); datasets are
   // independent, so the conversion fans out across the work pool.
-  std::vector<nn::EdgeIndex> edges(train.size());
+  std::vector<EdgeIndex> edges(train.size());
   par::parallel_for(0, static_cast<std::int64_t>(train.size()), 1,
                     [&](std::int64_t b, std::int64_t e) {
                       for (std::int64_t t = b; t < e; ++t)
@@ -200,7 +200,7 @@ std::vector<float> baseline_predict(FullGraphBaseline& model, const CircuitDatas
   collect_targets(test, mode, pairs, values);
   model.set_training(false);
   InferenceGuard guard;
-  const nn::EdgeIndex edges = full_graph_edges(test.graph);
+  const EdgeIndex edges = full_graph_edges(test.graph);
   Tensor emb = model.embed(test.graph, edges, normalizer);
   Tensor out = link_task ? ops::sigmoid(model.link_logits(emb, pairs))
                          : model.cap_predict(emb, pairs);

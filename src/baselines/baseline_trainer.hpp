@@ -3,11 +3,11 @@
 // designs, using the same link samples as CircuitGPS for a fair comparison.
 #pragma once
 
-#include <span>
-
 #include "baselines/baselines.hpp"
 #include "train/dataset.hpp"
 #include "train/metrics.hpp"
+
+#include <span>
 
 namespace cgps {
 

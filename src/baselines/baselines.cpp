@@ -1,13 +1,13 @@
 #include "baselines/baselines.hpp"
 
-#include <algorithm>
-
 #include "tensor/ops.hpp"
+
+#include <algorithm>
 
 namespace cgps {
 
-nn::EdgeIndex full_graph_edges(const CircuitGraph& graph) {
-  nn::EdgeIndex edges;
+EdgeIndex full_graph_edges(const CircuitGraph& graph) {
+  EdgeIndex edges;
   const std::int64_t m = graph.graph.num_edges();
   edges.src.reserve(static_cast<std::size_t>(2 * m));
   edges.dst.reserve(static_cast<std::size_t>(2 * m));
@@ -106,7 +106,7 @@ ParaGraph::ParaGraph(const BaselineConfig& config)
   }
 }
 
-Tensor ParaGraph::embed(const CircuitGraph& graph, const nn::EdgeIndex& edges,
+Tensor ParaGraph::embed(const CircuitGraph& graph, const EdgeIndex& edges,
                         const XcNormalizer& normalizer) {
   Tensor x = typed_input(graph, normalizer, in_net_, in_device_, in_pin_, type_emb_);
   for (std::size_t l = 0; l < layers_.size(); ++l) {
@@ -179,7 +179,7 @@ std::int32_t DlplCap::bucket_of(float normalized_cap) {
   return std::clamp(bucket, 0, kNumExperts - 1);
 }
 
-Tensor DlplCap::embed(const CircuitGraph& graph, const nn::EdgeIndex& edges,
+Tensor DlplCap::embed(const CircuitGraph& graph, const EdgeIndex& edges,
                       const XcNormalizer& normalizer) {
   Tensor x = typed_input(graph, normalizer, in_net_, in_device_, in_pin_, type_emb_);
   for (std::size_t l = 0; l < layers_.size(); ++l) {

@@ -11,14 +11,14 @@
 //    architecture).
 #pragma once
 
-#include <memory>
-#include <vector>
-
 #include "gps/batch.hpp"  // XcNormalizer
 #include "graph/circuit_graph.hpp"
 #include "nn/layers.hpp"
 #include "nn/message_passing.hpp"
 #include "nn/module.hpp"
+
+#include <memory>
+#include <vector>
 
 namespace cgps {
 
@@ -30,7 +30,7 @@ struct BaselineConfig {
 };
 
 // All-directed-edge view of a circuit graph (both directions per edge).
-nn::EdgeIndex full_graph_edges(const CircuitGraph& graph);
+EdgeIndex full_graph_edges(const CircuitGraph& graph);
 
 // Shared interface the baseline trainer drives.
 class FullGraphBaseline : public nn::Module {
@@ -38,7 +38,7 @@ class FullGraphBaseline : public nn::Module {
   explicit FullGraphBaseline(const BaselineConfig& config) : config_(config), rng_(config.seed) {}
 
   // Node embeddings over the whole circuit graph.
-  virtual Tensor embed(const CircuitGraph& graph, const nn::EdgeIndex& edges,
+  virtual Tensor embed(const CircuitGraph& graph, const EdgeIndex& edges,
                        const XcNormalizer& normalizer) = 0;
   // Link-existence logits for node pairs, shape (P, 1).
   virtual Tensor link_logits(const Tensor& emb,
@@ -68,7 +68,7 @@ class ParaGraph final : public FullGraphBaseline {
  public:
   explicit ParaGraph(const BaselineConfig& config);
 
-  Tensor embed(const CircuitGraph& graph, const nn::EdgeIndex& edges,
+  Tensor embed(const CircuitGraph& graph, const EdgeIndex& edges,
                const XcNormalizer& normalizer) override;
   Tensor link_logits(const Tensor& emb,
                      const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) override;
@@ -97,7 +97,7 @@ class DlplCap final : public FullGraphBaseline {
 
   explicit DlplCap(const BaselineConfig& config);
 
-  Tensor embed(const CircuitGraph& graph, const nn::EdgeIndex& edges,
+  Tensor embed(const CircuitGraph& graph, const EdgeIndex& edges,
                const XcNormalizer& normalizer) override;
   Tensor link_logits(const Tensor& emb,
                      const std::vector<std::pair<std::int32_t, std::int32_t>>& pairs) override;

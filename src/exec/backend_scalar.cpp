@@ -5,7 +5,6 @@
 // bitwise identical to eager. No allocation anywhere in this file
 // (cgps_lint: exec-kernel-alloc).
 #include "exec/backend.hpp"
-
 #include "exec/quant.hpp"
 #include "tensor/kernels.hpp"
 #include "util/parallel.hpp"

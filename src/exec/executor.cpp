@@ -1,13 +1,13 @@
 #include "exec/executor.hpp"
 
+#include "graph/hetero_graph.hpp"
+#include "util/metrics.hpp"
+#include "util/parallel.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
-
-#include "graph/hetero_graph.hpp"
-#include "util/metrics.hpp"
-#include "util/parallel.hpp"
 
 namespace cgps::exec {
 

@@ -11,9 +11,6 @@
 // optimizer is untouched.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
 #include "exec/arena.hpp"
 #include "exec/backend.hpp"
 #include "exec/plan.hpp"
@@ -21,6 +18,9 @@
 #include "gps/batch.hpp"
 #include "tensor/kernels.hpp"
 #include "util/rng.hpp"
+
+#include <cstdint>
+#include <vector>
 
 namespace cgps::exec {
 

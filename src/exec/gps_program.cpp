@@ -1,12 +1,12 @@
 #include "exec/gps_program.hpp"
 
+#include "graph/circuit_graph.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <utility>
-
-#include "graph/circuit_graph.hpp"
 
 namespace cgps::exec {
 

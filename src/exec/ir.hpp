@@ -10,11 +10,11 @@
 // makes scalar planned execution bit-identical to eager.
 #pragma once
 
+#include "tensor/tensor.hpp"
+
 #include <cstdint>
 #include <string>
 #include <vector>
-
-#include "tensor/tensor.hpp"
 
 namespace cgps::exec {
 

@@ -2,9 +2,9 @@
 // intervals over a recorded Program (DESIGN.md §10).
 #pragma once
 
-#include <vector>
-
 #include "exec/ir.hpp"
+
+#include <vector>
 
 namespace cgps::exec {
 

@@ -1,11 +1,11 @@
 #include "exec/quant.hpp"
 
-#include <cmath>
-
 #include "exec/gps_program.hpp"
 #include "exec/plan.hpp"
 #include "gps/model.hpp"
 #include "util/metrics.hpp"
+
+#include <cmath>
 
 namespace cgps::exec {
 

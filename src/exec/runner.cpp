@@ -1,13 +1,13 @@
 #include "exec/runner.hpp"
 
-#include <cstddef>
-#include <stdexcept>
-#include <utility>
-
 #include "exec/gps_program.hpp"
 #include "exec/plan.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
 
 namespace cgps::exec {
 

@@ -7,15 +7,15 @@
 // backward schedule.
 #pragma once
 
+#include "exec/executor.hpp"
+#include "gps/model.hpp"
+#include "util/env.hpp"
+
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
-
-#include "exec/executor.hpp"
-#include "gps/model.hpp"
-#include "util/env.hpp"
 
 namespace cgps::exec {
 

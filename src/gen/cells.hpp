@@ -7,9 +7,9 @@
 // shifter). All dimensions are meters with 28nm-class sizing.
 #pragma once
 
-#include <string>
-
 #include "netlist/hierarchy.hpp"
+
+#include <string>
 
 namespace cgps::cells {
 

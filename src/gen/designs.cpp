@@ -1,9 +1,9 @@
 #include "gen/designs.hpp"
 
+#include "gen/cells.hpp"
+
 #include <cmath>
 #include <stdexcept>
-
-#include "gen/cells.hpp"
 
 namespace cgps::gen {
 

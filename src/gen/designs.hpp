@@ -8,9 +8,9 @@
 // near the paper's test-set node counts.
 #pragma once
 
-#include <string>
-
 #include "netlist/hierarchy.hpp"
+
+#include <string>
 
 namespace cgps::gen {
 

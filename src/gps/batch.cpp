@@ -1,12 +1,12 @@
 #include "gps/batch.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-
 #include "graph/pe.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
 
 namespace cgps {
 

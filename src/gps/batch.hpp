@@ -6,13 +6,13 @@
 // pooling, and all PE inputs the configured encoder needs are materialized.
 #pragma once
 
-#include <array>
-#include <vector>
-
 #include "gps/config.hpp"
 #include "graph/circuit_graph.hpp"
 #include "graph/subgraph.hpp"
 #include "tensor/tensor.hpp"
+
+#include <array>
+#include <vector>
 
 namespace cgps {
 
@@ -43,7 +43,7 @@ struct SubgraphBatch {
   std::vector<std::int32_t> node_type;  // per node
   std::vector<std::int32_t> dist0;      // DSPD clamped
   std::vector<std::int32_t> dist1;
-  nn::EdgeIndex edges;
+  EdgeIndex edges;
   std::vector<std::int32_t> edge_type;
   std::vector<std::int64_t> graph_ptr;      // size G+1
   std::vector<std::int32_t> graph_of_node;  // size N

@@ -1,10 +1,10 @@
 #include "gps/model.hpp"
 
-#include <stdexcept>
-
 #include "graph/pe.hpp"
 #include "tensor/ops.hpp"
 #include "util/trace.hpp"
+
+#include <stdexcept>
 
 namespace cgps {
 

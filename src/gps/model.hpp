@@ -13,9 +13,6 @@
 // node regression (1 normalized capacitance); only the loss differs.
 #pragma once
 
-#include <memory>
-#include <vector>
-
 #include "gps/batch.hpp"
 #include "gps/config.hpp"
 #include "nn/attention.hpp"
@@ -23,6 +20,9 @@
 #include "nn/gine.hpp"
 #include "nn/layers.hpp"
 #include "nn/module.hpp"
+
+#include <memory>
+#include <vector>
 
 namespace cgps {
 

@@ -5,11 +5,11 @@
 // order matches Placement::flat_pin_owner: devices in order, pins in order).
 #pragma once
 
-#include <array>
-#include <vector>
-
 #include "graph/hetero_graph.hpp"
 #include "netlist/netlist.hpp"
+
+#include <array>
+#include <vector>
 
 namespace cgps {
 

@@ -3,9 +3,9 @@
 // structural vs injected-coupling edges).
 #pragma once
 
-#include <string>
-
 #include "graph/subgraph.hpp"
+
+#include <string>
 
 namespace cgps {
 

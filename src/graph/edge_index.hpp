@@ -1,0 +1,22 @@
+// Directed edge list in COO form, the index structure every message-passing
+// layer consumes. It lives in the graph layer (not nn) because it is a
+// property of the extracted circuit graph; nn modules take it as input.
+// Edge lists are directed; callers add both directions for undirected
+// circuit graphs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cgps {
+
+// Directed edge endpoints, index into the node feature rows.
+struct EdgeIndex {
+  std::vector<std::int32_t> src;
+  std::vector<std::int32_t> dst;
+
+  std::size_t size() const { return src.size(); }
+};
+
+}  // namespace cgps

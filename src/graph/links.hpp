@@ -3,11 +3,11 @@
 // the class balancing used for pre-training.
 #pragma once
 
-#include <vector>
-
 #include "graph/circuit_graph.hpp"
 #include "parasitics/extraction.hpp"
 #include "util/rng.hpp"
+
+#include <vector>
 
 namespace cgps {
 

@@ -1,9 +1,9 @@
 #include "graph/pe.hpp"
 
-#include <cmath>
-
 #include "graph/eigen.hpp"
 #include "util/trace.hpp"
+
+#include <cmath>
 
 namespace cgps {
 

@@ -7,10 +7,10 @@
 //   * LapPE — first k non-trivial eigenvectors of the normalized Laplacian
 #pragma once
 
+#include "graph/subgraph.hpp"
+
 #include <cstdint>
 #include <vector>
-
-#include "graph/subgraph.hpp"
 
 namespace cgps {
 

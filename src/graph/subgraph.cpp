@@ -1,8 +1,8 @@
 #include "graph/subgraph.hpp"
 
-#include <stdexcept>
-
 #include "util/trace.hpp"
+
+#include <stdexcept>
 
 namespace cgps {
 

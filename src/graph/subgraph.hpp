@@ -8,11 +8,11 @@
 // at `kDspdMax` (unreachable nodes get the cap).
 #pragma once
 
+#include "graph/edge_index.hpp"
+#include "graph/hetero_graph.hpp"
+
 #include <cstdint>
 #include <vector>
-
-#include "graph/hetero_graph.hpp"
-#include "nn/gated_gcn.hpp"  // nn::EdgeIndex
 
 namespace cgps {
 
@@ -26,7 +26,7 @@ struct Subgraph {
   // twice; `second_anchor` is local slot of n, equal to 0 for node tasks).
   std::vector<std::int32_t> orig_nodes;
   std::vector<std::int8_t> node_type;   // NodeType codes
-  nn::EdgeIndex edges;                  // directed (both directions present)
+  EdgeIndex edges;                  // directed (both directions present)
   std::vector<std::int8_t> edge_type;   // per directed edge
   std::vector<std::int32_t> dist0;      // DSPD d(i, m)
   std::vector<std::int32_t> dist1;      // DSPD d(i, n)

@@ -1,10 +1,10 @@
 #include "layout/placer.hpp"
 
+#include "util/rng.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <deque>
-
-#include "util/rng.hpp"
 
 namespace cgps {
 

@@ -10,11 +10,11 @@
 // plus its bounding box, which the parasitic oracle measures.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
 #include "layout/geometry.hpp"
 #include "netlist/netlist.hpp"
+
+#include <cstdint>
+#include <vector>
 
 namespace cgps {
 

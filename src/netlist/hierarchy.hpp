@@ -6,11 +6,11 @@
 // extracted full-chip schematic netlist has in the paper.
 #pragma once
 
+#include "netlist/netlist.hpp"
+
 #include <map>
 #include <string>
 #include <vector>
-
-#include "netlist/netlist.hpp"
 
 namespace cgps {
 

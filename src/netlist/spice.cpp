@@ -1,10 +1,10 @@
 #include "netlist/spice.hpp"
 
+#include "util/strings.hpp"
+
 #include <cctype>
 #include <sstream>
 #include <stdexcept>
-
-#include "util/strings.hpp"
 
 namespace cgps {
 

@@ -6,9 +6,9 @@
 // ('*' and trailing '$ ...'), and case-insensitive keywords are handled.
 #pragma once
 
-#include <string>
-
 #include "netlist/hierarchy.hpp"
+
+#include <string>
 
 namespace cgps {
 

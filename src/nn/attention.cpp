@@ -1,9 +1,9 @@
 #include "nn/attention.hpp"
 
+#include "tensor/ops.hpp"
+
 #include <cmath>
 #include <stdexcept>
-
-#include "tensor/ops.hpp"
 
 namespace cgps::nn {
 

@@ -10,11 +10,11 @@
 //    number of nodes (the "Performer" rows).
 #pragma once
 
-#include <memory>
-#include <vector>
-
 #include "nn/layers.hpp"
 #include "nn/module.hpp"
+
+#include <memory>
+#include <vector>
 
 namespace cgps::nn {
 

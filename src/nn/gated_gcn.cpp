@@ -1,8 +1,8 @@
 #include "nn/gated_gcn.hpp"
 
-#include <stdexcept>
-
 #include "tensor/ops.hpp"
+
+#include <stdexcept>
 
 namespace cgps::nn {
 

@@ -10,20 +10,13 @@
 // layer), matching the paper's layer layout.
 #pragma once
 
-#include <vector>
-
+#include "graph/edge_index.hpp"
 #include "nn/layers.hpp"
 #include "nn/module.hpp"
 
+#include <vector>
+
 namespace cgps::nn {
-
-// Directed edge endpoints, index into the node feature rows.
-struct EdgeIndex {
-  std::vector<std::int32_t> src;
-  std::vector<std::int32_t> dst;
-
-  std::size_t size() const { return src.size(); }
-};
 
 class GatedGcn final : public Module {
  public:

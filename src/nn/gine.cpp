@@ -1,8 +1,8 @@
 #include "nn/gine.hpp"
 
-#include <stdexcept>
-
 #include "tensor/ops.hpp"
+
+#include <stdexcept>
 
 namespace cgps::nn {
 

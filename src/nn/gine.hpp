@@ -7,7 +7,7 @@
 // Edge features are consumed but not updated (e' = e).
 #pragma once
 
-#include "nn/gated_gcn.hpp"  // EdgeIndex
+#include "graph/edge_index.hpp"
 #include "nn/layers.hpp"
 #include "nn/module.hpp"
 

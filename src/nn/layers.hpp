@@ -1,12 +1,12 @@
 // Core feed-forward building blocks: Linear, Embedding, BatchNorm1d, MLP.
 #pragma once
 
-#include <memory>
-#include <vector>
-
 #include "nn/module.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
+
+#include <memory>
+#include <vector>
 
 namespace cgps::nn {
 

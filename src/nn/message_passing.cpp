@@ -1,8 +1,8 @@
 #include "nn/message_passing.hpp"
 
-#include <cmath>
-
 #include "tensor/ops.hpp"
+
+#include <cmath>
 
 namespace cgps::nn {
 

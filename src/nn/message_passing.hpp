@@ -2,7 +2,7 @@
 // DLPL-Cap operate directly on the full circuit graph with these).
 #pragma once
 
-#include "nn/gated_gcn.hpp"  // for EdgeIndex
+#include "graph/edge_index.hpp"
 #include "nn/layers.hpp"
 #include "nn/module.hpp"
 

@@ -1,9 +1,9 @@
 #include "nn/module.hpp"
 
+#include "util/serialize.hpp"
+
 #include <map>
 #include <stdexcept>
-
-#include "util/serialize.hpp"
 
 namespace cgps::nn {
 

@@ -5,13 +5,13 @@
 // torch.nn.Module contract at much smaller scale.
 #pragma once
 
+#include "tensor/tensor.hpp"
+#include "util/serialize.hpp"
+
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
-
-#include "tensor/tensor.hpp"
-#include "util/serialize.hpp"
 
 namespace cgps::nn {
 

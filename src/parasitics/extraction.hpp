@@ -12,11 +12,11 @@
 // what makes link existence a non-trivial prediction target.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
 #include "layout/placer.hpp"
 #include "netlist/netlist.hpp"
+
+#include <cstdint>
+#include <vector>
 
 namespace cgps {
 

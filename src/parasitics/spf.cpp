@@ -1,11 +1,11 @@
 #include "parasitics/spf.hpp"
 
+#include "util/strings.hpp"
+
 #include <cinttypes>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
-
-#include "util/strings.hpp"
 
 namespace cgps {
 

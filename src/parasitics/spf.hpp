@@ -7,9 +7,9 @@
 // "<device>:<pin-index>". Ground capacitances connect to node "0".
 #pragma once
 
-#include <string>
-
 #include "parasitics/extraction.hpp"
+
+#include <string>
 
 namespace cgps {
 

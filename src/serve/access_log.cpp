@@ -1,12 +1,12 @@
 #include "serve/access_log.hpp"
 
-#include <memory>
-#include <mutex>
-#include <string>
-
 #include "util/env.hpp"
 #include "util/json_writer.hpp"
 #include "util/logging.hpp"
+
+#include <memory>
+#include <mutex>
+#include <string>
 
 namespace cgps::serve {
 

@@ -11,9 +11,9 @@
 // results (the scalar-backend bit-identity contract of serve/core.hpp).
 #pragma once
 
-#include <cstdint>
-
 #include "serve/serve.hpp"
+
+#include <cstdint>
 
 namespace cgps::serve {
 

@@ -1,16 +1,15 @@
 #include "serve/client.hpp"
 
+#include "serve/protocol.hpp"
+#include "util/logging.hpp"
+
 #include <arpa/inet.h>
+#include <csignal>
+#include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
-
-#include <csignal>
-#include <cstring>
-
-#include "serve/protocol.hpp"
-#include "util/logging.hpp"
 
 namespace cgps::serve {
 

@@ -5,12 +5,12 @@
 // open one ServeClient per thread.
 #pragma once
 
+#include "serve/serve.hpp"
+
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
-
-#include "serve/serve.hpp"
 
 namespace cgps::serve {
 

@@ -1,8 +1,5 @@
 #include "serve/core.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "exec/gps_program.hpp"
 #include "serve/access_log.hpp"
 #include "serve/protocol.hpp"
@@ -15,6 +12,9 @@
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
 
 namespace cgps::serve {
 

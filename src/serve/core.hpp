@@ -19,6 +19,13 @@
 //     already-accepted request is answered before stop() returns.
 #pragma once
 
+#include "exec/runner.hpp"
+#include "gps/batch.hpp"
+#include "gps/model.hpp"
+#include "graph/subgraph.hpp"
+#include "serve/serve.hpp"
+#include "util/metrics.hpp"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -28,13 +35,6 @@
 #include <string>
 #include <thread>
 #include <vector>
-
-#include "exec/runner.hpp"
-#include "gps/batch.hpp"
-#include "gps/model.hpp"
-#include "graph/subgraph.hpp"
-#include "serve/serve.hpp"
-#include "util/metrics.hpp"
 
 namespace cgps::serve {
 

@@ -1,9 +1,8 @@
 #include "serve/protocol.hpp"
 
-#include <unistd.h>
-
 #include <cerrno>
 #include <cstring>
+#include <unistd.h>
 
 namespace cgps::serve {
 

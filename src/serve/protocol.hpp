@@ -14,13 +14,13 @@
 //                                kStats request (protocol v2)
 #pragma once
 
+#include "serve/serve.hpp"
+
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
-
-#include "serve/serve.hpp"
 
 namespace cgps::serve {
 

@@ -4,13 +4,13 @@
 // in serve/protocol.hpp; the batching loop in serve/core.hpp.
 #pragma once
 
+#include "graph/circuit_graph.hpp"  // kXcDim
+#include "graph/hetero_graph.hpp"
+
 #include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
-
-#include "graph/circuit_graph.hpp"  // kXcDim
-#include "graph/hetero_graph.hpp"
 
 namespace cgps::serve {
 

@@ -1,17 +1,16 @@
 #include "serve/server.hpp"
 
+#include "serve/protocol.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
 #include <arpa/inet.h>
+#include <csignal>
+#include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
-
-#include <csignal>
-#include <cstring>
-
-#include "serve/protocol.hpp"
-#include "util/logging.hpp"
-#include "util/metrics.hpp"
 
 namespace cgps::serve {
 

@@ -7,14 +7,14 @@
 // carry the request id, so ordering is the client's concern.
 #pragma once
 
+#include "serve/core.hpp"
+
 #include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
-
-#include "serve/core.hpp"
 
 namespace cgps::serve {
 

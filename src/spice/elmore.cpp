@@ -7,13 +7,13 @@ namespace cgps {
 
 namespace {
 
-std::int32_t endpoint_net(const CircuitDataset& ds, const CouplingLink& link, bool first) {
+std::int32_t endpoint_net(const CircuitGraph& graph, const CouplingLink& link, bool first) {
   const std::int32_t e = first ? link.a : link.b;
   switch (link.kind) {
     case CouplingKind::kPinToNet:
-      return first ? ds.graph.pin_net[static_cast<std::size_t>(e)] : e;
+      return first ? graph.pin_net[static_cast<std::size_t>(e)] : e;
     case CouplingKind::kPinToPin:
-      return ds.graph.pin_net[static_cast<std::size_t>(e)];
+      return graph.pin_net[static_cast<std::size_t>(e)];
     case CouplingKind::kNetToNet:
       return e;
   }
@@ -22,20 +22,21 @@ std::int32_t endpoint_net(const CircuitDataset& ds, const CouplingLink& link, bo
 
 }  // namespace
 
-std::vector<NetDelay> elmore_delays(const CircuitDataset& ds,
+std::vector<NetDelay> elmore_delays(const CircuitGraph& graph,
+                                    const ExtractionResult& extraction,
                                     const std::vector<double>& link_caps,
                                     const std::vector<std::int32_t>& nets,
                                     const ElmoreOptions& options) {
-  if (link_caps.size() != ds.extraction.links.size())
+  if (link_caps.size() != extraction.links.size())
     throw std::invalid_argument("elmore_delays: link_caps size mismatch");
 
   // Total coupling load per net of interest.
   std::unordered_map<std::int32_t, double> coupling;
   for (std::int32_t n : nets) coupling.emplace(n, 0.0);
-  for (std::size_t i = 0; i < ds.extraction.links.size(); ++i) {
-    const CouplingLink& link = ds.extraction.links[i];
+  for (std::size_t i = 0; i < extraction.links.size(); ++i) {
+    const CouplingLink& link = extraction.links[i];
     for (const bool first : {true, false}) {
-      const std::int32_t n = endpoint_net(ds, link, first);
+      const std::int32_t n = endpoint_net(graph, link, first);
       const auto it = coupling.find(n);
       if (it != coupling.end()) it->second += link_caps[i];
     }
@@ -44,11 +45,11 @@ std::vector<NetDelay> elmore_delays(const CircuitDataset& ds,
   std::vector<NetDelay> out;
   out.reserve(nets.size());
   for (std::int32_t n : nets) {
-    if (n < 0 || n >= static_cast<std::int32_t>(ds.extraction.net_ground_cap.size()))
+    if (n < 0 || n >= static_cast<std::int32_t>(extraction.net_ground_cap.size()))
       throw std::invalid_argument("elmore_delays: net index out of range");
     NetDelay d;
     d.net = n;
-    const double c_gnd = ds.extraction.net_ground_cap[static_cast<std::size_t>(n)];
+    const double c_gnd = extraction.net_ground_cap[static_cast<std::size_t>(n)];
     d.pre_layout = options.r_driver * c_gnd;
     d.post_layout =
         options.r_driver * (c_gnd + options.miller_factor * coupling.at(n));

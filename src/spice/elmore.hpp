@@ -9,10 +9,11 @@
 // aggressors.
 #pragma once
 
+#include "graph/circuit_graph.hpp"
+#include "parasitics/extraction.hpp"
+
 #include <cstdint>
 #include <vector>
-
-#include "train/dataset.hpp"
 
 namespace cgps {
 
@@ -32,8 +33,9 @@ struct NetDelay {
 };
 
 // Elmore delays for the given nets. `link_caps[i]` pairs with
-// ds.extraction.links[i] (pass extracted values or model predictions).
-std::vector<NetDelay> elmore_delays(const CircuitDataset& ds,
+// extraction.links[i] (pass extracted values or model predictions).
+std::vector<NetDelay> elmore_delays(const CircuitGraph& graph,
+                                    const ExtractionResult& extraction,
                                     const std::vector<double>& link_caps,
                                     const std::vector<std::int32_t>& nets,
                                     const ElmoreOptions& options = {});

@@ -1,23 +1,23 @@
 #include "spice/energy.hpp"
 
+#include "spice/rc_sim.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
-
-#include "spice/rc_sim.hpp"
 
 namespace cgps {
 
 namespace {
 
 // Net of a coupling-link endpoint (pins resolve to their connected net).
-std::int32_t endpoint_net(const CircuitDataset& ds, CouplingKind kind, std::int32_t endpoint,
+std::int32_t endpoint_net(const CircuitGraph& graph, CouplingKind kind, std::int32_t endpoint,
                           bool is_first) {
   switch (kind) {
     case CouplingKind::kPinToNet:
-      return is_first ? ds.graph.pin_net[static_cast<std::size_t>(endpoint)] : endpoint;
+      return is_first ? graph.pin_net[static_cast<std::size_t>(endpoint)] : endpoint;
     case CouplingKind::kPinToPin:
-      return ds.graph.pin_net[static_cast<std::size_t>(endpoint)];
+      return graph.pin_net[static_cast<std::size_t>(endpoint)];
     case CouplingKind::kNetToNet:
       return endpoint;
   }
@@ -26,12 +26,14 @@ std::int32_t endpoint_net(const CircuitDataset& ds, CouplingKind kind, std::int3
 
 }  // namespace
 
-std::vector<std::int32_t> pick_victim_nets(const CircuitDataset& ds, std::int64_t max_victims,
+std::vector<std::int32_t> pick_victim_nets(const CircuitGraph& graph,
+                                           const ExtractionResult& extraction,
+                                           std::int64_t max_victims,
                                            std::int64_t min_links, Rng& rng) {
   std::unordered_map<std::int32_t, std::int64_t> incident;
-  for (const CouplingLink& link : ds.extraction.links) {
-    const std::int32_t na = endpoint_net(ds, link.kind, link.a, true);
-    const std::int32_t nb = endpoint_net(ds, link.kind, link.b, false);
+  for (const CouplingLink& link : extraction.links) {
+    const std::int32_t na = endpoint_net(graph, link.kind, link.a, true);
+    const std::int32_t nb = endpoint_net(graph, link.kind, link.b, false);
     if (na >= 0) ++incident[na];
     if (nb >= 0 && nb != na) ++incident[nb];
   }
@@ -46,19 +48,20 @@ std::vector<std::int32_t> pick_victim_nets(const CircuitDataset& ds, std::int64_
   return candidates;
 }
 
-std::vector<VictimEnergy> switching_energy(const CircuitDataset& ds,
+std::vector<VictimEnergy> switching_energy(const CircuitGraph& graph,
+                                           const ExtractionResult& extraction,
                                            const std::vector<double>& link_caps,
                                            const std::vector<std::int32_t>& victim_nets,
                                            const EnergyModelOptions& options) {
-  if (link_caps.size() != ds.extraction.links.size())
+  if (link_caps.size() != extraction.links.size())
     throw std::invalid_argument("switching_energy: link_caps size mismatch");
 
   // Per-net incident links (by index), resolved at net granularity.
   std::unordered_map<std::int32_t, std::vector<std::size_t>> net_links;
-  for (std::size_t i = 0; i < ds.extraction.links.size(); ++i) {
-    const CouplingLink& link = ds.extraction.links[i];
-    const std::int32_t na = endpoint_net(ds, link.kind, link.a, true);
-    const std::int32_t nb = endpoint_net(ds, link.kind, link.b, false);
+  for (std::size_t i = 0; i < extraction.links.size(); ++i) {
+    const CouplingLink& link = extraction.links[i];
+    const std::int32_t na = endpoint_net(graph, link.kind, link.a, true);
+    const std::int32_t nb = endpoint_net(graph, link.kind, link.b, false);
     if (na >= 0) net_links[na].push_back(i);
     if (nb >= 0 && nb != na) net_links[nb].push_back(i);
   }
@@ -70,16 +73,16 @@ std::vector<VictimEnergy> switching_energy(const CircuitDataset& ds,
     const std::int32_t victim_node = net.add_node();
     net.add_source(victim_node, step_wave(options.vdd, options.dt), options.r_driver);
     net.add_capacitor(victim_node, kGroundNode,
-                      ds.extraction.net_ground_cap[static_cast<std::size_t>(victim)]);
+                      extraction.net_ground_cap[static_cast<std::size_t>(victim)]);
 
     // One node per distinct aggressor net.
     std::unordered_map<std::int32_t, std::int32_t> aggressor_node;
     auto it = net_links.find(victim);
     if (it != net_links.end()) {
       for (std::size_t li : it->second) {
-        const CouplingLink& link = ds.extraction.links[li];
-        const std::int32_t na = endpoint_net(ds, link.kind, link.a, true);
-        const std::int32_t nb = endpoint_net(ds, link.kind, link.b, false);
+        const CouplingLink& link = extraction.links[li];
+        const std::int32_t na = endpoint_net(graph, link.kind, link.a, true);
+        const std::int32_t nb = endpoint_net(graph, link.kind, link.b, false);
         const std::int32_t other = na == victim ? nb : na;
         if (other < 0 || other == victim) continue;
         auto [an_it, inserted] = aggressor_node.emplace(other, -1);
@@ -87,7 +90,7 @@ std::vector<VictimEnergy> switching_energy(const CircuitDataset& ds,
           an_it->second = net.add_node();
           net.add_resistor(an_it->second, kGroundNode, options.r_holder);
           net.add_capacitor(an_it->second, kGroundNode,
-                            ds.extraction.net_ground_cap[static_cast<std::size_t>(other)]);
+                            extraction.net_ground_cap[static_cast<std::size_t>(other)]);
         }
         net.add_capacitor(victim_node, an_it->second, link_caps[li]);
       }

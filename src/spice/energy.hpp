@@ -8,10 +8,12 @@
 // model predictions gives the Fig. 4 MAPE.
 #pragma once
 
+#include "graph/circuit_graph.hpp"
+#include "parasitics/extraction.hpp"
+#include "util/rng.hpp"
+
 #include <cstdint>
 #include <vector>
-
-#include "train/dataset.hpp"
 
 namespace cgps {
 
@@ -28,17 +30,20 @@ struct VictimEnergy {
   double energy = 0.0;  // joules
 };
 
-// `link_caps[i]` replaces ds.extraction.links[i].cap (pass the extracted
+// `link_caps[i]` replaces extraction.links[i].cap (pass the extracted
 // values for the ground-truth run, model predictions for the other run).
 // Only victims in `victim_nets` are simulated.
-std::vector<VictimEnergy> switching_energy(const CircuitDataset& ds,
+std::vector<VictimEnergy> switching_energy(const CircuitGraph& graph,
+                                           const ExtractionResult& extraction,
                                            const std::vector<double>& link_caps,
                                            const std::vector<std::int32_t>& victim_nets,
                                            const EnergyModelOptions& options = {});
 
 // Pick simulation victims: signal nets with at least `min_links` incident
 // coupling links, deterministically subsampled to `max_victims`.
-std::vector<std::int32_t> pick_victim_nets(const CircuitDataset& ds, std::int64_t max_victims,
+std::vector<std::int32_t> pick_victim_nets(const CircuitGraph& graph,
+                                           const ExtractionResult& extraction,
+                                           std::int64_t max_victims,
                                            std::int64_t min_links, Rng& rng);
 
 }  // namespace cgps

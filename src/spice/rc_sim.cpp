@@ -1,8 +1,8 @@
 #include "spice/rc_sim.hpp"
 
-#include <stdexcept>
-
 #include "spice/linsolve.hpp"
+
+#include <stdexcept>
 
 namespace cgps {
 

@@ -3,10 +3,10 @@
 // estimate before it is trusted in training.
 #pragma once
 
+#include "tensor/tensor.hpp"
+
 #include <functional>
 #include <vector>
-
-#include "tensor/tensor.hpp"
 
 namespace cgps {
 

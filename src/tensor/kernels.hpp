@@ -13,13 +13,13 @@
 // (begin, end, grain). Results are bit-identical at every thread count.
 #pragma once
 
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <vector>
-
-#include "util/parallel.hpp"
-#include "util/rng.hpp"
 
 namespace cgps::kern {
 

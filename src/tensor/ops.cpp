@@ -1,12 +1,12 @@
 #include "tensor/ops.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <sstream>
-
 #include "tensor/kernels.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
 
 // Parallelization strategy (see util/parallel.hpp for the pool contract):
 // every parallel loop partitions *disjoint output elements* (rows of the

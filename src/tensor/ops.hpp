@@ -9,11 +9,11 @@
 // distinct name (exp_op, log_op, ...).
 #pragma once
 
+#include "tensor/tensor.hpp"
+
 #include <cstdint>
 #include <span>
 #include <vector>
-
-#include "tensor/tensor.hpp"
 
 namespace cgps {
 class Rng;

@@ -1,9 +1,9 @@
 // First-order optimizers over flat parameter lists.
 #pragma once
 
-#include <vector>
-
 #include "tensor/tensor.hpp"
+
+#include <vector>
 
 namespace cgps {
 

@@ -1,9 +1,9 @@
 #include "tensor/tensor.hpp"
 
+#include "util/rng.hpp"
+
 #include <cmath>
 #include <unordered_set>
-
-#include "util/rng.hpp"
 
 namespace cgps {
 

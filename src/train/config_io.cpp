@@ -1,10 +1,10 @@
 #include "train/config_io.hpp"
 
+#include "util/strings.hpp"
+
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-
-#include "util/strings.hpp"
 
 namespace cgps {
 

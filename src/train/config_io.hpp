@@ -15,11 +15,11 @@
 //   subgraph.hops     1
 #pragma once
 
-#include <string>
-
 #include "gps/config.hpp"
 #include "graph/subgraph.hpp"
 #include "train/trainer.hpp"
+
+#include <string>
 
 namespace cgps {
 

@@ -1,8 +1,9 @@
 #include "train/dataset.hpp"
 
-#include <cmath>
-
 #include "netlist/hierarchy.hpp"
+#include "parasitics/spf.hpp"
+
+#include <cmath>
 
 namespace cgps {
 

@@ -7,15 +7,14 @@
 // flow consumes.
 #pragma once
 
-#include <cstdint>
-#include <string>
-
 #include "gen/designs.hpp"
 #include "graph/circuit_graph.hpp"
 #include "graph/links.hpp"
 #include "layout/placer.hpp"
 #include "parasitics/extraction.hpp"
-#include "parasitics/spf.hpp"
+
+#include <cstdint>
+#include <string>
 
 namespace cgps {
 

@@ -1,12 +1,12 @@
 #include "train/dataset_cache.hpp"
 
-#include <filesystem>
-#include <sstream>
-
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
 #include "util/serialize.hpp"
 #include "util/trace.hpp"
+
+#include <filesystem>
+#include <sstream>
 
 namespace cgps {
 

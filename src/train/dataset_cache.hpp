@@ -8,9 +8,9 @@
 // full DatasetOptions, so changing any knob invalidates cleanly.
 #pragma once
 
-#include <string>
-
 #include "train/dataset.hpp"
+
+#include <string>
 
 namespace cgps {
 

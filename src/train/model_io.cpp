@@ -1,10 +1,10 @@
 #include "train/model_io.hpp"
 
-#include <stdexcept>
-#include <utility>
-
 #include "train/config_io.hpp"
 #include "util/serialize.hpp"
+
+#include <stdexcept>
+#include <utility>
 
 namespace cgps {
 

@@ -16,12 +16,12 @@
 // load_model_bundle reads all three.
 #pragma once
 
-#include <memory>
-#include <string>
-
 #include "exec/quant.hpp"
 #include "gps/batch.hpp"
 #include "gps/model.hpp"
+
+#include <memory>
+#include <string>
 
 namespace cgps {
 

@@ -1,11 +1,11 @@
 #include "train/task_data.hpp"
 
-#include <algorithm>
-#include <numeric>
-
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/trace.hpp"
+
+#include <algorithm>
+#include <numeric>
 
 namespace cgps {
 

@@ -7,12 +7,12 @@
 // circuit graph its X_C rows come from.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
 #include "graph/subgraph.hpp"
 #include "train/dataset.hpp"
 #include "util/rng.hpp"
+
+#include <cstdint>
+#include <vector>
 
 namespace cgps {
 

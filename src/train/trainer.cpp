@@ -1,16 +1,10 @@
 #include "train/trainer.hpp"
 
-#include <cmath>
-#include <algorithm>
-#include <limits>
-#include <memory>
-#include <numeric>
-
 #include "exec/gps_program.hpp"
 #include "exec/runner.hpp"
 #include "tensor/kernels.hpp"
-#include "tensor/optim.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/optim.hpp"
 #include "util/env.hpp"
 #include "util/json_writer.hpp"
 #include "util/logging.hpp"
@@ -18,6 +12,12 @@
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
 
 namespace cgps {
 

@@ -2,12 +2,12 @@
 // the fine-tuning strategies of §III-E.
 #pragma once
 
-#include <cstdint>
-#include <span>
-
 #include "gps/model.hpp"
 #include "train/metrics.hpp"
 #include "train/task_data.hpp"
+
+#include <cstdint>
+#include <span>
 
 namespace cgps {
 

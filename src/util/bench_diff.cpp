@@ -1,5 +1,9 @@
 #include "util/bench_diff.hpp"
 
+#include "util/json_writer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -7,10 +11,6 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-
-#include "util/json_writer.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
 
 namespace cgps {
 

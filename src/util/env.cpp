@@ -1,5 +1,7 @@
 #include "util/env.hpp"
 
+#include "util/logging.hpp"
+
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
@@ -8,7 +10,11 @@
 #include <string>
 #include <thread>
 
-#include "util/logging.hpp"
+// NOLINTBEGIN(concurrency-mt-unsafe): this file is the one sanctioned
+// std::getenv site (cgps_lint rule getenv-outside-env). Nothing here calls
+// setenv/putenv, so the getenv data race clang-tidy guards against cannot
+// occur; values are parsed through warn-once helpers and mostly cached in
+// function-local statics.
 
 namespace cgps {
 
@@ -187,3 +193,5 @@ std::string env_log_level_name() {
 }
 
 }  // namespace cgps
+
+// NOLINTEND(concurrency-mt-unsafe)

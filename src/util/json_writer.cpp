@@ -1,12 +1,12 @@
 #include "util/json_writer.hpp"
 
+#include "util/logging.hpp"
+
 #include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-
-#include "util/logging.hpp"
 
 namespace cgps {
 

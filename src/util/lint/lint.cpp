@@ -1,9 +1,15 @@
 #include "util/lint/lint.hpp"
 
+#include "util/json_writer.hpp"
+#include "util/lint/include_graph.hpp"
+#include "util/lint/scan.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <sstream>
 #include <tuple>
@@ -14,176 +20,6 @@ namespace cgps::lint {
 namespace {
 
 namespace fs = std::filesystem;
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-// One string/char literal found by the lexer. `start` is the opening quote's
-// byte offset in the file, `end` the closing quote's; `value` is the raw
-// content between them (escapes unprocessed — the rules only substring-match).
-struct Literal {
-  std::size_t start = 0;
-  std::size_t end = 0;
-  int line = 0;
-  std::string value;
-};
-
-struct LexResult {
-  std::string stripped;
-  std::vector<Literal> literals;
-};
-
-// Single pass that blanks comment and literal contents (offset-preserving)
-// while collecting the literals. Quotes themselves survive in the stripped
-// text so call-shape checks can still see where a literal argument starts.
-LexResult lex(std::string_view text) {
-  LexResult r;
-  r.stripped.assign(text.begin(), text.end());
-  std::string& s = r.stripped;
-  const std::size_t n = text.size();
-  int line = 1;
-  std::size_t i = 0;
-  const auto blank = [&](std::size_t j) {
-    if (s[j] != '\n') s[j] = ' ';
-  };
-  while (i < n) {
-    const char c = text[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-    } else if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-      while (i < n && text[i] != '\n') blank(i++);
-    } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-      blank(i);
-      blank(i + 1);
-      i += 2;
-      while (i < n && !(text[i] == '*' && i + 1 < n && text[i + 1] == '/')) {
-        if (text[i] == '\n') ++line;
-        blank(i++);
-      }
-      if (i < n) {
-        blank(i);
-        blank(i + 1);
-        i += 2;
-      }
-    } else if (c == 'R' && i + 1 < n && text[i + 1] == '"' &&
-               (i == 0 || !is_ident(text[i - 1]))) {
-      // Raw string literal R"delim( ... )delim".
-      std::size_t p = i + 2;
-      std::string delim;
-      while (p < n && text[p] != '(' && text[p] != '\n') delim += text[p++];
-      const std::string close = ")" + delim + "\"";
-      const std::size_t body = p < n ? p + 1 : n;
-      std::size_t end = text.find(close, body);
-      if (end == std::string_view::npos) end = n;
-      Literal lit;
-      lit.start = i + 1;  // the opening quote
-      lit.line = line;
-      lit.value.assign(text.substr(body, end - body));
-      const std::size_t stop = std::min(end + close.size(), n);
-      lit.end = stop > 0 ? stop - 1 : 0;
-      for (std::size_t j = i + 2; j < std::min(end + close.size() - 1, n); ++j) {
-        if (text[j] == '\n')
-          ++line;
-        else
-          blank(j);
-      }
-      r.literals.push_back(std::move(lit));
-      i = stop;
-    } else if (c == '"' || (c == '\'' && (i == 0 || !is_ident(text[i - 1])))) {
-      const char quote = c;
-      Literal lit;
-      lit.start = i;
-      lit.line = line;
-      std::size_t j = i + 1;
-      while (j < n && text[j] != quote && text[j] != '\n') {
-        if (text[j] == '\\' && j + 1 < n && text[j + 1] != '\n') {
-          lit.value += text[j];
-          lit.value += text[j + 1];
-          blank(j);
-          blank(j + 1);
-          j += 2;
-        } else {
-          lit.value += text[j];
-          blank(j++);
-        }
-      }
-      lit.end = j < n ? j : n - 1;
-      if (quote == '"') r.literals.push_back(std::move(lit));
-      i = j < n ? j + 1 : n;
-    } else {
-      ++i;
-    }
-  }
-  return r;
-}
-
-std::string trim_copy(std::string_view s) {
-  std::size_t b = 0, e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
-  return std::string(s.substr(b, e - b));
-}
-
-// Byte offset -> 1-based line number lookup table.
-std::vector<std::size_t> line_starts(std::string_view text) {
-  std::vector<std::size_t> starts{0};
-  for (std::size_t i = 0; i < text.size(); ++i)
-    if (text[i] == '\n') starts.push_back(i + 1);
-  return starts;
-}
-
-int line_of(const std::vector<std::size_t>& starts, std::size_t offset) {
-  const auto it = std::upper_bound(starts.begin(), starts.end(), offset);
-  return static_cast<int>(it - starts.begin());
-}
-
-std::string line_text(std::string_view text, const std::vector<std::size_t>& starts,
-                      int line) {
-  const std::size_t b = starts[static_cast<std::size_t>(line - 1)];
-  const std::size_t e = text.find('\n', b);
-  return trim_copy(text.substr(b, e == std::string_view::npos ? e : e - b));
-}
-
-// Offsets of `token` in `text` with identifier boundaries on both sides.
-std::vector<std::size_t> token_offsets(std::string_view text, std::string_view token) {
-  std::vector<std::size_t> out;
-  std::size_t pos = 0;
-  while ((pos = text.find(token, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !is_ident(text[pos - 1]);
-    const std::size_t after = pos + token.size();
-    const bool right_ok = after >= text.size() || !is_ident(text[after]);
-    if (left_ok && right_ok) out.push_back(pos);
-    pos = after;
-  }
-  return out;
-}
-
-std::size_t skip_ws(std::string_view text, std::size_t i) {
-  while (i < text.size() &&
-         std::isspace(static_cast<unsigned char>(text[i])))
-    ++i;
-  return i;
-}
-
-struct FileUnit {
-  std::string rel;       // path relative to the root, '/'-separated
-  std::string raw;
-  LexResult lexed;
-  std::vector<std::size_t> starts;
-  bool is_header = false;
-  bool is_test = false;
-};
-
-bool read_file(const fs::path& path, std::string& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  out = ss.str();
-  return true;
-}
 
 void add_finding(std::vector<Finding>& out, const FileUnit& f, int line,
                  std::string rule, std::string message) {
@@ -212,7 +48,7 @@ void check_naked_new(const FileUnit& f, std::vector<Finding>& out) {
   const std::string_view s = f.lexed.stripped;
   for (const std::size_t pos : token_offsets(s, "new")) {
     const std::size_t next = skip_ws(s, pos + 3);
-    if (next >= s.size() || (!is_ident(s[next]) && s[next] != '(')) continue;
+    if (next >= s.size() || (!is_ident_char(s[next]) && s[next] != '(')) continue;
     add_finding(out, f, line_of(f.starts, pos), "naked-new",
                 "owning allocations use std::make_unique/containers; naked new "
                 "needs an allowlist justification");
@@ -268,7 +104,7 @@ void check_cout(const FileUnit& f, std::vector<Finding>& out) {
     p -= 2;
     while (p > 0 && std::isspace(static_cast<unsigned char>(s[p - 1]))) --p;
     if (p < 3 || s.compare(p - 3, 3, "std") != 0) continue;
-    if (p > 3 && is_ident(s[p - 4])) continue;
+    if (p > 3 && is_ident_char(s[p - 4])) continue;
     add_finding(out, f, line_of(f.starts, pos), "no-cout-outside-tools",
                 "library code must not write to stdout; use util/logging "
                 "(stderr) or move the print into a tools//bench CLI");
@@ -283,7 +119,7 @@ void check_headers(const FileUnit& f, std::vector<Finding>& out) {
   std::size_t pos = 0;
   const std::string_view s = f.lexed.stripped;
   while ((pos = s.find("using namespace", pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
+    const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
     if (left_ok)
       add_finding(out, f, line_of(f.starts, pos), "header-using-namespace",
                   "`using namespace` in a header leaks into every includer");
@@ -311,8 +147,8 @@ void for_each_instrument_literal(const FileUnit& f, Fn&& fn) {
     for (const std::size_t pos : token_offsets(s, token)) {
       std::size_t i = skip_ws(s, pos + token.size());
       // Allow one identifier between the type and the paren: `TraceSpan span(`.
-      if (i < s.size() && is_ident(s[i])) {
-        while (i < s.size() && is_ident(s[i])) ++i;
+      if (i < s.size() && is_ident_char(s[i])) {
+        while (i < s.size() && is_ident_char(s[i])) ++i;
         i = skip_ws(s, i);
       }
       if (i >= s.size() || s[i] != '(') continue;
@@ -482,10 +318,10 @@ std::vector<AllowlistEntry> parse_allowlist(std::string_view text, std::string* 
 }
 
 LintReport run_lint(const LintOptions& options) {
+  Stopwatch watch;
   LintReport report;
-  const fs::path root(options.root);
   std::error_code ec;
-  if (!fs::is_directory(root, ec)) {
+  if (!fs::is_directory(fs::path(options.root), ec)) {
     report.error = "not a directory: " + options.root;
     return report;
   }
@@ -501,50 +337,61 @@ LintReport run_lint(const LintOptions& options) {
     if (!report.error.empty()) return report;
   }
 
-  // Deterministic file order: collect, then sort by relative path.
-  std::vector<fs::path> files;
-  for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
-    const fs::path sub = root / dir;
-    if (!fs::is_directory(sub, ec)) continue;
-    for (auto it = fs::recursive_directory_iterator(sub, ec);
-         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
-      if (!it->is_regular_file(ec)) continue;
-      const std::string ext = it->path().extension().string();
-      if (ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h")
-        files.push_back(it->path());
-    }
-  }
-  std::sort(files.begin(), files.end());
+  const std::vector<FileUnit> units = scan_tree(options.root, &report.error);
+  if (!report.error.empty()) return report;
+  report.files_scanned = static_cast<int>(units.size());
 
+  // Per-file rules are independent, so they run in parallel with one result
+  // slot per file; the in-order merge below keeps findings (and the
+  // first-reference winner of each cross-check name) identical at any
+  // thread count.
+  struct PerFile {
+    std::vector<Finding> findings;
+    std::map<std::string, SourceRef> env_refs;
+    std::map<std::string, SourceRef> metric_refs;
+  };
+  std::vector<PerFile> slots(units.size());
+  par::parallel_for(
+      0, static_cast<std::int64_t>(units.size()), 1,
+      [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t idx = b; idx < e; ++idx) {
+          const auto u = static_cast<std::size_t>(idx);
+          const FileUnit& f = units[u];
+          PerFile& slot = slots[u];
+          check_getenv(f, slot.findings);
+          check_naked_new(f, slot.findings);
+          check_exec_alloc(f, slot.findings);
+          check_cout(f, slot.findings);
+          check_headers(f, slot.findings);
+          check_metric_keys(f, slot.findings);
+          // Tests are exempt: their literals name hypothetical variables and
+          // throwaway instruments (the lint fixtures themselves,
+          // strict-parsing probes) that would pollute the cross-checks both
+          // ways.
+          if (!f.is_test) {
+            collect_env_refs(f, slot.env_refs);
+            collect_metric_keys(f, slot.metric_refs);
+          }
+        }
+      });
   std::map<std::string, SourceRef> env_refs;
   std::map<std::string, SourceRef> metric_refs;
-  for (const fs::path& path : files) {
-    FileUnit f;
-    f.rel = fs::relative(path, root, ec).generic_string();
-    if (ec) f.rel = path.generic_string();
-    if (!read_file(path, f.raw)) {
-      report.error = "cannot read " + f.rel;
+  for (PerFile& slot : slots) {
+    for (Finding& v : slot.findings) report.findings.push_back(std::move(v));
+    for (auto& [name, ref] : slot.env_refs) env_refs.emplace(name, ref);
+    for (auto& [name, ref] : slot.metric_refs) metric_refs.emplace(name, ref);
+  }
+
+  // The include-graph rule family (layering, cycles, include order, unused
+  // includes, atomics discipline — see include_graph.hpp) runs over the
+  // same scan, so cgps_lint and cgps_deps can never disagree.
+  {
+    DepsReport deps = analyze_includes(units, DepsOptions{options.root, "", ""});
+    if (!deps.error.empty()) {
+      report.error = deps.error;
       return report;
     }
-    f.lexed = lex(f.raw);
-    f.starts = line_starts(f.raw);
-    const std::string ext = path.extension().string();
-    f.is_header = ext == ".hpp" || ext == ".h";
-    f.is_test = f.rel.rfind("tests/", 0) == 0;
-
-    check_getenv(f, report.findings);
-    check_naked_new(f, report.findings);
-    check_exec_alloc(f, report.findings);
-    check_cout(f, report.findings);
-    check_headers(f, report.findings);
-    check_metric_keys(f, report.findings);
-    // Tests are exempt: their literals name hypothetical variables and
-    // throwaway instruments (the lint fixtures themselves, strict-parsing
-    // probes) that would pollute the cross-checks both ways.
-    if (!f.is_test) {
-      collect_env_refs(f, env_refs);
-      collect_metric_keys(f, metric_refs);
-    }
+    for (Finding& v : deps.findings) report.findings.push_back(std::move(v));
   }
 
   // --- rule: metric-key-registry ----------------------------------------
@@ -553,7 +400,7 @@ LintReport run_lint(const LintOptions& options) {
   // registered somewhere), so the stats payload schema cannot drift without
   // a reviewed manifest diff. Absent manifest = rule off (fixture trees).
   std::string manifest_text;
-  if (read_file(root / "tools" / "cgps_metric_keys.txt", manifest_text)) {
+  if (read_file(options.root + "/tools/cgps_metric_keys.txt", manifest_text)) {
     const std::map<std::string, int> manifest = parse_key_manifest(manifest_text);
     for (const auto& [name, ref] : metric_refs) {
       if (manifest.count(name) != 0) continue;
@@ -579,7 +426,7 @@ LintReport run_lint(const LintOptions& options) {
   }
 
   std::string readme;
-  read_file(root / "README.md", readme);  // missing file = empty table
+  read_file(options.root + "/README.md", readme);  // missing file = empty table
   const std::map<std::string, int> documented = documented_env_vars(readme);
   for (const auto& [name, ref] : env_refs) {
     if (documented.count(name) != 0) continue;
@@ -606,7 +453,7 @@ LintReport run_lint(const LintOptions& options) {
   // the same way the README table does: its env-var table is the contract
   // operators configure daemons from, so a missing or dead row is a bug.
   std::string ops;
-  if (read_file(root / "docs" / "OPERATIONS.md", ops)) {
+  if (read_file(options.root + "/docs/OPERATIONS.md", ops)) {
     const std::map<std::string, int> ops_documented = documented_env_vars(ops);
     for (const auto& [name, ref] : env_refs) {
       if (ops_documented.count(name) != 0) continue;
@@ -657,51 +504,145 @@ LintReport run_lint(const LintOptions& options) {
       ++report.violations;
     }
   }
+  report.wall_ms = watch.milliseconds();
   return report;
 }
+
+namespace {
+
+// One `cgps-lint-v1` JSONL record per finding.
+std::string finding_record(const Finding& v) {
+  JsonWriter w;
+  w.begin_object()
+      .field("schema", "cgps-lint-v1")
+      .field("file", v.file)
+      .field("line", v.line)
+      .field("rule", v.rule)
+      .field("message", v.message)
+      .field("excerpt", v.excerpt)
+      .field("allowlisted", v.allowlisted)
+      .end_object();
+  return w.str();
+}
+
+// Minimal cgps-bench-v1 report so the CI trend gate can track the linter
+// itself (wall time down-is-better, violations must stay at zero).
+std::string lint_bench_report(const LintReport& report, std::string_view git) {
+  JsonWriter w;
+  w.begin_object()
+      .field("schema", "cgps-bench-v1")
+      .field("bench", "lint")
+      .field("git", git);
+  w.key("metrics")
+      .begin_object()
+      .field("lint.wall_ms", report.wall_ms)
+      .field("lint.violations", report.violations)
+      .field("lint.files", report.files_scanned)
+      .end_object();
+  w.key("directions")
+      .begin_object()
+      .field("lint.wall_ms", "down")
+      .field("lint.violations", "down")
+      .field("lint.files", "both")
+      .end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
 
 int lint_main(int argc, const char* const* argv, std::string& out) {
   std::string root;
   std::string allowlist;
+  std::string bench_report_path;
+  bool json = false;
+  const auto usage = [&out] {
+    out += "usage: cgps_lint <repo-root> [--allowlist FILE] [--json] "
+           "[--bench-report FILE]\n";
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--allowlist" && i + 1 < argc) {
       allowlist = argv[++i];
+    } else if (arg == "--bench-report" && i + 1 < argc) {
+      bench_report_path = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
     } else if (!arg.empty() && arg[0] != '-' && root.empty()) {
       root = arg;
     } else {
-      out += "usage: cgps_lint <repo-root> [--allowlist FILE]\n";
-      return 2;
+      return usage();
     }
   }
-  if (root.empty()) {
-    out += "usage: cgps_lint <repo-root> [--allowlist FILE]\n";
-    return 2;
-  }
+  if (root.empty()) return usage();
 
   const LintReport report = run_lint({root, allowlist});
   if (!report.error.empty()) {
     out += "cgps_lint: " + report.error + "\n";
     return 2;
   }
-  int shown = 0;
+
   int suppressed = 0;
-  for (const Finding& v : report.findings) {
-    if (v.allowlisted) {
-      ++suppressed;
-      continue;
+  for (const Finding& v : report.findings)
+    if (v.allowlisted) ++suppressed;
+
+  if (json) {
+    // JSONL: one record per finding (allowlisted included, flagged), one
+    // per stale allowlist entry, then a summary record.
+    for (const Finding& v : report.findings) out += finding_record(v) + "\n";
+    for (const AllowlistEntry& entry : report.stale) {
+      Finding v;
+      v.file = allowlist;
+      v.line = entry.line_no;
+      v.rule = "stale-allowlist";
+      v.message = "entry `" + entry.rule + " " + entry.path_suffix +
+                  "` matched nothing; delete it";
+      out += finding_record(v) + "\n";
     }
-    ++shown;
-    out += v.file + ":" + std::to_string(v.line) + " " + v.rule + " " + v.message + "\n";
-    if (!v.excerpt.empty()) out += "    > " + v.excerpt + "\n";
+    JsonWriter w;
+    w.begin_object()
+        .field("schema", "cgps-lint-v1")
+        .field("violations", report.violations)
+        .field("allowlisted", suppressed)
+        .field("files", report.files_scanned)
+        .field("wall_ms", report.wall_ms)
+        .end_object();
+    out += w.str() + "\n";
+  } else {
+    for (const Finding& v : report.findings) {
+      if (v.allowlisted) continue;
+      out += v.file + ":" + std::to_string(v.line) + " " + v.rule + " " + v.message + "\n";
+      if (!v.excerpt.empty()) out += "    > " + v.excerpt + "\n";
+    }
+    for (const AllowlistEntry& entry : report.stale) {
+      out += allowlist + ":" + std::to_string(entry.line_no) +
+             " stale-allowlist entry `" + entry.rule + " " + entry.path_suffix +
+             "` matched nothing; delete it\n";
+    }
+    char wall[64];
+    std::snprintf(wall, sizeof(wall), "%.1f", report.wall_ms);
+    out += "cgps_lint: " + std::to_string(report.violations) + " violation(s), " +
+           std::to_string(suppressed) + " allowlisted, " +
+           std::to_string(report.files_scanned) + " files in " + wall + " ms\n";
   }
-  for (const AllowlistEntry& entry : report.stale) {
-    out += allowlist + ":" + std::to_string(entry.line_no) +
-           " stale-allowlist entry `" + entry.rule + " " + entry.path_suffix +
-           "` matched nothing; delete it\n";
+
+  if (!bench_report_path.empty()) {
+#ifdef CGPS_GIT_DESCRIBE
+    const std::string_view git = CGPS_GIT_DESCRIBE;
+#else
+    const std::string_view git = "unknown";
+#endif
+    const std::string doc = lint_bench_report(report, git);
+    std::FILE* f = std::fopen(bench_report_path.c_str(), "wb");
+    if (f == nullptr) {
+      out += "cgps_lint: cannot write bench report: " + bench_report_path + "\n";
+      return 2;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
   }
-  out += "cgps_lint: " + std::to_string(report.violations) + " violation(s), " +
-         std::to_string(suppressed) + " allowlisted\n";
   return report.violations > 0 ? 1 : 0;
 }
 

@@ -26,9 +26,18 @@
 //                           util/logging (stderr)
 //   stale-allowlist         allowlist entry that matched nothing
 //
+// The include-graph rule family (layering-violation, include-cycle,
+// include-order, unused-include, the atomics/volatile discipline, and
+// module-map-drift — see util/lint/include_graph.hpp) runs as part of
+// run_lint over the same tree scan, and standalone through cgps_deps.
+//
 // When docs/OPERATIONS.md exists, the env-var cross-check additionally
 // requires its environment-variable table to stay in lockstep with the
 // code, exactly like the README table.
+//
+// Scanning and per-file rule evaluation are parallelized over
+// util/parallel; findings and cross-check winners are merged in sorted
+// file order, so output is identical at any thread count.
 #pragma once
 
 #include <string>
@@ -65,8 +74,10 @@ struct LintOptions {
 struct LintReport {
   std::vector<Finding> findings;      // every finding, allowlisted included
   std::vector<AllowlistEntry> stale;  // entries that suppressed nothing
-  int violations = 0;  // non-allowlisted findings + stale entries
-  std::string error;   // non-empty when the scan itself failed (exit 2)
+  int violations = 0;     // non-allowlisted findings + stale entries
+  int files_scanned = 0;  // C++ files read and lexed
+  double wall_ms = 0.0;   // scan + all rules, wall time
+  std::string error;  // non-empty when the scan itself failed (exit 2)
 };
 
 LintReport run_lint(const LintOptions& options);
@@ -85,10 +96,13 @@ bool is_dotted_metric_key(std::string_view name);
 std::vector<AllowlistEntry> parse_allowlist(std::string_view text, std::string* error);
 
 // CLI driver for tools/cgps_lint:
-//   cgps_lint <repo-root> [--allowlist FILE]
-// Appends human-readable output to *out. Returns 0 when the tree is clean
-// (allowlisted findings included), 1 on violations, 2 on bad usage or an
-// unreadable root/allowlist.
+//   cgps_lint <repo-root> [--allowlist FILE] [--json] [--bench-report FILE]
+// Appends human-readable output to *out (or, with --json, one
+// `cgps-lint-v1` JSONL record per finding plus a summary record).
+// `--bench-report` additionally writes a minimal cgps-bench-v1 document
+// with the lint wall time, for the CI bench-trend gate. Returns 0 when the
+// tree is clean (allowlisted findings included), 1 on violations, 2 on bad
+// usage or an unreadable root/allowlist.
 int lint_main(int argc, const char* const* argv, std::string& out);
 
 }  // namespace cgps::lint

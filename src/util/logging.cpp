@@ -1,8 +1,8 @@
 #include "util/logging.hpp"
 
-#include <iostream>
-
 #include "util/env.hpp"
+
+#include <iostream>
 
 namespace cgps {
 

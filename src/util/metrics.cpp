@@ -1,10 +1,10 @@
 #include "util/metrics.hpp"
 
+#include "util/json_writer.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <limits>
-
-#include "util/json_writer.hpp"
 
 #ifdef __linux__
 #include <unistd.h>

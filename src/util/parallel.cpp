@@ -1,5 +1,8 @@
 #include "util/parallel.hpp"
 
+#include "util/env.hpp"
+#include "util/metrics.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -9,9 +12,6 @@
 #include <mutex>
 #include <thread>
 #include <vector>
-
-#include "util/env.hpp"
-#include "util/metrics.hpp"
 
 namespace cgps::par {
 

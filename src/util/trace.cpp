@@ -1,16 +1,16 @@
 #include "util/trace.hpp"
 
+#include "util/env.hpp"
+#include "util/json_writer.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <mutex>
 #include <vector>
-
-#include "util/env.hpp"
-#include "util/json_writer.hpp"
-#include "util/logging.hpp"
-#include "util/metrics.hpp"
 
 #ifdef __linux__
 #include <unistd.h>

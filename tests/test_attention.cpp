@@ -1,11 +1,9 @@
 #include "nn/attention.hpp"
-
-#include <gtest/gtest.h>
-
-#include <cmath>
-
 #include "tensor/gradcheck.hpp"
 #include "tensor/ops.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

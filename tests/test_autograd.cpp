@@ -1,11 +1,10 @@
 // Finite-difference gradient verification for every differentiable op.
-#include <gtest/gtest.h>
-
-#include <cmath>
-
 #include "tensor/gradcheck.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

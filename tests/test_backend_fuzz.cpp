@@ -3,15 +3,14 @@
 // fp32 kernels may re-associate within one output element, so they are held
 // to a relative tolerance; the int8 kernels share their one fp32 combine
 // (q8_combine) and must match bitwise.
-#include <gtest/gtest.h>
+#include "exec/backend.hpp"
+#include "util/rng.hpp"
 
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <gtest/gtest.h>
 #include <vector>
-
-#include "exec/backend.hpp"
-#include "util/rng.hpp"
 
 namespace cgps {
 namespace {

@@ -1,11 +1,9 @@
+#include "baselines/baseline_trainer.hpp"
 #include "baselines/baselines.hpp"
-
-#include <gtest/gtest.h>
+#include "tensor/ops.hpp"
 
 #include <cmath>
-
-#include "baselines/baseline_trainer.hpp"
-#include "tensor/ops.hpp"
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {
@@ -29,7 +27,7 @@ BaselineConfig tiny_config() {
 
 TEST(FullGraphEdges, BothDirectionsPresent) {
   const CircuitDataset& ds = small_dataset();
-  const nn::EdgeIndex edges = full_graph_edges(ds.graph);
+  const EdgeIndex edges = full_graph_edges(ds.graph);
   EXPECT_EQ(edges.size(), static_cast<std::size_t>(2 * ds.graph.graph.num_edges()));
 }
 
@@ -38,7 +36,7 @@ TEST(ParaGraphModel, EmbedAndScoreShapes) {
   ParaGraph model(tiny_config());
   model.set_training(false);
   InferenceGuard guard;
-  const nn::EdgeIndex edges = full_graph_edges(ds.graph);
+  const EdgeIndex edges = full_graph_edges(ds.graph);
   XcNormalizer norm;
   norm.fit(ds.graph.xc);
   Tensor emb = model.embed(ds.graph, edges, norm);
@@ -65,7 +63,7 @@ TEST(DlplCapModel, CapLossFiniteAndBackpropagates) {
   const CircuitDataset& ds = small_dataset();
   DlplCap model(tiny_config());
   model.set_training(true);
-  const nn::EdgeIndex edges = full_graph_edges(ds.graph);
+  const EdgeIndex edges = full_graph_edges(ds.graph);
   XcNormalizer norm;
   norm.fit(ds.graph.xc);
   Tensor emb = model.embed(ds.graph, edges, norm);
@@ -87,7 +85,7 @@ TEST(BaselineTraining, LinkLossDecreases) {
   auto link_loss = [&] {
     model.set_training(false);
     InferenceGuard guard;
-    const nn::EdgeIndex edges = full_graph_edges(ds.graph);
+    const EdgeIndex edges = full_graph_edges(ds.graph);
     Tensor emb = model.embed(ds.graph, edges, norm);
     std::vector<std::pair<std::int32_t, std::int32_t>> pairs;
     std::vector<float> labels;

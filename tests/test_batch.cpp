@@ -1,13 +1,11 @@
-#include "gps/batch.hpp"
-
-#include <gtest/gtest.h>
-
-#include <cmath>
-
 #include "gen/designs.hpp"
+#include "gps/batch.hpp"
 #include "graph/links.hpp"
 #include "layout/placer.hpp"
 #include "netlist/hierarchy.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

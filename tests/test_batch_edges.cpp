@@ -1,8 +1,8 @@
 // Additional batching invariants: edge-type preservation through injection
 // and batching, and PE payload alignment.
-#include <gtest/gtest.h>
-
 #include "train/trainer.hpp"
+
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

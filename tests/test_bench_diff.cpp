@@ -2,15 +2,14 @@
 // tools/cgps_bench_diff): report parsing/validation, the diff and its
 // direction heuristic, the rendered table, and the CLI exit-code contract
 // (0 = clean, 1 = regression, 2 = malformed input or bad usage).
-#include <gtest/gtest.h>
+#include "util/bench_diff.hpp"
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <gtest/gtest.h>
 #include <string>
 #include <vector>
-
-#include "util/bench_diff.hpp"
 
 namespace cgps {
 namespace {

@@ -1,11 +1,10 @@
-#include <gtest/gtest.h>
-
-#include <filesystem>
-#include <fstream>
-
 #include "nn/layers.hpp"
 #include "nn/module.hpp"
 #include "tensor/ops.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

@@ -1,9 +1,8 @@
+#include "gen/designs.hpp"
 #include "graph/circuit_graph.hpp"
+#include "netlist/hierarchy.hpp"
 
 #include <gtest/gtest.h>
-
-#include "gen/designs.hpp"
-#include "netlist/hierarchy.hpp"
 
 namespace cgps {
 namespace {

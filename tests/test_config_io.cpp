@@ -1,9 +1,8 @@
 #include "train/config_io.hpp"
 
-#include <gtest/gtest.h>
-
 #include <filesystem>
 #include <fstream>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

@@ -1,9 +1,8 @@
 #include "train/dataset_cache.hpp"
 
-#include <gtest/gtest.h>
-
 #include <filesystem>
 #include <fstream>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

@@ -1,18 +1,16 @@
 // Property sweeps over all six dataset designs: structural invariants of
 // generation -> flattening -> placement -> extraction -> sampling that must
 // hold regardless of which design is processed.
-#include <gtest/gtest.h>
-
-#include <cmath>
-#include <set>
-
 #include "gen/designs.hpp"
-#include "graph/circuit_graph.hpp"
 #include "graph/links.hpp"
 #include "layout/placer.hpp"
 #include "netlist/spice.hpp"
 #include "parasitics/extraction.hpp"
 #include "train/dataset.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <set>
 
 namespace cgps {
 namespace {

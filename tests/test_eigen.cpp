@@ -1,10 +1,8 @@
 #include "graph/eigen.hpp"
-
-#include <gtest/gtest.h>
+#include "util/rng.hpp"
 
 #include <cmath>
-
-#include "util/rng.hpp"
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

@@ -1,8 +1,8 @@
 #include "spice/elmore.hpp"
+#include "spice/energy.hpp"
+#include "train/dataset.hpp"
 
 #include <gtest/gtest.h>
-
-#include "spice/energy.hpp"
 
 namespace cgps {
 namespace {
@@ -25,8 +25,8 @@ std::vector<double> extracted_caps(const CircuitDataset& ds) {
 TEST(Elmore, PostLayoutAlwaysAtLeastPreLayout) {
   const CircuitDataset& ds = small_dataset();
   Rng rng(1);
-  const auto nets = pick_victim_nets(ds, 50, 1, rng);
-  const auto delays = elmore_delays(ds, extracted_caps(ds), nets);
+  const auto nets = pick_victim_nets(ds.graph, ds.extraction, 50, 1, rng);
+  const auto delays = elmore_delays(ds.graph, ds.extraction, extracted_caps(ds), nets);
   ASSERT_EQ(delays.size(), nets.size());
   for (const NetDelay& d : delays) {
     EXPECT_GT(d.pre_layout, 0.0);
@@ -38,10 +38,10 @@ TEST(Elmore, PostLayoutAlwaysAtLeastPreLayout) {
 TEST(Elmore, PreLayoutMatchesRcProduct) {
   const CircuitDataset& ds = small_dataset();
   Rng rng(2);
-  const auto nets = pick_victim_nets(ds, 5, 1, rng);
+  const auto nets = pick_victim_nets(ds.graph, ds.extraction, 5, 1, rng);
   ElmoreOptions options;
   options.r_driver = 10e3;
-  const auto delays = elmore_delays(ds, extracted_caps(ds), nets, options);
+  const auto delays = elmore_delays(ds.graph, ds.extraction, extracted_caps(ds), nets, options);
   for (const NetDelay& d : delays) {
     const double expected =
         options.r_driver * ds.extraction.net_ground_cap[static_cast<std::size_t>(d.net)];
@@ -52,13 +52,13 @@ TEST(Elmore, PreLayoutMatchesRcProduct) {
 TEST(Elmore, MillerFactorScalesCouplingShare) {
   const CircuitDataset& ds = small_dataset();
   Rng rng(3);
-  const auto nets = pick_victim_nets(ds, 5, 2, rng);
+  const auto nets = pick_victim_nets(ds.graph, ds.extraction, 5, 2, rng);
   ElmoreOptions k1;
   k1.miller_factor = 1.0;
   ElmoreOptions k2;
   k2.miller_factor = 2.0;
-  const auto d1 = elmore_delays(ds, extracted_caps(ds), nets, k1);
-  const auto d2 = elmore_delays(ds, extracted_caps(ds), nets, k2);
+  const auto d1 = elmore_delays(ds.graph, ds.extraction, extracted_caps(ds), nets, k1);
+  const auto d2 = elmore_delays(ds.graph, ds.extraction, extracted_caps(ds), nets, k2);
   for (std::size_t i = 0; i < nets.size(); ++i) {
     const double coupling_share_1 = d1[i].post_layout - d1[i].pre_layout;
     const double coupling_share_2 = d2[i].post_layout - d2[i].pre_layout;
@@ -69,17 +69,17 @@ TEST(Elmore, MillerFactorScalesCouplingShare) {
 TEST(Elmore, ZeroCouplingCollapsesToPreLayout) {
   const CircuitDataset& ds = small_dataset();
   Rng rng(4);
-  const auto nets = pick_victim_nets(ds, 5, 2, rng);
+  const auto nets = pick_victim_nets(ds.graph, ds.extraction, 5, 2, rng);
   const std::vector<double> zeros(ds.extraction.links.size(), 0.0);
-  for (const NetDelay& d : elmore_delays(ds, zeros, nets)) {
+  for (const NetDelay& d : elmore_delays(ds.graph, ds.extraction, zeros, nets)) {
     EXPECT_DOUBLE_EQ(d.post_layout, d.pre_layout);
   }
 }
 
 TEST(Elmore, InvalidInputsThrow) {
   const CircuitDataset& ds = small_dataset();
-  EXPECT_THROW(elmore_delays(ds, {1e-18}, {0}), std::invalid_argument);
-  EXPECT_THROW(elmore_delays(ds, extracted_caps(ds), {-1}), std::invalid_argument);
+  EXPECT_THROW(elmore_delays(ds.graph, ds.extraction, {1e-18}, {0}), std::invalid_argument);
+  EXPECT_THROW(elmore_delays(ds.graph, ds.extraction, extracted_caps(ds), {-1}), std::invalid_argument);
 }
 
 TEST(Elmore, CoupledNetsShowDisparity) {
@@ -88,9 +88,9 @@ TEST(Elmore, CoupledNetsShowDisparity) {
   // non-trivial mean disparity.
   const CircuitDataset& ds = small_dataset();
   Rng rng(5);
-  const auto nets = pick_victim_nets(ds, 20, 5, rng);
+  const auto nets = pick_victim_nets(ds.graph, ds.extraction, 20, 5, rng);
   double mean_disparity = 0.0;
-  const auto delays = elmore_delays(ds, extracted_caps(ds), nets);
+  const auto delays = elmore_delays(ds.graph, ds.extraction, extracted_caps(ds), nets);
   for (const NetDelay& d : delays) mean_disparity += d.disparity();
   mean_disparity /= static_cast<double>(delays.size());
   EXPECT_GT(mean_disparity, 0.05);  // >5% average delay shift from coupling

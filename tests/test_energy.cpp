@@ -1,10 +1,9 @@
 #include "spice/energy.hpp"
-
-#include <gtest/gtest.h>
+#include "train/dataset.hpp"
+#include "train/metrics.hpp"
 
 #include <cmath>
-
-#include "train/metrics.hpp"
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {
@@ -27,21 +26,21 @@ std::vector<double> true_caps(const CircuitDataset& ds) {
 
 TEST(PickVictims, RespectsLimits) {
   Rng rng(1);
-  const auto victims = pick_victim_nets(small_dataset(), 10, 2, rng);
+  const auto victims = pick_victim_nets(small_dataset().graph, small_dataset().extraction, 10, 2, rng);
   EXPECT_LE(victims.size(), 10u);
   EXPECT_GT(victims.size(), 0u);
 }
 
 TEST(PickVictims, Deterministic) {
   Rng a(2), b(2);
-  EXPECT_EQ(pick_victim_nets(small_dataset(), 8, 2, a), pick_victim_nets(small_dataset(), 8, 2, b));
+  EXPECT_EQ(pick_victim_nets(small_dataset().graph, small_dataset().extraction, 8, 2, a), pick_victim_nets(small_dataset().graph, small_dataset().extraction, 8, 2, b));
 }
 
 TEST(SwitchingEnergy, PositiveForAllVictims) {
   const CircuitDataset& ds = small_dataset();
   Rng rng(3);
-  const auto victims = pick_victim_nets(ds, 6, 2, rng);
-  const auto energies = switching_energy(ds, true_caps(ds), victims);
+  const auto victims = pick_victim_nets(ds.graph, ds.extraction, 6, 2, rng);
+  const auto energies = switching_energy(ds.graph, ds.extraction, true_caps(ds), victims);
   ASSERT_EQ(energies.size(), victims.size());
   for (const VictimEnergy& v : energies) {
     EXPECT_GT(v.energy, 0.0);
@@ -52,11 +51,11 @@ TEST(SwitchingEnergy, PositiveForAllVictims) {
 TEST(SwitchingEnergy, MoreCouplingMoreEnergy) {
   const CircuitDataset& ds = small_dataset();
   Rng rng(4);
-  const auto victims = pick_victim_nets(ds, 5, 2, rng);
-  const auto base = switching_energy(ds, true_caps(ds), victims);
+  const auto victims = pick_victim_nets(ds.graph, ds.extraction, 5, 2, rng);
+  const auto base = switching_energy(ds.graph, ds.extraction, true_caps(ds), victims);
   auto doubled_caps = true_caps(ds);
   for (double& c : doubled_caps) c *= 2.0;
-  const auto doubled = switching_energy(ds, doubled_caps, victims);
+  const auto doubled = switching_energy(ds.graph, ds.extraction, doubled_caps, victims);
   for (std::size_t i = 0; i < base.size(); ++i)
     EXPECT_GT(doubled[i].energy, base[i].energy);
 }
@@ -64,9 +63,9 @@ TEST(SwitchingEnergy, MoreCouplingMoreEnergy) {
 TEST(SwitchingEnergy, ExactCapsGiveZeroMape) {
   const CircuitDataset& ds = small_dataset();
   Rng rng(5);
-  const auto victims = pick_victim_nets(ds, 5, 2, rng);
-  const auto a = switching_energy(ds, true_caps(ds), victims);
-  const auto b = switching_energy(ds, true_caps(ds), victims);
+  const auto victims = pick_victim_nets(ds.graph, ds.extraction, 5, 2, rng);
+  const auto a = switching_energy(ds.graph, ds.extraction, true_caps(ds), victims);
+  const auto b = switching_energy(ds.graph, ds.extraction, true_caps(ds), victims);
   std::vector<double> ea, eb;
   for (const auto& v : a) ea.push_back(v.energy);
   for (const auto& v : b) eb.push_back(v.energy);
@@ -75,8 +74,8 @@ TEST(SwitchingEnergy, ExactCapsGiveZeroMape) {
 
 TEST(PickVictims, MinLinksFilterTightens) {
   Rng a(7), b(7);
-  const auto loose = pick_victim_nets(small_dataset(), -1, 1, a);
-  const auto tight = pick_victim_nets(small_dataset(), -1, 50, b);
+  const auto loose = pick_victim_nets(small_dataset().graph, small_dataset().extraction, -1, 1, a);
+  const auto tight = pick_victim_nets(small_dataset().graph, small_dataset().extraction, -1, 50, b);
   EXPECT_GE(loose.size(), tight.size());
 }
 
@@ -84,9 +83,9 @@ TEST(SwitchingEnergy, GroundCapOnlyBaselinePositive) {
   // With all coupling caps zeroed the victim still draws C_gnd * V^2.
   const CircuitDataset& ds = small_dataset();
   Rng rng(8);
-  const auto victims = pick_victim_nets(ds, 3, 2, rng);
+  const auto victims = pick_victim_nets(ds.graph, ds.extraction, 3, 2, rng);
   const std::vector<double> zeros(ds.extraction.links.size(), 0.0);
-  const auto energies = switching_energy(ds, zeros, victims);
+  const auto energies = switching_energy(ds.graph, ds.extraction, zeros, victims);
   for (const VictimEnergy& v : energies) {
     EXPECT_GT(v.energy, 0.0);
     // Bounded below by ~C_gnd * VDD^2 of the victim alone.
@@ -99,8 +98,8 @@ TEST(SwitchingEnergy, GroundCapOnlyBaselinePositive) {
 TEST(SwitchingEnergy, CapSizeMismatchThrows) {
   const CircuitDataset& ds = small_dataset();
   Rng rng(6);
-  const auto victims = pick_victim_nets(ds, 2, 2, rng);
-  EXPECT_THROW(switching_energy(ds, {1e-18}, victims), std::invalid_argument);
+  const auto victims = pick_victim_nets(ds.graph, ds.extraction, 2, 2, rng);
+  EXPECT_THROW(switching_energy(ds.graph, ds.extraction, {1e-18}, victims), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,10 +1,8 @@
 #include "util/env.hpp"
-
-#include <gtest/gtest.h>
+#include "util/timer.hpp"
 
 #include <cstdlib>
-
-#include "util/timer.hpp"
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

@@ -3,15 +3,6 @@
 // Tensor::backward BITWISE — values, losses, parameter gradients, and whole
 // training trajectories — at any thread count. The AVX2 backend re-associates
 // reductions and is held to a relative tolerance instead.
-#include <gtest/gtest.h>
-
-#include <bit>
-#include <cmath>
-#include <cstdint>
-#include <cstdlib>
-#include <string>
-#include <vector>
-
 #include "exec/gps_program.hpp"
 #include "exec/runner.hpp"
 #include "gen/designs.hpp"
@@ -22,6 +13,14 @@
 #include "tensor/ops.hpp"
 #include "tensor/optim.hpp"
 #include "util/parallel.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 namespace cgps {
 namespace {

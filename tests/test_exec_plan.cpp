@@ -1,12 +1,5 @@
 // Unit tests for the plan compiler and arena allocator (DESIGN.md §10):
 // fusion legality, schedule/liveness invariants, and slab packing.
-#include <gtest/gtest.h>
-
-#include <algorithm>
-#include <cstdint>
-#include <set>
-#include <vector>
-
 #include "exec/arena.hpp"
 #include "exec/executor.hpp"
 #include "exec/gps_program.hpp"
@@ -16,6 +9,12 @@
 #include "graph/links.hpp"
 #include "layout/placer.hpp"
 #include "netlist/hierarchy.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <set>
+#include <vector>
 
 namespace cgps {
 namespace {

@@ -1,12 +1,10 @@
+#include "gen/designs.hpp"
+#include "netlist/hierarchy.hpp"
 #include "parasitics/extraction.hpp"
 
 #include <gtest/gtest.h>
-
 #include <set>
 #include <tuple>
-
-#include "gen/designs.hpp"
-#include "netlist/hierarchy.hpp"
 
 namespace cgps {
 namespace {

@@ -1,18 +1,16 @@
 #include "nn/gated_gcn.hpp"
-
-#include <gtest/gtest.h>
-
-#include <cmath>
-
 #include "tensor/gradcheck.hpp"
 #include "tensor/ops.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {
 
-nn::EdgeIndex path_edges() {
+EdgeIndex path_edges() {
   // 0 - 1 - 2 (undirected => both directions)
-  nn::EdgeIndex e;
+  EdgeIndex e;
   e.src = {0, 1, 1, 2};
   e.dst = {1, 0, 2, 1};
   return e;
@@ -43,7 +41,7 @@ TEST(GatedGcn, NoEdgesStillTransformsSelf) {
   nn::GatedGcn layer(4, rng);
   Tensor x = Tensor::randn(3, 4, 1.0f, rng);
   Tensor e = Tensor::zeros(0, 4);
-  auto out = layer.forward(x, e, nn::EdgeIndex{});
+  auto out = layer.forward(x, e, EdgeIndex{});
   EXPECT_EQ(out.x.rows(), 3);
   EXPECT_EQ(out.e.rows(), 0);
 }
@@ -52,7 +50,7 @@ TEST(GatedGcn, IsolatedNodeGetsOnlySelfTerm) {
   Rng rng(3);
   nn::GatedGcn layer(4, rng);
   // Node 2 has no incident edges.
-  nn::EdgeIndex edges;
+  EdgeIndex edges;
   edges.src = {0, 1};
   edges.dst = {1, 0};
   Tensor x = Tensor::randn(3, 4, 1.0f, rng);
@@ -61,7 +59,7 @@ TEST(GatedGcn, IsolatedNodeGetsOnlySelfTerm) {
 
   // Compare against a no-edge forward on the same node: isolated node rows
   // must match (it receives no messages).
-  auto out_isolated = layer.forward(x, Tensor::zeros(0, 4), nn::EdgeIndex{});
+  auto out_isolated = layer.forward(x, Tensor::zeros(0, 4), EdgeIndex{});
   for (int j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(out.x.at(2, j), out_isolated.x.at(2, j));
 }
 

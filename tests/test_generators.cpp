@@ -1,11 +1,9 @@
+#include "gen/cells.hpp"
 #include "gen/designs.hpp"
+#include "netlist/spice.hpp"
 
 #include <gtest/gtest.h>
-
 #include <set>
-
-#include "gen/cells.hpp"
-#include "netlist/spice.hpp"
 
 namespace cgps {
 namespace {

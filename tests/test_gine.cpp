@@ -1,17 +1,15 @@
 #include "nn/gine.hpp"
-
-#include <gtest/gtest.h>
-
-#include <cmath>
-
 #include "tensor/gradcheck.hpp"
 #include "tensor/ops.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {
 
-nn::EdgeIndex path_edges() {
-  nn::EdgeIndex e;
+EdgeIndex path_edges() {
+  EdgeIndex e;
   e.src = {0, 1, 1, 2};
   e.dst = {1, 0, 2, 1};
   return e;
@@ -41,7 +39,7 @@ TEST(GineLayer, NoEdgesUsesSelfOnly) {
   nn::GineLayer layer(4, rng);
   layer.set_training(false);
   Tensor x = Tensor::randn(2, 4, 1.0f, rng);
-  Tensor y = layer.forward(x, Tensor::zeros(0, 4), nn::EdgeIndex{}, rng);
+  Tensor y = layer.forward(x, Tensor::zeros(0, 4), EdgeIndex{}, rng);
   EXPECT_EQ(y.rows(), 2);
 }
 

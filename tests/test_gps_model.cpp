@@ -1,16 +1,13 @@
-#include "gps/model.hpp"
-
-#include <gtest/gtest.h>
-
-#include <cmath>
-
-#include <filesystem>
-
 #include "gen/designs.hpp"
+#include "gps/model.hpp"
 #include "graph/links.hpp"
 #include "layout/placer.hpp"
 #include "netlist/hierarchy.hpp"
 #include "tensor/ops.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

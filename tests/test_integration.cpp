@@ -1,12 +1,10 @@
 // End-to-end integration: the paper's full FSL pipeline at miniature scale —
 // pre-train on one design, zero-shot on another, fine-tune, checkpoint.
-#include <gtest/gtest.h>
+#include "train/trainer.hpp"
 
 #include <cmath>
-
 #include <filesystem>
-
-#include "train/trainer.hpp"
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

@@ -1,11 +1,10 @@
 #include "util/json_writer.hpp"
 
-#include <gtest/gtest.h>
-
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <gtest/gtest.h>
 #include <limits>
 #include <sstream>
 #include <string>

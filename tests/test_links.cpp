@@ -1,13 +1,11 @@
-#include "graph/links.hpp"
-
-#include <gtest/gtest.h>
-
-#include <array>
-#include <set>
-
 #include "gen/designs.hpp"
+#include "graph/links.hpp"
 #include "layout/placer.hpp"
 #include "netlist/hierarchy.hpp"
+
+#include <array>
+#include <gtest/gtest.h>
+#include <set>
 
 namespace cgps {
 namespace {

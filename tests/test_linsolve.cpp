@@ -1,8 +1,7 @@
 #include "spice/linsolve.hpp"
+#include "util/rng.hpp"
 
 #include <gtest/gtest.h>
-
-#include "util/rng.hpp"
 
 namespace cgps {
 namespace {

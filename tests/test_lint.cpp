@@ -1,13 +1,15 @@
 // Fixture-tree tests for util/lint: each test seeds a throwaway repo root
 // with targeted violations and asserts the rule ids, locations, allowlist
 // behaviour, and the cgps_lint 0/1/2 exit contract.
+#include "util/json_writer.hpp"
+#include "util/lint/include_graph.hpp"
 #include "util/lint/lint.hpp"
-
-#include <gtest/gtest.h>
+#include "util/lint/scan.hpp"
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <gtest/gtest.h>
 #include <string>
 #include <vector>
 
@@ -315,6 +317,317 @@ TEST_F(LintFixture, CliExitContract) {
   const char* bad_allow[] = {"cgps_lint", root.c_str(), "--allowlist",
                              missing_allow.c_str()};
   EXPECT_EQ(lint_main(4, bad_allow, out), 2);
+}
+
+// --- include-graph rule family (cgps_deps; see include_graph.hpp) --------
+
+TEST_F(LintFixture, IncludeCycleDetected) {
+  write("README.md", "");
+  write("src/a/x.hpp",
+        "#pragma once\n"
+        "#include \"a/y.hpp\"\n"
+        "inline int x() { return y(); }\n");
+  write("src/a/y.hpp",
+        "#pragma once\n"
+        "#include \"a/x.hpp\"\n"
+        "inline int y() { return x(); }\n");
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"include-cycle", "include-cycle"}));
+  EXPECT_EQ(report.findings[0].file, "src/a/x.hpp");
+  EXPECT_EQ(report.findings[0].line, 2);
+  EXPECT_NE(report.findings[0].message.find("src/a/x.hpp -> src/a/y.hpp"),
+            std::string::npos);
+}
+
+TEST_F(LintFixture, LayeringManifestGovernsModuleEdges) {
+  write("README.md", "");
+  write("src/low/base.hpp", "#pragma once\ninline int base() { return 1; }\n");
+  write("src/high/user.cpp",
+        "#include \"low/base.hpp\"\nint u() { return base(); }\n");
+  // No manifest: the rule is off and the tree is clean.
+  EXPECT_EQ(lint().violations, 0);
+  // Declared edge + one row nothing realizes: only the stale row fires.
+  write("tools/cgps_layering.txt", "high -> low\nhigh -> ghost\n");
+  LintReport report = lint();
+  std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"layering-manifest-stale"}));
+  EXPECT_EQ(report.findings[0].file, "tools/cgps_layering.txt");
+  EXPECT_EQ(report.findings[0].line, 2);
+  // Undeclared edge: flagged at the include site that realizes it.
+  write("tools/cgps_layering.txt", "ghost -> low\n");
+  report = lint();
+  got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"layering-manifest-stale",
+                                           "layering-violation"}));
+  for (const Finding& f : report.findings) {
+    if (f.rule == "layering-violation") {
+      EXPECT_EQ(f.file, "src/high/user.cpp");
+      EXPECT_EQ(f.line, 1);
+      EXPECT_NE(f.message.find("high -> low"), std::string::npos);
+    }
+  }
+}
+
+TEST_F(LintFixture, IncludeOrderConvention) {
+  write("README.md", "");
+  write("src/m/b.hpp", "#pragma once\ninline int b() { return 2; }\n");
+  write("src/m/z.hpp", "#pragma once\ninline int z() { return 3; }\n");
+  write("src/m/own.hpp", "#pragma once\nint own_impl();\n");
+  // Project header after a system header: category regression.
+  write("src/m/a.cpp",
+        "#include <vector>\n"
+        "#include \"m/b.hpp\"\n"
+        "int a() { return b(); }\n");
+  // Unsorted run within one block.
+  write("src/m/c.cpp",
+        "#include \"m/z.hpp\"\n"
+        "#include \"m/b.hpp\"\n"
+        "int c() { return b() + z(); }\n");
+  // Duplicate include.
+  write("src/m/d.cpp",
+        "#include \"m/b.hpp\"\n"
+        "#include \"m/b.hpp\"\n"
+        "int d() { return b(); }\n");
+  // Own header must lead.
+  write("src/m/own.cpp",
+        "#include \"m/b.hpp\"\n"
+        "#include \"m/own.hpp\"\n"
+        "int own_impl() { return b(); }\n");
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"include-order", "include-order",
+                                           "include-order", "include-order"}));
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.line, 2) << f.file;
+    if (f.file == "src/m/d.cpp") {
+      EXPECT_NE(f.message.find("duplicate"), std::string::npos);
+    } else if (f.file == "src/m/own.cpp") {
+      EXPECT_NE(f.message.find("own header"), std::string::npos);
+    } else if (f.file == "src/m/c.cpp") {
+      EXPECT_NE(f.message.find("sorts before"), std::string::npos);
+    }
+  }
+}
+
+TEST_F(LintFixture, ConditionalIncludesExemptFromOrdering) {
+  write("README.md", "");
+  write("src/m/b.hpp", "#pragma once\ninline int b() { return 2; }\n");
+  write("src/m/port.cpp",
+        "#include \"m/b.hpp\"\n"
+        "\n"
+        "#ifdef _WIN32\n"
+        "#include <windows.h>\n"
+        "#endif\n"
+        "\n"
+        "#include <vector>\n"
+        "int p() { return b(); }\n");
+  EXPECT_EQ(lint().violations, 0);
+}
+
+TEST_F(LintFixture, UnusedIncludeIwyuLite) {
+  write("README.md", "");
+  write("src/u/used.hpp", "#pragma once\ninline int used_fn() { return 1; }\n");
+  write("src/u/unused.hpp", "#pragma once\ninline int unused_fn() { return 2; }\n");
+  write("src/u/opaque.hpp", "#pragma once\n");  // no symbols: never flagged
+  write("src/u/main.hpp", "#pragma once\nint m();\n");
+  write("src/u/main.cpp",
+        "#include \"u/main.hpp\"\n"
+        "\n"
+        "#include \"u/opaque.hpp\"\n"
+        "#include \"u/unused.hpp\"\n"
+        "#include \"u/used.hpp\"\n"
+        "int q() { return used_fn(); }\n");  // own header exempt despite no `m`
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"unused-include"}));
+  EXPECT_EQ(report.findings[0].file, "src/u/main.cpp");
+  EXPECT_EQ(report.findings[0].line, 4);
+  EXPECT_NE(report.findings[0].message.find("u/unused.hpp"), std::string::npos);
+}
+
+TEST_F(LintFixture, AtomicsManifestDiscipline) {
+  write("README.md", "");
+  write("src/at/a.cpp",
+        "void f(C& c) { c.fetch_add(1, std::memory_order_relaxed); }\n");
+  write("src/at/b.cpp",
+        "int g(A& x) { return x.load(std::memory_order_acquire); }\n");
+  write("src/at/c.cpp",
+        "void h(A& y) { y.store(1, std::memory_order_release); }\n");
+  write("src/at/d.cpp",
+        "void i(A& y) { y.store(1, std::memory_order::release); }\n");
+  write("tests/test_at.cpp",
+        "void t(C& c) { c.fetch_add(1, std::memory_order_relaxed); }\n");
+  // No manifest: the whole family is off.
+  EXPECT_EQ(lint().violations, 0);
+  write("tools/cgps_atomics.txt",
+        "# manifest\n"
+        "src/at/a.cpp memory_order_relaxed counter, no ordering needed\n"
+        "src/at/gone.cpp memory_order_relaxed retired site\n"
+        "src/at/c.cpp memory_order_release\n");
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{
+                     "atomic-order-unmanifested",   // b.cpp acquire, no row
+                     "atomic-order-unmanifested",   // d.cpp scoped spelling
+                     "atomics-manifest-stale",      // gone.cpp row
+                     "atomics-manifest-unjustified"  // c.cpp row, no reason
+                 }));
+  for (const Finding& f : report.findings) {
+    if (f.file == "src/at/b.cpp") {
+      EXPECT_EQ(f.line, 1);
+    } else if (f.file == "src/at/d.cpp") {
+      EXPECT_NE(f.message.find("memory_order_*"), std::string::npos);
+    } else if (f.rule == "atomics-manifest-stale") {
+      EXPECT_EQ(f.line, 3);
+    } else if (f.rule == "atomics-manifest-unjustified") {
+      EXPECT_EQ(f.line, 4);
+    }
+  }
+}
+
+TEST_F(LintFixture, VolatileBannedOutsideQuantBarrier) {
+  write("README.md", "");
+  write("src/v/bad.cpp", "volatile int spin = 0;\n");
+  write("src/exec/quant.hpp",
+        "#pragma once\n"
+        "inline float q8_combine(float a) { volatile float r = a; return r; }\n");
+  write("tests/test_v.cpp", "volatile int probe = 0;\n");  // tests exempt
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"volatile-banned"}));
+  EXPECT_EQ(report.findings[0].file, "src/v/bad.cpp");
+  EXPECT_EQ(report.findings[0].line, 1);
+}
+
+TEST_F(LintFixture, ModuleMapDriftBothDirections) {
+  write("README.md",
+        "## Module map\n"
+        "| Path | What |\n"
+        "|---|---|\n"
+        "| `src/util` | utilities |\n"
+        "| `src/ghost` | no longer exists |\n");
+  write("src/util/x.cpp", "int x() { return 1; }\n");
+  write("src/real/y.cpp", "int y() { return 2; }\n");
+  const LintReport report = lint();
+  const std::vector<std::string> got = rules(report, /*allowlisted=*/false);
+  EXPECT_EQ(got, (std::vector<std::string>{"module-map-drift", "module-map-drift"}));
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.file, "README.md");
+    if (f.line == 5) {
+      EXPECT_NE(f.message.find("src/ghost"), std::string::npos);
+    } else {
+      EXPECT_EQ(f.line, 0);
+      EXPECT_NE(f.message.find("src/real"), std::string::npos);
+    }
+  }
+}
+
+TEST_F(LintFixture, DepsCliContract) {
+  write("README.md", "");
+  write("src/p/x.cpp", "#include \"q/y.hpp\"\nint x() { return y(); }\n");
+  write("src/q/y.hpp", "#pragma once\ninline int y() { return 1; }\n");
+  const std::string root = root_.string();
+
+  // Clean tree (no manifests): exit 0 with a summary line.
+  std::string out;
+  const char* check_argv[] = {"cgps_deps", root.c_str(), "--check"};
+  EXPECT_EQ(deps_main(3, check_argv, out), 0);
+  EXPECT_NE(out.find("0 violation(s)"), std::string::npos);
+
+  // --dot renders the live module graph.
+  out.clear();
+  const char* dot_argv[] = {"cgps_deps", root.c_str(), "--dot"};
+  EXPECT_EQ(deps_main(3, dot_argv, out), 0);
+  EXPECT_NE(out.find("digraph cgps_modules"), std::string::npos);
+  EXPECT_NE(out.find("\"p\" -> \"q\";"), std::string::npos);
+
+  // A violation flips the exit code to 1.
+  write("tools/cgps_layering.txt", "p -> elsewhere\n");
+  out.clear();
+  EXPECT_EQ(deps_main(3, check_argv, out), 1);
+  EXPECT_NE(out.find("layering-violation"), std::string::npos);
+
+  // Bad usage / bad root: exit 2.
+  out.clear();
+  const char* no_root[] = {"cgps_deps"};
+  EXPECT_EQ(deps_main(1, no_root, out), 2);
+  const char* bad_root[] = {"cgps_deps", "/nonexistent/cgps", "--check"};
+  EXPECT_EQ(deps_main(3, bad_root, out), 2);
+}
+
+TEST_F(LintFixture, JsonOutputIsValidRecords) {
+  write("README.md", "");
+  write("src/rogue.cpp", "char* v = std::getenv(\"X\");\n");
+  const std::string root = root_.string();
+  std::string out;
+  const char* argv[] = {"cgps_lint", root.c_str(), "--json"};
+  EXPECT_EQ(lint_main(3, argv, out), 1);
+
+  // JSONL: every line parses; finding records carry the v1 schema fields,
+  // the trailing summary record the totals.
+  std::vector<JsonValue> records;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) eol = out.size();
+    const std::string line = out.substr(pos, eol - pos);
+    if (!line.empty()) {
+      std::string error;
+      auto parsed = json_parse(line, &error);
+      ASSERT_TRUE(parsed.has_value()) << error << ": " << line;
+      records.push_back(std::move(*parsed));
+    }
+    pos = eol + 1;
+  }
+  ASSERT_EQ(records.size(), 2u);
+  const JsonValue& finding = records[0];
+  EXPECT_EQ(finding.find("schema")->string, "cgps-lint-v1");
+  EXPECT_EQ(finding.find("file")->string, "src/rogue.cpp");
+  EXPECT_EQ(finding.find("line")->number, 1.0);
+  EXPECT_EQ(finding.find("rule")->string, "getenv-outside-env");
+  ASSERT_TRUE(finding.has("message"));
+  ASSERT_TRUE(finding.has("excerpt"));
+  EXPECT_FALSE(finding.find("allowlisted")->boolean);
+  const JsonValue& summary = records[1];
+  EXPECT_EQ(summary.find("schema")->string, "cgps-lint-v1");
+  EXPECT_EQ(summary.find("violations")->number, 1.0);
+  EXPECT_EQ(summary.find("allowlisted")->number, 0.0);
+  EXPECT_GE(summary.find("files")->number, 1.0);
+  ASSERT_TRUE(summary.has("wall_ms"));
+}
+
+TEST(LintHelpers, ExportedSymbols) {
+  FileUnit f;
+  f.rel = "src/x/widget.hpp";
+  f.raw =
+      "#pragma once\n"
+      "#define WIDGET_CAP 8\n"
+      "namespace cgps {\n"
+      "struct Widget { int member_fn(); int field; };\n"
+      "enum class Color { kRed, kGreen };\n"
+      "using Alias = int;\n"
+      "int free_fn(int arg);\n"
+      "inline constexpr int kLimit = 3;\n"
+      "}\n";
+  f.lexed = lex(f.raw);
+  f.starts = line_starts(f.raw);
+  f.is_header = true;
+  const std::vector<std::string> symbols = exported_symbols(f);
+  const auto has = [&](const char* name) {
+    return std::find(symbols.begin(), symbols.end(), name) != symbols.end();
+  };
+  EXPECT_TRUE(has("WIDGET_CAP"));
+  EXPECT_TRUE(has("Widget"));
+  EXPECT_TRUE(has("Color"));
+  EXPECT_TRUE(has("kRed"));
+  EXPECT_TRUE(has("kGreen"));
+  EXPECT_TRUE(has("Alias"));
+  EXPECT_TRUE(has("free_fn"));
+  EXPECT_TRUE(has("kLimit"));
+  EXPECT_FALSE(has("member_fn"));  // class members are not top-level
+  EXPECT_FALSE(has("field"));
+  EXPECT_FALSE(has("arg"));  // parameters are inside parens
 }
 
 TEST(LintHelpers, DottedMetricKey) {

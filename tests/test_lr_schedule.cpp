@@ -1,8 +1,7 @@
-#include <gtest/gtest.h>
+#include "train/trainer.hpp"
 
 #include <cmath>
-
-#include "train/trainer.hpp"
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

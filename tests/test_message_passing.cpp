@@ -1,17 +1,15 @@
 #include "nn/message_passing.hpp"
-
-#include <gtest/gtest.h>
-
-#include <cmath>
-
 #include "tensor/gradcheck.hpp"
 #include "tensor/ops.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {
 
-nn::EdgeIndex triangle() {
-  nn::EdgeIndex e;
+EdgeIndex triangle() {
+  EdgeIndex e;
   e.src = {0, 1, 1, 2, 2, 0};
   e.dst = {1, 0, 2, 1, 0, 2};
   return e;
@@ -24,7 +22,7 @@ TEST(SageLayer, ShapeAndNoEdges) {
   Tensor y = layer.forward(x, triangle());
   EXPECT_EQ(y.rows(), 3);
   EXPECT_EQ(y.cols(), 6);
-  Tensor y0 = layer.forward(x, nn::EdgeIndex{});
+  Tensor y0 = layer.forward(x, EdgeIndex{});
   EXPECT_EQ(y0.rows(), 3);
 }
 
@@ -33,7 +31,7 @@ TEST(SageLayer, MeanAggregationIsPermutationInvariant) {
   nn::SageLayer layer(3, 3, rng);
   Tensor x = Tensor::randn(4, 3, 1.0f, rng);
   // Node 0 aggregates nodes {1, 2, 3} in two different edge orders.
-  nn::EdgeIndex e1, e2;
+  EdgeIndex e1, e2;
   e1.src = {1, 2, 3};
   e1.dst = {0, 0, 0};
   e2.src = {3, 1, 2};
@@ -56,7 +54,7 @@ TEST(GcnLayer, ShapeAndSelfLoopOnly) {
   Rng rng(4);
   nn::GcnLayer layer(4, 4, rng);
   Tensor x = Tensor::randn(2, 4, 1.0f, rng);
-  Tensor y = layer.forward(x, nn::EdgeIndex{});
+  Tensor y = layer.forward(x, EdgeIndex{});
   EXPECT_EQ(y.rows(), 2);
   EXPECT_EQ(y.cols(), 4);
 }
@@ -66,7 +64,7 @@ TEST(GcnLayer, SymmetricNormalizationBoundsOutput) {
   nn::GcnLayer layer(2, 2, rng);
   // Star graph: node 0 connected to 1..5; aggregation must not blow up with
   // degree because of the 1/sqrt(d) normalization.
-  nn::EdgeIndex edges;
+  EdgeIndex edges;
   for (std::int32_t i = 1; i <= 5; ++i) {
     edges.src.push_back(i);
     edges.dst.push_back(0);

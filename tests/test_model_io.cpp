@@ -1,18 +1,16 @@
-#include "train/model_io.hpp"
-
-#include <gtest/gtest.h>
-
-#include <filesystem>
-#include <fstream>
-
 #include "gen/designs.hpp"
 #include "graph/links.hpp"
 #include "layout/placer.hpp"
 #include "netlist/hierarchy.hpp"
 #include "tensor/ops.hpp"
 #include "train/config_io.hpp"
+#include "train/model_io.hpp"
 #include "train/trainer.hpp"
 #include "util/serialize.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

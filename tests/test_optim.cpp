@@ -1,11 +1,8 @@
+#include "tensor/ops.hpp"
 #include "tensor/optim.hpp"
 
-#include <gtest/gtest.h>
-
 #include <cmath>
-
-#include "tensor/ops.hpp"
-#include "util/rng.hpp"
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

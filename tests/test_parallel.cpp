@@ -1,20 +1,18 @@
 // Work-pool semantics plus the determinism contract: every parallel code
 // path must produce bit-identical results at any CIRCUITGPS_THREADS.
+#include "tensor/ops.hpp"
+#include "train/trainer.hpp"
 #include "util/parallel.hpp"
-
-#include <gtest/gtest.h>
+#include "util/rng.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <gtest/gtest.h>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 #include <vector>
-
-#include "tensor/ops.hpp"
-#include "train/trainer.hpp"
-#include "util/rng.hpp"
 
 namespace cgps {
 namespace {

@@ -1,11 +1,11 @@
 // Fuzz-lite robustness: the SPICE and SPF parsers must either parse or throw
 // a typed exception on mutated/garbage input — never crash, hang, or accept
 // silently-corrupted structure.
-#include <gtest/gtest.h>
-
 #include "netlist/spice.hpp"
 #include "parasitics/spf.hpp"
 #include "util/rng.hpp"
+
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

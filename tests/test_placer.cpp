@@ -1,11 +1,9 @@
+#include "gen/designs.hpp"
 #include "layout/placer.hpp"
-
-#include <gtest/gtest.h>
+#include "netlist/hierarchy.hpp"
 
 #include <cmath>
-
-#include "gen/designs.hpp"
-#include "netlist/hierarchy.hpp"
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

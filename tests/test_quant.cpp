@@ -2,23 +2,8 @@
 // all-zero-row edge case, cross-backend bit-identity of the int8 kernels,
 // the training refusal under CIRCUITGPS_QUANT=int8, and model-bundle v3
 // persistence of pre-quantized weights.
-#include "exec/quant.hpp"
-
-#include <gtest/gtest.h>
-
-#include <array>
-#include <bit>
-#include <cmath>
-#include <cstdlib>
-#include <filesystem>
-#include <fstream>
-#include <iterator>
-#include <stdexcept>
-#include <string>
-#include <utility>
-#include <vector>
-
 #include "exec/backend.hpp"
+#include "exec/quant.hpp"
 #include "exec/runner.hpp"
 #include "gen/designs.hpp"
 #include "gps/model.hpp"
@@ -27,6 +12,19 @@
 #include "netlist/hierarchy.hpp"
 #include "train/model_io.hpp"
 #include "util/rng.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace cgps {
 namespace {

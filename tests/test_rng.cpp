@@ -1,9 +1,8 @@
 #include "util/rng.hpp"
 
-#include <gtest/gtest.h>
-
 #include <algorithm>
 #include <cmath>
+#include <gtest/gtest.h>
 #include <set>
 
 namespace cgps {

@@ -1,19 +1,18 @@
 // End-to-end check of the CIRCUITGPS_RUN_LOG telemetry path (DESIGN.md §8):
 // trainers emit one parseable cgps-train-v1 record per epoch when the env
 // var is set, and training results are bit-identical when it is not.
-#include <gtest/gtest.h>
+#include "baselines/baseline_trainer.hpp"
+#include "baselines/baselines.hpp"
+#include "train/trainer.hpp"
+#include "util/json_writer.hpp"
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <gtest/gtest.h>
 #include <string>
 #include <vector>
-
-#include "baselines/baseline_trainer.hpp"
-#include "baselines/baselines.hpp"
-#include "train/trainer.hpp"
-#include "util/json_writer.hpp"
 
 namespace cgps {
 namespace {

@@ -1,9 +1,8 @@
 #include "util/serialize.hpp"
 
-#include <gtest/gtest.h>
-
 #include <cstdio>
 #include <filesystem>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

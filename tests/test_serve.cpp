@@ -1,29 +1,25 @@
+#include "gen/designs.hpp"
+#include "graph/circuit_graph.hpp"
+#include "netlist/hierarchy.hpp"
+#include "serve/client.hpp"
 #include "serve/core.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/json_writer.hpp"
 
 #include <arpa/inet.h>
-#include <gtest/gtest.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <gtest/gtest.h>
 #include <limits>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <thread>
-
-#include "gen/designs.hpp"
-#include "graph/circuit_graph.hpp"
-#include "netlist/hierarchy.hpp"
-#include "serve/client.hpp"
-#include "serve/protocol.hpp"
-#include "serve/server.hpp"
-#include "tensor/kernels.hpp"
-#include "tensor/ops.hpp"
-#include "util/json_writer.hpp"
+#include <unistd.h>
 
 namespace cgps {
 namespace {

@@ -1,18 +1,15 @@
 // Property-style tests (TEST_P sweeps) for enclosing-subgraph extraction —
 // the invariants of paper Definition 1 plus DSPD properties.
-#include "graph/subgraph.hpp"
-
-#include <gtest/gtest.h>
-
-#include <cmath>
-
-#include <set>
-
 #include "gen/designs.hpp"
 #include "graph/circuit_graph.hpp"
 #include "graph/links.hpp"
+#include "graph/subgraph.hpp"
 #include "netlist/hierarchy.hpp"
 #include "util/rng.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <set>
 
 namespace cgps {
 namespace {

@@ -1,12 +1,10 @@
 // Forward-value correctness for every op (gradients are covered in
 // test_autograd.cpp).
 #include "tensor/ops.hpp"
-
-#include <gtest/gtest.h>
+#include "util/rng.hpp"
 
 #include <cmath>
-
-#include "util/rng.hpp"
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

@@ -1,11 +1,10 @@
 // Property-based sweeps over tensor ops: algebraic identities that must hold
 // for arbitrary shapes and random contents.
-#include <gtest/gtest.h>
-
-#include <cmath>
-
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

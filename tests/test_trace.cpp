@@ -2,22 +2,21 @@
 // span nesting, registry histogram feeding, thread-safety under the work
 // pool, cgps-trace-v1 stream coverage of the training hot paths, and the
 // contract that tracing never changes training results.
-#include <gtest/gtest.h>
-
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <map>
-#include <set>
-#include <string>
-#include <vector>
-
 #include "train/trainer.hpp"
 #include "util/env.hpp"
 #include "util/json_writer.hpp"
 #include "util/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
 
 namespace cgps {
 namespace {

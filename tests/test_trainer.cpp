@@ -1,8 +1,7 @@
 #include "train/trainer.hpp"
 
-#include <gtest/gtest.h>
-
 #include <cmath>
+#include <gtest/gtest.h>
 
 namespace cgps {
 namespace {

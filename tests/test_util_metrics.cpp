@@ -1,14 +1,12 @@
+#include "util/json_writer.hpp"
 #include "util/metrics.hpp"
-
-#include <gtest/gtest.h>
+#include "util/parallel.hpp"
 
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <gtest/gtest.h>
 #include <vector>
-
-#include "util/json_writer.hpp"
-#include "util/parallel.hpp"
 
 namespace cgps {
 namespace {

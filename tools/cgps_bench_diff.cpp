@@ -7,9 +7,9 @@
 // beyond the tolerance, 1 on regression (including a baseline metric the
 // candidate dropped), 2 on bad usage or malformed input. All logic lives in
 // util/bench_diff so the tests exercise it in-process.
-#include <cstdio>
-
 #include "util/bench_diff.hpp"
+
+#include <cstdio>
 
 int main(int argc, char** argv) {
   std::string out;

@@ -13,9 +13,9 @@
 // drift (including a tracked metric vanishing from the newest report), 2 on
 // bad usage, malformed input, or fewer than two usable reports. All logic
 // lives in util/bench_diff so the tests exercise it in-process.
-#include <cstdio>
-
 #include "util/bench_diff.hpp"
+
+#include <cstdio>
 
 int main(int argc, char** argv) {
   std::string out;

@@ -1,0 +1,18 @@
+// CLI wrapper over util/lint/include_graph: whole-program include-graph
+// checks (module layering against tools/cgps_layering.txt, header cycles,
+// include order, unused includes, the atomics/volatile discipline — see
+// DESIGN.md §9). `--check` prints findings with the cgps_bench_diff exit
+// contract (0 clean, 1 violations, 2 bad usage/unreadable inputs); `--dot`
+// prints the live module DAG for the docs. Registered as the
+// `cgps_deps_tree` ctest against the live source tree.
+#include "util/lint/include_graph.hpp"
+
+#include <cstdio>
+#include <string>
+
+int main(int argc, char** argv) {
+  std::string out;
+  const int rc = cgps::lint::deps_main(argc, argv, out);
+  std::fputs(out.c_str(), stdout);
+  return rc;
+}

@@ -3,10 +3,10 @@
 // Exit contract mirrors cgps_bench_diff: 0 clean, 1 violations, 2 bad
 // usage or unreadable inputs. Registered as the `cgps_lint_tree` ctest
 // against the live source tree with the committed allowlist.
+#include "util/lint/lint.hpp"
+
 #include <cstdio>
 #include <string>
-
-#include "util/lint/lint.hpp"
 
 int main(int argc, char** argv) {
   std::string out;

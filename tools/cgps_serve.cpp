@@ -19,20 +19,6 @@
 // access log, and poll live stats with cgps_top (kStats over the wire).
 // SIGINT/SIGTERM drain the admission queue before exiting: every accepted
 // request is answered, late submissions are rejected with status `shutdown`.
-#include <unistd.h>
-
-#ifndef CGPS_GIT_DESCRIBE
-#define CGPS_GIT_DESCRIBE "unknown"
-#endif
-
-#include <csignal>
-#include <cstring>
-#include <iostream>
-#include <memory>
-#include <sstream>
-#include <string>
-#include <vector>
-
 #include "gen/designs.hpp"
 #include "graph/circuit_graph.hpp"
 #include "netlist/hierarchy.hpp"
@@ -44,9 +30,28 @@
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef CGPS_GIT_DESCRIBE
+#define CGPS_GIT_DESCRIBE "unknown"
+#endif
+
 namespace {
 
-volatile std::sig_atomic_t g_stop = 0;
+// Signal-safe stop flag: std::atomic<int> is lock-free on every target we
+// build for, and the default seq_cst ordering keeps it out of the
+// tools/cgps_atomics.txt weak-order manifest.
+std::atomic<int> g_stop{0};
+static_assert(std::atomic<int>::is_always_lock_free);
 
 void on_signal(int) { g_stop = 1; }
 

@@ -10,6 +10,11 @@
 //   cgps_top --once --json        # one snapshot, raw JSON on stdout
 //
 // Exit codes: 0 ok, 1 connect/fetch/parse failure, 2 usage error.
+#include "serve/client.hpp"
+#include "util/env.hpp"
+#include "util/json_writer.hpp"
+#include "util/table.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -20,11 +25,6 @@
 #include <string>
 #include <thread>
 #include <vector>
-
-#include "serve/client.hpp"
-#include "util/env.hpp"
-#include "util/json_writer.hpp"
-#include "util/table.hpp"
 
 namespace {
 
